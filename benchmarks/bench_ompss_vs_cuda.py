@@ -1,0 +1,66 @@
+"""OMPSS-CUDA — hStreams vs CUDA Streams as the OmpSs plumbing layer.
+
+The same OmpSs task program (tiled matmul with in/out/inout clauses)
+runs over both layers on the same card. Paper claims: the hStreams-based
+implementation was **1.45x faster** for a 4K x 4K matmul, and **1.4x**
+for a 6K x 6K 2x2-tiled multiply; the primary contributor is that OmpSs
+must explicitly compute and enforce dependences for CUDA Streams, which
+is unnecessary within hStreams (operand-derived, out-of-order).
+
+Timing starts before region registration, so the CUDA layer's eager
+device allocations count — matching the paper's OmpSs configuration
+whose COI allocation overheads were significant (no buffer pool).
+"""
+
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.ompss.matmul import ompss_matmul
+
+
+def matmul(model: str, n: int, tiles: int) -> float:
+    return ompss_matmul(model, n, tiles).elapsed_s
+
+
+CASES = [
+    # label, paper advantage, n, tiles
+    ("4K x 4K, 4x4 tiles", 1.45, 4096, 4),
+    ("6K x 6K, 2x2 tiles", 1.40, 6144, 2),
+    ("8K x 8K, 4x4 tiles", None, 8192, 4),
+]
+
+
+def run_all():
+    out = {}
+    for label, paper, n, tiles in CASES:
+        t_h = matmul("hstreams", n, tiles)
+        t_c = matmul("cuda", n, tiles)
+        out[label] = (paper, t_h, t_c, t_c / t_h)
+    return out
+
+
+def test_ompss_hstreams_vs_cuda(benchmark, capsys):
+    results = run_once(benchmark, run_all)
+    rows = []
+    for label, (paper, t_h, t_c, adv) in results.items():
+        rows.append([
+            label, f"{t_h * 1e3:.0f} ms", f"{t_c * 1e3:.0f} ms",
+            f"{adv:.2f}x", f"{paper}x" if paper else "-",
+        ])
+    with capsys.disabled():
+        print()
+        print("== OmpSs over hStreams vs over CUDA Streams ==")
+        print(format_table(
+            ["matmul", "hStreams layer", "CUDA layer", "hStr advantage", "paper"],
+            rows,
+        ))
+
+    # The hStreams layer wins at 4K (paper: 1.45x; we land ~1.2-1.6x).
+    adv_4k = results["4K x 4K, 4x4 tiles"][3]
+    assert 1.15 < adv_4k < 1.8
+    # It never loses on the larger cases.
+    assert results["8K x 8K, 4x4 tiles"][3] > 1.0
+    # The 2x2 6K case: the paper reports 1.4x; with only 8 coarse tasks
+    # our CUDA layer's work-conserving device model recovers most of the
+    # gap, so we only require parity-or-better there (see EXPERIMENTS.md).
+    assert results["6K x 6K, 2x2 tiles"][3] > 0.95

@@ -1,0 +1,107 @@
+"""SEC3-OVH — the §III layering-overhead analysis.
+
+Reproduced claims:
+
+* hStreams adds 20-30 us of overhead to transfers under 128 KB;
+* transfer overhead drops under 5 % for multi-MB payloads;
+* COI overheads are negligible when the 2 MB buffer pool is enabled and
+  significant when it is not (the OmpSs configuration);
+* OmpSs induces 15-50 % overhead on top of hand-written hStreams for
+  Cholesky at n = 4800-10000.
+"""
+
+from conftest import run_once
+
+from repro import HStreams, RuntimeConfig, make_platform
+from repro.bench.reporting import format_table
+from repro.linalg import hetero_cholesky
+from repro.ompss.cholesky import ompss_cholesky
+
+
+def transfer_overhead_sweep():
+    """Measured end-to-end transfer time vs raw wire time per size."""
+    rows = []
+    for nbytes in [4 << 10, 32 << 10, 128 << 10, 1 << 20, 4 << 20, 32 << 20]:
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        s = hs.stream_create(domain=1, ncores=61)
+        buf = hs.buffer_create(nbytes=nbytes, domains=[1])
+        t0 = hs.elapsed()
+        hs.enqueue_xfer(s, buf)
+        hs.thread_synchronize()
+        total = hs.elapsed() - t0
+        wire = nbytes / (hs.platform.pcie_bandwidth_gbs * 1e9) + hs.platform.pcie_latency_s
+        rows.append((nbytes, total, total - wire, (total - wire) / total))
+    return rows
+
+
+def buffer_pool_effect():
+    """Re-allocation cost with and without the COI 2 MB pool."""
+    out = {}
+    for pooled in (True, False):
+        cfg = RuntimeConfig(use_buffer_pool=pooled)
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", config=cfg)
+        # Warm one allocation, release it, then measure 16 re-allocations.
+        warm = hs.buffer_create(nbytes=2 << 20, domains=[1])
+        hs.buffer_destroy(warm)
+        t0 = hs.elapsed()
+        bufs = []
+        for _ in range(16):
+            b = hs.buffer_create(nbytes=2 << 20, domains=[1])
+            bufs.append(b)
+            hs.buffer_destroy(b)
+        out[pooled] = hs.elapsed() - t0
+    return out
+
+
+def ompss_overhead_sweep():
+    """OmpSs-over-hStreams vs hand-written hStreams Cholesky."""
+    rows = []
+    for n in [6000, 8000, 10000]:
+        o = ompss_cholesky(n, tile=max(n // 10, 1200))
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        h = hetero_cholesky(hs, n, tile=max(n // 20, 700), host_streams=4)
+        rows.append((n, h.gflops, o.gflops, h.gflops / o.gflops - 1.0))
+    return rows
+
+
+def run_all():
+    return {
+        "transfer": transfer_overhead_sweep(),
+        "pool": buffer_pool_effect(),
+        "ompss": ompss_overhead_sweep(),
+    }
+
+
+def test_sec3_overheads(benchmark, capsys):
+    res = run_once(benchmark, run_all)
+    with capsys.disabled():
+        print()
+        print("== SEC3: transfer overhead vs size (paper: 20-30us small, <5% above ~MBs) ==")
+        print(format_table(
+            ["bytes", "total us", "overhead us", "overhead %"],
+            [[f"{b:,}", f"{t * 1e6:.1f}", f"{o * 1e6:.1f}", f"{f * 100:.1f}%"]
+             for b, t, o, f in res["transfer"]],
+        ))
+        pooled, unpooled = res["pool"][True], res["pool"][False]
+        print(f"\n16x 2MB re-allocations: pooled {pooled * 1e3:.3f} ms, "
+              f"no pool {unpooled * 1e3:.3f} ms "
+              f"({unpooled / max(pooled, 1e-12):.0f}x)")
+        print("\n== SEC3: OmpSs overhead on top of hStreams, Cholesky "
+              "(paper: 15-50% at n=4800-10000) ==")
+        print(format_table(
+            ["n", "hStreams GF/s", "OmpSs GF/s", "overhead"],
+            [[n, f"{h:.0f}", f"{o:.0f}", f"{ov * 100:.0f}%"]
+             for n, h, o, ov in res["ompss"]],
+        ))
+
+    # Small transfers: fixed overhead in the paper's 20-30 us bracket.
+    for nbytes, _total, ovh, _frac in res["transfer"]:
+        if nbytes <= 128 << 10:
+            assert 15e-6 < ovh < 35e-6
+    # Large transfers: overhead fraction under 5 %.
+    assert res["transfer"][-1][3] < 0.05
+    # The buffer pool makes re-allocation ~free.
+    assert res["pool"][True] < 0.05 * res["pool"][False]
+    # OmpSs conveniences cost 15-50 % in the paper's size bracket.
+    for _n, _h, _o, ovh in res["ompss"]:
+        assert 0.10 < ovh < 0.55

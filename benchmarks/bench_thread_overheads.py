@@ -1,0 +1,105 @@
+"""THREAD-OVH — measured wall-clock overheads of the *thread* backend.
+
+DESIGN.md's honesty clause: a pure-Python runtime cannot claim the C
+library's 20-30 us costs, so the real backend's own overheads are
+measured and reported here (these are wall-clock numbers on whatever
+machine runs the suite — the only non-deterministic benchmark in the
+harness).
+
+Measured quantities:
+
+* enqueue latency — source-side cost of one ``enqueue_compute`` call;
+* round-trip latency — enqueue + execute + synchronize of a no-op;
+* pipeline throughput — actions/second through one stream;
+* dependence analysis scaling — enqueue cost with a deep conflicting
+  history vs an empty one.
+"""
+
+import numpy as np
+
+from repro import HStreams, make_platform
+
+
+def make_runtime():
+    hs = HStreams(platform=make_platform("HSW", 1), backend="thread", trace=False)
+    hs.register_kernel("noop", fn=lambda *a: None)
+    return hs
+
+
+def test_enqueue_latency(benchmark):
+    hs = make_runtime()
+    s = hs.stream_create(domain=1, ncores=4)
+    buf = hs.buffer_create(nbytes=64)
+    op = buf.all_inout()
+
+    def enqueue():
+        hs.enqueue_compute(s, "noop", args=(op,))
+
+    benchmark.pedantic(enqueue, rounds=200, iterations=1)
+    hs.thread_synchronize()
+    hs.fini()
+
+
+def test_noop_round_trip(benchmark):
+    hs = make_runtime()
+    s = hs.stream_create(domain=1, ncores=4)
+    buf = hs.buffer_create(nbytes=64)
+    op = buf.all_inout()
+
+    def round_trip():
+        ev = hs.enqueue_compute(s, "noop", args=(op,))
+        ev.wait()
+
+    benchmark.pedantic(round_trip, rounds=100, iterations=1)
+    hs.fini()
+
+
+def test_pipeline_throughput(benchmark):
+    hs = make_runtime()
+    s = hs.stream_create(domain=1, ncores=4)
+    bufs = [hs.buffer_create(nbytes=64) for _ in range(64)]
+
+    def burst():
+        for b in bufs:
+            hs.enqueue_compute(s, "noop", args=(b.all_inout(),))
+        hs.stream_synchronize(s)
+
+    benchmark.pedantic(burst, rounds=20, iterations=1)
+    hs.fini()
+
+
+def test_transfer_round_trip(benchmark):
+    hs = make_runtime()
+    s = hs.stream_create(domain=1, ncores=4)
+    data = np.zeros(1 << 16)  # 512 KB
+    buf = hs.wrap(data)
+
+    def xfer():
+        ev = hs.enqueue_xfer(s, buf)
+        ev.wait()
+
+    benchmark.pedantic(xfer, rounds=100, iterations=1)
+    hs.fini()
+
+
+def test_dependence_scan_with_deep_history(benchmark):
+    """Enqueue cost against a stream holding a long in-flight window."""
+    hs = make_runtime()
+    hs.register_kernel("slow", fn=lambda *a: __import__("time").sleep(0.2))
+    s = hs.stream_create(domain=1, ncores=4)
+    blocker = hs.buffer_create(nbytes=8)
+    target = hs.buffer_create(nbytes=8 * 512)
+    # One long-running head + many in-flight dependents.
+    hs.enqueue_compute(s, "slow", args=(blocker.all_inout(),))
+    for i in range(256):
+        hs.enqueue_compute(
+            s, "noop",
+            args=(blocker.all_inout(), target.range(8 * (i % 512), 8)),
+        )
+
+    def enqueue_against_window():
+        hs.enqueue_compute(s, "noop", args=(target.range(0, 8),))
+
+    benchmark.pedantic(enqueue_against_window, rounds=100, iterations=1)
+    hs.thread_synchronize()
+    hs.fini()

@@ -1,0 +1,21 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one artifact of the paper's evaluation and
+prints a paper-vs-measured comparison (run with ``-s`` to see the
+tables). The pytest-benchmark fixture times the headline configuration
+of each experiment once (``rounds=1``) — these are simulations, not
+micro-kernels, so statistical repetition adds nothing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _print_blank_line(capsys):
+    """Keep the comparison tables readable between benchmarks."""
+    yield

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Hetero matrix multiply across the host and multiple cards (Fig. 4/6).
+
+Demonstrates the paper's headline application: A broadcast tile by tile,
+B in column panels, C panels owned per domain, transfers pipelined under
+compute — and the load-balancing knob that matters on a weak host.
+
+First validates the distributed algorithm numerically on the thread
+backend (the answer is really computed through streams and transfers),
+then sweeps platform configurations on the sim backend.
+
+Run:  python examples/matmul_hetero.py
+"""
+
+import numpy as np
+
+from repro import HStreams, make_platform
+from repro.linalg import hetero_matmul
+
+
+def validate() -> None:
+    print("== numerics on the thread backend (HSW + 2 simulated cards) ==")
+    hs = HStreams(platform=make_platform("HSW", 2), backend="thread", trace=False)
+    rng = np.random.default_rng(7)
+    n = 120
+    A, B = rng.random((n, n)), rng.random((n, n))
+    res = hetero_matmul(hs, n, tile=40, data=(A, B), streams_per_domain=2)
+    err = np.abs(res.C - A @ B).max()
+    print(f"n={n}, tile=40: C panels owned {res.assignment}, max |err| = {err:.2e}")
+    assert err < 1e-10
+    hs.fini()
+
+
+def sweep() -> None:
+    print("\n== virtual performance on the simulated Fig. 2 machines ==")
+    n = 16000
+    configs = [
+        ("HSW + 2 KNC", "HSW", 2, True, True),
+        ("HSW + 1 KNC", "HSW", 1, True, True),
+        ("1 KNC (offload only)", "HSW", 1, False, True),
+        ("IVB + 2 KNC, load balanced", "IVB", 2, True, True),
+        ("IVB + 2 KNC, naive split", "IVB", 2, True, False),
+    ]
+    for label, host, ncards, use_host, lb in configs:
+        hs = HStreams(platform=make_platform(host, ncards), backend="sim", trace=False)
+        res = hetero_matmul(hs, n, tile=2000, use_host=use_host, load_balance=lb)
+        print(f"{label:28s}: {res.gflops:7.0f} GFl/s "
+              f"(tile columns per domain: {res.assignment})")
+
+
+if __name__ == "__main__":
+    validate()
+    sweep()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""OmpSs on top of hStreams: sequential tasks, parallel execution (§IV).
+
+The application below is a plain sequential loop of task invocations
+with ``in``/``out``/``inout`` data clauses. The OmpSs runtime detects
+the dependences, allocates card storage, inserts transfers, and spreads
+independent tasks over its hStreams streams. The same program then runs
+over the CUDA-Streams layer, where OmpSs must enforce every dependence
+explicitly from the host — the paper's 1.45x gap.
+
+Run:  python examples/ompss_dataflow.py
+"""
+
+import numpy as np
+
+from repro import make_platform
+from repro.ompss import OmpSsRuntime
+
+
+def functional_demo() -> None:
+    print("== dataflow correctness on the thread backend ==")
+    rt = OmpSsRuntime(model="hstreams", platform=make_platform("HSW", 1),
+                      backend="thread", trace=False)
+    rt.register_kernel("init", fn=lambda x, v: x.fill(v))
+    rt.register_kernel("add", fn=lambda z, x, y: np.add(x, y, out=z))
+    rt.register_kernel("scale", fn=lambda x, f: np.multiply(x, f, out=x))
+
+    a, b, c = np.zeros(16), np.zeros(16), np.zeros(16)
+    # A sequential program; the runtime extracts the parallelism.
+    rt.task("init", args=(a, 2.0), outs=[a])
+    rt.task("init", args=(b, 3.0), outs=[b])          # independent of the first
+    rt.task("add", args=(c, a, b), ins=[a, b], outs=[c])
+    rt.task("scale", args=(c, 10.0), inouts=[c])
+    rt.taskwait()
+    print(f"(2 + 3) * 10 = {c[0]:.0f}  "
+          f"[{rt.stats['tasks']} tasks, {rt.stats['transfers']} transfers, "
+          f"{rt.stats['dep_edges']} dependence edges]")
+    assert np.allclose(c, 50.0)
+    rt.fini()
+
+
+def layer_comparison(n: int = 4096, tiles: int = 4) -> None:
+    from repro.ompss.matmul import ompss_matmul
+
+    print(f"\n== the same tiled matmul over both plumbing layers "
+          f"({n}^2, {tiles}x{tiles} tiles) ==")
+    results = {m: ompss_matmul(m, n, tiles) for m in ("hstreams", "cuda")}
+    for model, r in results.items():
+        print(f"OmpSs over {model:8s}: {r.elapsed_s * 1e3:7.1f} ms "
+              f"({r.gflops:.0f} GFl/s, {r.tasks} tasks, "
+              f"{r.dep_edges} dependence edges)")
+    adv = results["cuda"].elapsed_s / results["hstreams"].elapsed_s
+    print(f"hStreams layer advantage: {adv:.2f}x (paper: 1.45x at 4K)")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    layer_comparison()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Petrobras-style RTM: halo/bulk streams and pipelined exchange (§V).
+
+Shows three things:
+
+1. the wave-propagation numerics are right: a domain-decomposed run with
+   per-step halo exchange reproduces the monolithic reference field;
+2. the offload schemes' virtual performance: host baseline, synchronous
+   offload, asynchronous pipelined offload (the paper's 3-10 % gain and
+   1.52x/6.02x card speedups);
+3. the §V scheme analysis: FIFO-barrier vs dependence-based exchange as
+   the halo/interior ratio grows.
+
+Run:  python examples/rtm_pipeline.py
+"""
+
+import numpy as np
+
+from repro import HStreams, make_platform
+from repro.apps.rtm import decompose, run_rtm
+from repro.apps.rtm.stencil import HALF_ORDER, propagate_reference, propagate_slab
+
+
+def validate_numerics() -> None:
+    print("== decomposed propagation vs monolithic reference ==")
+    h = HALF_ORDER
+    nz, ny, nx, steps, vdt2 = 32, 8, 8, 6, 0.04
+    rng = np.random.default_rng(11)
+    cur0 = np.zeros((nz + 2 * h, ny + 2 * h, nx + 2 * h))
+    cur0[h:-h, h:-h, h:-h] = rng.random((nz, ny, nx))
+    prev0 = np.zeros_like(cur0)
+    ref = propagate_reference(cur0, prev0, vdt2, steps)
+
+    subs = decompose(nz, ny, nx, 2, periodic=False)
+    local = []
+    for sub in subs:
+        c = np.zeros((sub.nz + 2 * h, ny + 2 * h, nx + 2 * h))
+        c[h:-h] = cur0[h + sub.z0 : h + sub.z0 + sub.nz]
+        local.append([c, np.zeros_like(c), np.zeros_like(c)])
+    for _ in range(steps):
+        lo, hi = local[0][0], local[1][0]
+        hi[:h] = lo[-2 * h : -h]
+        lo[-h:] = hi[h : 2 * h]
+        for sub, slot in zip(subs, local):
+            propagate_slab(slot[2], slot[0], slot[1], vdt2, 0, sub.nz)
+            slot[1], slot[0], slot[2] = slot[0], slot[2], slot[1]
+    got = np.concatenate([local[0][0][h:-h], local[1][0][h:-h]], axis=0)
+    err = np.abs(got - ref[h:-h]).max()
+    print(f"2 ranks x {steps} steps: max field error = {err:.2e}")
+    assert err < 1e-10
+
+
+def performance() -> None:
+    print("\n== offload schemes on the simulated platform ==")
+    grid, steps = (2048, 512, 512), 12
+
+    def run(ncards, **kw):
+        hs = HStreams(platform=make_platform("HSW", max(ncards, 1)),
+                      backend="sim", trace=False)
+        return run_rtm(hs, grid=grid, steps=steps, **kw)
+
+    host = run(1, scheme="host")
+    print(f"{'1 HSW host, no offload':34s}: {host.mpoints_per_s:8.0f} Mpt/s")
+    for nranks in (1, 4):
+        sync = run(nranks, nranks=nranks, scheme="sync")
+        asyn = run(nranks, nranks=nranks, scheme="async")
+        print(f"{f'{nranks} rank(s) on {nranks} KNC, sync':34s}: "
+              f"{sync.mpoints_per_s:8.0f} Mpt/s "
+              f"({sync.mpoints_per_s / host.mpoints_per_s:.2f}x host)")
+        print(f"{f'{nranks} rank(s) on {nranks} KNC, async':34s}: "
+              f"{asyn.mpoints_per_s:8.0f} Mpt/s "
+              f"({asyn.mpoints_per_s / host.mpoints_per_s:.2f}x host, "
+              f"+{(asyn.mpoints_per_s / sync.mpoints_per_s - 1) * 100:.0f}% vs sync)")
+
+    print("\n== barrier vs dependence-based exchange (4 ranks) ==")
+    for gz, label in [(2048, "deep slabs (low halo ratio)"),
+                      (160, "thin slabs (high halo ratio)")]:
+        out = {}
+        for exchange in ("barrier", "dependence"):
+            hs = HStreams(platform=make_platform("HSW", 4), backend="sim",
+                          trace=False)
+            r = run_rtm(hs, grid=(gz, 512, 512), steps=steps, nranks=4,
+                        scheme="async", exchange=exchange)
+            out[exchange] = r
+        adv = out["dependence"].mpoints_per_s / out["barrier"].mpoints_per_s
+        print(f"{label:32s}: halo/interior={out['barrier'].halo_ratio:.3f}, "
+              f"dependence-based is {adv:.2f}x the barrier scheme")
+
+
+if __name__ == "__main__":
+    validate_numerics()
+    performance()

@@ -1,0 +1,59 @@
+"""repro: a reproduction of "Heterogeneous Streaming" (hStreams), IPDPSW 2016.
+
+The package implements the hStreams runtime library (``repro.core``) over
+a simulated heterogeneous platform (``repro.sim``) and the COI/SCIF
+plumbing stack (``repro.coi``), plus the comparator programming models
+(``repro.models``), the OmpSs dataflow layer (``repro.ompss``), tiled
+linear algebra (``repro.linalg``), the Abaqus-like solver and Petrobras
+RTM applications (``repro.apps``), and the benchmark harness
+(``repro.bench``).
+
+Quickstart::
+
+    import numpy as np
+    from repro import HStreams, XferDirection
+
+    hs = HStreams(backend="thread")
+    hs.register_kernel("scale", fn=lambda x, f: np.multiply(x, f, out=x))
+    s = hs.stream_create(domain=1, ncores=30)
+
+    data = np.arange(8.0)
+    buf = hs.wrap(data)
+    hs.enqueue_xfer(s, buf)                              # host -> card
+    hs.enqueue_compute(s, "scale", args=(buf.tensor((8,)), 2.0))
+    hs.enqueue_xfer(s, buf, XferDirection.SINK_TO_SRC)   # card -> host
+    hs.thread_synchronize()
+    assert (data == np.arange(8.0) * 2).all()
+"""
+
+from repro.core import (
+    Buffer,
+    HEvent,
+    HStreams,
+    HStreamsError,
+    MemType,
+    Operand,
+    OperandMode,
+    RuntimeConfig,
+    Stream,
+    XferDirection,
+)
+from repro.sim.platforms import Platform, make_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Buffer",
+    "HEvent",
+    "HStreams",
+    "HStreamsError",
+    "MemType",
+    "Operand",
+    "OperandMode",
+    "RuntimeConfig",
+    "Stream",
+    "XferDirection",
+    "Platform",
+    "make_platform",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Application-level reproductions (paper §V/§VI).
+
+* :mod:`repro.apps.abaqus` — a Simulia Abaqus/Standard-like direct
+  solver: dense supernode LDL^T factorization streamed over host and
+  cards, a multifrontal-style sparse driver, and the eight
+  customer-representative workload models behind Fig. 8/Fig. 9.
+* :mod:`repro.apps.rtm` — a Petrobras-like Reverse Time Migration:
+  3-D finite-difference wave propagation with domain decomposition,
+  halo/bulk streams, synchronous vs. asynchronous pipelined offload, and
+  an HLIB-like target-agnostic API.
+"""

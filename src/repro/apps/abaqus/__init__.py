@@ -1,0 +1,42 @@
+"""A Simulia Abaqus/Standard-like sparse direct solver (paper §V).
+
+Abaqus/Standard accelerates its symmetric (LDL^T) solver through a
+target-agnostic streaming API with CUDA, OpenCL, and hStreams back ends.
+This package reproduces the two experiments the paper reports:
+
+* :mod:`repro.apps.abaqus.supernode` — the standalone test program that
+  factorizes a single representative dense supernode (Fig. 9: KNC
+  offload vs. HSW/IVB host-as-target streams);
+* :mod:`repro.apps.abaqus.solver` — a multifrontal-style driver that
+  processes all supernodes of a system in order, offloading large
+  fronts;
+* :mod:`repro.apps.abaqus.workloads` — the eight customer-representative
+  workload models (s4b, s8, s9, e5, A, B, C, x1) behind the Fig. 8
+  speedup bars.
+"""
+
+from repro.apps.abaqus.solve_phase import (
+    SolveResult,
+    ldlt_solve_dense,
+    solve_supernode,
+)
+from repro.apps.abaqus.solver import SolverResult, solve_workload
+from repro.apps.abaqus.supernode import (
+    SupernodeResult,
+    factorize_supernode,
+    ldlt_dense,
+)
+from repro.apps.abaqus.workloads import WORKLOADS, Workload
+
+__all__ = [
+    "SolveResult",
+    "ldlt_solve_dense",
+    "solve_supernode",
+    "SolverResult",
+    "solve_workload",
+    "SupernodeResult",
+    "factorize_supernode",
+    "ldlt_dense",
+    "WORKLOADS",
+    "Workload",
+]

@@ -1,0 +1,242 @@
+"""The solve phase: streamed triangular solves against an LDL^T factor.
+
+After factorization, Abaqus solves ``L D L^T x = b`` per load case:
+forward substitution, diagonal scaling, backward substitution. The
+right-hand side lives in one buffer whose *panel ranges* are the
+operands, so the runtime's operand analysis extracts the available
+concurrency automatically — the forward updates of disjoint trailing
+ranges run in parallel across streams while the panel chain stays
+ordered, with no explicit dependence management (the paper's central
+ease-of-use claim, applied to a second solver phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.core.actions import OperandMode, XferDirection
+from repro.core.runtime import HStreams
+from repro.apps.abaqus.supernode import SupernodeResult
+from repro.sim.kernels import KernelCost
+
+__all__ = ["SolveResult", "solve_supernode", "ldlt_solve_dense"]
+
+
+def ldlt_solve_dense(L: np.ndarray, d: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference dense solve of L D L^T x = b."""
+    y = solve_triangular(L, b, lower=True, unit_diagonal=True)
+    z = y / d
+    return solve_triangular(L.T, z, lower=False, unit_diagonal=True)
+
+
+# -- sink kernels -----------------------------------------------------------------
+
+
+def k_fwd_panel(y_panel: np.ndarray, block_top: np.ndarray) -> None:
+    """y_p := (unit lower of the panel's top block)^{-1} y_p."""
+    w = block_top.shape[1]
+    y_panel[:] = solve_triangular(
+        np.tril(block_top[:w], -1) + np.eye(w), y_panel, lower=True,
+        unit_diagonal=True,
+    )
+
+
+def k_fwd_update(y_below: np.ndarray, block_low: np.ndarray,
+                 y_panel: np.ndarray) -> None:
+    """y_below -= L_below @ y_p."""
+    y_below -= block_low @ y_panel
+
+
+def k_diag_scale(y_panel: np.ndarray, d: np.ndarray) -> None:
+    """y_p /= d_p."""
+    y_panel /= d
+
+
+def k_bwd_update(y_panel: np.ndarray, block_low: np.ndarray,
+                 y_below: np.ndarray) -> None:
+    """y_p -= L_below^T @ y_below."""
+    y_panel -= block_low.T @ y_below
+
+
+def k_bwd_panel(y_panel: np.ndarray, block_top: np.ndarray) -> None:
+    """y_p := (unit upper L_pp^T)^{-1} y_p."""
+    w = block_top.shape[1]
+    Lpp = np.tril(block_top[:w], -1) + np.eye(w)
+    y_panel[:] = solve_triangular(Lpp.T, y_panel, lower=False,
+                                  unit_diagonal=True)
+
+
+def _register(hs: HStreams) -> None:
+    hs.register_kernel("ldlt_fwd_panel", fn=k_fwd_panel, cost_fn=None)
+    hs.register_kernel("ldlt_fwd_update", fn=k_fwd_update, cost_fn=None)
+    hs.register_kernel("ldlt_diag", fn=k_diag_scale, cost_fn=None)
+    hs.register_kernel("ldlt_bwd_update", fn=k_bwd_update, cost_fn=None)
+    hs.register_kernel("ldlt_bwd_panel", fn=k_bwd_panel, cost_fn=None)
+
+
+def _trsv_cost(w: int) -> KernelCost:
+    return KernelCost("dtrsm", flops=float(w) * w, size=float(w),
+                      bytes_moved=8.0 * w * w / 2)
+
+
+def _gemv_cost(m: int, w: int) -> KernelCost:
+    return KernelCost("dgemm", flops=2.0 * m * w, size=float(min(m, w)),
+                      bytes_moved=8.0 * (m * w + m + w))
+
+
+# -- the streamed solve ------------------------------------------------------------
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solve phase."""
+
+    elapsed_s: float
+    x: Optional[np.ndarray] = None  # thread backend
+
+
+def solve_supernode(
+    hs: HStreams,
+    factor: SupernodeResult,
+    b: Optional[np.ndarray] = None,
+    domain: int = 1,
+    nstreams: int = 3,
+    streams=None,
+) -> SolveResult:
+    """Solve L D L^T x = b against a factored *square* supernode.
+
+    ``b`` (thread backend) is not modified; the solution returns in the
+    result. Sim runs pass ``b=None`` and get timing only.
+    """
+    if factor.nrows != factor.ncols:
+        raise ValueError("the solve phase needs a square supernode factor")
+    n = factor.ncols
+    _register(hs)
+    if streams is None:
+        total = hs.domain(domain).device.total_cores
+        nstr = min(nstreams, total)
+        streams = [hs.stream_create(domain=domain, ncores=total // nstr)
+                   for _ in range(nstr)]
+
+    x_arr = None
+    if b is not None:
+        if b.shape != (n,):
+            raise ValueError(f"b must have shape ({n},), got {b.shape}")
+        x_arr = b.astype(np.float64, copy=True)
+        rhs = hs.wrap(x_arr, name="rhs")
+    else:
+        rhs = hs.buffer_create(nbytes=8 * n, name="rhs")
+
+    col0, widths = factor.col0, factor.widths
+    blocks, d_bufs = factor.block_buffers, factor.d_buffers
+    P = len(col0)
+
+    def y_range(p: int, mode) -> object:
+        return rhs.tensor((widths[p],), offset=8 * col0[p], mode=mode)
+
+    def y_below(p: int, mode) -> object:
+        m = n - col0[p] - widths[p]
+        return rhs.tensor((m,), offset=8 * (col0[p] + widths[p]), mode=mode)
+
+    t0 = hs.elapsed()
+    # Panel-granular dependence tracking across streams: the RHS panel
+    # ranges are the dependence unit; same-stream ordering is implicit
+    # (FIFO + operands), cross-stream ordering inserts one scoped
+    # event_stream_wait per producer/reader set — the same discipline
+    # hStreams applications use everywhere.
+    writers = {}  # panel -> (event, stream id)
+    readers = {}  # panel -> list of (event, stream id)
+
+    def panel_op(p: int, mode) -> object:
+        return rhs.tensor((widths[p],), offset=8 * col0[p], mode=mode)
+
+    def enqueue(stream, kernel, args, cost, label, read_panels, write_panels):
+        needed = {}
+        for q in set(read_panels) | set(write_panels):
+            w_ev = writers.get(q)
+            if w_ev and w_ev[1] != stream.id and not w_ev[0].is_complete():
+                needed[id(w_ev[0])] = (w_ev[0], q)
+        for q in set(write_panels):
+            for r_ev, sid in readers.get(q, ()):
+                if sid != stream.id and not r_ev.is_complete():
+                    needed[id(r_ev)] = (r_ev, q)
+        if needed:
+            hs.event_stream_wait(
+                stream,
+                [ev for ev, _ in needed.values()],
+                operands=[panel_op(q, OperandMode.INOUT)
+                          for _, q in needed.values()],
+            )
+        ev = hs.enqueue_compute(stream, kernel, args=args, cost=cost,
+                                label=label)
+        for q in write_panels:
+            writers[q] = (ev, stream.id)
+            readers[q] = []
+        for q in read_panels:
+            readers.setdefault(q, []).append((ev, stream.id))
+        return ev
+
+    hs.enqueue_xfer(streams[0], rhs)  # RHS to the sink
+    # Forward substitution: panel chain + fan-out updates.
+    for p in range(P):
+        m_low = n - col0[p] - widths[p]
+        w = widths[p]
+        enqueue(
+            streams[0], "ldlt_fwd_panel",
+            args=(y_range(p, OperandMode.INOUT),
+                  blocks[p].tensor((factor.nrows - col0[p], w),
+                                   mode=OperandMode.IN)),
+            cost=_trsv_cost(w), label=f"fwd_panel{p}",
+            read_panels=[p], write_panels=[p],
+        )
+        if m_low > 0:
+            s_upd = streams[p % len(streams)]
+            below = list(range(p + 1, P))
+            enqueue(
+                s_upd, "ldlt_fwd_update",
+                args=(y_below(p, OperandMode.INOUT),
+                      blocks[p].tensor((m_low, w), offset=8 * w * w,
+                                       mode=OperandMode.IN),
+                      y_range(p, OperandMode.IN)),
+                cost=_gemv_cost(m_low, w), label=f"fwd_upd{p}",
+                read_panels=[p] + below, write_panels=below,
+            )
+    # Diagonal scaling: disjoint panels, fully parallel across streams.
+    for p in range(P):
+        enqueue(
+            streams[p % len(streams)], "ldlt_diag",
+            args=(y_range(p, OperandMode.INOUT),
+                  d_bufs[p].tensor((widths[p],), mode=OperandMode.IN)),
+            cost=KernelCost("default", widths[p], float(widths[p])),
+            label=f"diag{p}", read_panels=[p], write_panels=[p],
+        )
+    # Backward substitution: reverse panel chain.
+    for p in reversed(range(P)):
+        m_low = n - col0[p] - widths[p]
+        w = widths[p]
+        below = list(range(p + 1, P))
+        if m_low > 0:
+            enqueue(
+                streams[0], "ldlt_bwd_update",
+                args=(y_range(p, OperandMode.INOUT),
+                      blocks[p].tensor((m_low, w), offset=8 * w * w,
+                                       mode=OperandMode.IN),
+                      y_below(p, OperandMode.IN)),
+                cost=_gemv_cost(m_low, w), label=f"bwd_upd{p}",
+                read_panels=[p] + below, write_panels=[p],
+            )
+        enqueue(
+            streams[0], "ldlt_bwd_panel",
+            args=(y_range(p, OperandMode.INOUT),
+                  blocks[p].tensor((factor.nrows - col0[p], w),
+                                   mode=OperandMode.IN)),
+            cost=_trsv_cost(w), label=f"bwd_panel{p}",
+            read_panels=[p], write_panels=[p],
+        )
+    hs.enqueue_xfer(streams[0], rhs, XferDirection.SINK_TO_SRC)
+    hs.thread_synchronize()
+    return SolveResult(elapsed_s=hs.elapsed() - t0, x=x_arr)

@@ -1,0 +1,277 @@
+"""Dense supernode LDL^T factorization over streams.
+
+The Abaqus/Standard symmetric solver factorizes dense *supernodes*
+(trapezoidal column blocks of the sparse factor) with an LDL^T scheme —
+related to the paper's Cholesky reference code but with a diagonal D.
+
+The standalone test program of Fig. 9 factorizes one representative
+supernode entirely on a chosen target: a KNC card ("KNC offload", 4
+streams x 60 threads) or the host ("host-as-target", 3 streams). Panels
+run in the first stream (a serial chain); trailing updates fan out
+across all streams; on a card, column blocks stream in ahead of their
+first use and factored blocks stream home — all pipelined by the FIFO +
+operand semantics.
+
+The real kernels (thread backend) implement textbook unblocked LDL^T
+panels plus GEMM-shaped inter-panel updates; :func:`ldlt_dense` is the
+reference used by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.actions import OperandMode
+from repro.core.runtime import HStreams
+from repro.linalg.dataflow import FlowContext
+from repro.sim import kernels as K
+
+__all__ = [
+    "SupernodeResult",
+    "factorize_supernode",
+    "ldlt_dense",
+    "k_ldlt_panel",
+    "k_ldlt_update",
+    "register_ldlt_kernels",
+]
+
+
+# -- reference and kernels ------------------------------------------------------
+
+
+def ldlt_dense(A: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference dense LDL^T (no pivoting): returns (L unit-lower, d)."""
+    n = A.shape[0]
+    W = A.astype(np.float64, copy=True)
+    for j in range(n):
+        d = W[j, j]
+        col = W[j + 1 :, j].copy()
+        l = col / d
+        W[j + 1 :, j] = l
+        W[j + 1 :, j + 1 :] -= np.outer(l, col[: n - 1 - j])
+    L = np.tril(W, -1) + np.eye(n)
+    return L, np.diag(W).copy()
+
+
+def k_ldlt_panel(block: np.ndarray, d_out: np.ndarray) -> None:
+    """Factor one panel in place.
+
+    ``block`` has shape (m, w): the top w x w chunk is the symmetric
+    diagonal part; rows below are the sub-diagonal part of the panel.
+    On return ``block`` holds the (strictly lower + sub-diagonal) L
+    entries with a unit diagonal implied, and ``d_out`` the D values.
+    """
+    m, w = block.shape
+    for j in range(w):
+        d = block[j, j]
+        if d == 0.0:
+            raise ZeroDivisionError("zero pivot in LDL^T panel")
+        d_out[j] = d
+        col = block[j + 1 :, j].copy()
+        l = col / d
+        block[j + 1 :, j] = l
+        if j + 1 < w:
+            block[j + 1 :, j + 1 : w] -= np.outer(l, col[: w - 1 - j])
+
+
+def k_ldlt_update(
+    Bq: np.ndarray, Lp_low: np.ndarray, Lp_mid: np.ndarray, d: np.ndarray
+) -> None:
+    """Trailing update: Bq -= Lp_low @ (Lp_mid * d)^T (GEMM-shaped)."""
+    Bq -= Lp_low @ (Lp_mid * d).T
+
+
+def _cost_panel(block, d_out) -> K.KernelCost:
+    m, w = block.shape
+    return K.ldlt_panel(m, w)
+
+
+def _cost_update(Bq, Lp_low, Lp_mid, d) -> K.KernelCost:
+    mq, wq = Bq.shape
+    w = Lp_low.shape[1]
+    return K.ldlt_update(mq, wq, w)
+
+
+def register_ldlt_kernels(hs: HStreams) -> None:
+    """Register the supernode kernels on a runtime (either backend)."""
+    hs.register_kernel("ldlt_panel", fn=k_ldlt_panel, cost_fn=_cost_panel)
+    hs.register_kernel("ldlt_update", fn=k_ldlt_update, cost_fn=_cost_update)
+
+
+# -- the streamed factorization ----------------------------------------------------
+
+
+@dataclass
+class SupernodeResult:
+    """Outcome of one supernode factorization."""
+
+    nrows: int
+    ncols: int
+    panel: int
+    elapsed_s: float
+    flops: float
+    gflops: float
+    L: Optional[np.ndarray] = None  # thread backend, square supernodes only
+    d: Optional[np.ndarray] = None
+    buffers: tuple = ()  # the block/d buffers, for caller-managed teardown
+    # Factor layout, kept for the solve phase:
+    block_buffers: tuple = ()
+    d_buffers: tuple = ()
+    col0: tuple = ()
+    widths: tuple = ()
+
+
+def supernode_flops(nrows: int, ncols: int) -> float:
+    """LDL^T flop count for a trapezoidal (nrows x ncols) supernode."""
+    return float(ncols) ** 2 * (nrows - ncols / 3.0)
+
+
+def factorize_supernode(
+    hs: HStreams,
+    nrows: int,
+    ncols: int,
+    panel: int = 256,
+    domain: int = 1,
+    nstreams: int = 4,
+    data: Optional[np.ndarray] = None,
+    flow: Optional[FlowContext] = None,
+    streams=None,
+    sync: bool = True,
+    flop_scale: float = 1.0,
+    panel_stream=None,
+) -> SupernodeResult:
+    """Factorize one dense supernode on ``domain``'s streams.
+
+    ``data`` (thread backend) must be a square SPD-ish matrix when given
+    (``nrows == ncols``); sim runs need only the dimensions. Passing a
+    ``flow``/``streams`` pair lets the sparse solver batch many
+    supernodes through shared streams without an intermediate sync.
+    ``flop_scale=2`` models the unsymmetric (LDU) solver: both triangular
+    factors are computed, doubling the arithmetic. ``panel_stream``
+    overrides where the serial panel chain runs (a tuner typically gives
+    it a machine-wide stream so the latency-bound panels use the whole
+    domain); by default it shares ``streams[0]``.
+    """
+    if nrows < ncols or ncols < 1:
+        raise ValueError(f"need nrows >= ncols >= 1, got {nrows}, {ncols}")
+    if data is not None and nrows != ncols:
+        raise ValueError("real data requires a square supernode")
+    panel = min(panel, ncols)
+    register_ldlt_kernels(hs)
+    flow = flow if flow is not None else FlowContext(hs)
+    if streams is None:
+        total = hs.domain(domain).device.total_cores
+        nstr = min(nstreams, total)
+        streams = [hs.stream_create(domain=domain, ncores=total // nstr)
+                   for _ in range(nstr)]
+
+    npanels = -(-ncols // panel)
+    col0 = [p * panel for p in range(npanels)]
+    widths = [min(panel, ncols - c) for c in col0]
+    blocks = []
+    block_arrays = []
+    t0 = hs.elapsed()
+    for p in range(npanels):
+        m = nrows - col0[p]
+        if data is not None:
+            arr = np.ascontiguousarray(data[col0[p] :, col0[p] : col0[p] + widths[p]])
+            block_arrays.append(arr)
+            blocks.append(hs.wrap(arr, name=f"sn_blk{p}"))
+        else:
+            blocks.append(
+                hs.buffer_create(nbytes=8 * m * widths[p], name=f"sn_blk{p}")
+            )
+        flow.mark_resident(blocks[p], 0)
+    d_bufs = []
+    d_arrays = []
+    for p in range(npanels):
+        if data is not None:
+            darr = np.zeros(widths[p])
+            d_arrays.append(darr)
+            d_bufs.append(hs.wrap(darr, name=f"sn_d{p}"))
+        else:
+            d_bufs.append(hs.buffer_create(nbytes=8 * widths[p], name=f"sn_d{p}"))
+        flow.mark_resident(d_bufs[p], 0)
+
+    if panel_stream is None:
+        panel_stream = streams[0]
+    for p in range(npanels):
+        m = nrows - col0[p]
+        w = widths[p]
+        # Panel factorization (serial chain in the first stream).
+        flow.send(panel_stream, blocks[p])
+        panel_args = (
+            blocks[p].tensor((m, w), mode=OperandMode.INOUT),
+            d_bufs[p].tensor((w,), mode=OperandMode.OUT),
+        )
+        flow.compute(
+            panel_stream,
+            "ldlt_panel",
+            args=panel_args,
+            reads=(),
+            writes=(blocks[p], d_bufs[p]),
+            cost=_cost_panel(*panel_args).scaled(flop_scale)
+            if flop_scale != 1.0
+            else None,
+            label=f"panel{p}",
+        )
+        # Trailing updates fan out across the streams.
+        for q in range(p + 1, npanels):
+            s = streams[q % len(streams)]
+            mq = nrows - col0[q]
+            wq = widths[q]
+            row_off = col0[q] - col0[p]
+            flow.send(s, blocks[p])
+            flow.send(s, d_bufs[p])
+            flow.send(s, blocks[q])
+            upd_args = (
+                blocks[q].tensor((mq, wq), mode=OperandMode.INOUT),
+                blocks[p].tensor(
+                    (mq, w), offset=8 * row_off * w, mode=OperandMode.IN
+                ),
+                blocks[p].tensor(
+                    (wq, w), offset=8 * row_off * w, mode=OperandMode.IN
+                ),
+                d_bufs[p].tensor((w,), mode=OperandMode.IN),
+            )
+            flow.compute(
+                s,
+                "ldlt_update",
+                args=upd_args,
+                reads=(blocks[p], d_bufs[p]),
+                writes=(blocks[q],),
+                cost=_cost_update(*upd_args).scaled(flop_scale)
+                if flop_scale != 1.0
+                else None,
+                label=f"upd{p}->{q}",
+            )
+        # Factored panel streams home.
+        flow.retrieve(panel_stream, blocks[p])
+        flow.retrieve(panel_stream, d_bufs[p])
+
+    if sync:
+        hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+    flops = supernode_flops(nrows, ncols) * flop_scale
+    gflops = flops / elapsed / 1e9 if elapsed > 0 else float("inf")
+
+    L = d = None
+    if data is not None and sync:
+        n = ncols
+        L = np.eye(n)
+        d = np.concatenate(d_arrays)
+        for p in range(npanels):
+            c0, w = col0[p], widths[p]
+            L[c0:, c0 : c0 + w] = np.tril(block_arrays[p], -1)[:, :w]
+            for jj in range(w):
+                L[c0 + jj, c0 + jj] = 1.0
+    return SupernodeResult(
+        nrows=nrows, ncols=ncols, panel=panel, elapsed_s=elapsed,
+        flops=flops, gflops=gflops, L=L, d=d,
+        buffers=tuple(blocks) + tuple(d_bufs),
+        block_buffers=tuple(blocks), d_buffers=tuple(d_bufs),
+        col0=tuple(col0), widths=tuple(widths),
+    )

@@ -1,0 +1,40 @@
+"""A Petrobras-like Reverse Time Migration kernel (paper §V/§VI).
+
+RTM's core is a time-domain finite-difference wave propagator — an
+8th-order-in-space stencil over a 3-D grid — run for thousands of steps
+across MPI ranks, each offloading to an accelerator. Production grids do
+not fit one card, so each rank's subdomain exchanges *halo* slabs with
+its neighbours every step; processing halos first and overlapping the
+exchange with interior (*bulk*) work is the streaming pattern the paper
+analyzes.
+
+* :mod:`repro.apps.rtm.stencil` — the real numpy propagator kernel plus
+  its cost model;
+* :mod:`repro.apps.rtm.halo` — 1-D domain decomposition with halo/bulk
+  split;
+* :mod:`repro.apps.rtm.propagator` — the three schemes the paper
+  compares (host baseline, synchronous offload, asynchronous pipelined
+  offload) and the FIFO-barrier vs. dependence-based exchange variants;
+* :mod:`repro.apps.rtm.hlib` — an HLIB-like target-agnostic device API
+  (the Fortran library Petrobras layers over CUDA/OpenCL/CPU back ends).
+"""
+
+from repro.apps.rtm.halo import Subdomain, decompose
+from repro.apps.rtm.hlib import HLIB
+from repro.apps.rtm.propagator import RTMResult, run_rtm
+from repro.apps.rtm.stencil import (
+    HALF_ORDER,
+    propagate_reference,
+    stencil_cost,
+)
+
+__all__ = [
+    "Subdomain",
+    "decompose",
+    "HLIB",
+    "RTMResult",
+    "run_rtm",
+    "HALF_ORDER",
+    "propagate_reference",
+    "stencil_cost",
+]

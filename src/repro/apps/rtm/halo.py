@@ -1,0 +1,137 @@
+"""Domain decomposition and the halo/bulk split.
+
+A production grid is decomposed along z into one subdomain per MPI rank.
+Within each subdomain, grid points divide into (paper §V):
+
+* **halo points** — the ``HALF_ORDER`` planes at each cut face, whose
+  fresh values neighbours need every step;
+* **interior (bulk) points** — everything else, which can compute while
+  the halo exchange is in flight.
+
+Halo work should be prioritized so the exchange starts early and hides
+under bulk compute; the ratio of halo to interior points — which grows
+with smaller subdomains or higher-order stencils — governs whether a
+barrier-style exchange is good enough or dependence-based out-of-order
+scheduling is needed (the paper's two schemes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps.rtm.stencil import HALF_ORDER
+
+__all__ = ["Subdomain", "decompose"]
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One rank's slab of the global grid (interior coordinates)."""
+
+    rank: int
+    z0: int  # global interior start
+    nz: int  # interior thickness
+    ny: int
+    nx: int
+    has_lower: bool  # a neighbour below (rank - 1)
+    has_upper: bool  # a neighbour above (rank + 1)
+
+    def __post_init__(self) -> None:
+        if self.nz < 1 or self.ny < 1 or self.nx < 1:
+            raise ValueError(f"empty subdomain {self}")
+        need = (self.has_lower + self.has_upper) * HALF_ORDER
+        if self.nz < max(need, 1):
+            raise ValueError(
+                f"rank {self.rank}: {self.nz} planes cannot carry "
+                f"{need} halo planes"
+            )
+
+    # -- point counts ----------------------------------------------------------
+
+    @property
+    def plane_points(self) -> int:
+        """Points per z-plane."""
+        return self.ny * self.nx
+
+    @property
+    def total_points(self) -> int:
+        """All interior points of this subdomain."""
+        return self.nz * self.plane_points
+
+    @property
+    def halo_points(self) -> int:
+        """Points whose values neighbours need this step."""
+        return (
+            (HALF_ORDER if self.has_lower else 0)
+            + (HALF_ORDER if self.has_upper else 0)
+        ) * self.plane_points
+
+    @property
+    def bulk_points(self) -> int:
+        """Interior points not in any halo."""
+        return self.total_points - self.halo_points
+
+    @property
+    def halo_ratio(self) -> float:
+        """halo / interior — the paper's key regime parameter."""
+        return self.halo_points / max(self.bulk_points, 1)
+
+    @property
+    def halo_bytes(self) -> int:
+        """Bytes exchanged per face per step (float64 wavefield)."""
+        return HALF_ORDER * self.plane_points * 8
+
+    # -- slab ranges (local interior coordinates) -----------------------------------
+
+    def lower_halo_range(self) -> Optional[Tuple[int, int]]:
+        """Local z-range of the lower halo slab, if any."""
+        return (0, HALF_ORDER) if self.has_lower else None
+
+    def upper_halo_range(self) -> Optional[Tuple[int, int]]:
+        """Local z-range of the upper halo slab, if any."""
+        return (self.nz - HALF_ORDER, self.nz) if self.has_upper else None
+
+    def bulk_range(self) -> Tuple[int, int]:
+        """Local z-range of the bulk slab."""
+        lo = HALF_ORDER if self.has_lower else 0
+        hi = self.nz - (HALF_ORDER if self.has_upper else 0)
+        return (lo, hi)
+
+
+def decompose(
+    nz: int, ny: int, nx: int, nranks: int, periodic: bool = True
+) -> List[Subdomain]:
+    """Split an interior grid of ``nz`` planes into ``nranks`` slabs.
+
+    ``periodic=True`` (the benchmark configuration, as in the paper every
+    accelerator exchanges with neighbours every step) gives every rank
+    both halos, closing the ring; ``periodic=False`` leaves the outer
+    faces halo-free.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if nz < nranks * (2 * HALF_ORDER):
+        raise ValueError(
+            f"{nz} planes cannot feed {nranks} ranks with "
+            f"{2 * HALF_ORDER}-plane minimum slabs"
+        )
+    base = nz // nranks
+    extra = nz % nranks
+    subs: List[Subdomain] = []
+    z0 = 0
+    for r in range(nranks):
+        thick = base + (1 if r < extra else 0)
+        subs.append(
+            Subdomain(
+                rank=r,
+                z0=z0,
+                nz=thick,
+                ny=ny,
+                nx=nx,
+                has_lower=periodic or r > 0,
+                has_upper=periodic or r < nranks - 1,
+            )
+        )
+        z0 += thick
+    return subs

@@ -1,0 +1,463 @@
+"""RTM propagation schemes over hStreams (paper §V/§VI).
+
+Three offload schemes, matching the paper's Petrobras evaluation:
+
+* ``scheme="host"`` — the baseline: one rank propagates the whole grid
+  on the host, no offload.
+* ``scheme="sync"`` — fully synchronous offload: each step computes the
+  whole subdomain on the card, then the host drains the halo copies,
+  performs the MPI exchange, and pushes ghosts back — no overlap of data
+  movement and compute.
+* ``scheme="async"`` — asynchronous pipelined offload: halo slabs
+  compute first in a halo stream, their copies ride the same stream, and
+  bulk work proceeds concurrently in a second stream, hiding the
+  exchange.
+
+Within ``async``, ``exchange`` selects the two §V variants:
+
+* ``"dependence"`` (hStreams) — each halo's copy-out is enqueued right
+  behind its compute in the same stream; the FIFO *semantic* orders them
+  while out-of-order execution lets one face's copy start while the
+  other face still computes — no explicit synchronization, robust to
+  load imbalance;
+* ``"barrier"`` (the CUDA-Streams pattern) — an explicit barrier waits
+  for *all* halo work before any copy starts, which is fine while bulk
+  work dominates but hurts when the halo/interior ratio grows.
+
+``optimized=False`` models the unvectorized production code: scalar
+inner loops that hurt the 512-bit-SIMD card far more than the host (the
+paper's lower 1.13-4.53x unoptimized speedups).
+
+Each rank's wavefield is decomposed into a z-ordered **slab chain** —
+``[halo_lo, bulk_lo, bulk_mid, bulk_hi, halo_hi]`` — each slab a
+ping-pong buffer pair. A slab's stencil reads its own previous
+generations plus its chain neighbours (the 8th-order stencil reaches
+``HALF_ORDER`` planes each way, exactly one edge slab), which is the
+operand granularity that legalizes the pipelined schedule.
+
+On the **thread backend** the kernels really execute: pass
+``field=(cur0, prev0)`` (padded arrays) and the decomposed, streamed,
+exchanged propagation produces the same wavefield as the monolithic
+reference — the integration test of the whole pipeline. Ranks map 1:1
+onto cards; the MPI exchange runs on the host (a host-memory copy plus
+latency, as the ranks' source endpoints share a node here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.rtm.halo import Subdomain, decompose
+from repro.apps.rtm.stencil import HALF_ORDER, laplacian_8th, stencil_cost
+from repro.core.actions import OperandMode
+from repro.core.buffer import Buffer
+from repro.core.runtime import HStreams
+from repro.core.stream import Stream
+from repro.linalg.dataflow import FlowContext
+from repro.sim.kernels import KernelCost
+
+__all__ = ["RTMResult", "run_rtm"]
+
+_H = HALF_ORDER
+
+
+@dataclass
+class RTMResult:
+    """Outcome of one propagation run."""
+
+    scheme: str
+    exchange: str
+    nranks: int
+    steps: int
+    elapsed_s: float
+    points: int
+    mpoints_per_s: float
+    halo_ratio: float
+    field: Optional[np.ndarray] = None  # thread backend with real data
+
+
+def _stencil(points: float, optimized: bool, imbalance: float = 0.0) -> KernelCost:
+    cost = stencil_cost(points * (1.0 + imbalance))
+    if not optimized:
+        cost = KernelCost("stencil_scalar", cost.flops, cost.size, cost.bytes_moved)
+    return cost
+
+
+# -- real kernels (thread backend) ---------------------------------------------
+
+
+def k_rtm_slab(out_prev, cur, below, above, vdt2: float) -> None:
+    """Propagate one slab: out_prev := 2 cur - out_prev + vdt2 lap(cur).
+
+    ``out_prev`` holds the previous time step on entry (the ping-pong
+    slot being overwritten). ``below``/``above`` are the chain
+    neighbours' current values (their adjacent HALF_ORDER planes are
+    used) or the scalar 0 at a global boundary. x/y faces are zero
+    (homogeneous Dirichlet), matching the monolithic reference.
+    """
+    m, ny, nx = cur.shape
+    pad = np.zeros((m + 2 * _H, ny + 2 * _H, nx + 2 * _H))
+    pad[_H:-_H, _H:-_H, _H:-_H] = cur
+    if isinstance(below, np.ndarray):
+        pad[:_H, _H:-_H, _H:-_H] = below[-_H:]
+    if isinstance(above, np.ndarray):
+        pad[-_H:, _H:-_H, _H:-_H] = above[:_H]
+    lap = np.empty((m, ny, nx))
+    laplacian_8th(pad, lap)
+    out_prev[:] = 2.0 * cur - out_prev + vdt2 * lap
+
+
+def k_mpi_exchange(ghost_r, ghost_l, halo_hi, halo_lo) -> None:
+    """The rank pair exchange: left's top -> right's lower ghost, and
+    right's bottom -> left's upper ghost."""
+    np.copyto(ghost_r, halo_hi)
+    np.copyto(ghost_l, halo_lo)
+
+
+def _register(hs: HStreams) -> None:
+    hs.register_kernel("rtm_stencil", fn=k_rtm_slab, cost_fn=None)
+    hs.register_kernel("rtm_whole", fn=lambda *a: None, cost_fn=None)
+    hs.register_kernel("mpi_exchange", fn=k_mpi_exchange, cost_fn=None)
+
+
+def _throughput(points_per_step: int, steps: int, elapsed: float) -> float:
+    return points_per_step * steps / elapsed / 1e6 if elapsed > 0 else float("inf")
+
+
+# -- slab chains -------------------------------------------------------------------
+
+
+def _chain(sub: Subdomain) -> List[Tuple[str, int]]:
+    """The z-ordered (name, planes) slab chain of one subdomain."""
+    chain: List[Tuple[str, int]] = []
+    if sub.has_lower:
+        chain.append(("halo_lo", _H))
+    bulk_planes = sub.bulk_points // sub.plane_points
+    if bulk_planes < 2 * _H + 1:
+        raise ValueError(
+            f"rank {sub.rank}: {bulk_planes} bulk planes cannot split into "
+            f"edge/middle slabs; use thicker subdomains"
+        )
+    chain.append(("bulk_lo", _H))
+    chain.append(("bulk_mid", bulk_planes - 2 * _H))
+    chain.append(("bulk_hi", _H))
+    if sub.has_upper:
+        chain.append(("halo_hi", _H))
+    return chain
+
+
+def _make_rank_buffers(
+    hs: HStreams, sub: Subdomain
+) -> Dict[str, List[Optional[Buffer]]]:
+    """Ping-pong (even/odd generation) slab buffers for one rank.
+
+    Card instances allocate eagerly, outside the timed loop (setup, not
+    steady state).
+    """
+    out: Dict[str, List[Optional[Buffer]]] = {}
+    plane_bytes = sub.plane_points * 8
+    specs = dict(_chain(sub))
+    specs["ghost_lo"] = _H if sub.has_lower else 0
+    specs["ghost_hi"] = _H if sub.has_upper else 0
+    domain = sub.rank + 1
+    for name, planes in specs.items():
+        if planes == 0:
+            out[name] = [None, None]
+            continue
+        out[name] = [
+            hs.buffer_create(
+                nbytes=planes * plane_bytes,
+                name=f"r{sub.rank}.{name}.{g}",
+                domains=[domain],
+            )
+            for g in range(2)
+        ]
+    return out
+
+
+def _slab_tensor(buf: Buffer, planes: int, sub: Subdomain, mode) -> "object":
+    return buf.tensor((planes, sub.ny, sub.nx), mode=mode)
+
+
+def _load_initial_field(hs, subs, bufs, field) -> None:
+    """Scatter padded (cur0, prev0) into the slab host instances."""
+    cur0, prev0 = field
+    for sub, b in zip(subs, bufs):
+        z = sub.z0  # global interior plane of the chain start
+        for name, planes in _chain(sub):
+            for gen, src in ((0, cur0), (1, prev0)):
+                buf = b[name][gen]
+                view = buf.view(0, shape=(planes, sub.ny, sub.nx))
+                view[:] = src[_H + z : _H + z + planes, _H:-_H, _H:-_H]
+            z += planes
+        # Prime the ghosts with the neighbours' initial halo values.
+        if sub.has_lower:
+            b["ghost_lo"][0].view(0, shape=(_H, sub.ny, sub.nx))[:] = (
+                cur0[sub.z0 : _H + sub.z0, _H:-_H, _H:-_H]
+            )
+        if sub.has_upper:
+            zhi = sub.z0 + sub.nz
+            b["ghost_hi"][0].view(0, shape=(_H, sub.ny, sub.nx))[:] = (
+                cur0[_H + zhi : 2 * _H + zhi, _H:-_H, _H:-_H]
+            )
+
+
+def _gather_field(subs, bufs, gen: int, ny: int, nx: int) -> np.ndarray:
+    """Assemble the padded wavefield from the slab host instances."""
+    nz = sum(s.nz for s in subs)
+    out = np.zeros((nz + 2 * _H, ny + 2 * _H, nx + 2 * _H))
+    for sub, b in zip(subs, bufs):
+        z = sub.z0
+        for name, planes in _chain(sub):
+            view = b[name][gen].view(0, shape=(planes, sub.ny, sub.nx))
+            out[_H + z : _H + z + planes, _H:-_H, _H:-_H] = view
+            z += planes
+    return out
+
+
+# -- entry point -------------------------------------------------------------------
+
+
+def run_rtm(
+    hs: HStreams,
+    grid=(2048, 512, 512),
+    nranks: int = 1,
+    steps: int = 10,
+    scheme: str = "async",
+    exchange: str = "dependence",
+    optimized: bool = True,
+    imbalance: float = 0.0,
+    periodic: bool = True,
+    field: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    vdt2: float = 0.05,
+) -> RTMResult:
+    """Propagate ``steps`` time steps and return throughput.
+
+    ``imbalance`` inflates rank 0's bulk work (velocity-model-dependent
+    load), the situation in which the dependence-based exchange shines.
+    ``field=(cur0, prev0)`` (padded arrays, thread backend) makes the
+    run compute real physics; the final field returns in the result.
+    """
+    if scheme not in ("host", "sync", "async"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if exchange not in ("dependence", "barrier"):
+        raise ValueError(f"unknown exchange {exchange!r}")
+    nz, ny, nx = grid
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    _register(hs)
+
+    if scheme == "host":
+        return _run_host(hs, grid, steps, optimized)
+    if hs.ndomains - 1 < nranks:
+        raise ValueError(
+            f"{nranks} ranks need {nranks} cards; platform has {hs.ndomains - 1}"
+        )
+    subs = decompose(nz, ny, nx, nranks, periodic=periodic)
+    if scheme == "sync":
+        return _run_schemes(hs, subs, steps, optimized, imbalance, "sync",
+                            "dependence", field, vdt2)
+    return _run_schemes(hs, subs, steps, optimized, imbalance, "async",
+                        exchange, field, vdt2)
+
+
+def _run_host(hs, grid, steps, optimized) -> RTMResult:
+    nz, ny, nx = grid
+    points = nz * ny * nx
+    wide = hs.stream_create(
+        domain=0, cpu_mask=range(hs.domain(0).device.total_cores), name="rtm-host"
+    )
+    token = hs.buffer_create(nbytes=8, name="field")  # dependence token
+    t0 = hs.elapsed()
+    for _ in range(steps):
+        hs.enqueue_compute(
+            wide,
+            "rtm_whole",
+            args=(token.tensor((1,), mode=OperandMode.INOUT),),
+            cost=_stencil(points, optimized),
+            label="step",
+        )
+    hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+    return RTMResult(
+        scheme="host", exchange="-", nranks=1, steps=steps, elapsed_s=elapsed,
+        points=points, mpoints_per_s=_throughput(points, steps, elapsed),
+        halo_ratio=0.0,
+    )
+
+
+def _run_schemes(
+    hs, subs, steps, optimized, imbalance, scheme, exchange, field, vdt2
+) -> RTMResult:
+    flow = FlowContext(hs)
+    host = hs.stream_create(domain=0, ncores=4, name="mpi")
+    halo_streams: List[Stream] = []
+    bulk_streams: List[Stream] = []
+    bufs = []
+    for sub in subs:
+        dom = sub.rank + 1
+        total = hs.domain(dom).device.total_cores
+        if scheme == "async":
+            # Both streams span the whole card (oversubscription):
+            # computes serialize on the cores while each stream keeps its
+            # own FIFO, so halo work never idles a static core partition
+            # and copies ride under bulk compute.
+            halo_streams.append(hs.stream_create(
+                domain=dom, cpu_mask=range(total), name=f"halo{sub.rank}"))
+            bulk_streams.append(hs.stream_create(
+                domain=dom, cpu_mask=range(total), name=f"bulk{sub.rank}"))
+        else:
+            one = hs.stream_create(domain=dom, cpu_mask=range(total),
+                                   name=f"rank{sub.rank}")
+            halo_streams.append(one)
+            bulk_streams.append(one)
+        bufs.append(_make_rank_buffers(hs, sub))
+    if field is not None:
+        _load_initial_field(hs, subs, bufs, field)
+        # The initial slabs (both generations) must reach the cards.
+        for sub, hstream, b in zip(subs, halo_streams, bufs):
+            for name, _planes in _chain(sub):
+                for gen in (0, 1):
+                    flow.send(hstream, b[name][gen])
+
+    points = sum(s.total_points for s in subs)
+    t0 = hs.elapsed()
+    for step in range(steps):
+        p, q = step % 2, (step + 1) % 2
+        step_evs = []
+        for sub, hstream, bstream, b in zip(subs, halo_streams, bulk_streams, bufs):
+            chain = _chain(sub)
+            by_name = dict(chain)
+            names = [n for n, _ in chain]
+
+            def neighbours(idx: int):
+                below = b[names[idx - 1]][p] if idx > 0 else (
+                    b["ghost_lo"][p] if sub.has_lower and names[idx] == "halo_lo"
+                    else None
+                )
+                above = b[names[idx + 1]][p] if idx + 1 < len(names) else (
+                    b["ghost_hi"][p] if sub.has_upper and names[idx] == "halo_hi"
+                    else None
+                )
+                return below, above
+
+            def enqueue_slab(idx: int, stream, pts_imbalance=0.0):
+                name = names[idx]
+                planes = by_name[name]
+                below, above = neighbours(idx)
+                reads = [x for x in (b[name][p], below, above) if x is not None]
+                args = (
+                    _slab_tensor(b[name][q], planes, sub, OperandMode.INOUT),
+                    _slab_tensor(b[name][p], planes, sub, OperandMode.IN),
+                    _slab_tensor(below, below.nbytes // (8 * sub.plane_points),
+                                 sub, OperandMode.IN) if below is not None else 0,
+                    _slab_tensor(above, above.nbytes // (8 * sub.plane_points),
+                                 sub, OperandMode.IN) if above is not None else 0,
+                    vdt2,
+                )
+                return flow.compute(
+                    stream, "rtm_stencil", args=args,
+                    reads=tuple(reads) + (b[name][q],),
+                    writes=(b[name][q],),
+                    cost=_stencil(planes * sub.plane_points, optimized,
+                                  pts_imbalance),
+                    label=f"s{step}.{name}.r{sub.rank}",
+                )
+
+            halo_idx = [i for i, n in enumerate(names) if n.startswith("halo")]
+            bulk_idx = [i for i, n in enumerate(names) if n.startswith("bulk")]
+            # Ghosts for this step must be on the card.
+            for gname in ("ghost_lo", "ghost_hi"):
+                if b[gname][p] is not None:
+                    flow.send(hstream, b[gname][p])
+            # Halo slabs first, in the halo stream.
+            for i in halo_idx:
+                ev = enqueue_slab(i, hstream)
+                step_evs.append(ev)
+                if scheme == "async" and exchange == "dependence":
+                    # hStreams: the copy rides the same stream; operand
+                    # dependences release it when ITS halo completes.
+                    flow.retrieve(hstream, b[names[i]][q])
+            if scheme == "async" and exchange == "barrier" and halo_idx:
+                # CUDA-style: all halo work finishes before any copy.
+                hs.event_stream_wait(hstream, [], operands=None,
+                                     label="halo-barrier")
+                for i in halo_idx:
+                    flow.retrieve(hstream, b[names[i]][q])
+            # Bulk slabs: edges first so next step's halos unblock early.
+            order = [i for i in bulk_idx if names[i] != "bulk_mid"] + [
+                i for i in bulk_idx if names[i] == "bulk_mid"
+            ]
+            for i in order:
+                imb = imbalance if sub.rank == 0 and names[i] == "bulk_mid" else 0.0
+                step_evs.append(enqueue_slab(i, bstream, imb))
+        if scheme == "sync":
+            # Fully synchronous: drain compute, then copies, then exchange.
+            hs.event_wait(step_evs)
+            for sub, s, b in zip(subs, halo_streams, bufs):
+                for name in ("halo_lo", "halo_hi"):
+                    pair = b.get(name)
+                    if pair is not None and pair[q] is not None:
+                        flow.retrieve(s, pair[q])
+        _exchange_and_push(hs, flow, subs, halo_streams, bufs, host, q,
+                           wait=scheme == "sync")
+    hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+
+    final = None
+    if field is not None:
+        # Pull every slab home; the last written generation is steps % 2.
+        for sub, hstream, b in zip(subs, halo_streams, bufs):
+            for name, _planes in _chain(sub):
+                flow.retrieve(hstream, b[name][steps % 2])
+        hs.thread_synchronize()
+        final = _gather_field(subs, bufs, steps % 2, subs[0].ny, subs[0].nx)
+    return RTMResult(
+        scheme=scheme, exchange=exchange if scheme == "async" else "-",
+        nranks=len(subs), steps=steps, elapsed_s=elapsed, points=points,
+        mpoints_per_s=_throughput(points, steps, elapsed),
+        halo_ratio=subs[0].halo_ratio, field=final,
+    )
+
+
+def _exchange_and_push(hs, flow, subs, streams, bufs, host, q, wait) -> None:
+    """MPI exchange on the host and ghost h2d pushes."""
+    evs = []
+    nr = len(subs)
+    pairs = [(subs[r], subs[(r + 1) % nr]) for r in range(nr)]
+    if not subs[0].has_lower:  # non-periodic: drop the wrap-around pair
+        pairs = pairs[:-1]
+    for left, right in pairs:
+        lb, rb = bufs[left.rank], bufs[right.rank]
+        n = _H * left.plane_points
+        ev = flow.compute(
+            host, "mpi_exchange",
+            args=(
+                rb["ghost_lo"][q].tensor((n,), mode=OperandMode.OUT),
+                lb["ghost_hi"][q].tensor((n,), mode=OperandMode.OUT),
+                lb["halo_hi"][q].tensor((n,), mode=OperandMode.IN),
+                rb["halo_lo"][q].tensor((n,), mode=OperandMode.IN),
+            ),
+            reads=(lb["halo_hi"][q], rb["halo_lo"][q]),
+            writes=(rb["ghost_lo"][q], lb["ghost_hi"][q]),
+            cost=KernelCost(
+                "mpi", flops=1.0, size=1.0,
+                bytes_moved=2.0 * left.halo_bytes,
+            ),
+            label=f"mpi{left.rank}-{right.rank}",
+        )
+        evs.append(ev)
+    if wait and evs:
+        hs.event_wait(evs)
+    push_evs = []
+    for sub, s, b in zip(subs, streams, bufs):
+        for name in ("ghost_lo", "ghost_hi"):
+            if b[name][q] is not None:
+                ev = flow.send(s, b[name][q])
+                if ev is not None:
+                    push_evs.append(ev)
+    if wait and push_evs:
+        hs.event_wait(push_evs)

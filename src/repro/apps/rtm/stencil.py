@@ -1,0 +1,104 @@
+"""The finite-difference wave propagator: real kernel + cost model.
+
+Second order in time, 8th order in space (half-width 4 — the halo
+depth), constant-density acoustic wave equation::
+
+    p_next = 2 p - p_prev + (v dt)^2 * laplacian(p)
+
+The numpy implementation is the functional kernel for the thread backend
+and the single-rank reference the multi-rank tests compare against; the
+cost model prices one slab of grid points at the paper's 80 flops per
+point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.kernels import FLOPS_PER_STENCIL_POINT, KernelCost, stencil
+
+__all__ = [
+    "HALF_ORDER",
+    "COEFFS",
+    "laplacian_8th",
+    "propagate_slab",
+    "propagate_reference",
+    "stencil_cost",
+]
+
+#: Half the spatial order: the halo depth in grid points.
+HALF_ORDER = 4
+
+#: 8th-order central second-derivative coefficients (c0, c1..c4).
+COEFFS = np.array(
+    [-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0]
+)
+
+
+def laplacian_8th(p: np.ndarray, out: np.ndarray) -> None:
+    """8th-order 3-D Laplacian of ``p`` into ``out`` (interior only).
+
+    ``p`` must carry ``HALF_ORDER`` ghost layers on every face; ``out``
+    has the interior shape (p.shape - 2*HALF_ORDER per axis). Grid
+    spacing is normalized to 1.
+    """
+    h = HALF_ORDER
+    nz, ny, nx = p.shape
+    if min(nz, ny, nx) <= 2 * h:
+        raise ValueError(f"grid {p.shape} too small for 8th-order stencil")
+    core = p[h:-h, h:-h, h:-h]
+    out[:] = 3.0 * COEFFS[0] * core
+    for k in range(1, h + 1):
+        c = COEFFS[k]
+        out += c * (p[h - k : nz - h - k, h:-h, h:-h] + p[h + k : nz - h + k, h:-h, h:-h])
+        out += c * (p[h:-h, h - k : ny - h - k, h:-h] + p[h:-h, h + k : ny - h + k, h:-h])
+        out += c * (p[h:-h, h:-h, h - k : nx - h - k] + p[h:-h, h:-h, h + k : nx - h + k])
+
+
+def propagate_slab(
+    p_next: np.ndarray,
+    p_cur: np.ndarray,
+    p_prev: np.ndarray,
+    vdt2: float,
+    z0: int,
+    z1: int,
+) -> None:
+    """One time step over interior rows ``z0:z1`` of the padded grids.
+
+    All three arrays share the padded shape; the slab bounds are in
+    *interior* coordinates (0 .. nz_interior).
+    """
+    h = HALF_ORDER
+    sub = p_cur[z0 : z1 + 2 * h]  # the slab plus its ghost rows
+    lap = np.empty(
+        (z1 - z0, p_cur.shape[1] - 2 * h, p_cur.shape[2] - 2 * h)
+    )
+    laplacian_8th(sub, lap)
+    inner_next = p_next[z0 + h : z1 + h, h:-h, h:-h]
+    inner_cur = p_cur[z0 + h : z1 + h, h:-h, h:-h]
+    inner_prev = p_prev[z0 + h : z1 + h, h:-h, h:-h]
+    inner_next[:] = 2.0 * inner_cur - inner_prev + vdt2 * lap
+
+
+def propagate_reference(
+    p_cur: np.ndarray, p_prev: np.ndarray, vdt2: float, steps: int
+) -> np.ndarray:
+    """Reference propagation of the whole padded grid for ``steps`` steps.
+
+    Ghost layers stay zero (homogeneous Dirichlet boundary). Returns the
+    final padded wavefield.
+    """
+    h = HALF_ORDER
+    cur = p_cur.copy()
+    prev = p_prev.copy()
+    nxt = np.zeros_like(cur)
+    nz_int = cur.shape[0] - 2 * h
+    for _ in range(steps):
+        propagate_slab(nxt, cur, prev, vdt2, 0, nz_int)
+        prev, cur, nxt = cur, nxt, prev
+    return cur
+
+
+def stencil_cost(points: float) -> KernelCost:
+    """Cost of propagating ``points`` grid points one step."""
+    return stencil(points, FLOPS_PER_STENCIL_POINT)

@@ -1,0 +1,14 @@
+"""Benchmark harness: result tables, ASCII plots, and code metrics.
+
+* :mod:`repro.bench.reporting` — series/table containers, paper-vs-
+  measured comparison tables, and a terminal line plot for the figure
+  sweeps.
+* :mod:`repro.bench.coding` — the Fig. 3 coding comparison: six runnable
+  matmul-offload implementations (one per programming model) with
+  per-phase annotations, plus the analyzer that counts additional source
+  lines, unique APIs, and total API calls.
+"""
+
+from repro.bench.reporting import ComparisonTable, Series, ascii_plot, format_table
+
+__all__ = ["ComparisonTable", "Series", "ascii_plot", "format_table"]

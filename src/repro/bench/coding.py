@@ -1,0 +1,450 @@
+"""The Fig. 3 coding comparison: six runnable offload implementations.
+
+Each ``matmul_*`` function implements the same job — offload a tiled
+double-precision matrix multiply to one coprocessor and get the result
+back — through one programming model's API. The bodies are written the
+way a user of that model would write them, annotated with the paper's
+application phases::
+
+    # @phase: Data transfers
+    ...model calls...
+    # @endphase
+
+:func:`analyze` parses a function's source and counts, per phase, the
+*additional* lines the offload required (exactly the lines inside phase
+blocks), plus the unique and total model-API calls — the three metric
+groups of Fig. 3. The functions are also runnable on the sim backend, so
+the table's GFl/s row is *measured*, not asserted.
+
+Model-specific performance notes baked into the implementations:
+
+* OpenMP target regions execute compiler-generated kernels (the
+  ``dgemm_target`` efficiency curve), not card-side MKL — the paper's
+  460 (untiled) / 180 (tiled) GFl/s rows;
+* OpenCL's device BLAS is the untuned clBLAS (35 GFl/s);
+* OpenMP 4.0 has no asynchronous transfers, so the untiled variant is
+  the best it can do.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.actions import OperandMode, XferDirection
+from repro.core.runtime import HStreams
+from repro.linalg.host_blas import cost_dgemm
+from repro.models.cuda_streams import (
+    MEMCPY_DEVICE_TO_HOST,
+    MEMCPY_HOST_TO_DEVICE,
+    CudaRuntime,
+)
+from repro.models.openmp import OpenMPRuntime
+from repro.models.opencl_like import OpenCLRuntime
+from repro.ompss import OmpSsRuntime
+from repro.sim import kernels as K
+from repro.sim.platforms import make_platform
+
+__all__ = [
+    "SizedData",
+    "PHASES",
+    "CodingMetrics",
+    "analyze",
+    "IMPLEMENTATIONS",
+    "PAPER_FIG3",
+    "matmul_hstreams",
+    "matmul_cuda",
+    "matmul_omp40",
+    "matmul_omp45",
+    "matmul_ompss",
+    "matmul_opencl",
+]
+
+PHASES = [
+    "Initialization",
+    "Data alloc",
+    "Data transfers",
+    "Computation",
+    "Synchronization",
+    "Data transfers back",
+    "Data dealloc",
+    "Finalization",
+]
+
+#: Fig. 3's published numbers: (total extra lines, unique APIs, total API
+#: calls, GFl/s at n=10000). OpenMP 4.5 and CUDA had no measured GFl/s.
+PAPER_FIG3: Dict[str, Tuple] = {
+    "hStreams": (20, 8, 16, 916.0),
+    "CUDA": (40, 18, 31, None),
+    "OMP 4.0": (1, 1, 1, 460.0),
+    "OMP 4.5": (17, 5, 14, None),
+    "OmpSs": (4, 5, 9, 762.0),
+    "OpenCL": (33, 16, 28, 35.0),
+}
+
+class SizedData:
+    """A size-only stand-in for a host matrix (sim backend runs)."""
+
+    def __init__(self, nbytes: int):
+        self.nbytes = nbytes
+
+
+_API_PREFIX = {
+    "hStreams": r"\bhs\.(\w+)",
+    "CUDA": r"\bcuda\.(\w+)",
+    "OMP 4.0": r"\bomp\.(\w+)",
+    "OMP 4.5": r"\bomp\.(\w+)",
+    "OmpSs": r"\boss\.(\w+)",
+    "OpenCL": r"\bcl\.(\w+)",
+}
+
+#: Provisioning calls excluded from the API counts: registering the
+#: kernel body stands in for code that exists in every variant (the
+#: computation itself), not for offload plumbing.
+_EXCLUDED_APIS = {"register_kernel", "hl_register"}
+
+
+# -- the six implementations ------------------------------------------------------
+
+
+def matmul_hstreams(n: int = 10000, tile: int = 2500) -> float:
+    """Tiled matmul through the hStreams app-level API (one card)."""
+    T = -(-n // tile)
+    nb = 8 * tile * tile
+    # @phase: Initialization
+    hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+    streams = hs.app_init(streams_per_domain=4)
+    # @endphase
+    # @support: events — one dict of per-tile transfer events (the paper
+    # counts one [M][N][L] event matrix for hStreams)
+    hs.register_kernel("dgemm", cost_fn=cost_dgemm)
+    # @phase: Data alloc
+    A = [[hs.buffer_create(nbytes=nb) for _ in range(T)] for _ in range(T)]
+    B = [[hs.buffer_create(nbytes=nb) for _ in range(T)] for _ in range(T)]
+    C = [[hs.buffer_create(nbytes=nb) for _ in range(T)] for _ in range(T)]
+    # @endphase
+    t0 = hs.elapsed()
+    events = {}
+    for i in range(T):
+        for j in range(T):
+            s = streams[(i * T + j) % len(streams)]
+            for k in range(T):
+                # @phase: Data transfers
+                if (i, k) not in events:
+                    events[(i, k)] = hs.enqueue_xfer(s, A[i][k])
+                if ("b", k, j) not in events:
+                    events[("b", k, j)] = hs.enqueue_xfer(s, B[k][j])
+                hs.event_stream_wait(s, [events[(i, k)], events[("b", k, j)]])
+                # @endphase
+                # @phase: Computation
+                hs.enqueue_compute(
+                    s, "dgemm",
+                    args=(C[i][j].tensor((tile, tile)),
+                          A[i][k].tensor((tile, tile), mode=OperandMode.IN),
+                          B[k][j].tensor((tile, tile), mode=OperandMode.IN)),
+                )
+                # @endphase
+            # @phase: Data transfers back
+            hs.enqueue_xfer(s, C[i][j], XferDirection.SINK_TO_SRC)
+            # @endphase
+    # @phase: Synchronization
+    hs.thread_synchronize()
+    # @endphase
+    elapsed = hs.elapsed() - t0
+    # @phase: Data dealloc
+    for grid in (A, B, C):
+        for row in grid:
+            for buf in row:
+                hs.buffer_destroy(buf)
+    # @endphase
+    # @phase: Finalization
+    hs.fini()
+    # @endphase
+    return elapsed
+
+
+def matmul_cuda(n: int = 10000, tile: int = 2500) -> float:
+    """Tiled matmul through the CUDA-Streams model (one device)."""
+    T = -(-n // tile)
+    nb = 8 * tile * tile
+    host = np.empty(0)
+    # @phase: Initialization
+    cuda = CudaRuntime(platform=make_platform("HSW", 1), backend="sim", trace=False)
+    cuda.set_device(0)
+    copy_stream = cuda.stream_create()
+    comp_streams = [cuda.stream_create() for _ in range(4)]
+    events = {}
+    # @endphase
+    # @support: streams — the [M][N] stream matrix CUDA requires
+    # @support: events — the [M][N][L] event matrix
+    # @support: dA — per-device address matrix for A
+    # @support: dB — per-device address matrix for B
+    # @support: dC — per-device address matrix for C
+    cuda.register_kernel("dgemm", cost_fn=cost_dgemm)
+    # @phase: Data alloc
+    dA = [[cuda.malloc(nb) for _ in range(T)] for _ in range(T)]
+    dB = [[cuda.malloc(nb) for _ in range(T)] for _ in range(T)]
+    dC = [[cuda.malloc(nb) for _ in range(T)] for _ in range(T)]
+    # @endphase
+    t0 = cuda.elapsed()
+    for i in range(T):
+        for j in range(T):
+            s = comp_streams[(i * T + j) % len(comp_streams)]
+            for k in range(T):
+                # @phase: Data transfers
+                if (i, k) not in events:
+                    cuda.memcpy_async(dA[i][k], host, nb, MEMCPY_HOST_TO_DEVICE, copy_stream)
+                    events[(i, k)] = cuda.event_create()
+                    cuda.event_record(events[(i, k)], copy_stream)
+                if ("b", k, j) not in events:
+                    cuda.memcpy_async(dB[k][j], host, nb, MEMCPY_HOST_TO_DEVICE, copy_stream)
+                    events[("b", k, j)] = cuda.event_create()
+                    cuda.event_record(events[("b", k, j)], copy_stream)
+                cuda.stream_wait_event(s, events[(i, k)])
+                cuda.stream_wait_event(s, events[("b", k, j)])
+                # @endphase
+                # @phase: Computation
+                cuda.launch(s, "dgemm", args=(dC[i][j], dA[i][k], dB[k][j]),
+                            cost=K.dgemm(tile, tile, tile))
+                # @endphase
+            # @phase: Data transfers back
+            cuda.memcpy_async(host, dC[i][j], nb, MEMCPY_DEVICE_TO_HOST, s)
+            # @endphase
+    # @phase: Synchronization
+    cuda.device_synchronize()
+    # @endphase
+    elapsed = cuda.elapsed() - t0
+    # @phase: Data dealloc
+    for grid in (dA, dB, dC):
+        for row in grid:
+            for ptr in row:
+                cuda.free(ptr)
+    # @endphase
+    # @phase: Finalization
+    for ev in events.values():
+        cuda.event_destroy(ev)
+    for s in comp_streams:
+        cuda.stream_destroy(s)
+    cuda.stream_destroy(copy_stream)
+    cuda.fini()
+    # @endphase
+    return elapsed
+
+
+def matmul_omp40(n: int = 10000, tile: int = 2500) -> float:
+    """OpenMP 4.0: one synchronous target region does everything.
+
+    One construct handles allocation, transfer, invocation, and
+    deallocation — the paper's "1 extra line" — but there is no
+    asynchrony and no sub-device concurrency, and the region runs
+    compiler-generated (non-MKL) kernels.
+    """
+    omp = OpenMPRuntime(platform=make_platform("HSW", 1), backend="sim", spec="4.0",
+                        trace=False)
+    omp.register_kernel("mm", cost_fn=lambda *a: None)
+    a = SizedData(8 * n * n)
+    b = SizedData(8 * n * n)
+    c = SizedData(8 * n * n)
+    t0 = omp.elapsed()
+    # @phase: Computation
+    omp.target(0, "mm", args=(a, b, c), cost=K.dgemm(n, n, n, kernel="dgemm_target"))
+    # @endphase
+    # The map(to/from) traffic of the combined construct:
+    omp.target_enter_data(0, [a, b])
+    omp.target_exit_data(0, [c])
+    elapsed = omp.elapsed() - t0
+    omp.fini()
+    return elapsed
+
+
+def matmul_omp45(n: int = 10000, tile: int = 2500) -> float:
+    """OpenMP 4.5: tiled, asynchronous via nowait/depend — but still one
+    queue per device and compiler-generated kernels."""
+    T = -(-n // tile)
+    omp = OpenMPRuntime(platform=make_platform("HSW", 1), backend="sim", spec="4.5",
+                        trace=False)
+    omp.register_kernel("mm_tile", cost_fn=lambda *a: None)
+    A = [[SizedData(8 * tile * tile) for _ in range(T)] for _ in range(T)]
+    B = [[SizedData(8 * tile * tile) for _ in range(T)] for _ in range(T)]
+    C = [[SizedData(8 * tile * tile) for _ in range(T)] for _ in range(T)]
+    t0 = omp.elapsed()
+    for i in range(T):
+        for j in range(T):
+            for k in range(T):
+                # @phase: Data transfers
+                omp.target_update_to(0, A[i][k], nowait=True)
+                omp.target_update_to(0, B[k][j], nowait=True)
+                # @endphase
+                # @phase: Computation
+                omp.target(0, "mm_tile", nowait=True,
+                           depend_in=[A[i][k], B[k][j]], depend_out=[C[i][j]],
+                           cost=K.dgemm(tile, tile, tile, kernel="dgemm_target"))
+                # @endphase
+            # @phase: Data transfers back
+            omp.target_update_from(0, C[i][j], nowait=True)
+            # @endphase
+    # @phase: Synchronization
+    omp.taskwait()
+    # @endphase
+    elapsed = omp.elapsed() - t0
+    omp.fini()
+    return elapsed
+
+
+def matmul_ompss(n: int = 10000, tile: int = 2500) -> float:
+    """OmpSs: just tasks with data clauses — the runtime does the rest."""
+    T = -(-n // tile)
+    nb = 8 * tile * tile
+    oss = OmpSsRuntime(model="hstreams", platform=make_platform("HSW", 1),
+                       backend="sim", trace=False)
+    oss.register_kernel("gemm", cost_fn=lambda *a: None)
+    A = [[oss.register(nb) for _ in range(T)] for _ in range(T)]
+    B = [[oss.register(nb) for _ in range(T)] for _ in range(T)]
+    C = [[oss.register(nb) for _ in range(T)] for _ in range(T)]
+    t0 = oss.elapsed()
+    for i in range(T):
+        for j in range(T):
+            for k in range(T):
+                # @phase: Computation
+                oss.task("gemm", ins=[A[i][k], B[k][j]], inouts=[C[i][j]],
+                         cost=K.dgemm(tile, tile, tile))
+                # @endphase
+    # @phase: Synchronization
+    oss.taskwait()
+    # @endphase
+    elapsed = oss.elapsed() - t0
+    oss.fini()
+    return elapsed
+
+
+def matmul_opencl(n: int = 10000, tile: int = 2500) -> float:
+    """OpenCL: full boilerplate, in-order queues, untuned clBLAS."""
+    T = -(-n // tile)
+    nb = 8 * tile * tile
+    # @phase: Initialization
+    cl = OpenCLRuntime(platform=make_platform("HSW", 1), backend="sim", trace=False)
+    devices = cl.get_device_ids()
+    ctx = cl.create_context(devices)
+    queues = [cl.create_command_queue(ctx, devices[0]) for _ in range(4)]
+    prog = cl.create_program_with_source(ctx, "__kernel void dgemm(...) { ... }")
+    cl.build_program(prog)
+    kern = cl.create_kernel(prog, "dgemm")
+    # @endphase
+    cl.register_kernel("dgemm", cost_fn=lambda *a: None)
+    # @phase: Data alloc
+    bA = [[cl.create_buffer(ctx, nb) for _ in range(T)] for _ in range(T)]
+    bB = [[cl.create_buffer(ctx, nb) for _ in range(T)] for _ in range(T)]
+    bC = [[cl.create_buffer(ctx, nb) for _ in range(T)] for _ in range(T)]
+    # @endphase
+    t0 = cl.elapsed()
+    sent = set()
+    for i in range(T):
+        for j in range(T):
+            q = queues[(i * T + j) % len(queues)]
+            for k in range(T):
+                # @phase: Data transfers
+                if (i, k) not in sent:
+                    cl.enqueue_write_buffer(q, bA[i][k])
+                    sent.add((i, k))
+                if ("b", k, j) not in sent:
+                    cl.enqueue_write_buffer(q, bB[k][j])
+                    sent.add(("b", k, j))
+                # @endphase
+                # @phase: Computation
+                cl.set_kernel_arg(kern, 0, bC[i][j])
+                cl.set_kernel_arg(kern, 1, bA[i][k])
+                cl.set_kernel_arg(kern, 2, bB[k][j])
+                cl.enqueue_nd_range_kernel(q, kern, cost=K.dgemm(tile, tile, tile))
+                # @endphase
+            # @phase: Data transfers back
+            cl.enqueue_read_buffer(q, bC[i][j])
+            # @endphase
+    # @phase: Synchronization
+    for q in queues:
+        cl.finish(q)
+    # @endphase
+    elapsed = cl.elapsed() - t0
+    # @phase: Data dealloc
+    for grid in (bA, bB, bC):
+        for row in grid:
+            for buf in row:
+                buf.release()
+    # @endphase
+    # @phase: Finalization
+    kern.release()
+    prog.release()
+    for q in queues:
+        q.release()
+    ctx.release()
+    cl.fini()
+    # @endphase
+    return elapsed
+
+
+IMPLEMENTATIONS: Dict[str, Callable] = {
+    "hStreams": matmul_hstreams,
+    "CUDA": matmul_cuda,
+    "OMP 4.0": matmul_omp40,
+    "OMP 4.5": matmul_omp45,
+    "OmpSs": matmul_ompss,
+    "OpenCL": matmul_opencl,
+}
+
+
+# -- the analyzer --------------------------------------------------------------------
+
+
+@dataclass
+class CodingMetrics:
+    """Fig. 3's metric groups for one implementation."""
+
+    model: str
+    lines_per_phase: Dict[str, int] = field(default_factory=dict)
+    unique_apis: int = 0
+    total_api_calls: int = 0
+    #: Fig. 3's middle block: handle collections the programmer must
+    #: carry around (event matrices, per-device address matrices, ...),
+    #: declared with `# @support:` markers in the implementations.
+    support_variables: int = 0
+
+    @property
+    def total_lines(self) -> int:
+        """All additional offload lines across phases."""
+        return sum(self.lines_per_phase.values())
+
+
+def analyze(model: str) -> CodingMetrics:
+    """Count offload lines and API calls in one implementation's source."""
+    fn = IMPLEMENTATIONS[model]
+    source = inspect.getsource(fn)
+    metrics = CodingMetrics(model=model, lines_per_phase={p: 0 for p in PHASES})
+    phase = None
+    api_re = re.compile(_API_PREFIX[model])
+    apis: List[str] = []
+    for raw in source.splitlines():
+        line = raw.strip()
+        marker = re.match(r"# @phase:\s*(.+)$", line)
+        if marker:
+            phase = marker.group(1).strip()
+            if phase not in metrics.lines_per_phase:
+                raise ValueError(f"{model}: unknown phase {phase!r}")
+            continue
+        if line.startswith("# @endphase"):
+            phase = None
+            continue
+        if line.startswith("# @support:"):
+            metrics.support_variables += 1
+            continue
+        if phase is None or not line or line.startswith("#"):
+            continue
+        metrics.lines_per_phase[phase] += 1
+        apis.extend(
+            name for name in api_re.findall(raw) if name not in _EXCLUDED_APIS
+        )
+    metrics.unique_apis = len(set(apis))
+    metrics.total_api_calls = len(apis)
+    return metrics

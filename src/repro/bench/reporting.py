@@ -1,0 +1,128 @@
+"""Result containers and terminal rendering for the benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures; these
+helpers print the measured rows next to the paper's values so the shape
+comparison (who wins, by roughly what factor, where crossovers fall) is
+visible at a glance in the pytest output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "ComparisonTable", "ascii_plot", "format_table"]
+
+
+@dataclass
+class Series:
+    """One labeled curve of a figure sweep."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.x.append(x)
+        self.y.append(y)
+
+    @property
+    def peak(self) -> float:
+        """Largest y value (the figure-label numbers in the paper)."""
+        return max(self.y) if self.y else 0.0
+
+    @property
+    def final(self) -> float:
+        """The last y value (rightmost point of the curve)."""
+        return self.y[-1] if self.y else 0.0
+
+
+@dataclass
+class ComparisonTable:
+    """Paper-vs-measured rows for one experiment."""
+
+    title: str
+    unit: str = ""
+    rows: List[Dict] = field(default_factory=list)
+
+    def add(self, label: str, paper: Optional[float], measured: float) -> None:
+        """One comparison row; ``paper=None`` for rows the paper omits."""
+        ratio = measured / paper if paper else None
+        self.rows.append(
+            {"label": label, "paper": paper, "measured": measured, "ratio": ratio}
+        )
+
+    def render(self) -> str:
+        """A fixed-width table with a measured/paper ratio column."""
+        lines = [f"== {self.title} ==",
+                 f"{'configuration':<34} {'paper':>9} {'measured':>9} {'meas/paper':>10}"]
+        for r in self.rows:
+            paper = f"{r['paper']:.5g}" if r["paper"] is not None else "-"
+            ratio = f"{r['ratio']:.2f}x" if r["ratio"] is not None else "-"
+            lines.append(
+                f"{r['label']:<34} {paper:>9} {r['measured']:>9.5g} {ratio:>10}"
+            )
+        if self.unit:
+            lines.append(f"(values in {self.unit})")
+        return "\n".join(lines)
+
+    def max_deviation(self) -> float:
+        """Largest |measured/paper - 1| over rows with paper values."""
+        devs = [abs(r["ratio"] - 1.0) for r in self.rows if r["ratio"] is not None]
+        return max(devs) if devs else 0.0
+
+
+def ascii_plot(
+    series: Sequence[Series], width: int = 72, height: int = 18, title: str = ""
+) -> str:
+    """Render curves as a terminal scatter/line plot.
+
+    Each series gets a distinct glyph; axes are linear, ranges derived
+    from the data. Meant for eyeballing figure shapes in pytest -s runs.
+    """
+    pts = [(s, xi, yi) for s in series for xi, yi in zip(s.x, s.y)]
+    if not pts:
+        return "(no data)"
+    xs = [p[1] for p in pts]
+    ys = [p[2] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(0.0, min(ys)), max(ys)
+    xr = max(x1 - x0, 1e-12)
+    yr = max(y1 - y0, 1e-12)
+    glyphs = "*o+x#@%&$~^"
+    canvas = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        g = glyphs[si % len(glyphs)]
+        for xi, yi in zip(s.x, s.y):
+            col = int((xi - x0) / xr * (width - 1))
+            row = height - 1 - int((yi - y0) / yr * (height - 1))
+            canvas[row][col] = g
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y1:.4g} +" + "-" * width)
+    for row in canvas:
+        lines.append("       |" + "".join(row))
+    lines.append(f"{y0:.4g} +" + "-" * width)
+    lines.append(f"        {x0:<12.6g}{'':^{max(width - 24, 0)}}{x1:>12.6g}")
+    for si, s in enumerate(series):
+        lines.append(f"  {glyphs[si % len(glyphs)]} {s.label}")
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A simple fixed-width table."""
+    cols = len(headers)
+    widths = [len(str(h)) for h in headers]
+    rendered = [[str(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != cols:
+            raise ValueError(f"row {row} does not match {cols} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+    out = [fmt(headers), fmt(["-" * w for w in widths])]
+    out.extend(fmt(r) for r in rendered)
+    return "\n".join(out)

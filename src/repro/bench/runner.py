@@ -1,0 +1,40 @@
+"""Sweep helpers for benchmark scripts.
+
+Small conveniences for the figure benchmarks: run a callable over a
+parameter axis into a :class:`~repro.bench.reporting.Series`, or over a
+cartesian grid into a dict.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.bench.reporting import Series
+
+__all__ = ["sweep", "grid_sweep"]
+
+
+def sweep(
+    label: str, fn: Callable[[float], float], xs: Iterable[float]
+) -> Series:
+    """Evaluate ``fn`` over ``xs`` into a labeled series."""
+    s = Series(label)
+    for x in xs:
+        s.add(x, fn(x))
+    return s
+
+
+def grid_sweep(
+    fn: Callable[..., float], axes: Mapping[str, Sequence]
+) -> Dict[Tuple, float]:
+    """Evaluate ``fn(**point)`` over the cartesian product of ``axes``.
+
+    Returns ``{tuple(point values in axis order): result}``; axis order
+    follows the mapping's iteration order.
+    """
+    names = list(axes)
+    out: Dict[Tuple, float] = {}
+    for values in itertools.product(*(axes[n] for n in names)):
+        out[values] = fn(**dict(zip(names, values)))
+    return out

@@ -1,0 +1,28 @@
+"""COI-like plumbing layers under hStreams.
+
+The paper (§III, Fig. 1) layers hStreams above the Intel Coprocessor
+Offload Infrastructure (COI), which in turn sits on SCIF, the low-level
+PCIe transport. This package reproduces that stack for the simulated
+platform:
+
+* :mod:`repro.coi.scif` — SCIF-like transport: small control messages and
+  DMA transfers over the per-card PCIe links.
+* :mod:`repro.coi.coi` — COI-like offload layer: sink processes,
+  in-order pipelines, buffers, and run-function invocations.
+* :mod:`repro.coi.buffer_pool` — the 2 MB buffer pool whose presence made
+  COI allocation overheads "negligible" in the paper (and whose absence,
+  in the OmpSs configuration, made them significant).
+"""
+
+from repro.coi.buffer_pool import BufferPool
+from repro.coi.coi import COIBuffer, COIContext, COIPipeline, COIProcess
+from repro.coi.scif import ScifFabric
+
+__all__ = [
+    "BufferPool",
+    "COIBuffer",
+    "COIContext",
+    "COIPipeline",
+    "COIProcess",
+    "ScifFabric",
+]

@@ -1,0 +1,90 @@
+"""SCIF-like transport: the lowest plumbing layer.
+
+The Symmetric Communications Interface abstracts the PCIe hardware into
+two primitives that COI builds on:
+
+* ``message`` — a small control send (doorbells, command descriptors);
+  latency-dominated.
+* ``dma`` — a bulk payload transfer between the host and one card, which
+  occupies one direction of that card's link for its duration.
+
+Host-to-host "transfers" complete after a memcpy-speed delay (there is no
+wire), and zero-hop transfers (same domain, aliased) are free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.engine import Engine, Event
+from repro.sim.interconnect import LinkPair
+
+__all__ = ["ScifFabric"]
+
+#: Fixed cost of a small SCIF control message (doorbell + descriptor).
+MESSAGE_LATENCY_S = 2.0e-6
+
+
+class ScifFabric:
+    """All SCIF endpoints of one platform: host node 0 plus card nodes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        links: Dict[int, LinkPair],
+        host_mem_bw_gbs: float = 100.0,
+    ):
+        if host_mem_bw_gbs <= 0:
+            raise ValueError("host_mem_bw_gbs must be > 0")
+        self.engine = engine
+        self.links = links
+        self.host_mem_bw_gbs = host_mem_bw_gbs
+        self.message_count = 0
+        self.dma_count = 0
+
+    def _immediate(self, delay: float, value=None) -> Event:
+        return self.engine.timeout(delay, value=value)
+
+    def message(self, src: int, dst: int) -> Event:
+        """Send a small control message from node ``src`` to node ``dst``."""
+        self._check_route(src, dst)
+        self.message_count += 1
+        if src == dst:
+            return self._immediate(0.0)
+        # A control message rides the link but is latency-dominated; it
+        # does not occupy the DMA engine.
+        card = dst if dst != 0 else src
+        latency = self.links[card].h2d.latency_s + MESSAGE_LATENCY_S
+        return self._immediate(latency)
+
+    def dma(self, src: int, dst: int, nbytes: int) -> Event:
+        """Bulk transfer of ``nbytes`` from node ``src`` to node ``dst``.
+
+        One of the endpoints must be the host (node 0), matching the
+        paper's applications in which cards interact only with the host.
+        The returned event fires at DMA completion.
+        """
+        self._check_route(src, dst)
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.dma_count += 1
+        if src == dst:
+            return self._immediate(0.0, value=nbytes)  # aliased, no copy
+        if src == 0:
+            return self.links[dst].h2d.transfer(nbytes)
+        if dst == 0:
+            return self.links[src].d2h.transfer(nbytes)
+        raise ValueError(
+            f"card-to-card DMA ({src}->{dst}) is not routed; stage via the host"
+        )
+
+    def host_copy(self, nbytes: int) -> Event:
+        """A host-local memcpy at memory bandwidth (host-as-target path)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self._immediate(nbytes / (self.host_mem_bw_gbs * 1e9), value=nbytes)
+
+    def _check_route(self, src: int, dst: int) -> None:
+        for node in (src, dst):
+            if node != 0 and node not in self.links:
+                raise ValueError(f"no SCIF node {node}; known cards: {sorted(self.links)}")

@@ -1,0 +1,57 @@
+"""The hStreams core library: the paper's primary contribution.
+
+Three abstractions (paper §II):
+
+* :class:`~repro.core.runtime.DomainInfo` — a *domain* is a set of compute
+  and storage resources sharing coherent memory (the host, one KNC card).
+* :class:`~repro.core.stream.Stream` — a FIFO task queue whose *source*
+  endpoint enqueues actions and whose *sink* endpoint (a domain plus CPU
+  mask) executes them. Actions may execute **out of order** whenever their
+  memory operands do not overlap; the FIFO semantic is never violated.
+* :class:`~repro.core.buffer.Buffer` — memory encapsulated in a unified
+  *source proxy address space* with per-domain physical instantiations and
+  automatic operand address translation.
+
+The scheduling logic is backend-independent: the **thread backend** really
+executes Python/numpy tasks on worker threads (per-domain address spaces,
+real copies for transfers); the **sim backend** drives a discrete-event
+engine with calibrated device models so the paper's performance figures
+can be regenerated.
+"""
+
+from repro.core.actions import Action, ActionKind, Operand, OperandMode, XferDirection
+from repro.core.buffer import Buffer, ProxyAddressSpace
+from repro.core.errors import (
+    HStreamsError,
+    HStreamsBadArgument,
+    HStreamsNotFound,
+    HStreamsNotInitialized,
+    HStreamsOutOfMemory,
+    HStreamsTimedOut,
+)
+from repro.core.events import HEvent
+from repro.core.properties import MemType, RuntimeConfig
+from repro.core.runtime import DomainInfo, HStreams
+from repro.core.stream import Stream
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Operand",
+    "OperandMode",
+    "XferDirection",
+    "Buffer",
+    "ProxyAddressSpace",
+    "HStreamsError",
+    "HStreamsBadArgument",
+    "HStreamsNotFound",
+    "HStreamsNotInitialized",
+    "HStreamsOutOfMemory",
+    "HStreamsTimedOut",
+    "HEvent",
+    "MemType",
+    "RuntimeConfig",
+    "DomainInfo",
+    "HStreams",
+    "Stream",
+]

@@ -1,0 +1,175 @@
+"""Action types: what gets enqueued into streams.
+
+Three kinds of actions exist (paper §II): compute tasks, data transfers,
+and synchronizations. Every action carries *memory operands* — ranges of
+buffers with an access mode — which are the basis of the dependence
+analysis that lets the runtime execute actions out of order without
+violating the stream's FIFO semantic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
+
+from repro.core.errors import HStreamsBadArgument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.buffer import Buffer
+    from repro.core.events import HEvent
+    from repro.core.stream import Stream
+    from repro.sim.kernels import KernelCost
+
+__all__ = ["OperandMode", "ActionKind", "XferDirection", "Operand", "Action"]
+
+_action_ids = itertools.count()
+
+
+class OperandMode(enum.Enum):
+    """How an action accesses an operand range."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def reads(self) -> bool:
+        return self in (OperandMode.IN, OperandMode.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (OperandMode.OUT, OperandMode.INOUT)
+
+
+class ActionKind(enum.Enum):
+    """The three enqueueable action categories plus alloc bookkeeping."""
+
+    COMPUTE = "compute"
+    XFER = "xfer"
+    SYNC = "sync"
+
+
+class XferDirection(enum.Enum):
+    """Transfer direction relative to the stream's endpoints."""
+
+    SRC_TO_SINK = "src_to_sink"  # host (source) -> sink domain
+    SINK_TO_SRC = "sink_to_src"  # sink domain -> host (source)
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A byte range of a buffer with an access mode.
+
+    In the C library, operands are proxy-space pointers passed as task
+    arguments; here they are explicit, which keeps the same dependence
+    semantics while being natural Python.
+    """
+
+    buffer: "Buffer"
+    offset: int
+    nbytes: int
+    mode: OperandMode = OperandMode.INOUT
+    #: Optional typing for sink-side resolution under the thread backend:
+    #: the operand resolves to a numpy view with this dtype and shape.
+    dtype: Any = None
+    shape: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.nbytes < 0:
+            raise HStreamsBadArgument(
+                f"operand range ({self.offset}, {self.nbytes}) must be non-negative"
+            )
+        if self.offset + self.nbytes > self.buffer.nbytes:
+            raise HStreamsBadArgument(
+                f"operand [{self.offset}, {self.offset + self.nbytes}) exceeds "
+                f"buffer {self.buffer.name!r} of {self.buffer.nbytes} bytes"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range."""
+        return self.offset + self.nbytes
+
+    def overlaps(self, other: "Operand") -> bool:
+        """True when both ranges touch the same bytes of the same buffer."""
+        if self.buffer is not other.buffer or self.nbytes == 0 or other.nbytes == 0:
+            return False
+        return self.offset < other.end and other.offset < self.end
+
+    def conflicts_with(self, other: "Operand") -> bool:
+        """True when the ranges overlap and at least one side writes."""
+        return (self.mode.writes or other.mode.writes) and self.overlaps(other)
+
+    @property
+    def proxy_address(self) -> int:
+        """Source-proxy address of the first byte (paper's unified space)."""
+        return self.buffer.proxy_base + self.offset
+
+
+@dataclass
+class Action:
+    """One enqueued unit of work, bound to a stream at enqueue time."""
+
+    kind: ActionKind
+    stream: Optional["Stream"]
+    operands: Tuple[Operand, ...] = ()
+    # compute
+    kernel: str = ""
+    args: Tuple[Any, ...] = ()
+    cost: Optional["KernelCost"] = None
+    # transfer
+    direction: Optional[XferDirection] = None
+    nbytes: int = 0
+    # bookkeeping
+    label: str = ""
+    seq: int = field(default_factory=lambda: next(_action_ids))
+    completion: Optional["HEvent"] = None
+    deps: List["HEvent"] = field(default_factory=list)
+    barrier: bool = False  # sync action with no operands orders everything
+
+    def conflicts_with(self, other: "Action") -> bool:
+        """Operand-level conflict between two actions.
+
+        A barrier sync conflicts with everything in its stream.
+        """
+        if self.barrier or other.barrier:
+            return True
+        for a in self.operands:
+            for b in other.operands:
+                if a.conflicts_with(b):
+                    return True
+        return False
+
+    @property
+    def display(self) -> str:
+        """Short label for traces."""
+        if self.label:
+            return self.label
+        if self.kind is ActionKind.COMPUTE:
+            return f"{self.kernel}#{self.seq}"
+        if self.kind is ActionKind.XFER:
+            tag = "h2d" if self.direction is XferDirection.SRC_TO_SINK else "d2h"
+            return f"xfer-{tag}#{self.seq}"
+        return f"sync#{self.seq}"
+
+
+def as_operands(items: Sequence) -> Tuple[Operand, ...]:
+    """Normalize a mixed sequence of operands/buffers to ``Operand`` tuples.
+
+    Bare buffers become whole-buffer INOUT operands — matching the C
+    library, where task arguments are proxy pointers with no in/out
+    annotation and the runtime must assume read-write.
+    """
+    out: List[Operand] = []
+    for item in items:
+        if isinstance(item, Operand):
+            out.append(item)
+        elif hasattr(item, "all_inout"):
+            out.append(item.all_inout())
+        else:
+            raise HStreamsBadArgument(
+                f"operand must be an Operand or Buffer, got {type(item).__name__}"
+            )
+    return tuple(out)

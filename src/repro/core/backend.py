@@ -1,0 +1,93 @@
+"""The execution backend interface.
+
+The runtime's scheduling logic (FIFO order, dependence relaxation, event
+plumbing) is backend-independent; a backend only needs to *execute*
+actions whose dependences the runtime has already computed, and to
+provide completion handles and a clock. This mirrors the paper's layering
+(hStreams above COI above SCIF): the same application code runs on the
+thread backend (real execution) or the sim backend (virtual time).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.actions import Action
+    from repro.core.buffer import Buffer
+    from repro.core.events import HEvent
+    from repro.core.runtime import HStreams
+    from repro.core.stream import Stream
+
+__all__ = ["Backend"]
+
+
+class Backend(ABC):
+    """Execution engine behind an :class:`~repro.core.runtime.HStreams`."""
+
+    runtime: "HStreams"
+
+    @abstractmethod
+    def attach(self, runtime: "HStreams") -> None:
+        """Bind to a runtime; called once from ``HStreams.__init__``."""
+
+    @abstractmethod
+    def make_handle(self) -> Any:
+        """A fresh completion handle for a new action's event."""
+
+    @abstractmethod
+    def event_done(self, event: "HEvent") -> bool:
+        """Non-blocking completion poll for an event of this backend."""
+
+    @abstractmethod
+    def make_stream(self, stream: "Stream") -> None:
+        """Provision backend state for a newly created stream."""
+
+    @abstractmethod
+    def make_instance(self, buf: "Buffer", domain: int) -> None:
+        """Instantiate a buffer in a domain (allocating as needed)."""
+
+    def on_buffer_destroy(self, buf: "Buffer") -> None:
+        """Release backend state for a destroyed buffer."""
+
+    def on_instance_evict(self, buf: "Buffer", domain: int) -> None:
+        """Release backend state for one evicted domain instance."""
+
+    def on_stream_destroy(self, stream: "Stream") -> None:
+        """Release backend state for a destroyed (drained) stream."""
+
+    @abstractmethod
+    def submit(self, action: "Action") -> None:
+        """Schedule an action whose ``deps``/``completion`` are set.
+
+        The action must run only after every event in ``action.deps`` has
+        completed, and must trigger ``action.completion`` when done.
+        """
+
+    @abstractmethod
+    def wait_events(
+        self,
+        events: List["HEvent"],
+        wait_all: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Block the source until any/all of ``events`` complete."""
+
+    @abstractmethod
+    def wait_all(self) -> None:
+        """Block the source until every submitted action completed."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """The source-side clock (wall or virtual seconds)."""
+
+    def advance_host(self, dt: float) -> None:
+        """Charge ``dt`` seconds of API overhead to the source clock.
+
+        Real backends ignore this (wall time passes by itself); the sim
+        backend advances its virtual host clock.
+        """
+
+    def close(self) -> None:
+        """Tear down backend resources."""

@@ -1,0 +1,82 @@
+"""Intra-stream dependence analysis.
+
+The FIFO order of a stream plus the memory operands of its actions
+*implicitly* specify the actual dependences (paper §II): a later action
+depends on an earlier one iff their operand ranges conflict (overlap with
+at least one writer). Everything else is free to execute and complete out
+of order — the behaviour that distinguishes hStreams from CUDA Streams'
+strict FIFO execution.
+
+A stream may instead be created *strict* (``strict_fifo=True``), in which
+case every action depends on its immediate predecessor; the CUDA-Streams
+comparator model is built from such streams.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.actions import Action
+
+__all__ = ["StreamWindow"]
+
+
+class StreamWindow:
+    """Tracks the not-yet-completed actions of one stream.
+
+    ``deps_for`` computes the set of earlier in-flight actions a new
+    action must wait for; completed predecessors impose no constraint and
+    are pruned lazily.
+    """
+
+    def __init__(self, strict_fifo: bool = False):
+        self.strict_fifo = strict_fifo
+        self._recent: List[Action] = []
+        self.enqueued_count = 0
+
+    def _prune(self) -> None:
+        self._recent = [
+            a
+            for a in self._recent
+            if a.completion is None or not a.completion.is_complete()
+        ]
+
+    def deps_for(self, action: Action) -> List[Action]:
+        """Earlier in-flight actions that ``action`` must follow.
+
+        For a strict stream: just the most recent action. Otherwise: every
+        in-flight predecessor with a conflicting operand, *cut off* at the
+        newest conflicting barrier (anything older is already ordered
+        through it transitively — barriers conflict with everything).
+        """
+        self._prune()
+        if self.strict_fifo:
+            return [self._recent[-1]] if self._recent else []
+        deps: List[Action] = []
+        for prev in reversed(self._recent):
+            if prev.conflicts_with(action):
+                deps.append(prev)
+                if prev.barrier:
+                    break  # the barrier already orders everything older
+        deps.reverse()
+        return deps
+
+    def add(self, action: Action) -> None:
+        """Record a newly enqueued action."""
+        self._recent.append(action)
+        self.enqueued_count += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Number of tracked, possibly-incomplete actions."""
+        self._prune()
+        return len(self._recent)
+
+    def pending_completions(self) -> List:
+        """Completion events of the still-incomplete actions."""
+        self._prune()
+        return [
+            a.completion
+            for a in self._recent
+            if a.completion is not None and not a.completion.is_complete()
+        ]

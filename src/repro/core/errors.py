@@ -1,0 +1,75 @@
+"""Error types mirroring hStreams' ``HSTR_RESULT`` codes.
+
+The C library reports failures through an ``HSTR_RESULT`` enum; this
+reproduction raises a matching exception hierarchy instead, which is the
+idiomatic Python equivalent. The ``code`` attribute preserves the original
+code name for users porting diagnostics.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HStreamsError",
+    "HStreamsNotInitialized",
+    "HStreamsBadArgument",
+    "HStreamsNotFound",
+    "HStreamsAlreadyFound",
+    "HStreamsOutOfMemory",
+    "HStreamsOutOfRange",
+    "HStreamsTimedOut",
+    "HStreamsInternalError",
+]
+
+
+class HStreamsError(Exception):
+    """Base class for all hStreams runtime failures."""
+
+    code = "HSTR_RESULT_ERROR"
+
+
+class HStreamsNotInitialized(HStreamsError):
+    """An API was called before ``init()`` or after ``fini()``."""
+
+    code = "HSTR_RESULT_NOT_INITIALIZED"
+
+
+class HStreamsBadArgument(HStreamsError):
+    """An argument was malformed or inconsistent."""
+
+    code = "HSTR_RESULT_INCONSISTENT_ARGS"
+
+
+class HStreamsNotFound(HStreamsError):
+    """A named stream, buffer, domain, or kernel does not exist."""
+
+    code = "HSTR_RESULT_NOT_FOUND"
+
+
+class HStreamsAlreadyFound(HStreamsError):
+    """An entity with this identity already exists."""
+
+    code = "HSTR_RESULT_ALREADY_FOUND"
+
+
+class HStreamsOutOfMemory(HStreamsError):
+    """A domain's memory capacity would be exceeded."""
+
+    code = "HSTR_RESULT_OUT_OF_MEMORY"
+
+
+class HStreamsOutOfRange(HStreamsError):
+    """An address or index fell outside the valid range."""
+
+    code = "HSTR_RESULT_OUT_OF_RANGE"
+
+
+class HStreamsTimedOut(HStreamsError):
+    """A wait exceeded its timeout."""
+
+    code = "HSTR_RESULT_TIME_OUT_REACHED"
+
+
+class HStreamsInternalError(HStreamsError):
+    """Invariant violation inside the runtime (a bug, not user error)."""
+
+    code = "HSTR_RESULT_INTERNAL_ERROR"

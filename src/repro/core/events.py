@@ -1,0 +1,46 @@
+"""Completion events.
+
+Every enqueued action yields an :class:`HEvent`. Unlike CUDA, no explicit
+event creation/destruction is needed (paper §IV), and waits may cover a
+*set* of events with any/all semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.actions import Action
+
+__all__ = ["HEvent"]
+
+
+class HEvent:
+    """Handle for the completion of one enqueued action.
+
+    The backend owns the underlying synchronization object (``handle``):
+    a ``threading.Event`` under the thread backend, a sim-engine event
+    under the sim backend.
+    """
+
+    __slots__ = ("backend", "handle", "action", "timestamp")
+
+    def __init__(self, backend: Any, handle: Any, action: Optional["Action"] = None):
+        self.backend = backend
+        self.handle = handle
+        self.action = action
+        #: Completion time (backend clock); set by the backend at completion.
+        self.timestamp: Optional[float] = None
+
+    def is_complete(self) -> bool:
+        """Non-blocking completion poll."""
+        return self.backend.event_done(self)
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block the source thread until this action completes."""
+        self.backend.wait_events([self], wait_all=True, timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "complete" if self.is_complete() else "pending"
+        label = self.action.display if self.action is not None else "?"
+        return f"<HEvent {label} {state}>"

@@ -1,0 +1,579 @@
+"""The hStreams runtime: domains, streams, buffers, enqueue, and sync.
+
+The :class:`HStreams` class is the library's front door. It owns the
+backend-independent logic — resource partitioning, the proxy address
+space, operand collection, intra-stream dependence computation — and
+delegates *execution* to a pluggable backend:
+
+* ``backend="thread"`` — real execution of registered Python kernels on
+  per-stream worker threads, with per-domain numpy address spaces.
+* ``backend="sim"`` — virtual-time execution on the calibrated platform
+  models, used to regenerate the paper's performance figures.
+
+The source endpoint (the thread calling these APIs) is single-threaded,
+as in the paper's applications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.actions import (
+    Action,
+    ActionKind,
+    Operand,
+    OperandMode,
+    XferDirection,
+)
+from repro.core.buffer import Buffer, ProxyAddressSpace
+from repro.core.errors import (
+    HStreamsBadArgument,
+    HStreamsNotFound,
+    HStreamsNotInitialized,
+    HStreamsOutOfMemory,
+)
+from repro.core.events import HEvent
+from repro.core.properties import MemType, RuntimeConfig
+from repro.core.stream import Stream
+from repro.sim.kernels import KernelCost
+from repro.sim.platforms import Platform, make_platform
+from repro.sim.trace import Tracer
+
+__all__ = ["DomainInfo", "HStreams", "KernelSpec"]
+
+
+class DomainInfo:
+    """One discoverable domain: its device and resource bookkeeping."""
+
+    def __init__(self, index: int, device):
+        self.index = index
+        self.device = device
+        self.allocated_bytes = 0
+        self._core_cursor = 0
+
+    @property
+    def is_host(self) -> bool:
+        """Domain 0 is the host (the streams' source endpoint)."""
+        return self.index == 0
+
+    @property
+    def props(self) -> Dict[str, Any]:
+        """Discoverable domain properties (paper §II)."""
+        return {
+            "name": self.device.name,
+            "kind": self.device.kind,
+            "cores": self.device.total_cores,
+            "threads": self.device.total_threads,
+            "clock_ghz": self.device.clock_ghz,
+            "ram_gb": self.device.ram_gb,
+            "peak_dp_gflops": self.device.peak_dp_gflops,
+        }
+
+    def take_cores(self, ncores: int) -> Tuple[int, ...]:
+        """Hand out the next ``ncores`` cores, wrapping when exhausted.
+
+        Wrapping implements stream oversubscription: multiple streams
+        mapped onto a common set of resources, which the paper lists as a
+        tuner's prerogative.
+        """
+        total = self.device.total_cores
+        if ncores < 1 or ncores > total:
+            raise HStreamsBadArgument(
+                f"domain {self.index}: ncores={ncores} outside 1..{total}"
+            )
+        mask = tuple((self._core_cursor + i) % total for i in range(ncores))
+        self._core_cursor = (self._core_cursor + ncores) % total
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Domain {self.index} {self.device.name}>"
+
+
+class KernelSpec:
+    """A registered kernel: a callable (thread backend), a cost model
+    (sim backend), or both."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Optional[Callable] = None,
+        cost_fn: Optional[Callable[..., KernelCost]] = None,
+    ):
+        if fn is None and cost_fn is None:
+            raise HStreamsBadArgument(
+                f"kernel {name!r} needs a callable, a cost model, or both"
+            )
+        self.name = name
+        self.fn = fn
+        self.cost_fn = cost_fn
+
+
+class HStreams:
+    """An initialized hStreams runtime instance."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        backend: Union[str, Any] = "thread",
+        config: Optional[RuntimeConfig] = None,
+        trace: bool = True,
+    ):
+        self.platform = platform if platform is not None else make_platform("HSW", 1)
+        self.config = config if config is not None else RuntimeConfig()
+        self.tracer = Tracer(enabled=trace)
+        self.proxy_space = ProxyAddressSpace()
+        self.domains: List[DomainInfo] = [
+            DomainInfo(i, dev) for i, dev in enumerate(self.platform.devices)
+        ]
+        self.streams: List[Stream] = []
+        self.buffers: List[Buffer] = []
+        self._kernels: Dict[str, KernelSpec] = {}
+        self._next_stream_id = 0
+        self._initialized = True
+        #: Action counters by kind plus transfer byte volume.
+        self.stats: Dict[str, int] = {
+            "computes": 0, "transfers": 0, "syncs": 0, "bytes_transferred": 0,
+        }
+        if isinstance(backend, str):
+            self.backend = _make_backend(backend)
+        else:
+            self.backend = backend
+        self.backend.attach(self)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _check_init(self) -> None:
+        if not self._initialized:
+            raise HStreamsNotInitialized("runtime has been finalized")
+
+    def fini(self) -> None:
+        """Tear the runtime down. Waits for in-flight work first."""
+        if self._initialized:
+            self.backend.wait_all()
+            self.backend.close()
+            self._initialized = False
+
+    def __enter__(self) -> "HStreams":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.fini()
+
+    # -- domains ---------------------------------------------------------------
+
+    @property
+    def ndomains(self) -> int:
+        """Number of discoverable domains (host + cards)."""
+        return len(self.domains)
+
+    def domain(self, index: int) -> DomainInfo:
+        """Domain by index; 0 is the host."""
+        try:
+            return self.domains[index]
+        except IndexError:
+            raise HStreamsNotFound(
+                f"no domain {index}; platform has {self.ndomains}"
+            ) from None
+
+    @property
+    def card_domains(self) -> List[DomainInfo]:
+        """All non-host domains."""
+        return self.domains[1:]
+
+    # -- streams ----------------------------------------------------------------
+
+    def stream_create(
+        self,
+        domain: int = 0,
+        ncores: Optional[int] = None,
+        cpu_mask: Optional[Sequence[int]] = None,
+        strict_fifo: bool = False,
+        name: str = "",
+    ) -> Stream:
+        """Create a stream whose sink is ``domain`` (the "core API" path).
+
+        Provide either ``ncores`` (the runtime picks the next free cores,
+        wrapping for oversubscription) or an explicit ``cpu_mask``.
+        Omitting both binds the whole domain to the stream.
+        """
+        self._check_init()
+        dom = self.domain(domain)
+        if cpu_mask is not None:
+            if ncores is not None:
+                raise HStreamsBadArgument("give ncores or cpu_mask, not both")
+            mask = tuple(int(c) for c in cpu_mask)
+            for c in mask:
+                if not (0 <= c < dom.device.total_cores):
+                    raise HStreamsBadArgument(
+                        f"cpu {c} outside domain {domain}'s 0.."
+                        f"{dom.device.total_cores - 1}"
+                    )
+        else:
+            mask = dom.take_cores(ncores if ncores is not None else dom.device.total_cores)
+        stream = Stream(
+            self._next_stream_id, domain, mask, strict_fifo=strict_fifo, name=name
+        )
+        self._next_stream_id += 1
+        self.streams.append(stream)
+        self.backend.make_stream(stream)
+        return stream
+
+    def app_init(
+        self,
+        streams_per_domain: int,
+        oversubscription: int = 1,
+        use_host: bool = False,
+        strict_fifo: bool = False,
+    ) -> List[Stream]:
+        """The "app API" convenience: evenly divide resources into streams.
+
+        Partitions each card domain (plus the host when ``use_host``) into
+        ``streams_per_domain`` equal-width places and creates
+        ``oversubscription`` logical streams per place. Returns the new
+        streams, grouped card-major in creation order.
+        """
+        self._check_init()
+        if streams_per_domain < 1 or oversubscription < 1:
+            raise HStreamsBadArgument(
+                "streams_per_domain and oversubscription must be >= 1"
+            )
+        targets = [d for d in self.domains if use_host or not d.is_host]
+        if not targets:
+            raise HStreamsNotFound("no target domains for app_init")
+        created: List[Stream] = []
+        for dom in targets:
+            width = dom.device.total_cores // streams_per_domain
+            if width < 1:
+                raise HStreamsBadArgument(
+                    f"domain {dom.index} has {dom.device.total_cores} cores; "
+                    f"cannot make {streams_per_domain} streams"
+                )
+            for place in range(streams_per_domain):
+                base = place * width
+                mask = tuple(range(base, base + width))
+                for _ in range(oversubscription):
+                    stream = Stream(
+                        self._next_stream_id,
+                        dom.index,
+                        mask,
+                        strict_fifo=strict_fifo,
+                    )
+                    self._next_stream_id += 1
+                    self.streams.append(stream)
+                    self.backend.make_stream(stream)
+                    created.append(stream)
+        return created
+
+    def streams_in(self, domain: int) -> List[Stream]:
+        """All streams whose sink is ``domain``."""
+        return [s for s in self.streams if s.domain == domain]
+
+    def stream_destroy(self, stream: Stream) -> None:
+        """Destroy a stream: drain it, then release its backend state.
+
+        Unlike CUDA, destruction is optional housekeeping — streams are
+        plain integers and the runtime reclaims everything at ``fini()``
+        — but long-lived processes that churn through streams (the
+        Abaqus solver pattern) can return resources early.
+        """
+        self._check_init()
+        if stream not in self.streams:
+            raise HStreamsNotFound(f"stream {stream.id} is not active")
+        self.stream_synchronize(stream)
+        self.backend.on_stream_destroy(stream)
+        self.streams.remove(stream)
+
+    # -- buffers -----------------------------------------------------------------
+
+    def buffer_create(
+        self,
+        nbytes: Optional[int] = None,
+        array: Optional[np.ndarray] = None,
+        name: str = "",
+        mem_type: MemType = MemType.DDR,
+        domains: Sequence[int] = (),
+        read_only: bool = False,
+    ) -> Buffer:
+        """Create a buffer in the proxy address space.
+
+        Pass ``array`` to wrap caller memory as the host instance (thread
+        backend: zero-copy), or ``nbytes`` for a size-only buffer. Listing
+        ``domains`` instantiates eagerly there; otherwise instantiation is
+        lazy at first use.
+        """
+        self._check_init()
+        if (nbytes is None) == (array is None):
+            raise HStreamsBadArgument("give exactly one of nbytes or array")
+        buf = Buffer(
+            self.proxy_space,
+            nbytes=nbytes if nbytes is not None else 0,
+            name=name,
+            mem_type=mem_type,
+            read_only=read_only,
+            host_array=array,
+        )
+        self.buffers.append(buf)
+        for d in {0, *domains}:
+            self._ensure_instance(buf, d)
+        return buf
+
+    def wrap(self, array: np.ndarray, name: str = "") -> Buffer:
+        """Shorthand for wrapping an existing numpy array."""
+        return self.buffer_create(array=array, name=name)
+
+    def buffer_destroy(self, buf: Buffer) -> None:
+        """Release a buffer's instances and proxy range."""
+        self._check_init()
+        for d in list(buf.instances):
+            dom = self.domain(d)
+            dom.allocated_bytes -= buf.nbytes
+        self.backend.on_buffer_destroy(buf)
+        buf.destroy()
+        self.buffers.remove(buf)
+
+    def buffer_evict(self, buf: Buffer, domain: int) -> None:
+        """Release a buffer's instance in one (non-host) domain.
+
+        This is how a bounded working set cycles card memory when the
+        full tile set exceeds the 16 GB card (the reference codes do
+        exactly this to reach n=30000 in Fig. 6). The caller must ensure
+        no in-flight action still uses the instance — synchronize the
+        streams touching it first.
+        """
+        self._check_init()
+        if domain == 0:
+            raise HStreamsBadArgument("the host instance cannot be evicted")
+        if not buf.instantiated_in(domain):
+            raise HStreamsNotFound(
+                f"buffer {buf.name!r} has no instance in domain {domain}"
+            )
+        self.domain(domain).allocated_bytes -= buf.nbytes
+        self.backend.on_instance_evict(buf, domain)
+        del buf.instances[domain]
+
+    def _ensure_instance(self, buf: Buffer, domain: int) -> None:
+        if buf.instantiated_in(domain):
+            return
+        dom = self.domain(domain)
+        capacity = dom.device.ram_gb * (1 << 30)
+        if dom.allocated_bytes + buf.nbytes > capacity:
+            raise HStreamsOutOfMemory(
+                f"domain {domain} ({dom.device.name}): instantiating "
+                f"{buf.name!r} ({buf.nbytes}B) exceeds {dom.device.ram_gb} GB"
+            )
+        dom.allocated_bytes += buf.nbytes
+        self.backend.make_instance(buf, domain)
+
+    # -- kernels -------------------------------------------------------------------
+
+    def register_kernel(
+        self,
+        name: str,
+        fn: Optional[Callable] = None,
+        cost_fn: Optional[Callable[..., KernelCost]] = None,
+    ) -> None:
+        """Register a sink-side kernel by name.
+
+        ``fn(*args)`` runs under the thread backend with operand arguments
+        resolved to numpy views in the sink domain. ``cost_fn(*args)``
+        returns a :class:`KernelCost` for the sim backend; it receives the
+        same argument list with operands left as-is.
+        """
+        self._check_init()
+        self._kernels[name] = KernelSpec(name, fn=fn, cost_fn=cost_fn)
+
+    def kernel(self, name: str) -> KernelSpec:
+        """Look up a registered kernel."""
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise HStreamsNotFound(f"no kernel registered as {name!r}") from None
+
+    # -- enqueue --------------------------------------------------------------------
+
+    @staticmethod
+    def _collect_operands(args: Sequence, extra: Sequence) -> Tuple[Operand, ...]:
+        ops: List[Operand] = []
+        for item in tuple(args) + tuple(extra):
+            if isinstance(item, Operand):
+                ops.append(item)
+            elif isinstance(item, Buffer):
+                ops.append(item.all_inout())
+        for op in ops:
+            if op.mode.writes and op.buffer.read_only:
+                raise HStreamsBadArgument(
+                    f"buffer {op.buffer.name!r} is read-only; writing "
+                    "operands are not allowed (declare the usage property "
+                    "accordingly, paper §II)"
+                )
+        return tuple(ops)
+
+    def enqueue_compute(
+        self,
+        stream: Stream,
+        kernel: str,
+        args: Sequence = (),
+        operands: Sequence = (),
+        cost: Optional[KernelCost] = None,
+        label: str = "",
+    ) -> HEvent:
+        """Enqueue a compute task into ``stream``.
+
+        Operand arguments (``Operand`` or bare ``Buffer`` entries in
+        ``args``/``operands``) define the dependence footprint. The task
+        expands across all cores in the stream's sink mask.
+        """
+        self._check_init()
+        spec = self.kernel(kernel)
+        ops = self._collect_operands(args, operands)
+        if cost is None and spec.cost_fn is not None:
+            cost = spec.cost_fn(*args)
+        action = Action(
+            kind=ActionKind.COMPUTE,
+            stream=stream,
+            operands=ops,
+            kernel=kernel,
+            args=tuple(args),
+            cost=cost,
+            label=label,
+        )
+        for op in ops:
+            self._ensure_instance(op.buffer, stream.domain)
+        return self._enqueue(action)
+
+    def enqueue_xfer(
+        self,
+        stream: Stream,
+        operand: Union[Operand, Buffer],
+        direction: XferDirection = XferDirection.SRC_TO_SINK,
+        label: str = "",
+    ) -> HEvent:
+        """Enqueue a data transfer between the source (host) and the sink.
+
+        In host-as-target streams the source and sink instances alias, so
+        the transfer is optimized away (paper §V) — it completes
+        immediately but still participates in dependence ordering.
+        """
+        self._check_init()
+        if isinstance(operand, Buffer):
+            operand = operand.all(
+                OperandMode.OUT
+                if direction is XferDirection.SRC_TO_SINK
+                else OperandMode.IN
+            )
+        else:
+            mode = (
+                OperandMode.OUT
+                if direction is XferDirection.SRC_TO_SINK
+                else OperandMode.IN
+            )
+            operand = Operand(operand.buffer, operand.offset, operand.nbytes, mode)
+        action = Action(
+            kind=ActionKind.XFER,
+            stream=stream,
+            operands=(operand,),
+            direction=direction,
+            nbytes=operand.nbytes,
+            label=label,
+        )
+        self._ensure_instance(operand.buffer, 0)
+        self._ensure_instance(operand.buffer, stream.domain)
+        return self._enqueue(action)
+
+    def event_stream_wait(
+        self,
+        stream: Stream,
+        events: Sequence[HEvent],
+        operands: Optional[Sequence] = None,
+        label: str = "",
+    ) -> HEvent:
+        """Enqueue a synchronization action that waits on ``events``.
+
+        With ``operands`` given, only subsequent actions touching those
+        ranges are ordered after the wait; with ``operands=None`` the wait
+        is a full barrier in its stream. This is the cross-stream
+        dependence mechanism (there are no implicit dependences between
+        streams, paper §II).
+        """
+        self._check_init()
+        ops = self._collect_operands((), operands or ())
+        action = Action(
+            kind=ActionKind.SYNC,
+            stream=stream,
+            operands=ops,
+            label=label,
+            barrier=operands is None,
+        )
+        action.deps.extend(events)
+        return self._enqueue(action)
+
+    def _enqueue(self, action: Action) -> HEvent:
+        stream = action.stream
+        assert stream is not None
+        if action.kind is ActionKind.COMPUTE:
+            self.stats["computes"] += 1
+        elif action.kind is ActionKind.XFER:
+            self.stats["transfers"] += 1
+            self.stats["bytes_transferred"] += action.nbytes
+        else:
+            self.stats["syncs"] += 1
+        for prev in stream.window.deps_for(action):
+            assert prev.completion is not None
+            action.deps.append(prev.completion)
+        action.completion = HEvent(self.backend, self.backend.make_handle(), action)
+        stream.window.add(action)
+        self.backend.advance_host(self.config.enqueue_overhead_s)
+        self.backend.submit(action)
+        return action.completion
+
+    # -- synchronization -----------------------------------------------------------
+
+    def event_wait(
+        self,
+        events: Sequence[HEvent],
+        wait_all: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Block the source until any/all of ``events`` complete.
+
+        Waiting on a *set* with any/all semantics saves the CPU-spinning
+        the paper calls out in the CUDA comparison.
+        """
+        self._check_init()
+        self.backend.wait_events(list(events), wait_all=wait_all, timeout=timeout)
+        self.backend.advance_host(self.config.sync_overhead_s)
+
+    def stream_synchronize(self, stream: Stream) -> None:
+        """Block until every action enqueued into ``stream`` completed."""
+        self._check_init()
+        pending = stream.window.pending_completions()
+        if pending:
+            self.backend.wait_events(pending, wait_all=True, timeout=None)
+        self.backend.advance_host(self.config.sync_overhead_s)
+
+    def thread_synchronize(self) -> None:
+        """Block until all actions in all streams completed."""
+        self._check_init()
+        self.backend.wait_all()
+        self.backend.advance_host(self.config.sync_overhead_s)
+
+    # -- time ------------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Source-side clock: virtual seconds (sim) or wall seconds (thread)."""
+        return self.backend.now()
+
+
+def _make_backend(name: str):
+    """Backend factory by name ("thread" or "sim")."""
+    if name == "thread":
+        from repro.core.thread_backend import ThreadBackend
+
+        return ThreadBackend()
+    if name == "sim":
+        from repro.core.sim_backend import SimBackend
+
+        return SimBackend()
+    raise HStreamsBadArgument(f"unknown backend {name!r}; use 'thread' or 'sim'")

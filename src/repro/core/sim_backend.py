@@ -1,0 +1,227 @@
+"""Sim backend: virtual-time execution on the calibrated platform models.
+
+The same runtime scheduling logic drives a discrete-event engine:
+
+* compute actions occupy their stream's COI pipeline (one at a time, in
+  readiness order) for a duration from the device's kernel cost model,
+  scaled to the stream's CPU-mask width;
+* transfers ride the card's PCIe link direction through the SCIF fabric,
+  paying the measured fixed runtime overhead first;
+* host-as-target transfers are aliased away (zero cost);
+* card-side buffer instantiation is *synchronous* — it blocks the virtual
+  host clock, amortized by the COI 2 MB buffer pool when enabled.
+
+The virtual host clock (``now()``) advances by the configured per-call
+overheads during enqueues and jumps forward to the engine clock at each
+synchronization, so an application's end-to-end virtual time includes
+both source-side overheads and sink-side execution, exactly the costs the
+paper's §III overhead analysis decomposes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.coi.buffer_pool import BufferPool
+from repro.coi.coi import COIBuffer, COIContext, COIPipeline
+from repro.coi.scif import ScifFabric
+from repro.core.actions import Action, ActionKind, XferDirection
+from repro.core.backend import Backend
+from repro.core.buffer import Buffer
+from repro.core.errors import (
+    HStreamsBadArgument,
+    HStreamsInternalError,
+    HStreamsTimedOut,
+)
+from repro.core.events import HEvent
+from repro.sim.engine import Engine, Event, Resource
+from repro.sim.kernels import time_on
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(Backend):
+    """Virtual-time backend over the COI/SCIF simulation stack."""
+
+    def attach(self, runtime) -> None:
+        self.runtime = runtime
+        cfg = runtime.config
+        self.engine = Engine()
+        self.links = runtime.platform.make_links(self.engine)
+        host_bw = cfg.host_mem_bw_gbs or runtime.platform.host.mem_bw_gbs
+        self.fabric = ScifFabric(self.engine, self.links, host_mem_bw_gbs=host_bw)
+        self.pool = BufferPool(
+            cfg.pool_chunk_bytes, cfg.alloc_cost, enabled=cfg.use_buffer_pool
+        )
+        self.coi = COIContext(self.engine, self.fabric, self.pool, runtime.ndomains)
+        # Per-domain core pools: a compute holds its stream's width while
+        # it runs, so overlapping masks / whole-device kernels contend.
+        self._domain_cores: Dict[int, Resource] = {
+            d.index: Resource(
+                self.engine, capacity=d.device.total_cores, name=f"cores:d{d.index}"
+            )
+            for d in runtime.domains
+        }
+        self._pipelines: Dict[int, COIPipeline] = {}
+        self._coi_bufs: Dict[Tuple[int, int], COIBuffer] = {}
+        self._host_now = 0.0
+        self._outstanding = 0
+        self._rng = random.Random(cfg.seed)
+        #: One-time init cost (COI process spawns); not charged to the
+        #: clock — the paper's measurements exclude initialization.
+        self.init_cost_s = self.coi.init_cost_s
+        #: Cumulative host-blocking allocation cost (the §VII bottleneck).
+        self.alloc_blocked_s = 0.0
+
+    # -- handles & events -----------------------------------------------------
+
+    def make_handle(self) -> Event:
+        return self.engine.event()
+
+    def event_done(self, event: HEvent) -> bool:
+        return event.handle.triggered
+
+    # -- provisioning -----------------------------------------------------------
+
+    def make_stream(self, stream) -> None:
+        self._pipelines[stream.id] = self.coi.pipeline(stream.domain, name=stream.name)
+
+    def on_stream_destroy(self, stream) -> None:
+        self._pipelines.pop(stream.id, None)
+
+    def make_instance(self, buf: Buffer, domain: int) -> None:
+        coi_buf, cost = self.coi.buffer_create(domain, buf.nbytes)
+        self._coi_bufs[(buf.uid, domain)] = coi_buf
+        if cost > 0:
+            self._host_now += cost  # synchronous card-side allocation
+            self.alloc_blocked_s += cost
+        buf.instances[domain] = None  # sim instances carry no data
+
+    def on_buffer_destroy(self, buf: Buffer) -> None:
+        for domain in list(buf.instances):
+            coi_buf = self._coi_bufs.pop((buf.uid, domain), None)
+            if coi_buf is not None:
+                self.coi.buffer_destroy(coi_buf)
+
+    def on_instance_evict(self, buf: Buffer, domain: int) -> None:
+        coi_buf = self._coi_bufs.pop((buf.uid, domain), None)
+        if coi_buf is not None:
+            self.coi.buffer_destroy(coi_buf)
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, action: Action) -> None:
+        self._outstanding += 1
+        delay = self._host_now - self.engine.now
+        if delay < 0:  # pragma: no cover - host clock never lags the engine
+            raise HStreamsInternalError("virtual host clock lagged the engine")
+        arrival = self.engine.timeout(delay)
+        dep_handles = [d.handle for d in action.deps]
+
+        def proc():
+            yield arrival
+            if dep_handles:
+                yield self.engine.all_of(dep_handles)
+            yield from self._execute(action)
+            assert action.completion is not None
+            action.completion.timestamp = self.engine.now
+            action.completion.handle.trigger()
+            self._outstanding -= 1
+
+        self.engine.process(proc(), name=action.display)
+
+    # -- execution --------------------------------------------------------------------
+
+    def _compute_duration(self, action: Action) -> float:
+        assert action.stream is not None
+        if action.cost is None:
+            raise HStreamsBadArgument(
+                f"compute {action.display!r} has no cost model; the sim "
+                "backend needs a cost or a registered cost_fn"
+            )
+        device = self.runtime.platform.device(action.stream.domain)
+        dur = time_on(device, action.cost, cores=action.stream.width)
+        cfg = self.runtime.config
+        if cfg.jitter > 0 and self._rng.random() < cfg.jitter_prob:
+            dur *= 1.0 + cfg.jitter * self._rng.random()
+        return dur + cfg.invoke_overhead_s
+
+    def _execute(self, action: Action):
+        cfg = self.runtime.config
+        assert action.stream is not None
+        stream = action.stream
+        if action.kind is ActionKind.COMPUTE:
+            duration = self._compute_duration(action)
+            start_holder = [0.0]
+
+            def on_start() -> None:
+                start_holder[0] = self.engine.now
+
+            yield self._pipelines[stream.id].run_function(
+                duration,
+                on_start=on_start,
+                gate=self._domain_cores[stream.domain],
+                gate_units=stream.width,
+            )
+            self.runtime.tracer.record(
+                stream.lane, start_holder[0], self.engine.now, action.display, "compute"
+            )
+        elif action.kind is ActionKind.XFER:
+            if stream.domain == 0:
+                return  # aliased host-as-target transfer: optimized away
+            yield self.engine.timeout(cfg.transfer_overhead_s)
+            src, dst = (
+                (0, stream.domain)
+                if action.direction is XferDirection.SRC_TO_SINK
+                else (stream.domain, 0)
+            )
+            start = self.engine.now
+            yield self.coi.dma(src, dst, action.nbytes)
+            lane = f"pcie:d{stream.domain}:" + (
+                "h2d" if action.direction is XferDirection.SRC_TO_SINK else "d2h"
+            )
+            self.runtime.tracer.record(
+                lane, start, self.engine.now, action.display, "transfer"
+            )
+        elif action.kind is ActionKind.SYNC:
+            yield self.engine.timeout(cfg.sync_overhead_s)
+        else:  # pragma: no cover - exhaustive over ActionKind
+            raise HStreamsInternalError(f"unknown action kind {action.kind}")
+
+    # -- waiting -----------------------------------------------------------------------
+
+    def wait_events(
+        self,
+        events: List[HEvent],
+        wait_all: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        handles = [e.handle for e in events]
+        target = (
+            self.engine.all_of(handles) if wait_all else self.engine.any_of(handles)
+        )
+        if timeout is not None:
+            self.engine.run(until=self._host_now + timeout)
+            if not target.triggered:
+                raise HStreamsTimedOut(
+                    f"virtual wait exceeded {timeout} s for {len(events)} event(s)"
+                )
+        else:
+            self.engine.run_until_event(target)
+        self._host_now = max(self._host_now, self.engine.now)
+
+    def wait_all(self) -> None:
+        self.engine.run()
+        if self._outstanding > 0:
+            raise HStreamsInternalError(
+                f"{self._outstanding} action(s) can never complete "
+                "(cross-stream wait deadlock?)"
+            )
+        self._host_now = max(self._host_now, self.engine.now)
+
+    def now(self) -> float:
+        return self._host_now
+
+    def advance_host(self, dt: float) -> None:
+        self._host_now += dt

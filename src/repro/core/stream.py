@@ -1,0 +1,64 @@
+"""Streams: FIFO task queues bound to a domain and CPU mask.
+
+A stream's *source* endpoint is where the application enqueues actions
+(the host); its *sink* endpoint is a set of computing resources — a domain
+plus a CPU mask — where the actions occur. Source and sink may be in the
+same domain ("host-as-target" streams) or different ones; the interface
+is identical either way, which is the uniformity the paper contrasts with
+OpenMP's separate host/device constructs.
+
+Streams are identified by plain integers, not opaque pointers (paper §IV,
+vs. CUDA).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.dependences import StreamWindow
+from repro.core.errors import HStreamsBadArgument
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """One logical stream. Create via :meth:`HStreams.stream_create`."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        domain: int,
+        cpu_mask: Tuple[int, ...],
+        strict_fifo: bool = False,
+        name: str = "",
+    ):
+        if not cpu_mask:
+            raise HStreamsBadArgument("a stream needs at least one CPU in its mask")
+        if len(set(cpu_mask)) != len(cpu_mask):
+            raise HStreamsBadArgument(f"duplicate CPUs in mask {cpu_mask}")
+        self.id = stream_id
+        self.domain = domain
+        self.cpu_mask = tuple(cpu_mask)
+        self.strict_fifo = strict_fifo
+        self.name = name or f"s{stream_id}"
+        self.window = StreamWindow(strict_fifo=strict_fifo)
+        #: Set by the runtime: whether the sink is the source domain, in
+        #: which case transfers are aliased away (paper §V).
+        self.host_as_target = domain == 0
+
+    @property
+    def width(self) -> int:
+        """Number of cores the sink owns; tasks expand across all of them."""
+        return len(self.cpu_mask)
+
+    @property
+    def lane(self) -> str:
+        """Trace lane name."""
+        return f"d{self.domain}:{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "strict" if self.strict_fifo else "ooo"
+        return (
+            f"<Stream {self.id} {self.name!r} domain={self.domain} "
+            f"width={self.width} {kind}>"
+        )

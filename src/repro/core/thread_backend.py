@@ -1,0 +1,250 @@
+"""Thread backend: real execution of hStreams actions.
+
+This backend makes the runtime a genuinely usable library: registered
+Python kernels execute on worker threads with operand arguments resolved
+to numpy views in the sink domain's address space, and transfers really
+copy bytes between per-domain instances.
+
+Mapping of the paper's resources:
+
+* each stream's compute slot is one single-worker executor — compute
+  tasks in a stream serialize (the sink's cores run one task at a time)
+  but may start in *readiness* order, i.e. out of FIFO order when
+  operands don't conflict;
+* transfers run on a separate DMA-like worker pool, so they overlap with
+  compute exactly as PCIe DMA engines do;
+* per-domain address spaces are separate numpy allocations; the host
+  instance of a wrapped array is the caller's own memory (zero-copy), so
+  host-as-target transfers alias away.
+
+Kernel exceptions do not deadlock the runtime: the failing action still
+completes, and the first error re-raises on the next synchronization.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.actions import Action, ActionKind, Operand, XferDirection
+from repro.core.backend import Backend
+from repro.core.buffer import Buffer
+from repro.core.errors import HStreamsInternalError, HStreamsTimedOut
+from repro.core.events import HEvent
+
+__all__ = ["ThreadBackend"]
+
+_ANY_POLL_S = 5e-5  # poll period for wait-any
+
+
+class _Handle:
+    """Completion handle: a threading.Event plus dependent bookkeeping."""
+
+    __slots__ = ("event", "dependents")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.dependents: List[Action] = []
+
+
+class ThreadBackend(Backend):
+    """Real-execution backend on worker threads."""
+
+    def __init__(self, xfer_workers: int = 4):
+        if xfer_workers < 1:
+            raise ValueError("need at least one transfer worker")
+        self._xfer_workers = xfer_workers
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self, runtime) -> None:
+        self.runtime = runtime
+        self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._pending = 0
+        self._stream_pools: Dict[int, ThreadPoolExecutor] = {}
+        self._xfer_pool = ThreadPoolExecutor(
+            max_workers=self._xfer_workers, thread_name_prefix="hstr-xfer"
+        )
+        self._t0 = time.perf_counter()
+        self._error: Optional[BaseException] = None
+
+    def close(self) -> None:
+        for pool in self._stream_pools.values():
+            pool.shutdown(wait=True)
+        self._xfer_pool.shutdown(wait=True)
+
+    # -- handles & events --------------------------------------------------------
+
+    def make_handle(self) -> _Handle:
+        return _Handle()
+
+    def event_done(self, event: HEvent) -> bool:
+        return event.handle.event.is_set()
+
+    # -- provisioning --------------------------------------------------------------
+
+    def make_stream(self, stream) -> None:
+        self._stream_pools[stream.id] = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"hstr-{stream.name}"
+        )
+
+    def on_stream_destroy(self, stream) -> None:
+        pool = self._stream_pools.pop(stream.id, None)
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def make_instance(self, buf: Buffer, domain: int) -> None:
+        if domain == 0 and buf.host_array is not None:
+            inst = buf.host_array.view(np.uint8).reshape(-1)
+        else:
+            inst = np.zeros(buf.nbytes, dtype=np.uint8)
+        buf.instances[domain] = inst
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(self, action: Action) -> None:
+        ready = False
+        with self._lock:
+            self._pending += 1
+            remaining = 0
+            for dep in action.deps:
+                handle: _Handle = dep.handle
+                if not handle.event.is_set():
+                    handle.dependents.append(action)
+                    remaining += 1
+            action._remaining_deps = remaining  # type: ignore[attr-defined]
+            ready = remaining == 0
+        if ready:
+            self._dispatch(action)
+
+    def _dispatch(self, action: Action) -> None:
+        assert action.stream is not None
+        if action.kind is ActionKind.XFER:
+            self._xfer_pool.submit(self._run, action)
+        else:
+            self._stream_pools[action.stream.id].submit(self._run, action)
+
+    def _run(self, action: Action) -> None:
+        start = time.perf_counter() - self._t0
+        try:
+            self._execute(action)
+        except BaseException as exc:  # noqa: BLE001 - surfaced at next sync
+            with self._lock:
+                if self._error is None:
+                    self._error = exc
+        end = time.perf_counter() - self._t0
+        assert action.stream is not None
+        lane = (
+            f"xfer:d{action.stream.domain}"
+            if action.kind is ActionKind.XFER
+            else action.stream.lane
+        )
+        kind = {
+            ActionKind.COMPUTE: "compute",
+            ActionKind.XFER: "transfer",
+            ActionKind.SYNC: "sync",
+        }[action.kind]
+        self.runtime.tracer.record(lane, start, end, action.display, kind=kind)
+        self._complete(action, end)
+
+    def _complete(self, action: Action, when: float) -> None:
+        ready: List[Action] = []
+        with self._lock:
+            assert action.completion is not None
+            action.completion.timestamp = when
+            handle: _Handle = action.completion.handle
+            handle.event.set()
+            for dependent in handle.dependents:
+                dependent._remaining_deps -= 1  # type: ignore[attr-defined]
+                if dependent._remaining_deps == 0:  # type: ignore[attr-defined]
+                    ready.append(dependent)
+            handle.dependents.clear()
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.notify_all()
+        for nxt in ready:
+            self._dispatch(nxt)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _resolve(self, action: Action, item: Any) -> Any:
+        assert action.stream is not None
+        domain = action.stream.domain
+        if isinstance(item, Operand):
+            return item.buffer.view(
+                domain,
+                item.offset,
+                item.nbytes,
+                dtype=item.dtype if item.dtype is not None else np.float64,
+                shape=item.shape,
+            )
+        if isinstance(item, Buffer):
+            return item.instance_array(domain)
+        return item
+
+    def _execute(self, action: Action) -> None:
+        if action.kind is ActionKind.COMPUTE:
+            spec = self.runtime.kernel(action.kernel)
+            if spec.fn is None:
+                raise HStreamsInternalError(
+                    f"kernel {action.kernel!r} has no callable for the thread backend"
+                )
+            args = [self._resolve(action, a) for a in action.args]
+            spec.fn(*args)
+        elif action.kind is ActionKind.XFER:
+            op = action.operands[0]
+            sink = action.stream.domain  # type: ignore[union-attr]
+            if sink == 0:
+                return  # host-as-target: source and sink instances alias
+            src_dom, dst_dom = (
+                (0, sink)
+                if action.direction is XferDirection.SRC_TO_SINK
+                else (sink, 0)
+            )
+            src = op.buffer.instance_array(src_dom)[op.offset : op.end]
+            dst = op.buffer.instance_array(dst_dom)[op.offset : op.end]
+            np.copyto(dst, src)
+        # SYNC: dependences were already waited on before dispatch.
+
+    # -- waiting --------------------------------------------------------------------------
+
+    def _raise_pending_error(self) -> None:
+        with self._lock:
+            err, self._error = self._error, None
+        if err is not None:
+            raise err
+
+    def wait_events(
+        self,
+        events: List[HEvent],
+        wait_all: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if wait_all:
+            for ev in events:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if not ev.handle.event.wait(remaining):
+                    raise HStreamsTimedOut(
+                        f"timed out waiting for {len(events)} event(s)"
+                    )
+        else:
+            while events and not any(ev.handle.event.is_set() for ev in events):
+                if deadline is not None and time.monotonic() > deadline:
+                    raise HStreamsTimedOut("timed out in wait-any")
+                time.sleep(_ANY_POLL_S)
+        self._raise_pending_error()
+
+    def wait_all(self) -> None:
+        with self._idle:
+            while self._pending > 0:
+                self._idle.wait()
+        self._raise_pending_error()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._t0

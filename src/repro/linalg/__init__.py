@@ -1,0 +1,42 @@
+"""Tiled dense linear algebra over hStreams (paper §V/§VI).
+
+* :mod:`repro.linalg.tiling` — square-tile decomposition utilities.
+* :mod:`repro.linalg.host_blas` — the BLAS/LAPACK tile kernels: real
+  numpy implementations for the thread backend plus calibrated cost
+  models for the sim backend, registered under one name each.
+* :mod:`repro.linalg.dataflow` — cross-stream dependence plumbing
+  (producer events + scoped ``event_stream_wait`` insertion).
+* :mod:`repro.linalg.matmul` — the Fig. 4 hetero matrix multiply: A
+  broadcast, B column panels, C panels per domain, optional load
+  balancing.
+* :mod:`repro.linalg.cholesky` — the Fig. 5 hetero tiled Cholesky:
+  DPOTRF/DTRSM on the host, DSYRK/DGEMM round-robin'd over tile-rows.
+* :mod:`repro.linalg.lu` — tiled block LU in the same mold.
+* :mod:`repro.linalg.magma_like` — MAGMA-style hybrid Cholesky (panel on
+  host, updates on the card).
+* :mod:`repro.linalg.mkl_ao` — MKL Automatic-Offload-style Cholesky
+  (per-call host/card work splitting, synchronous per BLAS call).
+"""
+
+from repro.linalg.cholesky import CholeskyResult, hetero_cholesky
+from repro.linalg.dataflow import FlowContext
+from repro.linalg.host_blas import register_blas
+from repro.linalg.lu import LUResult, hetero_lu
+from repro.linalg.magma_like import magma_cholesky
+from repro.linalg.matmul import MatmulResult, hetero_matmul
+from repro.linalg.mkl_ao import mkl_ao_cholesky
+from repro.linalg.tiling import TileGrid
+
+__all__ = [
+    "CholeskyResult",
+    "hetero_cholesky",
+    "FlowContext",
+    "register_blas",
+    "LUResult",
+    "hetero_lu",
+    "magma_cholesky",
+    "MatmulResult",
+    "hetero_matmul",
+    "mkl_ao_cholesky",
+    "TileGrid",
+]

@@ -1,0 +1,214 @@
+"""Hetero tiled Cholesky factorization — the paper's Fig. 5 algorithm.
+
+The input matrix is divided into square tiles (lower triangle). Per
+iteration ``k`` of the tiled right-looking algorithm:
+
+* **DPOTRF** of the diagonal tile runs on the host, in a machine-wide
+  host-as-target stream;
+* **DTRSM**s of column ``k`` run on the host (its streams), and their
+  results are **broadcast to all cards**;
+* **DSYRK/DGEMM** trailing updates are distributed by tile-row: each
+  tile-row is assigned to the host or one of the cards round-robin, and
+  each update round-robins across the owner's streams. No card-to-card
+  transfers are needed — each card interacts only with the host;
+* the updated tiles of **column ``k+1`` are sent home** from the cards,
+  so the next iteration's panel work finds them on the host.
+
+Transfers enqueued in host streams are aliased and optimized away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.actions import OperandMode
+from repro.core.buffer import Buffer
+from repro.core.runtime import HStreams
+from repro.core.stream import Stream
+from repro.linalg.dataflow import FlowContext
+from repro.linalg.host_blas import register_blas
+from repro.linalg.tiling import TileGrid, join_tiles, split_tiles
+
+__all__ = ["CholeskyResult", "hetero_cholesky"]
+
+
+@dataclass
+class CholeskyResult:
+    """Outcome of one hetero Cholesky run."""
+
+    n: int
+    tile: int
+    elapsed_s: float
+    gflops: float  # n^3/3 flops convention
+    row_owner: List[int]
+    L: Optional[np.ndarray] = None  # thread backend only
+
+
+def hetero_cholesky(
+    hs: HStreams,
+    n: int,
+    tile: Optional[int] = None,
+    data: Optional[np.ndarray] = None,
+    use_host: bool = True,
+    streams_per_domain: int = 4,
+    host_streams: int = 3,
+) -> CholeskyResult:
+    """Factor an SPD matrix over the host plus all cards.
+
+    ``use_host=False`` reproduces the "1 KNC (offload)" configuration:
+    panel operations stay on the host (as in the single-card reference
+    code) but all trailing updates go to the cards.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    tile = tile if tile is not None else max(n // 10, 1)
+    grid = TileGrid(n, tile)
+    T = grid.ntiles
+    register_blas(hs)
+    flow = FlowContext(hs)
+
+    # -- streams -----------------------------------------------------------------
+    host_cores = hs.domain(0).device.total_cores
+    wide = hs.stream_create(domain=0, cpu_mask=range(host_cores), name="host-wide")
+    h_streams = [
+        hs.stream_create(
+            domain=0,
+            cpu_mask=range(
+                i * (host_cores // host_streams), (i + 1) * (host_cores // host_streams)
+            ),
+            name=f"host{i}",
+        )
+        for i in range(host_streams)
+    ]
+    card_streams: Dict[int, List[Stream]] = {}
+    for dom in hs.card_domains:
+        total = dom.device.total_cores
+        nstr = min(streams_per_domain, total)
+        width = total // nstr
+        card_streams[dom.index] = [
+            hs.stream_create(domain=dom.index, ncores=width) for _ in range(nstr)
+        ]
+
+    # -- tile-row ownership ----------------------------------------------------------
+    owners_pool = ([0] if use_host else []) + [d.index for d in hs.card_domains]
+    if not owners_pool:
+        owners_pool = [0]
+    row_owner = [owners_pool[i % len(owners_pool)] for i in range(T)]
+
+    def update_stream(domain: int, i: int, j: int) -> Stream:
+        if domain == 0:
+            return h_streams[(i + j) % len(h_streams)]
+        pool = card_streams[domain]
+        return pool[(i + j) % len(pool)]
+
+    # -- buffers -----------------------------------------------------------------------
+    a_tiles = None
+    if data is not None:
+        if data.shape != (n, n):
+            raise ValueError("data must be n x n")
+        a_tiles = split_tiles(np.asarray(data, dtype=np.float64), tile)
+    bufs: List[List[Optional[Buffer]]] = [[None] * T for _ in range(T)]
+    t0 = hs.elapsed()
+    for i in range(T):
+        for j in range(i + 1):
+            if a_tiles is not None:
+                bufs[i][j] = hs.wrap(a_tiles[i][j], name=f"L{i}_{j}")
+            else:
+                bufs[i][j] = hs.buffer_create(
+                    nbytes=grid.tile_nbytes(i, j), name=f"L{i}_{j}"
+                )
+            flow.mark_resident(bufs[i][j], 0)
+
+    # -- the factorization schedule -------------------------------------------------------
+    for k in range(T):
+        bk = grid.tile_rows(k)
+        # 1. Panel factorization on the machine-wide host stream.
+        flow.compute(
+            wide,
+            "dpotrf",
+            args=(bufs[k][k].tensor((bk, bk), mode=OperandMode.INOUT),),
+            reads=(),
+            writes=(bufs[k][k],),
+            label=f"potrf{k}",
+        )
+        # 2. Column solves on the host; results broadcast to all cards.
+        for i in range(k + 1, T):
+            bi = grid.tile_rows(i)
+            s = h_streams[i % len(h_streams)]
+            flow.compute(
+                s,
+                "dtrsm",
+                args=(
+                    bufs[i][k].tensor((bi, bk), mode=OperandMode.INOUT),
+                    bufs[k][k].tensor((bk, bk), mode=OperandMode.IN),
+                ),
+                reads=(bufs[k][k],),
+                writes=(bufs[i][k],),
+                label=f"trsm{i}.{k}",
+            )
+            for dom, pool in card_streams.items():
+                flow.send(pool[i % len(pool)], bufs[i][k], label=f"bcast L{i}_{k}")
+        # 3. Trailing updates, distributed by tile-row.
+        for i in range(k + 1, T):
+            dom = row_owner[i]
+            bi = grid.tile_rows(i)
+            for j in range(k + 1, i + 1):
+                bj = grid.tile_rows(j)
+                s = update_stream(dom, i, j)
+                flow.send(s, bufs[i][k])
+                flow.send(s, bufs[i][j])
+                if j == i:
+                    flow.compute(
+                        s,
+                        "dsyrk",
+                        args=(
+                            bufs[i][i].tensor((bi, bi), mode=OperandMode.INOUT),
+                            bufs[i][k].tensor((bi, bk), mode=OperandMode.IN),
+                        ),
+                        reads=(bufs[i][k],),
+                        writes=(bufs[i][i],),
+                        label=f"syrk{i}.{k}",
+                    )
+                else:
+                    flow.send(s, bufs[j][k])
+                    flow.compute(
+                        s,
+                        "dgemm",
+                        args=(
+                            bufs[i][j].tensor((bi, bj), mode=OperandMode.INOUT),
+                            bufs[i][k].tensor((bi, bk), mode=OperandMode.IN),
+                            bufs[j][k].tensor((bj, bk), mode=OperandMode.IN),
+                            -1.0,
+                            True,  # transb: A[j][k]^T
+                        ),
+                        reads=(bufs[i][k], bufs[j][k]),
+                        writes=(bufs[i][j],),
+                        label=f"gemm{i}{j}.{k}",
+                    )
+            # 4. The next panel column comes home for iteration k+1.
+            if k + 1 < T and i >= k + 1:
+                dom_i = row_owner[i]
+                if dom_i != 0:
+                    s = update_stream(dom_i, i, k + 1)
+                    flow.retrieve(s, bufs[i][k + 1], label=f"home L{i}_{k + 1}")
+
+    hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+    gflops = (n**3 / 3.0) / elapsed / 1e9 if elapsed > 0 else float("inf")
+
+    L = None
+    if a_tiles is not None:
+        full = [
+            [
+                a_tiles[i][j] if j <= i else np.zeros(grid.tile_shape(i, j))
+                for j in range(T)
+            ]
+            for i in range(T)
+        ]
+        L = np.tril(join_tiles(full))
+    return CholeskyResult(
+        n=n, tile=tile, elapsed_s=elapsed, gflops=gflops, row_owner=row_owner, L=L
+    )

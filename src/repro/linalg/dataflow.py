@@ -1,0 +1,140 @@
+"""Cross-stream dependence plumbing for tiled algorithms.
+
+Within a stream, hStreams' FIFO + operand semantics track dependences
+implicitly. *Across* streams, the application must insert explicit
+synchronization actions (paper §II). :class:`FlowContext` automates the
+pattern every tiled code needs:
+
+* remember which action last produced each buffer and in which stream;
+* before a consumer runs in a *different* stream, insert one scoped
+  ``event_stream_wait`` (deduplicated per consumer stream and producer
+  event) so only actions touching that buffer are ordered behind it.
+
+It also tracks per-domain tile residency so broadcast/send helpers skip
+transfers for data already in place (and host-as-target streams keep
+their aliasing optimization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.actions import XferDirection
+from repro.core.buffer import Buffer
+from repro.core.events import HEvent
+from repro.core.runtime import HStreams
+from repro.core.stream import Stream
+from repro.sim.kernels import KernelCost
+
+__all__ = ["FlowContext"]
+
+
+class FlowContext:
+    """Dependence and residency tracker over one runtime."""
+
+    def __init__(self, hs: HStreams):
+        self.hs = hs
+        #: buffer uid -> (producing event, producing stream id)
+        self._producer: Dict[int, Tuple[HEvent, int]] = {}
+        #: sync actions already inserted: (consumer stream id, producer event id)
+        self._synced: Set[Tuple[int, int]] = set()
+        #: (buffer uid, domain) pairs with a valid tile copy
+        self._resident: Set[Tuple[int, int]] = set()
+        self.sync_count = 0
+
+    # -- residency -----------------------------------------------------------
+
+    def mark_resident(self, buf: Buffer, domain: int) -> None:
+        """Record that ``buf`` holds valid data in ``domain``."""
+        self._resident.add((buf.uid, domain))
+
+    def is_resident(self, buf: Buffer, domain: int) -> bool:
+        """Whether ``buf`` holds valid data in ``domain``."""
+        return (buf.uid, domain) in self._resident
+
+    # -- dependences ------------------------------------------------------------
+
+    def require(self, stream: Stream, *bufs: Buffer) -> None:
+        """Order ``stream`` behind the producers of ``bufs`` (scoped).
+
+        No action is inserted for same-stream producers (FIFO covers
+        them) or producers already synced into this stream.
+        """
+        pending: Dict[int, Tuple[HEvent, Buffer]] = {}
+        for buf in bufs:
+            prod = self._producer.get(buf.uid)
+            if prod is None:
+                continue
+            ev, sid = prod
+            if sid == stream.id or ev.is_complete():
+                continue
+            key = (stream.id, id(ev))
+            if key in self._synced:
+                continue
+            self._synced.add(key)
+            pending[id(ev)] = (ev, buf)
+        if pending:
+            self.sync_count += 1
+            self.hs.event_stream_wait(
+                stream,
+                [ev for ev, _ in pending.values()],
+                operands=[buf.all_inout() for _, buf in pending.values()],
+            )
+
+    def produced(self, buf: Buffer, ev: HEvent, stream: Stream) -> None:
+        """Record ``ev`` (in ``stream``) as the latest producer of ``buf``."""
+        self._producer[buf.uid] = (ev, stream.id)
+
+    # -- wrapped enqueues ------------------------------------------------------------
+
+    def compute(
+        self,
+        stream: Stream,
+        kernel: str,
+        args,
+        reads: Tuple[Buffer, ...] = (),
+        writes: Tuple[Buffer, ...] = (),
+        cost: Optional[KernelCost] = None,
+        label: str = "",
+    ) -> HEvent:
+        """Enqueue a compute with cross-stream deps handled.
+
+        ``reads``/``writes`` list the buffers behind the operand args (at
+        whole-buffer granularity) for producer tracking.
+        """
+        self.require(stream, *reads, *writes)
+        ev = self.hs.enqueue_compute(stream, kernel, args=args, cost=cost, label=label)
+        for buf in writes:
+            self.produced(buf, ev, stream)
+            # A write at the sink invalidates other domains' copies.
+            self._resident = {
+                (uid, dom) for uid, dom in self._resident if uid != buf.uid
+            }
+            self.mark_resident(buf, stream.domain)
+        return ev
+
+    def send(self, stream: Stream, buf: Buffer, label: str = "") -> Optional[HEvent]:
+        """Move ``buf``'s host copy to ``stream``'s domain (if needed)."""
+        self.require(stream, buf)
+        if stream.domain == 0 or self.is_resident(buf, stream.domain):
+            self.mark_resident(buf, stream.domain)
+            return None
+        ev = self.hs.enqueue_xfer(
+            stream, buf, XferDirection.SRC_TO_SINK, label=label or f"to({buf.name})"
+        )
+        self.produced(buf, ev, stream)
+        self.mark_resident(buf, stream.domain)
+        return ev
+
+    def retrieve(self, stream: Stream, buf: Buffer, label: str = "") -> Optional[HEvent]:
+        """Move ``buf``'s sink copy back to the host (if needed)."""
+        self.require(stream, buf)
+        if stream.domain == 0 or self.is_resident(buf, 0):
+            self.mark_resident(buf, 0)
+            return None
+        ev = self.hs.enqueue_xfer(
+            stream, buf, XferDirection.SINK_TO_SRC, label=label or f"from({buf.name})"
+        )
+        self.produced(buf, ev, stream)
+        self.mark_resident(buf, 0)
+        return ev

@@ -1,0 +1,145 @@
+"""Tile BLAS/LAPACK kernels: real numpy bodies + calibrated cost models.
+
+Each kernel is registered under one name with both a callable (thread
+backend; operand arguments arrive as typed numpy views in the sink
+domain) and a cost function (sim backend; operand arguments arrive as
+:class:`~repro.core.actions.Operand` values whose ``shape`` carries the
+dimensions). The same application code therefore runs functionally or in
+virtual time — this module stands in for MKL in the paper's stack.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.core.runtime import HStreams
+from repro.sim import kernels as K
+
+__all__ = [
+    "k_dgemm",
+    "k_dsyrk",
+    "k_dpotrf",
+    "k_dtrsm",
+    "k_dgetrf",
+    "k_dlaswp_trsm",
+    "register_blas",
+]
+
+
+def _shape(x) -> Tuple[int, ...]:
+    """Dimensions of a kernel argument: numpy view or shaped Operand."""
+    shape = getattr(x, "shape", None)
+    if shape is None:
+        raise ValueError(f"argument {x!r} carries no shape")
+    return tuple(shape)
+
+
+# -- kernel bodies (thread backend) -------------------------------------------
+
+
+def k_dgemm(C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float = 1.0,
+            transb: bool = False) -> None:
+    """C += alpha * A @ op(B), in place."""
+    rhs = B.T if transb else B
+    C += alpha * (A @ rhs)
+
+
+def k_dsyrk(C: np.ndarray, A: np.ndarray, alpha: float = -1.0) -> None:
+    """C += alpha * A @ A^T, in place (full update)."""
+    C += alpha * (A @ A.T)
+
+
+def k_dpotrf(A: np.ndarray) -> None:
+    """A := lower Cholesky factor of A, in place."""
+    A[:] = np.linalg.cholesky(A)
+
+
+def k_dtrsm(B: np.ndarray, L: np.ndarray) -> None:
+    """B := B @ L^{-T} for lower-triangular L, in place.
+
+    This is the Cholesky column solve: A[i][k] = A[i][k] L[k][k]^{-T}.
+    """
+    B[:] = solve_triangular(L, B.T, lower=True).T
+
+
+def k_dgetrf(A: np.ndarray) -> None:
+    """A := combined L\\U factors (no pivoting), in place.
+
+    Intended for tiles of diagonally dominant matrices, where pivoting is
+    not required for stability; cross-tile pivoting is out of scope for
+    the block-LU reference code, as in the paper's source [32].
+    """
+    n = A.shape[0]
+    for k in range(n - 1):
+        pivot = A[k, k]
+        if pivot == 0.0:
+            raise ZeroDivisionError("zero pivot in non-pivoting LU")
+        A[k + 1 :, k] /= pivot
+        A[k + 1 :, k + 1 :] -= np.outer(A[k + 1 :, k], A[k, k + 1 :])
+
+
+def k_dlaswp_trsm(B: np.ndarray, LU: np.ndarray, side: str = "left") -> None:
+    """Block-LU triangular solves against a factored diagonal tile.
+
+    ``side="left"``: B := L^{-1} B (unit lower). ``side="right"``:
+    B := B U^{-1} (upper).
+    """
+    if side == "left":
+        B[:] = solve_triangular(LU, B, lower=True, unit_diagonal=True)
+    elif side == "right":
+        B[:] = solve_triangular(LU.T, B.T, lower=True).T
+    else:
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+
+
+# -- cost models (sim backend) ---------------------------------------------------
+
+
+def cost_dgemm(C, A, B, alpha: float = 1.0, transb: bool = False) -> K.KernelCost:
+    """Cost of C += alpha A op(B)."""
+    m, n = _shape(C)
+    k = _shape(A)[1]
+    return K.dgemm(m, n, k)
+
+
+def cost_dsyrk(C, A, alpha: float = -1.0) -> K.KernelCost:
+    """Cost of the rank-k update."""
+    n = _shape(C)[0]
+    k = _shape(A)[1]
+    return K.dsyrk(n, k)
+
+
+def cost_dpotrf(A) -> K.KernelCost:
+    """Cost of the tile Cholesky."""
+    return K.dpotrf(_shape(A)[0])
+
+
+def cost_dtrsm(B, L) -> K.KernelCost:
+    """Cost of the column solve."""
+    m, n = _shape(B)
+    return K.dtrsm(m, n)
+
+
+def cost_dgetrf(A) -> K.KernelCost:
+    """Cost of the tile LU."""
+    n = _shape(A)[0]
+    return K.dgetrf(n, n)
+
+
+def cost_dlaswp_trsm(B, LU, side: str = "left") -> K.KernelCost:
+    """Cost of a block-LU triangular solve."""
+    m, n = _shape(B)
+    return K.dtrsm(m, n)
+
+
+def register_blas(hs: HStreams) -> None:
+    """Register the full tile-kernel set on a runtime (either backend)."""
+    hs.register_kernel("dgemm", fn=k_dgemm, cost_fn=cost_dgemm)
+    hs.register_kernel("dsyrk", fn=k_dsyrk, cost_fn=cost_dsyrk)
+    hs.register_kernel("dpotrf", fn=k_dpotrf, cost_fn=cost_dpotrf)
+    hs.register_kernel("dtrsm", fn=k_dtrsm, cost_fn=cost_dtrsm)
+    hs.register_kernel("dgetrf", fn=k_dgetrf, cost_fn=cost_dgetrf)
+    hs.register_kernel("dlaswp_trsm", fn=k_dlaswp_trsm, cost_fn=cost_dlaswp_trsm)

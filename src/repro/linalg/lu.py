@@ -1,0 +1,188 @@
+"""Hetero tiled block LU factorization (no cross-tile pivoting).
+
+Follows the same distribution pattern as the Fig. 5 Cholesky: the panel
+factorization (DGETRF of the diagonal tile) and the row/column triangular
+solves run on the host; trailing DGEMM updates are distributed across the
+host and cards by tile-row; the next panel column and row come home each
+iteration. Intended for diagonally dominant matrices, where pivoting is
+confined to tiles (the paper's reference source [32] treats LU alongside
+matmul and Cholesky, noting DGETRF runs better on the host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.actions import OperandMode
+from repro.core.buffer import Buffer
+from repro.core.runtime import HStreams
+from repro.core.stream import Stream
+from repro.linalg.dataflow import FlowContext
+from repro.linalg.host_blas import register_blas
+from repro.linalg.tiling import TileGrid, join_tiles, split_tiles
+
+__all__ = ["LUResult", "hetero_lu"]
+
+
+@dataclass
+class LUResult:
+    """Outcome of one hetero LU run."""
+
+    n: int
+    tile: int
+    elapsed_s: float
+    gflops: float  # 2 n^3 / 3 flops convention
+    LU: Optional[np.ndarray] = None  # thread backend only
+
+
+def hetero_lu(
+    hs: HStreams,
+    n: int,
+    tile: Optional[int] = None,
+    data: Optional[np.ndarray] = None,
+    use_host: bool = True,
+    streams_per_domain: int = 4,
+    host_streams: int = 3,
+) -> LUResult:
+    """Factor A = L U over the host plus all cards."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    tile = tile if tile is not None else max(n // 10, 1)
+    grid = TileGrid(n, tile)
+    T = grid.ntiles
+    register_blas(hs)
+    flow = FlowContext(hs)
+
+    host_cores = hs.domain(0).device.total_cores
+    wide = hs.stream_create(domain=0, cpu_mask=range(host_cores), name="host-wide")
+    h_streams = [
+        hs.stream_create(
+            domain=0,
+            cpu_mask=range(
+                i * (host_cores // host_streams), (i + 1) * (host_cores // host_streams)
+            ),
+            name=f"host{i}",
+        )
+        for i in range(host_streams)
+    ]
+    card_streams: Dict[int, List[Stream]] = {}
+    for dom in hs.card_domains:
+        total = dom.device.total_cores
+        nstr = min(streams_per_domain, total)
+        card_streams[dom.index] = [
+            hs.stream_create(domain=dom.index, ncores=total // nstr)
+            for _ in range(nstr)
+        ]
+    owners_pool = ([0] if use_host else []) + [d.index for d in hs.card_domains]
+    if not owners_pool:
+        owners_pool = [0]
+    row_owner = [owners_pool[i % len(owners_pool)] for i in range(T)]
+
+    def update_stream(domain: int, i: int, j: int) -> Stream:
+        if domain == 0:
+            return h_streams[(i + j) % len(h_streams)]
+        pool = card_streams[domain]
+        return pool[(i + j) % len(pool)]
+
+    a_tiles = None
+    if data is not None:
+        if data.shape != (n, n):
+            raise ValueError("data must be n x n")
+        a_tiles = split_tiles(np.asarray(data, dtype=np.float64), tile)
+    bufs: List[List[Buffer]] = [[None] * T for _ in range(T)]  # type: ignore[list-item]
+    t0 = hs.elapsed()
+    for i in range(T):
+        for j in range(T):
+            if a_tiles is not None:
+                bufs[i][j] = hs.wrap(a_tiles[i][j], name=f"LU{i}_{j}")
+            else:
+                bufs[i][j] = hs.buffer_create(
+                    nbytes=grid.tile_nbytes(i, j), name=f"LU{i}_{j}"
+                )
+            flow.mark_resident(bufs[i][j], 0)
+
+    for k in range(T):
+        bk = grid.tile_rows(k)
+        flow.compute(
+            wide,
+            "dgetrf",
+            args=(bufs[k][k].tensor((bk, bk), mode=OperandMode.INOUT),),
+            reads=(),
+            writes=(bufs[k][k],),
+            label=f"getrf{k}",
+        )
+        # Column of L: A[i][k] := A[i][k] U^{-1}; row of U: A[k][j] := L^{-1} A[k][j].
+        for i in range(k + 1, T):
+            bi = grid.tile_rows(i)
+            s = h_streams[i % len(h_streams)]
+            flow.compute(
+                s,
+                "dlaswp_trsm",
+                args=(
+                    bufs[i][k].tensor((bi, bk), mode=OperandMode.INOUT),
+                    bufs[k][k].tensor((bk, bk), mode=OperandMode.IN),
+                    "right",
+                ),
+                reads=(bufs[k][k],),
+                writes=(bufs[i][k],),
+                label=f"trsmR{i}.{k}",
+            )
+            for dom, pool in card_streams.items():
+                flow.send(pool[i % len(pool)], bufs[i][k], label=f"bcast L{i}_{k}")
+        for j in range(k + 1, T):
+            bj = grid.tile_cols(j)
+            s = h_streams[j % len(h_streams)]
+            flow.compute(
+                s,
+                "dlaswp_trsm",
+                args=(
+                    bufs[k][j].tensor((bk, bj), mode=OperandMode.INOUT),
+                    bufs[k][k].tensor((bk, bk), mode=OperandMode.IN),
+                    "left",
+                ),
+                reads=(bufs[k][k],),
+                writes=(bufs[k][j],),
+                label=f"trsmL{k}.{j}",
+            )
+            for dom, pool in card_streams.items():
+                flow.send(pool[j % len(pool)], bufs[k][j], label=f"bcast U{k}_{j}")
+        # Trailing updates A[i][j] -= A[i][k] A[k][j], by tile-row.
+        for i in range(k + 1, T):
+            dom = row_owner[i]
+            bi = grid.tile_rows(i)
+            for j in range(k + 1, T):
+                bj = grid.tile_cols(j)
+                s = update_stream(dom, i, j)
+                flow.send(s, bufs[i][k])
+                flow.send(s, bufs[k][j])
+                flow.send(s, bufs[i][j])
+                flow.compute(
+                    s,
+                    "dgemm",
+                    args=(
+                        bufs[i][j].tensor((bi, bj), mode=OperandMode.INOUT),
+                        bufs[i][k].tensor((bi, bk), mode=OperandMode.IN),
+                        bufs[k][j].tensor((bk, bj), mode=OperandMode.IN),
+                        -1.0,
+                    ),
+                    reads=(bufs[i][k], bufs[k][j]),
+                    writes=(bufs[i][j],),
+                    label=f"gemm{i}{j}.{k}",
+                )
+            # Next panel column and row come home.
+            if k + 1 < T and row_owner[i] != 0:
+                s = update_stream(row_owner[i], i, k + 1)
+                flow.retrieve(s, bufs[i][k + 1], label=f"home LU{i}_{k + 1}")
+        if k + 1 < T and row_owner[k + 1] != 0:
+            for j in range(k + 2, T):
+                s = update_stream(row_owner[k + 1], k + 1, j)
+                flow.retrieve(s, bufs[k + 1][j], label=f"home LU{k + 1}_{j}")
+
+    hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+    gflops = (2.0 * n**3 / 3.0) / elapsed / 1e9 if elapsed > 0 else float("inf")
+    LU = join_tiles(a_tiles) if a_tiles is not None else None
+    return LUResult(n=n, tile=tile, elapsed_s=elapsed, gflops=gflops, LU=LU)

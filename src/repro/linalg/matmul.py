@@ -1,0 +1,173 @@
+"""Hetero tiled matrix multiply — the paper's Fig. 4 algorithm.
+
+Matrices A, B, C are divided into square tiles. Matrix **A is broadcast**,
+one tile at a time, to the host (host-as-target streams) and all cards.
+**B is partitioned into column panels**; each panel's tiles go only to
+the domain that owns the panel. **C panels are assigned to a unique
+domain** responsible for their update; panel updates are independent, so
+no card-to-card communication ever occurs. Transfers to the host are
+optimized away. Computation on a panel starts as soon as a few tiles
+arrive — tiling plus multiple streams hides transfer latency, unlike the
+traditional offload approach that waits for whole matrices.
+
+Load balancing (Fig. 6): with ``load_balance=True``, panel columns are
+assigned proportionally to each domain's measured DGEMM rate; otherwise
+naively in equal shares (the paper's 1.58x gap on IVB + 2 KNC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.actions import OperandMode
+from repro.core.buffer import Buffer
+from repro.core.runtime import HStreams
+from repro.core.stream import Stream
+from repro.linalg.dataflow import FlowContext
+from repro.linalg.host_blas import register_blas
+from repro.linalg.tiling import TileGrid, join_tiles, split_tiles
+
+__all__ = ["MatmulResult", "hetero_matmul", "assign_columns"]
+
+
+@dataclass
+class MatmulResult:
+    """Outcome of one hetero matmul run."""
+
+    n: int
+    tile: int
+    elapsed_s: float
+    gflops: float
+    assignment: Dict[int, int]  # domain index -> owned tile-columns
+    C: Optional[np.ndarray] = None  # thread backend only
+
+
+def assign_columns(
+    ncols: int, domains: List[int], weights: List[float]
+) -> List[int]:
+    """Split ``ncols`` tile-columns over ``domains`` by ``weights``.
+
+    Returns, per column, the owning domain. Contiguous blocks, largest
+    remainder rounding, every weight > 0 guaranteed at least... nothing —
+    a zero share is legal (a slow host may get no panel).
+    """
+    if len(domains) != len(weights) or not domains:
+        raise ValueError("domains and weights must be equal-length, non-empty")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to > 0")
+    exact = [ncols * w / total for w in weights]
+    counts = [int(e) for e in exact]
+    remainders = [e - c for e, c in zip(exact, counts)]
+    for _ in range(ncols - sum(counts)):
+        idx = max(range(len(domains)), key=lambda i: remainders[i])
+        counts[idx] += 1
+        remainders[idx] = -1.0
+    owners: List[int] = []
+    for d, c in zip(domains, counts):
+        owners.extend([d] * c)
+    return owners
+
+
+def hetero_matmul(
+    hs: HStreams,
+    n: int,
+    tile: Optional[int] = None,
+    data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    use_host: bool = True,
+    load_balance: bool = True,
+    streams_per_domain: int = 4,
+) -> MatmulResult:
+    """Run C = A @ B on every domain of ``hs``'s platform.
+
+    With ``data=(A, B)`` (thread backend) the product is computed for
+    real and returned in ``result.C``; with ``data=None`` (sim backend)
+    only the schedule runs, in virtual time.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    tile = tile if tile is not None else max(n // 12, 1)
+    grid = TileGrid(n, tile)
+    T = grid.ntiles
+    register_blas(hs)
+    flow = FlowContext(hs)
+
+    # -- resources: streams per participating domain --------------------------
+    domains = [d.index for d in hs.domains if use_host or d.index != 0]
+    if not domains:
+        raise ValueError("no participating domains")
+    streams: Dict[int, List[Stream]] = {}
+    for d in domains:
+        total = hs.domain(d).device.total_cores
+        nstr = min(streams_per_domain, total)
+        width = total // nstr
+        streams[d] = [hs.stream_create(domain=d, ncores=width) for _ in range(nstr)]
+
+    # -- panel assignment ------------------------------------------------------
+    if load_balance:
+        weights = [hs.domain(d).device.gflops("dgemm", tile) for d in domains]
+    else:
+        weights = [1.0] * len(domains)
+    owners = assign_columns(T, domains, weights)
+    assignment = {d: owners.count(d) for d in domains}
+
+    # -- buffers ------------------------------------------------------------------
+    a_tiles = b_tiles = c_tiles = None
+    if data is not None:
+        A, B = data
+        if A.shape != (n, n) or B.shape != (n, n):
+            raise ValueError("A and B must be n x n")
+        a_tiles = split_tiles(np.asarray(A, dtype=np.float64), tile)
+        b_tiles = split_tiles(np.asarray(B, dtype=np.float64), tile)
+        c_tiles = [
+            [np.zeros(grid.tile_shape(i, j)) for j in range(T)] for i in range(T)
+        ]
+
+    def make(tag: str, i: int, j: int, tiles) -> Buffer:
+        if tiles is not None:
+            return hs.wrap(tiles[i][j], name=f"{tag}{i}_{j}")
+        return hs.buffer_create(nbytes=grid.tile_nbytes(i, j), name=f"{tag}{i}_{j}")
+
+    t0 = hs.elapsed()
+    Ab = [[make("A", i, k, a_tiles) for k in range(T)] for i in range(T)]
+    Bb = [[make("B", k, j, b_tiles) for j in range(T)] for k in range(T)]
+    Cb = [[make("C", i, j, c_tiles) for j in range(T)] for i in range(T)]
+
+    # -- enqueue the whole schedule ---------------------------------------------------
+    for j in range(T):
+        d = owners[j]
+        dstreams = streams[d]
+        for i in range(T):
+            s = dstreams[i % len(dstreams)]
+            for k in range(T):
+                # A tile broadcast + B panel tile delivery on first use.
+                flow.send(s, Ab[i][k])
+                flow.send(s, Bb[k][j])
+                mi, mj = grid.tile_shape(i, j)
+                kk = grid.tile_cols(k)
+                flow.compute(
+                    s,
+                    "dgemm",
+                    args=(
+                        Cb[i][j].tensor((mi, mj), mode=OperandMode.INOUT),
+                        Ab[i][k].tensor((mi, kk), mode=OperandMode.IN),
+                        Bb[k][j].tensor((kk, mj), mode=OperandMode.IN),
+                    ),
+                    reads=(Ab[i][k], Bb[k][j]),
+                    writes=(Cb[i][j],),
+                    label=f"gemm{i}{j}.{k}",
+                )
+            # C panel comes home from the cards (aliased for the host).
+            flow.retrieve(streams[d][i % len(dstreams)], Cb[i][j])
+
+    hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+    gflops = 2.0 * n**3 / elapsed / 1e9 if elapsed > 0 else float("inf")
+
+    C = join_tiles(c_tiles) if c_tiles is not None else None
+    return MatmulResult(
+        n=n, tile=tile, elapsed_s=elapsed, gflops=gflops, assignment=assignment, C=C
+    )

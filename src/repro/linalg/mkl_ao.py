@@ -1,0 +1,189 @@
+"""An MKL Automatic-Offload-style Cholesky (paper §VI "MKL AO").
+
+MKL AO intercepts individual large BLAS calls and transparently splits
+each one between the host and the card(s). The crucial semantic captured
+here: AO is **synchronous per BLAS call** — each call's host/card pieces
+are joined before the next call starts, so there is no cross-call
+pipelining of the kind the hand-written hStreams code achieves. Within a
+call, the work division *is* rate-proportional (months of MKL-team
+tuning), which is why AO lands between hStreams (better overlap) and
+MAGMA (no host compute) in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.actions import OperandMode
+from repro.core.buffer import Buffer
+from repro.core.events import HEvent
+from repro.core.runtime import HStreams
+from repro.core.stream import Stream
+from repro.linalg.cholesky import CholeskyResult
+from repro.linalg.dataflow import FlowContext
+from repro.linalg.host_blas import register_blas
+from repro.linalg.matmul import assign_columns
+from repro.linalg.tiling import TileGrid, split_tiles
+
+__all__ = ["mkl_ao_cholesky"]
+
+
+def mkl_ao_cholesky(
+    hs: HStreams,
+    n: int,
+    tile: Optional[int] = None,
+    data: Optional[np.ndarray] = None,
+    streams_per_card: int = 4,
+    host_streams: int = 3,
+) -> CholeskyResult:
+    """Cholesky through AO-style per-call host/card splitting."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    tile = tile if tile is not None else max(n // 10, 1)
+    grid = TileGrid(n, tile)
+    T = grid.ntiles
+    register_blas(hs)
+    flow = FlowContext(hs)
+
+    host_cores = hs.domain(0).device.total_cores
+    wide = hs.stream_create(domain=0, cpu_mask=range(host_cores), name="ao-host")
+    h_streams = [
+        hs.stream_create(
+            domain=0,
+            cpu_mask=range(
+                i * (host_cores // host_streams), (i + 1) * (host_cores // host_streams)
+            ),
+            name=f"ao-h{i}",
+        )
+        for i in range(host_streams)
+    ]
+    card_streams: Dict[int, List[Stream]] = {}
+    for dom in hs.card_domains:
+        total = dom.device.total_cores
+        nstr = min(streams_per_card, total)
+        card_streams[dom.index] = [
+            hs.stream_create(domain=dom.index, ncores=total // nstr)
+            for _ in range(nstr)
+        ]
+    domains = [0] + [d.index for d in hs.card_domains]
+    weights = [hs.domain(d).device.gflops("dgemm", tile) for d in domains]
+
+    a_tiles = None
+    if data is not None:
+        if data.shape != (n, n):
+            raise ValueError("data must be n x n")
+        a_tiles = split_tiles(np.asarray(data, dtype=np.float64), tile)
+    bufs: List[List[Optional[Buffer]]] = [[None] * T for _ in range(T)]
+    t0 = hs.elapsed()
+    for i in range(T):
+        for j in range(i + 1):
+            if a_tiles is not None:
+                bufs[i][j] = hs.wrap(a_tiles[i][j], name=f"AO{i}_{j}")
+            else:
+                bufs[i][j] = hs.buffer_create(
+                    nbytes=grid.tile_nbytes(i, j), name=f"AO{i}_{j}"
+                )
+            flow.mark_resident(bufs[i][j], 0)
+
+    def pick_stream(dom: int, salt: int) -> Stream:
+        if dom == 0:
+            return h_streams[salt % len(h_streams)]
+        pool = card_streams[dom]
+        return pool[salt % len(pool)]
+
+    def join(evs: List[HEvent]) -> None:
+        """AO's per-call synchronization point."""
+        if evs:
+            hs.event_wait(evs)
+
+    for k in range(T):
+        bk = grid.tile_rows(k)
+        # DPOTRF call: host only (AO does not offload the panel).
+        ev = flow.compute(
+            wide,
+            "dpotrf",
+            args=(bufs[k][k].tensor((bk, bk), mode=OperandMode.INOUT),),
+            writes=(bufs[k][k],),
+            label=f"potrf{k}",
+        )
+        join([ev])
+        # One "DTRSM call" covering column k: rows split host/cards.
+        rows = list(range(k + 1, T))
+        owners = assign_columns(len(rows), domains, weights) if rows else []
+        evs: List[HEvent] = []
+        for idx, i in enumerate(rows):
+            dom = owners[idx]
+            bi = grid.tile_rows(i)
+            s = pick_stream(dom, i)
+            flow.send(s, bufs[k][k])
+            flow.send(s, bufs[i][k])
+            evs.append(
+                flow.compute(
+                    s,
+                    "dtrsm",
+                    args=(
+                        bufs[i][k].tensor((bi, bk), mode=OperandMode.INOUT),
+                        bufs[k][k].tensor((bk, bk), mode=OperandMode.IN),
+                    ),
+                    reads=(bufs[k][k],),
+                    writes=(bufs[i][k],),
+                    label=f"trsm{i}.{k}",
+                )
+            )
+            flow.retrieve(s, bufs[i][k])
+        join(evs)
+        # One "update call" covering the trailing matrix: split by tile.
+        updates = [(i, j) for i in range(k + 1, T) for j in range(k + 1, i + 1)]
+        owners = assign_columns(len(updates), domains, weights) if updates else []
+        evs = []
+        for idx, (i, j) in enumerate(updates):
+            dom = owners[idx]
+            bi, bj = grid.tile_rows(i), grid.tile_rows(j)
+            s = pick_stream(dom, i + j)
+            flow.send(s, bufs[i][k])
+            flow.send(s, bufs[i][j])
+            if j == i:
+                evs.append(
+                    flow.compute(
+                        s,
+                        "dsyrk",
+                        args=(
+                            bufs[i][i].tensor((bi, bi), mode=OperandMode.INOUT),
+                            bufs[i][k].tensor((bi, bk), mode=OperandMode.IN),
+                        ),
+                        reads=(bufs[i][k],),
+                        writes=(bufs[i][i],),
+                        label=f"syrk{i}.{k}",
+                    )
+                )
+            else:
+                flow.send(s, bufs[j][k])
+                evs.append(
+                    flow.compute(
+                        s,
+                        "dgemm",
+                        args=(
+                            bufs[i][j].tensor((bi, bj), mode=OperandMode.INOUT),
+                            bufs[i][k].tensor((bi, bk), mode=OperandMode.IN),
+                            bufs[j][k].tensor((bj, bk), mode=OperandMode.IN),
+                            -1.0,
+                            True,
+                        ),
+                        reads=(bufs[i][k], bufs[j][k]),
+                        writes=(bufs[i][j],),
+                        label=f"gemm{i}{j}.{k}",
+                    )
+                )
+            # Updated tiles needed on the host next iteration come home.
+            if j == k + 1 or i == j:
+                flow.retrieve(s, bufs[i][j])
+        join(evs)
+
+    hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+    gflops = (n**3 / 3.0) / elapsed / 1e9 if elapsed > 0 else float("inf")
+    return CholeskyResult(
+        n=n, tile=tile, elapsed_s=elapsed, gflops=gflops, row_owner=[], L=None
+    )

@@ -1,0 +1,113 @@
+"""Square-tile decomposition of dense matrices.
+
+Tiling (paper §VI) decomposes big matrices into tiles so that transfers
+pipeline under compute, task counts divide evenly over resources, and
+work starts before whole matrices arrive. The helpers here handle the
+bookkeeping: tile counts, edge tiles, scatter/gather between a monolithic
+array and per-tile contiguous arrays (tile storage is what the reference
+codes use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TileGrid", "split_tiles", "join_tiles"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The tile decomposition of an ``n`` x ``n`` matrix with tile ``b``."""
+
+    n: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.b < 1:
+            raise ValueError(f"need n >= 1 and b >= 1, got n={self.n}, b={self.b}")
+        if self.b > self.n:
+            raise ValueError(f"tile {self.b} larger than matrix {self.n}")
+
+    @property
+    def ntiles(self) -> int:
+        """Tiles per side (ceiling division; the last tile may be short)."""
+        return -(-self.n // self.b)
+
+    def tile_rows(self, i: int) -> int:
+        """Row count of tiles in tile-row ``i``."""
+        self._check(i)
+        return min(self.b, self.n - i * self.b)
+
+    def tile_cols(self, j: int) -> int:
+        """Column count of tiles in tile-column ``j``."""
+        return self.tile_rows(j)
+
+    def tile_shape(self, i: int, j: int) -> Tuple[int, int]:
+        """Shape of tile ``(i, j)``."""
+        return (self.tile_rows(i), self.tile_cols(j))
+
+    def tile_nbytes(self, i: int, j: int, itemsize: int = 8) -> int:
+        """Byte size of tile ``(i, j)``."""
+        r, c = self.tile_shape(i, j)
+        return r * c * itemsize
+
+    def span(self, i: int) -> Tuple[int, int]:
+        """Element range ``[start, stop)`` covered by tile index ``i``."""
+        self._check(i)
+        return i * self.b, min((i + 1) * self.b, self.n)
+
+    def _check(self, i: int) -> None:
+        if not (0 <= i < self.ntiles):
+            raise IndexError(f"tile index {i} outside 0..{self.ntiles - 1}")
+
+    def __iter__(self):
+        """Iterate (i, j) over all tiles, row-major."""
+        for i in range(self.ntiles):
+            for j in range(self.ntiles):
+                yield i, j
+
+    def lower(self):
+        """Iterate (i, j) over the lower triangle (j <= i)."""
+        for i in range(self.ntiles):
+            for j in range(i + 1):
+                yield i, j
+
+
+def split_tiles(matrix: np.ndarray, b: int) -> List[List[np.ndarray]]:
+    """Scatter a square matrix into contiguous per-tile arrays."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"need a square 2-D matrix, got shape {matrix.shape}")
+    grid = TileGrid(matrix.shape[0], b)
+    out: List[List[np.ndarray]] = []
+    for i in range(grid.ntiles):
+        r0, r1 = grid.span(i)
+        row: List[np.ndarray] = []
+        for j in range(grid.ntiles):
+            c0, c1 = grid.span(j)
+            row.append(np.ascontiguousarray(matrix[r0:r1, c0:c1]))
+        out.append(row)
+    return out
+
+
+def join_tiles(
+    tiles: List[List[np.ndarray]], out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Gather per-tile arrays back into one square matrix."""
+    if not tiles or not tiles[0]:
+        raise ValueError("empty tile grid")
+    n = sum(row[0].shape[0] for row in tiles)
+    if out is None:
+        out = np.empty((n, n), dtype=tiles[0][0].dtype)
+    r0 = 0
+    for row in tiles:
+        r1 = r0 + row[0].shape[0]
+        c0 = 0
+        for t in row:
+            c1 = c0 + t.shape[1]
+            out[r0:r1, c0:c1] = t
+            c0 = c1
+        r0 = r1
+    return out

@@ -1,0 +1,160 @@
+"""An Intel-compiler "Offload Streams"-like model.
+
+The compiler feature (paper §IV) adds a ``stream`` clause to the offload
+pragma plus API calls to create, destroy, and wait on streams. Ordering
+between actions uses ``signal``/``wait`` clauses naming tags, rather than
+hStreams' operand-derived dependences. Streams exist only *toward
+devices* — there is no host-as-target — and there are no convenience
+functions to spread streams across mixed device types.
+
+As a compiler feature its availability is tied to the compiler version;
+as a library, hStreams is not — a qualitative difference recorded here in
+the module docstring rather than in code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import XferDirection
+from repro.core.buffer import Buffer
+from repro.core.events import HEvent
+from repro.core.properties import RuntimeConfig
+from repro.core.runtime import HStreams
+from repro.core.stream import Stream
+from repro.sim.kernels import KernelCost
+from repro.sim.platforms import Platform, make_platform
+
+__all__ = ["OffloadStreamsRuntime"]
+
+
+class OffloadStreamsRuntime:
+    """Offload-streams state: device streams plus a signal-tag table."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        backend: str = "sim",
+        config: Optional[RuntimeConfig] = None,
+        trace: bool = True,
+    ):
+        self._hs = HStreams(
+            platform=platform if platform is not None else make_platform("HSW", 1),
+            backend=backend,
+            config=config,
+            trace=trace,
+        )
+        self._signals: Dict[object, HEvent] = {}
+        self._wrapped: Dict[int, Buffer] = {}
+
+    # -- streams ----------------------------------------------------------------
+
+    def stream_create(self, device: int, ncores: Optional[int] = None) -> Stream:
+        """``_Offload_stream_create``: streams target devices only."""
+        domain = device + 1
+        if domain >= self._hs.ndomains:
+            raise ValueError(f"no offload device {device}")
+        return self._hs.stream_create(domain=domain, ncores=ncores, name=f"offl{device}")
+
+    def stream_destroy(self, stream: Stream) -> None:
+        """``_Offload_stream_destroy``: waits for completion first."""
+        self._hs.stream_synchronize(stream)
+
+    def stream_completed(self, stream: Stream) -> bool:
+        """``_Offload_stream_completed``: poll the stream for idleness."""
+        return len(stream.window.pending_completions()) == 0
+
+    # -- offload pragmas ----------------------------------------------------------
+
+    def register_kernel(self, name: str, fn=None, cost_fn=None) -> None:
+        """Register the body of an offloaded code section."""
+        self._hs.register_kernel(name, fn=fn, cost_fn=cost_fn)
+
+    def _buffer_for(self, array: np.ndarray) -> Buffer:
+        key = array.__array_interface__["data"][0]
+        buf = self._wrapped.get(key)
+        if buf is None:
+            buf = self._hs.wrap(array)
+            self._wrapped[key] = buf
+        return buf
+
+    def offload(
+        self,
+        stream: Stream,
+        kernel: str,
+        args: Sequence = (),
+        cost: Optional[KernelCost] = None,
+        in_arrays: Sequence[np.ndarray] = (),
+        out_arrays: Sequence[np.ndarray] = (),
+        signal: Optional[object] = None,
+        wait: Sequence[object] = (),
+    ) -> None:
+        """``#pragma offload target(mic) stream(s) signal(t) wait(t...)``.
+
+        ``in``/``out`` clauses transfer the named arrays before/after the
+        computation in the same stream.
+        """
+        deps = [self._signal_event(tag) for tag in wait]
+        if deps:
+            self._hs.event_stream_wait(stream, deps, label="wait-clause")
+        for a in in_arrays:
+            self._hs.enqueue_xfer(stream, self._buffer_for(a), label="in-clause")
+        resolved = [
+            self._buffer_for(a).all_inout() if isinstance(a, np.ndarray) else a
+            for a in args
+        ]
+        ev = self._hs.enqueue_compute(stream, kernel, args=resolved, cost=cost, label=kernel)
+        for a in out_arrays:
+            ev = self._hs.enqueue_xfer(
+                stream, self._buffer_for(a), XferDirection.SINK_TO_SRC, label="out-clause"
+            )
+        if signal is not None:
+            self._signals[signal] = ev
+
+    def offload_transfer(
+        self,
+        stream: Stream,
+        array: np.ndarray,
+        to_device: bool = True,
+        signal: Optional[object] = None,
+    ) -> None:
+        """``#pragma offload_transfer``: a data-only offload."""
+        ev = self._hs.enqueue_xfer(
+            stream,
+            self._buffer_for(array),
+            XferDirection.SRC_TO_SINK if to_device else XferDirection.SINK_TO_SRC,
+            label="offload_transfer",
+        )
+        if signal is not None:
+            self._signals[signal] = ev
+
+    def offload_wait(self, tags: Sequence[object]) -> None:
+        """``#pragma offload_wait``: host-side wait on signal tags."""
+        self._hs.event_wait([self._signal_event(t) for t in tags])
+
+    def _signal_event(self, tag: object) -> HEvent:
+        try:
+            return self._signals[tag]
+        except KeyError:
+            raise ValueError(f"signal tag {tag!r} was never signaled") from None
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def synchronize(self) -> None:
+        """Wait for everything outstanding."""
+        self._hs.thread_synchronize()
+
+    def elapsed(self) -> float:
+        """Virtual (sim) or wall (thread) seconds since init."""
+        return self._hs.elapsed()
+
+    @property
+    def hstreams(self) -> HStreams:
+        """Escape hatch to the underlying runtime (used by tests)."""
+        return self._hs
+
+    def fini(self) -> None:
+        """Tear down."""
+        self._hs.fini()

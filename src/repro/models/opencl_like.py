@@ -1,0 +1,262 @@
+"""An OpenCL-like model: boilerplate-heavy, with under-tuned device BLAS.
+
+Reproduces the two properties the paper measures (§IV, Fig. 3):
+
+* **Boilerplate** — platform/context/queue/program/kernel objects must be
+  created and released explicitly, and kernel arguments are set by index
+  before each launch; the Fig. 3 line/API counts come from this surface.
+* **clBLAS performance on MIC** — the device BLAS "is significantly
+  under-optimized for the MIC": a DGEMM enqueued through this model on a
+  KNC device uses the calibrated ``dgemm_clblas`` efficiency curve
+  (35 GFl/s at n=10000 instead of 982).
+
+Command queues are in-order unless created with
+``out_of_order=True`` (real OpenCL's out-of-order queues additionally
+need explicit event wait-lists, provided here via ``wait_for``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import OperandMode, XferDirection
+from repro.core.buffer import Buffer
+from repro.core.events import HEvent
+from repro.core.properties import RuntimeConfig
+from repro.core.runtime import HStreams
+from repro.sim.kernels import KernelCost
+from repro.sim.platforms import Platform, make_platform
+
+__all__ = ["OpenCLRuntime", "CLError"]
+
+_ids = itertools.count(0x0C1_0000)
+
+
+class CLError(Exception):
+    """cl_int error equivalent."""
+
+
+class _CLObject:
+    """Common release bookkeeping for all CL handle types."""
+
+    def __init__(self, kind: str):
+        self._id = next(_ids)
+        self._kind = kind
+        self._released = False
+
+    def _check(self) -> None:
+        if self._released:
+            raise CLError(f"use of released {self._kind}")
+
+    def release(self) -> None:
+        """clRelease*: every object must be explicitly released."""
+        self._check()
+        self._released = True
+
+
+class CLContext(_CLObject):
+    """clCreateContext result."""
+
+    def __init__(self, devices: List[int]):
+        super().__init__("context")
+        self.devices = devices
+
+
+class CLQueue(_CLObject):
+    """clCreateCommandQueue result."""
+
+    def __init__(self, context: CLContext, device: int, inner):
+        super().__init__("queue")
+        self.context = context
+        self.device = device
+        self._inner = inner
+
+
+class CLProgram(_CLObject):
+    """clCreateProgramWithSource result."""
+
+    def __init__(self, context: CLContext, source: str):
+        super().__init__("program")
+        self.context = context
+        self.source = source
+        self.built = False
+
+
+class CLKernel(_CLObject):
+    """clCreateKernel result; arguments are set by index."""
+
+    def __init__(self, program: CLProgram, name: str):
+        super().__init__("kernel")
+        self.program = program
+        self.name = name
+        self.args: Dict[int, Any] = {}
+
+
+class CLBuffer(_CLObject):
+    """clCreateBuffer result."""
+
+    def __init__(self, buffer: Buffer, nbytes: int):
+        super().__init__("buffer")
+        self._buffer = buffer
+        self.nbytes = nbytes
+
+
+class OpenCLRuntime:
+    """The OpenCL platform layer for one process."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        backend: str = "sim",
+        config: Optional[RuntimeConfig] = None,
+        trace: bool = True,
+    ):
+        self._hs = HStreams(
+            platform=platform if platform is not None else make_platform("HSW", 1),
+            backend=backend,
+            config=config,
+            trace=trace,
+        )
+
+    # -- boilerplate -------------------------------------------------------------
+
+    def get_device_ids(self) -> List[int]:
+        """clGetDeviceIDs (accelerators only)."""
+        return [d.index - 1 for d in self._hs.card_domains]
+
+    def create_context(self, devices: Sequence[int]) -> CLContext:
+        """clCreateContext."""
+        for d in devices:
+            if d + 1 >= self._hs.ndomains:
+                raise CLError(f"invalid device {d}")
+        return CLContext(list(devices))
+
+    def create_command_queue(
+        self, context: CLContext, device: int, out_of_order: bool = False
+    ) -> CLQueue:
+        """clCreateCommandQueue: in-order unless requested otherwise."""
+        context._check()
+        if device not in context.devices:
+            raise CLError(f"device {device} not in context")
+        inner = self._hs.stream_create(
+            domain=device + 1,
+            strict_fifo=not out_of_order,
+            name=f"clq{device}",
+        )
+        return CLQueue(context, device, inner)
+
+    def create_program_with_source(self, context: CLContext, source: str) -> CLProgram:
+        """clCreateProgramWithSource."""
+        context._check()
+        return CLProgram(context, source)
+
+    def build_program(self, program: CLProgram) -> None:
+        """clBuildProgram (runtime compilation step)."""
+        program._check()
+        program.built = True
+
+    def create_kernel(self, program: CLProgram, name: str) -> CLKernel:
+        """clCreateKernel."""
+        program._check()
+        if not program.built:
+            raise CLError("program must be built before creating kernels")
+        return CLKernel(program, name)
+
+    def set_kernel_arg(self, kernel: CLKernel, index: int, value: Any) -> None:
+        """clSetKernelArg: positional, one call per argument."""
+        kernel._check()
+        kernel.args[index] = value
+
+    # -- memory -----------------------------------------------------------------------
+
+    def create_buffer(self, context: CLContext, nbytes: int) -> CLBuffer:
+        """clCreateBuffer."""
+        context._check()
+        buf = self._hs.buffer_create(nbytes=nbytes)
+        return CLBuffer(buf, nbytes)
+
+    def enqueue_write_buffer(
+        self, queue: CLQueue, dst: CLBuffer, src: Optional[np.ndarray] = None
+    ) -> HEvent:
+        """clEnqueueWriteBuffer (host -> device)."""
+        queue._check()
+        dst._check()
+        if src is not None and dst._buffer.instantiated_in(0):
+            inst = dst._buffer.instances[0]
+            if inst is not None:
+                inst[: src.nbytes] = src.view(np.uint8).reshape(-1)
+        return self._hs.enqueue_xfer(queue._inner, dst._buffer, label="clWrite")
+
+    def enqueue_read_buffer(
+        self, queue: CLQueue, src: CLBuffer, dst: Optional[np.ndarray] = None
+    ) -> HEvent:
+        """clEnqueueReadBuffer (device -> host)."""
+        queue._check()
+        src._check()
+        ev = self._hs.enqueue_xfer(
+            queue._inner, src._buffer, XferDirection.SINK_TO_SRC, label="clRead"
+        )
+        if dst is not None and src._buffer.instantiated_in(0):
+            inst = src._buffer.instances[0]
+            if inst is not None:
+                self._hs.event_wait([ev])
+                dst.view(np.uint8).reshape(-1)[:] = inst[: dst.nbytes]
+        return ev
+
+    # -- execution -----------------------------------------------------------------------
+
+    def register_kernel(self, name: str, fn=None, cost_fn=None) -> None:
+        """Register the device code behind a kernel name."""
+        self._hs.register_kernel(name, fn=fn, cost_fn=cost_fn)
+
+    def enqueue_nd_range_kernel(
+        self,
+        queue: CLQueue,
+        kernel: CLKernel,
+        cost: Optional[KernelCost] = None,
+        wait_for: Sequence[HEvent] = (),
+    ) -> HEvent:
+        """clEnqueueNDRangeKernel with an explicit wait list.
+
+        On KNC devices, a ``dgemm`` cost is demoted to the untuned
+        ``dgemm_clblas`` efficiency curve — the paper's measured clBLAS
+        behaviour.
+        """
+        queue._check()
+        kernel._check()
+        if wait_for:
+            self._hs.event_stream_wait(queue._inner, list(wait_for), label="waitlist")
+        args = [
+            a._buffer.all(OperandMode.INOUT) if isinstance(a, CLBuffer) else a
+            for _, a in sorted(kernel.args.items())
+        ]
+        if cost is not None and cost.kernel == "dgemm":
+            device = self._hs.domain(queue.device + 1).device
+            if device.kind == "knc":
+                cost = KernelCost("dgemm_clblas", cost.flops, cost.size, cost.bytes_moved)
+        return self._hs.enqueue_compute(
+            queue._inner, kernel.name, args=args, cost=cost, label=kernel.name
+        )
+
+    def finish(self, queue: CLQueue) -> None:
+        """clFinish."""
+        queue._check()
+        self._hs.stream_synchronize(queue._inner)
+
+    # -- plumbing --------------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Virtual (sim) or wall (thread) seconds since init."""
+        return self._hs.elapsed()
+
+    @property
+    def hstreams(self) -> HStreams:
+        """Escape hatch to the underlying runtime (used by tests)."""
+        return self._hs
+
+    def fini(self) -> None:
+        """Tear down."""
+        self._hs.fini()

@@ -1,0 +1,224 @@
+"""An OpenMP 4.0 / 4.5 target-offload model.
+
+Captures the semantics the paper compares against (§IV):
+
+* A clear **separation between host and device constructs**: devices are
+  whole cards; there is no sub-device partitioning, so at most one
+  offload region runs per device at a time, full width.
+* **OpenMP 4.0**: ``target`` regions and ``target data`` maps are
+  *synchronous* — the encountering host thread blocks; no asynchronous
+  transfers exist, so no compute/transfer overlap is possible.
+* **OpenMP 4.5**: ``nowait`` makes target regions and updates deferred
+  tasks, and ``depend(in/out/inout: var)`` orders them — closing the
+  async gap but still without sub-device streams.
+
+The runtime maps each logical device onto one full-width hStreams stream
+(4.5) or onto synchronous enqueue+wait pairs (4.0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.actions import OperandMode, XferDirection
+from repro.core.buffer import Buffer
+from repro.core.events import HEvent
+from repro.core.properties import RuntimeConfig
+from repro.core.runtime import HStreams
+from repro.sim.kernels import KernelCost
+from repro.sim.platforms import Platform, make_platform
+
+__all__ = ["OpenMPRuntime"]
+
+
+class OpenMPRuntime:
+    """One process's OpenMP device state.
+
+    ``spec`` selects "4.0" (synchronous) or "4.5" (``nowait``/``depend``).
+    """
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        backend: str = "sim",
+        config: Optional[RuntimeConfig] = None,
+        spec: str = "4.5",
+        trace: bool = True,
+    ):
+        if spec not in ("4.0", "4.5"):
+            raise ValueError(f"spec must be '4.0' or '4.5', got {spec!r}")
+        self.spec = spec
+        self._hs = HStreams(
+            platform=platform if platform is not None else make_platform("HSW", 1),
+            backend=backend,
+            config=config,
+            trace=trace,
+        )
+        # One logical device per card; each is a single full-width queue.
+        self._device_streams = [
+            self._hs.stream_create(
+                domain=d.index,
+                ncores=d.device.total_cores,
+                name=f"omp-dev{d.index - 1}",
+            )
+            for d in self._hs.card_domains
+        ]
+        self._mapped: Dict[int, Buffer] = {}
+        self._task_events: List[HEvent] = []
+
+    # -- data environment -------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        """omp_get_num_devices."""
+        return len(self._device_streams)
+
+    def _buffer_for(self, array) -> Buffer:
+        """Map a host variable to its device buffer.
+
+        Accepts a numpy array (wrapped zero-copy) or any object exposing
+        ``nbytes`` (a size-only stand-in for sim runs).
+        """
+        if isinstance(array, np.ndarray):
+            key = array.__array_interface__["data"][0]
+        else:
+            key = id(array)
+        buf = self._mapped.get(key)
+        if buf is None:
+            if isinstance(array, np.ndarray):
+                buf = self._hs.wrap(array)
+            else:
+                buf = self._hs.buffer_create(nbytes=int(array.nbytes))
+            self._mapped[key] = buf
+        return buf
+
+    def target_enter_data(self, device: int, arrays: Sequence[np.ndarray]) -> None:
+        """``target enter data map(to: ...)``: allocate + copy to device.
+
+        Synchronous under 4.0 *and* as a bare 4.5 construct (``nowait``
+        belongs on the construct; use :meth:`target_update_to` for async).
+        """
+        stream = self._stream(device)
+        evs = [
+            self._hs.enqueue_xfer(stream, self._buffer_for(a), label="map(to)")
+            for a in arrays
+        ]
+        self._hs.event_wait(evs)
+
+    def target_exit_data(self, device: int, arrays: Sequence[np.ndarray]) -> None:
+        """``target exit data map(from: ...)``: copy back + release."""
+        stream = self._stream(device)
+        evs = [
+            self._hs.enqueue_xfer(
+                stream, self._buffer_for(a), XferDirection.SINK_TO_SRC, label="map(from)"
+            )
+            for a in arrays
+        ]
+        self._hs.event_wait(evs)
+
+    def target_update_to(
+        self, device: int, array: np.ndarray, nowait: bool = False
+    ) -> Optional[HEvent]:
+        """``target update to(...)`` — ``nowait`` requires spec 4.5."""
+        self._check_nowait(nowait)
+        stream = self._stream(device)
+        ev = self._hs.enqueue_xfer(stream, self._buffer_for(array), label="update-to")
+        if nowait:
+            self._task_events.append(ev)
+            return ev
+        self._hs.event_wait([ev])
+        return None
+
+    def target_update_from(
+        self, device: int, array: np.ndarray, nowait: bool = False
+    ) -> Optional[HEvent]:
+        """``target update from(...)`` — ``nowait`` requires spec 4.5."""
+        self._check_nowait(nowait)
+        stream = self._stream(device)
+        ev = self._hs.enqueue_xfer(
+            stream, self._buffer_for(array), XferDirection.SINK_TO_SRC, label="update-from"
+        )
+        if nowait:
+            self._task_events.append(ev)
+            return ev
+        self._hs.event_wait([ev])
+        return None
+
+    # -- target regions -------------------------------------------------------------
+
+    def register_kernel(self, name: str, fn=None, cost_fn=None) -> None:
+        """Register the body of a ``target`` region by name."""
+        self._hs.register_kernel(name, fn=fn, cost_fn=cost_fn)
+
+    def target(
+        self,
+        device: int,
+        kernel: str,
+        args: Sequence = (),
+        cost: Optional[KernelCost] = None,
+        nowait: bool = False,
+        depend_in: Sequence[np.ndarray] = (),
+        depend_out: Sequence[np.ndarray] = (),
+    ) -> Optional[HEvent]:
+        """Run a ``target`` region on ``device``.
+
+        4.0: blocks the host until the region completes. 4.5 with
+        ``nowait``: returns an event; ``depend`` clauses order it against
+        other deferred work through the named variables.
+        """
+        self._check_nowait(nowait)
+        stream = self._stream(device)
+        operands = [
+            self._buffer_for(a).all(OperandMode.IN) for a in depend_in
+        ] + [self._buffer_for(a).all(OperandMode.OUT) for a in depend_out]
+        resolved = [
+            self._buffer_for(a).all_inout() if isinstance(a, np.ndarray) else a
+            for a in args
+        ]
+        ev = self._hs.enqueue_compute(
+            stream, kernel, args=resolved, operands=operands, cost=cost, label=kernel
+        )
+        if nowait:
+            self._task_events.append(ev)
+            return ev
+        self._hs.event_wait([ev])
+        return None
+
+    def taskwait(self) -> None:
+        """``taskwait``: block until all deferred target tasks complete."""
+        if self._task_events:
+            self._hs.event_wait(self._task_events)
+            self._task_events.clear()
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _stream(self, device: int):
+        try:
+            return self._device_streams[device]
+        except IndexError:
+            raise ValueError(
+                f"no device {device}; omp_get_num_devices() == {self.num_devices}"
+            ) from None
+
+    def _check_nowait(self, nowait: bool) -> None:
+        if nowait and self.spec == "4.0":
+            raise ValueError(
+                "nowait on target constructs requires OpenMP 4.5 "
+                "(4.0 has no asynchronous offload)"
+            )
+
+    def elapsed(self) -> float:
+        """Virtual (sim) or wall (thread) seconds since init."""
+        return self._hs.elapsed()
+
+    @property
+    def hstreams(self) -> HStreams:
+        """Escape hatch to the underlying runtime (used by tests)."""
+        return self._hs
+
+    def fini(self) -> None:
+        """Tear down the device data environment."""
+        self.taskwait()
+        self._hs.fini()

@@ -1,0 +1,436 @@
+"""Deterministic discrete-event simulation engine.
+
+A small, dependency-free event core in the style of SimPy: a virtual clock,
+an ordered event calendar, generator-based *processes* that ``yield`` events
+to wait on, and FIFO *resources* for modeling exclusive units (a stream's
+compute slot, a PCIe link direction, a DMA engine).
+
+Determinism: events scheduled for the same timestamp fire in insertion
+order (a monotonically increasing sequence number breaks ties), so a given
+simulation always produces the identical schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimError",
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+]
+
+
+class SimError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The interrupting cause is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *untriggered*; calling :meth:`trigger` (or
+    :meth:`fail`) makes it fire at the current simulation time, invoking
+    all registered callbacks in registration order. Processes wait on
+    events by yielding them.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (successfully or not)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload the event fired with."""
+        if not self._triggered:
+            raise SimError(f"event {self!r} has not been triggered")
+        return self._value
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Fire the event successfully with ``value`` at the current time."""
+        if self._triggered:
+            raise SimError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.engine._dispatch(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event as failed; waiters receive/raise ``exc``."""
+        if self._triggered:
+            raise SimError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.engine._dispatch(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event fires.
+
+        If the event already fired, the callback runs immediately.
+        """
+        if self._triggered:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} @{self.engine.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout delay: {delay}")
+        super().__init__(engine, name=f"timeout({delay:g})")
+        engine._schedule_trigger(self, delay, value)
+
+
+class Process(Event):
+    """A generator-driven simulation process.
+
+    The generator yields :class:`Event` instances; the process resumes when
+    the yielded event fires, receiving its value (or having its exception
+    raised inside the generator). The process is itself an event that fires
+    with the generator's return value when it finishes.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        super().__init__(engine, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        # Kick off at the current time, after already-queued events.
+        start = Event(engine, name=f"start:{self.name}")
+        self._waiting_on: Optional[Event] = start
+        start.add_callback(self._resume)
+        engine._schedule_trigger(start, 0.0, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process generator has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimError("cannot interrupt a finished process")
+        wake = Event(self.engine, name=f"interrupt:{self.name}")
+        wake.add_callback(lambda ev: self._throw(Interrupt(cause)))
+        self.engine._schedule_trigger(wake, 0.0, None)
+
+    # -- internal machinery -------------------------------------------------
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if self._triggered or (event is not None and event is not self._waiting_on):
+            return  # stale wakeup from a wait abandoned by an interrupt
+        self._waiting_on = None
+        try:
+            if event is None:
+                target = self._gen.send(None)
+            elif event.ok:
+                target = self._gen.send(event.value)
+            else:
+                target = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        self._wait(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None  # the interrupted wait is abandoned
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: finish abnormally.
+            self.fail(exc)
+            return
+        self._wait(target)
+
+    def _wait(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            raise SimError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str):
+        super().__init__(engine, name=name)
+        self._events = list(events)
+        self._pending = 0
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise SimError(f"{name} requires Event instances, got {ev!r}")
+        if not self._events:
+            engine._schedule_trigger(self, 0.0, {})
+            return
+        for ev in self._events:
+            if not ev.triggered:
+                self._pending += 1
+        if self._satisfied():
+            engine._schedule_trigger(self, 0.0, self._collect())
+        else:
+            for ev in self._events:
+                if not ev.triggered:
+                    ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._satisfied():
+            self.trigger(self._collect())
+
+    def _collect(self) -> dict:
+        return {ev: ev.value for ev in self._events if ev.triggered and ev.ok}
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any one of the given events has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, events, "any_of")
+
+    def _satisfied(self) -> bool:
+        return self._pending < len(self._events) or not self._events
+
+
+class AllOf(_Condition):
+    """Fires when all of the given events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, events, "all_of")
+
+    def _satisfied(self) -> bool:
+        return self._pending == 0
+
+
+class Engine:
+    """The simulation clock and event calendar."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event bound to this engine."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: fires when any child event fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: fires when every child event has fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule_trigger(self, event: Event, delay: float, value: Any) -> None:
+        """Arrange for ``event`` to trigger with ``value`` after ``delay``."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event, value))
+
+    def _dispatch(self, event: Event) -> None:
+        """Run the callbacks of a just-triggered event."""
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> float:
+        """Advance to and fire the next calendar entry; return its time."""
+        if not self._heap:
+            raise SimError("step() on an empty event calendar")
+        when, _seq, event, value = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimError("event calendar went backwards")  # pragma: no cover
+        self.now = when
+        if not event.triggered:
+            event.trigger(value)
+        return when
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the calendar drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_event(self, event: Event, limit: float = 1e12) -> Any:
+        """Run until ``event`` fires; return its value or raise its failure."""
+        while not event.triggered:
+            if not self._heap:
+                raise SimError(
+                    f"deadlock: event {event!r} can never fire (calendar empty)"
+                )
+            if self.now > limit:
+                raise SimError(f"simulation exceeded time limit {limit}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    @property
+    def pending_count(self) -> int:
+        """Number of entries still on the event calendar."""
+        return len(self._heap)
+
+
+class Resource:
+    """A FIFO resource with integer capacity and multi-unit requests.
+
+    Used to model exclusive or limited units: a stream's compute slot
+    (capacity 1), a pool of DMA engines, a device's cores (a task
+    acquires as many units as its stream's CPU-mask width). Grants are
+    strictly FIFO and head-blocking — a large request at the head of the
+    queue is never overtaken by a smaller one behind it — so schedules
+    stay deterministic and starvation-free.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: List[tuple] = []  # (event, units)
+
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a grant."""
+        return len(self._waiters)
+
+    def request(self, units: int = 1) -> Event:
+        """Ask for ``units``; the returned event fires when granted."""
+        if units < 1 or units > self.capacity:
+            raise SimError(
+                f"{self.name!r}: request of {units} units outside "
+                f"1..{self.capacity}"
+            )
+        req = Event(self.engine, name=f"req:{self.name}")
+        if self._in_use + units <= self.capacity and not self._waiters:
+            self._in_use += units
+            self.engine._schedule_trigger(req, 0.0, self)
+        else:
+            self._waiters.append((req, units))
+        return req
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units``, granting queued requests in FIFO order."""
+        if units < 1 or self._in_use < units:
+            raise SimError(
+                f"release({units}) of resource {self.name!r} with "
+                f"{self._in_use} in use"
+            )
+        self._in_use -= units
+        while self._waiters:
+            ev, need = self._waiters[0]
+            if self._in_use + need > self.capacity:
+                break  # head-blocking FIFO
+            self._waiters.pop(0)
+            self._in_use += need
+            self.engine._schedule_trigger(ev, 0.0, self)
+
+    def use(self, duration: float, units: int = 1) -> Generator:
+        """Process helper: acquire, hold for ``duration``, release."""
+        yield self.request(units)
+        try:
+            yield self.engine.timeout(duration)
+        finally:
+            self.release(units)

@@ -1,0 +1,96 @@
+"""PCIe-like interconnect model.
+
+Each card is reached through a :class:`LinkPair`: two independent
+:class:`Link` directions (host-to-device, device-to-host), so transfers in
+opposite directions overlap but same-direction transfers serialize — the
+behaviour that makes pipelining tiles worthwhile in the paper.
+
+Transfer time = per-message latency + payload / bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine, Event, Resource
+
+__all__ = ["Link", "LinkPair"]
+
+
+class Link:
+    """One direction of a point-to-point interconnect."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth_gbs: float,
+        latency_s: float,
+        name: str = "link",
+    ):
+        if bandwidth_gbs <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth_gbs}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.engine = engine
+        self.bandwidth_gbs = bandwidth_gbs
+        self.latency_s = latency_s
+        self.name = name
+        self._resource = Resource(engine, capacity=1, name=name)
+        self.bytes_moved = 0
+        self.busy_time = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Occupancy time on the wire for ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def transfer(self, nbytes: int) -> Event:
+        """Start a transfer; the returned event fires at completion."""
+        duration = self.transfer_time(nbytes)
+        self.bytes_moved += nbytes
+        self.busy_time += duration
+        done = self.engine.event(name=f"xfer:{self.name}")
+
+        def run():
+            yield self._resource.request()
+            try:
+                yield self.engine.timeout(duration)
+            finally:
+                self._resource.release()
+            done.trigger(nbytes)
+
+        self.engine.process(run(), name=f"xfer:{self.name}")
+        return done
+
+    @property
+    def queued(self) -> int:
+        """Transfers waiting behind the one on the wire."""
+        return self._resource.queued
+
+
+class LinkPair:
+    """Full-duplex connection between the host and one device."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth_gbs: float,
+        latency_s: float,
+        name: str = "pcie",
+        d2h_bandwidth_gbs: Optional[float] = None,
+    ):
+        self.name = name
+        self.h2d = Link(engine, bandwidth_gbs, latency_s, name=f"{name}:h2d")
+        self.d2h = Link(
+            engine, d2h_bandwidth_gbs or bandwidth_gbs, latency_s, name=f"{name}:d2h"
+        )
+
+    def direction(self, to_device: bool) -> Link:
+        """The link carrying traffic toward (or away from) the device."""
+        return self.h2d if to_device else self.d2h
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total payload bytes in both directions."""
+        return self.h2d.bytes_moved + self.d2h.bytes_moved

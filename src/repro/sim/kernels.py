@@ -1,0 +1,177 @@
+"""Analytic cost models for the kernels in the paper's evaluation.
+
+Each helper returns a :class:`KernelCost` — flop count, characteristic
+size (what the device efficiency curve is evaluated at), and main-memory
+traffic — which :func:`time_on` turns into seconds for a given device and
+core allocation.
+
+Flop counts use the standard LAPACK conventions (double precision):
+
+* ``DGEMM  (m,n,k)``: ``2 m n k``
+* ``DSYRK  (n,k)``  : ``n (n+1) k``
+* ``DTRSM  (m,n)``  : ``m n^2`` (right-side triangular solve)
+* ``DPOTRF (n)``    : ``n^3 / 3``
+* ``DGETRF (m,n)``  : ``m n^2 - n^3/3`` (``2 n^3 / 3`` when square)
+* stencil           : grid points x flops per point (80 for the 8th-order
+  RTM propagator, matching the paper's halo workload arithmetic)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.hardware import Device
+
+__all__ = [
+    "KernelCost",
+    "dgemm",
+    "dsyrk",
+    "dtrsm",
+    "dpotrf",
+    "dgetrf",
+    "cholesky_native",
+    "ldlt_panel",
+    "ldlt_update",
+    "stencil",
+    "time_on",
+    "FLOPS_PER_STENCIL_POINT",
+]
+
+#: Flops per grid point for the 8th-order-in-space, 2nd-order-in-time
+#: acoustic propagator (matches the paper's "1K x 1K x 8 * 80 Flops").
+FLOPS_PER_STENCIL_POINT = 80.0
+
+_DTYPE_BYTES = 8  # double precision throughout the paper's evaluation
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Work descriptor: what a compute action costs, device-independently."""
+
+    kernel: str
+    flops: float
+    size: float
+    bytes_moved: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved < 0:
+            raise ValueError(f"negative work in {self!r}")
+
+    def scaled(self, factor: float) -> "KernelCost":
+        """The same kernel with flops and traffic scaled by ``factor``."""
+        return KernelCost(
+            self.kernel, self.flops * factor, self.size, self.bytes_moved * factor
+        )
+
+
+def _check_dims(*dims: int) -> None:
+    for d in dims:
+        if d < 0:
+            raise ValueError(f"matrix dimension must be >= 0, got {d}")
+
+
+def dgemm(m: int, n: int, k: int, kernel: str = "dgemm") -> KernelCost:
+    """General matrix multiply C(m,n) += A(m,k) B(k,n)."""
+    _check_dims(m, n, k)
+    return KernelCost(
+        kernel=kernel,
+        flops=2.0 * m * n * k,
+        size=float(min(m, n, k)),
+        bytes_moved=_DTYPE_BYTES * (m * k + k * n + 2 * m * n),
+    )
+
+
+def dsyrk(n: int, k: int) -> KernelCost:
+    """Symmetric rank-k update C(n,n) += A(n,k) A(n,k)^T."""
+    _check_dims(n, k)
+    return KernelCost(
+        kernel="dsyrk",
+        flops=float(n) * (n + 1) * k,
+        size=float(min(n, k)),
+        bytes_moved=_DTYPE_BYTES * (n * k + n * n),
+    )
+
+
+def dtrsm(m: int, n: int) -> KernelCost:
+    """Triangular solve with m x n right-hand side and n x n triangle."""
+    _check_dims(m, n)
+    return KernelCost(
+        kernel="dtrsm",
+        flops=float(m) * n * n,
+        size=float(min(m, n)),
+        bytes_moved=_DTYPE_BYTES * (n * n // 2 + 2 * m * n),
+    )
+
+
+def dpotrf(n: int) -> KernelCost:
+    """Cholesky factorization of an n x n tile."""
+    _check_dims(n)
+    return KernelCost(
+        kernel="dpotrf",
+        flops=n**3 / 3.0,
+        size=float(n),
+        bytes_moved=_DTYPE_BYTES * n * n,
+    )
+
+
+def dgetrf(m: int, n: int) -> KernelCost:
+    """LU factorization with partial pivoting of an m x n block."""
+    _check_dims(m, n)
+    return KernelCost(
+        kernel="dgetrf",
+        flops=float(m) * n * n - n**3 / 3.0,
+        size=float(min(m, n)),
+        bytes_moved=_DTYPE_BYTES * m * n * 2,
+    )
+
+
+def cholesky_native(n: int) -> KernelCost:
+    """A whole untiled DPOTRF call, as MKL native on the host (Fig. 7)."""
+    _check_dims(n)
+    return KernelCost(
+        kernel="cholesky_native",
+        flops=n**3 / 3.0,
+        size=float(n),
+        bytes_moved=_DTYPE_BYTES * n * n,
+    )
+
+
+def ldlt_panel(n: int, width: int) -> KernelCost:
+    """LDL^T panel factorization: ``width`` columns of an n-row supernode."""
+    _check_dims(n, width)
+    return KernelCost(
+        kernel="ldlt_panel",
+        flops=float(n) * width * width,
+        size=float(width),
+        bytes_moved=_DTYPE_BYTES * n * width * 2,
+    )
+
+
+def ldlt_update(m: int, n: int, k: int) -> KernelCost:
+    """Trailing update of an LDL^T factorization (GEMM-shaped)."""
+    cost = dgemm(m, n, k)
+    return KernelCost("dgemm", cost.flops, cost.size, cost.bytes_moved)
+
+
+def stencil(
+    points: float, flops_per_point: float = FLOPS_PER_STENCIL_POINT
+) -> KernelCost:
+    """Finite-difference propagation over ``points`` grid points."""
+    if points < 0 or flops_per_point < 0:
+        raise ValueError("points/flops_per_point must be >= 0")
+    return KernelCost(
+        kernel="stencil",
+        flops=points * flops_per_point,
+        # Stencil efficiency saturates quickly with slab thickness; use a
+        # proxy size from the cube root of the point count.
+        size=float(points) ** (1.0 / 3.0),
+        bytes_moved=_DTYPE_BYTES * points * 3,  # read prev+cur, write next
+    )
+
+
+def time_on(device: Device, cost: KernelCost, cores: Optional[int] = None) -> float:
+    """Seconds for ``cost`` on ``device`` using ``cores`` cores (None = all)."""
+    return device.compute_time(
+        cost.kernel, cost.flops, cost.size, cores=cores, bytes_moved=cost.bytes_moved
+    )

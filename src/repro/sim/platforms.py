@@ -1,0 +1,296 @@
+"""Platform presets reproducing the paper's Fig. 2 machine table.
+
+======================  =======================  =====================  ==========
+Specification           Xeon E5-2697v2 (IVB) /    Xeon Phi C0-7120A      NVIDIA
+                        E5-2697v3 (HSW)           (KNC)                  K40x
+======================  =======================  =====================  ==========
+Skt, Core/Skt, Thr/Core 2S, 12C(v2)/14C(v3), 2T  1S, 61C, 4T            1S, 15C, 256T
+SP, DP width, FMA       8,4,N (v2) / 8,4,Y (v3)  16, 8, Y               192, 64, Y
+Clock (GHz)             2.7 (v2) / 2.6 (v3)      1.33 (turbo)           0.875
+RAM (GB)                64 DDR3-1.6 GHz          16 GDDR5               12 GDDR5
+======================  =======================  =====================  ==========
+
+Kernel efficiency asymptotes are calibrated to the single-device rates the
+paper reports (DGEMM: KNC 982, HSW 902, IVB 475 GFl/s; native Cholesky:
+HSW 733 GFl/s; clBLAS DGEMM on KNC: 35 GFl/s), so every aggregate,
+overlap, and balance figure is produced by the simulated schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.hardware import Device, EfficiencyCurve
+from repro.sim.interconnect import LinkPair
+
+__all__ = ["IVB", "HSW", "KNC_7120A", "K40X", "Platform", "make_platform", "make_fabric_platform"]
+
+
+def _curve(eff_max: float, half: float, eff_min: float = 0.0) -> EfficiencyCurve:
+    return EfficiencyCurve(eff_max=eff_max, half_size=half, eff_min=eff_min)
+
+
+#: Dual-socket Ivy Bridge host (E5-2697v2): 24 cores, AVX (no FMA).
+#: Peak DP = 24 * 2.7 * 8 = 518.4 GFl/s; calibrated DGEMM asymptote 475.
+IVB = Device(
+    name="IVB",
+    kind="xeon",
+    sockets=2,
+    cores_per_socket=12,
+    threads_per_core=2,
+    clock_ghz=2.7,
+    dp_flops_per_cycle=8.0,  # 4-wide DP, mul+add ports, no FMA
+    sp_flops_per_cycle=16.0,
+    ram_gb=64.0,
+    mem_bw_gbs=85.0,
+    fork_join_s=5e-6,
+    kernel_eff={
+        "dgemm": _curve(475.0 / 518.4, 60.0),
+        "dsyrk": _curve(0.85, 80.0),
+        "dtrsm": _curve(0.72, 120.0),
+        "dpotrf": _curve(0.52, 350.0),
+        "dgetrf": _curve(0.55, 350.0),
+        "cholesky_native": _curve(0.62, 2600.0),
+        "ldlt_panel": _curve(0.50, 300.0),
+        "stencil": _curve(0.28, 40.0),
+        "stencil_scalar": _curve(0.07, 40.0),  # unvectorized inner loops
+        "default": _curve(0.60, 256.0),
+    },
+)
+
+#: Dual-socket Haswell host (E5-2697v3): 28 cores, AVX2 FMA.
+#: Peak DP = 28 * 2.6 * 16 = 1164.8 GFl/s; calibrated DGEMM asymptote 902.
+HSW = Device(
+    name="HSW",
+    kind="xeon",
+    sockets=2,
+    cores_per_socket=14,
+    threads_per_core=2,
+    clock_ghz=2.6,
+    dp_flops_per_cycle=16.0,  # 4-wide DP FMA, 2 ports
+    sp_flops_per_cycle=32.0,
+    ram_gb=64.0,
+    mem_bw_gbs=110.0,
+    fork_join_s=5e-6,
+    kernel_eff={
+        "dgemm": _curve(902.0 / 1164.8, 60.0),
+        "dsyrk": _curve(0.72, 80.0),
+        "dtrsm": _curve(0.62, 120.0),
+        "dpotrf": _curve(0.44, 350.0),
+        "dgetrf": _curve(0.48, 350.0),
+        "cholesky_native": _curve(733.0 / 1164.8, 2600.0),
+        "ldlt_panel": _curve(0.42, 300.0),
+        "stencil": _curve(0.24, 40.0),
+        "stencil_scalar": _curve(0.06, 40.0),  # unvectorized inner loops
+        "default": _curve(0.55, 256.0),
+    },
+)
+
+#: Knights Corner 7120A coprocessor card: 61 cores, 512-bit SIMD FMA.
+#: Peak DP = 61 * 1.33 * 16 = 1298.1 GFl/s; calibrated DGEMM asymptote 982.
+KNC_7120A = Device(
+    name="KNC-7120A",
+    kind="knc",
+    sockets=1,
+    cores_per_socket=61,
+    threads_per_core=4,
+    clock_ghz=1.33,
+    dp_flops_per_cycle=16.0,  # 8-wide DP FMA
+    sp_flops_per_cycle=32.0,
+    ram_gb=16.0,
+    mem_bw_gbs=170.0,
+    fork_join_s=2e-5,  # forking across 244 threads is costly
+    kernel_eff={
+        "dgemm": _curve(982.0 / 1298.1, 150.0),
+        "dgemm_clblas": _curve(35.0 / 1298.1, 200.0),  # untuned clBLAS (§IV)
+        # Compiler-generated target-region matmul code (OpenMP offload /
+        # LEO) reaches ~40% of peak vs MKL's 76% — behind Fig. 3's
+        # 460/180 GFl/s OpenMP rows.
+        "dgemm_target": _curve(0.40, 220.0),
+        "dsyrk": _curve(0.68, 260.0),
+        "dtrsm": _curve(0.46, 420.0),
+        "dpotrf": _curve(0.06, 600.0),  # latency-bound panel: ship to host
+        "dgetrf": _curve(0.07, 600.0),
+        "cholesky_native": _curve(0.30, 4000.0),
+        # The vendor solver's LDL^T panel is itself blocked and GEMM-rich
+        # (unlike the generic latency-bound DPOTRF above), reaching a
+        # large fraction of peak — behind the near-parity KNC/HSW
+        # supernode times of Fig. 9.
+        "ldlt_panel": _curve(0.45, 300.0),
+        # Calibrated to the paper's optimized-RTM 1.52x KNC-vs-HSW ratio.
+        "stencil": _curve(0.33, 40.0),
+        # Unvectorized code is catastrophic on the in-order 512-bit cores:
+        # the paper's "unoptimized" RTM speedups (1.13x vs 1.52x) follow.
+        "stencil_scalar": _curve(0.055, 40.0),
+        "default": _curve(0.45, 512.0),
+    },
+)
+
+#: NVIDIA K40x GPU (CUDA comparison target).
+#: Peak DP = 15 SMX * 64 lanes * 2 * 0.875 = 1680 GFl/s.
+K40X = Device(
+    name="K40x",
+    kind="gpu",
+    sockets=1,
+    cores_per_socket=15,
+    threads_per_core=256,
+    clock_ghz=0.875,
+    dp_flops_per_cycle=128.0,  # 64 DP lanes * FMA per SMX
+    sp_flops_per_cycle=384.0,
+    ram_gb=12.0,
+    mem_bw_gbs=230.0,
+    fork_join_s=6e-6,  # kernel launch
+    kernel_eff={
+        "dgemm": _curve(1220.0 / 1680.0, 200.0),
+        "dsyrk": _curve(0.65, 240.0),
+        "dtrsm": _curve(0.45, 400.0),
+        "dpotrf": _curve(0.05, 600.0),
+        "cholesky_native": _curve(0.28, 4000.0),
+        "ldlt_panel": _curve(0.05, 500.0),
+        "stencil": _curve(0.45, 40.0),
+        "stencil_scalar": _curve(0.10, 40.0),
+        "default": _curve(0.50, 512.0),
+    },
+)
+
+_HOSTS: Dict[str, Device] = {"IVB": IVB, "HSW": HSW}
+_CARDS: Dict[str, Device] = {"KNC": KNC_7120A, "KNC-7120A": KNC_7120A, "K40X": K40X}
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A host plus coprocessor cards (PCIe) and/or remote nodes (fabric).
+
+    Remote nodes reproduce the paper's §III "offload over fabric" layer:
+    COI can carry hStreams between Xeon nodes across a cluster fabric;
+    domains on remote nodes behave exactly like card domains, just with
+    fabric latency/bandwidth on their links. The uniformity is the point
+    — "the current hStreams implementation allows the creation of
+    streams on devices residing in remote nodes (i.e., over fabric)"
+    (paper §IV).
+    """
+
+    name: str
+    host: Device
+    cards: Tuple[Device, ...] = ()
+    pcie_bandwidth_gbs: float = 6.8  # PCIe gen2 x16 achievable
+    pcie_latency_s: float = 1.0e-5
+    #: Remote Xeon nodes reached over the fabric, indexed after the cards.
+    fabric_nodes: Tuple[Device, ...] = ()
+    fabric_bandwidth_gbs: float = 5.5  # FDR InfiniBand-class achievable
+    fabric_latency_s: float = 2.0e-6
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def devices(self) -> Tuple[Device, ...]:
+        """All devices; 0 is the host, then cards, then fabric nodes."""
+        return (self.host,) + self.cards + self.fabric_nodes
+
+    @property
+    def ncards(self) -> int:
+        """Number of coprocessor cards."""
+        return len(self.cards)
+
+    @property
+    def nfabric(self) -> int:
+        """Number of fabric-attached remote nodes."""
+        return len(self.fabric_nodes)
+
+    def device(self, index: int) -> Device:
+        """Device by domain index (0 = host)."""
+        return self.devices[index]
+
+    def make_links(self, engine: Engine) -> Dict[int, LinkPair]:
+        """Instantiate one full-duplex link pair per non-host domain.
+
+        Cards ride PCIe; fabric nodes ride the cluster fabric. The host
+        needs no link to itself — host-as-target transfers are aliased
+        away, as in the paper.
+        """
+        links = {
+            i + 1: LinkPair(
+                engine,
+                self.pcie_bandwidth_gbs,
+                self.pcie_latency_s,
+                name=f"pcie[{card.name}#{i}]",
+            )
+            for i, card in enumerate(self.cards)
+        }
+        base = 1 + len(self.cards)
+        for i, node in enumerate(self.fabric_nodes):
+            links[base + i] = LinkPair(
+                engine,
+                self.fabric_bandwidth_gbs,
+                self.fabric_latency_s,
+                name=f"fabric[{node.name}#{i}]",
+            )
+        return links
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        cards = ", ".join(c.name for c in self.cards) or "no cards"
+        fabric = f" + {self.nfabric} fabric node(s)" if self.fabric_nodes else ""
+        return (
+            f"{self.name}: host {self.host.name} "
+            f"({self.host.total_cores}C, {self.host.peak_dp_gflops:.0f} GFl/s peak) "
+            f"+ {cards}{fabric}"
+        )
+
+
+def make_platform(
+    host: str = "HSW",
+    ncards: int = 1,
+    card: str = "KNC",
+    pcie_bandwidth_gbs: float = 6.8,
+    pcie_latency_s: float = 1.0e-5,
+) -> Platform:
+    """Build a platform preset, e.g. ``make_platform("HSW", ncards=2)``.
+
+    ``host`` is ``"IVB"`` or ``"HSW"``; ``card`` is ``"KNC"`` or ``"K40X"``.
+    """
+    host_key = host.upper()
+    card_key = card.upper()
+    if host_key not in _HOSTS:
+        raise ValueError(f"unknown host {host!r}; choose from {sorted(_HOSTS)}")
+    if ncards < 0:
+        raise ValueError(f"ncards must be >= 0, got {ncards}")
+    if ncards > 0 and card_key not in _CARDS:
+        raise ValueError(f"unknown card {card!r}; choose from {sorted(_CARDS)}")
+    card_dev = _CARDS[card_key] if ncards else None
+    name = host_key + (f"+{ncards}{card_key}" if ncards else "")
+    return Platform(
+        name=name,
+        host=_HOSTS[host_key],
+        cards=tuple(card_dev for _ in range(ncards)),
+        pcie_bandwidth_gbs=pcie_bandwidth_gbs,
+        pcie_latency_s=pcie_latency_s,
+    )
+
+
+def make_fabric_platform(
+    host: str = "HSW",
+    nnodes: int = 1,
+    node: str = "HSW",
+    fabric_bandwidth_gbs: float = 5.5,
+    fabric_latency_s: float = 2.0e-6,
+) -> Platform:
+    """A host plus ``nnodes`` remote Xeon nodes over the cluster fabric.
+
+    The §III configuration the paper exercised but could not report:
+    hStreams over COI between Xeon nodes. Remote nodes are ordinary
+    domains — the same streams/buffers/actions APIs work unchanged.
+    """
+    host_key, node_key = host.upper(), node.upper()
+    if host_key not in _HOSTS or node_key not in _HOSTS:
+        raise ValueError(f"host and node must be in {sorted(_HOSTS)}")
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    return Platform(
+        name=f"{host_key}+{nnodes}x{node_key}(fabric)",
+        host=_HOSTS[host_key],
+        fabric_nodes=tuple(_HOSTS[node_key] for _ in range(nnodes)),
+        fabric_bandwidth_gbs=fabric_bandwidth_gbs,
+        fabric_latency_s=fabric_latency_s,
+    )

@@ -1,0 +1,191 @@
+"""Timeline tracing for simulated and threaded schedules.
+
+A :class:`Tracer` records one :class:`TraceEvent` per action execution
+(lane = stream or link, interval = [start, end]). Benchmarks use traces to
+report utilization and overlap, and the ASCII Gantt renderer makes
+schedules inspectable in a terminal — the closest stand-in for the VTune
+timelines the paper's authors used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed action on one lane of the timeline."""
+
+    lane: str
+    start: float
+    end: float
+    label: str
+    kind: str = "compute"  # "compute" | "transfer" | "sync"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"trace event ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects trace events and answers utilization/overlap queries."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self, lane: str, start: float, end: float, label: str, kind: str = "compute"
+    ) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(lane, start, end, label, kind))
+
+    def lanes(self) -> List[str]:
+        """Lane names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.lane, None)
+        return list(seen)
+
+    def span(self) -> float:
+        """Makespan covered by the trace (max end - min start)."""
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events) - min(e.start for e in self.events)
+
+    def busy_time(self, lane: str, kind: Optional[str] = None) -> float:
+        """Union length of intervals on ``lane`` (optionally one kind)."""
+        ivs = sorted(
+            (e.start, e.end)
+            for e in self.events
+            if e.lane == lane and (kind is None or e.kind == kind)
+        )
+        total = 0.0
+        cur_s: Optional[float] = None
+        cur_e = 0.0
+        for s, e in ivs:
+            if cur_s is None:
+                cur_s, cur_e = s, e
+            elif s <= cur_e:
+                cur_e = max(cur_e, e)
+            else:
+                total += cur_e - cur_s
+                cur_s, cur_e = s, e
+        if cur_s is not None:
+            total += cur_e - cur_s
+        return total
+
+    def utilization(self, lane: str) -> float:
+        """Busy fraction of the makespan for ``lane``."""
+        span = self.span()
+        return self.busy_time(lane) / span if span > 0 else 0.0
+
+    def overlap(self, kind_a: str, kind_b: str) -> float:
+        """Total time during which kinds ``a`` and ``b`` run concurrently.
+
+        This is how benchmarks verify that transfers actually hid under
+        compute (pipelining) rather than serializing.
+        """
+        marks: List[tuple] = []
+        for ev in self.events:
+            if ev.kind == kind_a:
+                marks.append((ev.start, 0, "a"))
+                marks.append((ev.end, 1, "a"))
+            elif ev.kind == kind_b:
+                marks.append((ev.start, 0, "b"))
+                marks.append((ev.end, 1, "b"))
+        marks.sort(key=lambda t: (t[0], t[1]))
+        depth = {"a": 0, "b": 0}
+        both = 0.0
+        prev = None
+        for when, is_end, tag in marks:
+            if prev is not None and depth["a"] > 0 and depth["b"] > 0:
+                both += when - prev
+            depth[tag] += -1 if is_end else 1
+            prev = when
+        return both
+
+    def gantt(self, width: int = 78, max_lanes: int = 24) -> str:
+        """Render the trace as an ASCII Gantt chart.
+
+        Each lane is one row; ``#`` marks compute, ``=`` transfers, ``|``
+        syncs. Intended for eyeballing pipelining in examples and tests.
+        """
+        if not self.events:
+            return "(empty trace)"
+        t0 = min(e.start for e in self.events)
+        t1 = max(e.end for e in self.events)
+        span = max(t1 - t0, 1e-12)
+        glyph = {"compute": "#", "transfer": "=", "sync": "|"}
+        name_w = max(len(l) for l in self.lanes()[:max_lanes]) + 1
+        bar_w = max(width - name_w - 2, 10)
+        lines = [f"{'lane':<{name_w}} 0 {'-' * (bar_w - 4)} {span * 1e3:.3f} ms"]
+        for lane in self.lanes()[:max_lanes]:
+            row = [" "] * bar_w
+            for ev in self.events:
+                if ev.lane != lane:
+                    continue
+                a = int((ev.start - t0) / span * (bar_w - 1))
+                b = int((ev.end - t0) / span * (bar_w - 1))
+                ch = glyph.get(ev.kind, "?")
+                for i in range(a, max(b, a) + 1):
+                    row[i] = ch
+            lines.append(f"{lane:<{name_w}} {''.join(row)}")
+        extra = len(self.lanes()) - max_lanes
+        if extra > 0:
+            lines.append(f"... ({extra} more lanes)")
+        return "\n".join(lines)
+
+    def filter(self, kind: Optional[str] = None, lane: Optional[str] = None) -> Sequence[TraceEvent]:
+        """Events matching the given kind and/or lane."""
+        return [
+            e
+            for e in self.events
+            if (kind is None or e.kind == kind) and (lane is None or e.lane == lane)
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def to_chrome_trace(self) -> List[dict]:
+        """Export as Chrome ``chrome://tracing`` / Perfetto trace events.
+
+        One complete ("X") event per interval; lanes map to thread ids
+        within a single process. Serialize with ``json.dump`` into a
+        ``.json`` file and load it in the trace viewer.
+        """
+        lanes = {lane: tid for tid, lane in enumerate(self.lanes())}
+        out = []
+        for lane, tid in lanes.items():
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        for ev in self.events:
+            out.append(
+                {
+                    "name": ev.label,
+                    "cat": ev.kind,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": lanes[ev.lane],
+                    "ts": ev.start * 1e6,  # microseconds
+                    "dur": ev.duration * 1e6,
+                }
+            )
+        return out

@@ -1,0 +1,200 @@
+"""Tests for the Abaqus-like supernode solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import HStreams, make_platform
+from repro.apps.abaqus import WORKLOADS, Workload, solve_workload
+from repro.apps.abaqus.supernode import (
+    factorize_supernode,
+    k_ldlt_panel,
+    k_ldlt_update,
+    ldlt_dense,
+    supernode_flops,
+)
+
+
+def spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    M = rng.random((n, n))
+    return M @ M.T + n * np.eye(n)
+
+
+class TestLDLTKernels:
+    def test_reference_roundtrip(self):
+        A = spd(12)
+        L, d = ldlt_dense(A)
+        np.testing.assert_allclose(L @ np.diag(d) @ L.T, A, rtol=1e-9)
+        np.testing.assert_allclose(np.diag(L), 1.0)
+
+    def test_panel_kernel_matches_reference(self):
+        A = spd(8)
+        block = A.copy()
+        d = np.zeros(8)
+        k_ldlt_panel(block, d)
+        L_ref, d_ref = ldlt_dense(A)
+        np.testing.assert_allclose(d, d_ref, rtol=1e-9)
+        np.testing.assert_allclose(np.tril(block, -1), np.tril(L_ref, -1), rtol=1e-9)
+
+    def test_panel_zero_pivot(self):
+        with pytest.raises(ZeroDivisionError):
+            k_ldlt_panel(np.zeros((3, 3)), np.zeros(3))
+
+    def test_update_kernel_is_gemm_shaped(self):
+        rng = np.random.default_rng(1)
+        Bq = rng.random((5, 3))
+        Lp_low = rng.random((5, 2))
+        Lp_mid = rng.random((3, 2))
+        d = rng.random(2)
+        expect = Bq - Lp_low @ (Lp_mid * d).T
+        k_ldlt_update(Bq, Lp_low, Lp_mid, d)
+        np.testing.assert_allclose(Bq, expect)
+
+    @settings(max_examples=20)
+    @given(n=st.integers(2, 16))
+    def test_property_ldlt_reconstructs(self, n):
+        A = spd(n, seed=n)
+        L, d = ldlt_dense(A)
+        np.testing.assert_allclose(L @ np.diag(d) @ L.T, A, rtol=1e-8, atol=1e-8)
+
+
+class TestStreamedSupernode:
+    def test_numerics_on_thread_backend(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="thread", trace=False)
+        A = spd(60, seed=2)
+        res = factorize_supernode(hs, 60, 60, panel=16, domain=1, nstreams=2, data=A.copy())
+        np.testing.assert_allclose(
+            res.L @ np.diag(res.d) @ res.L.T, A, rtol=1e-8, atol=1e-8
+        )
+        hs.fini()
+
+    def test_host_as_target_numerics(self):
+        hs = HStreams(platform=make_platform("HSW", 0), backend="thread", trace=False)
+        A = spd(48, seed=3)
+        res = factorize_supernode(hs, 48, 48, panel=16, domain=0, nstreams=2, data=A.copy())
+        np.testing.assert_allclose(
+            res.L @ np.diag(res.d) @ res.L.T, A, rtol=1e-8, atol=1e-8
+        )
+        hs.fini()
+
+    def test_invalid_shapes(self):
+        hs = HStreams(backend="thread", trace=False)
+        with pytest.raises(ValueError):
+            factorize_supernode(hs, 10, 20)
+        with pytest.raises(ValueError):
+            factorize_supernode(hs, 20, 10, data=np.eye(10))
+        hs.fini()
+
+    def test_flops_formula(self):
+        # Square supernode = full LDL^T: n^2 (n - n/3) = 2n^3/3.
+        assert supernode_flops(30, 30) == pytest.approx(2 * 30**3 / 3)
+
+    def test_unsymmetric_doubles_virtual_time(self):
+        def run(scale):
+            hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+            return factorize_supernode(
+                hs, 4000, 1000, panel=250, domain=1, flop_scale=scale
+            ).elapsed_s
+
+        assert run(2.0) > 1.6 * run(1.0)
+
+    def test_fig9_runtime_ordering(self):
+        """Fig. 9: KNC ~ HSW (near parity), IVB ~ 1.9x slower than HSW."""
+        times = {}
+        for key, host, dom, nstr in [
+            ("knc", "HSW", 1, 4),
+            ("hsw", "HSW", 0, 3),
+            ("ivb", "IVB", 0, 3),
+        ]:
+            hs = HStreams(platform=make_platform(host, 1), backend="sim", trace=False)
+            total = hs.domain(dom).device.total_cores
+            wide = hs.stream_create(domain=dom, cpu_mask=range(total))
+            times[key] = factorize_supernode(
+                hs, 16384, 4096, panel=1024, domain=dom, nstreams=nstr,
+                panel_stream=wide,
+            ).elapsed_s
+        assert times["ivb"] > 1.5 * times["hsw"]  # ~1.9x in the paper
+        assert times["knc"] < 1.5 * times["hsw"]  # near parity, not 2x+
+
+
+class TestWorkloads:
+    def test_suite_has_eight(self):
+        assert len(WORKLOADS) == 8
+        assert {"s4b", "s8", "s9", "e5", "A", "B", "C", "x1"} == set(WORKLOADS)
+
+    def test_symmetric_and_unsymmetric_present(self):
+        kinds = {w.symmetric for w in WORKLOADS.values()}
+        assert kinds == {True, False}
+
+    def test_supernode_lists_are_deterministic(self):
+        w = WORKLOADS["s4b"]
+        assert w.supernodes() == w.supernodes()
+
+    def test_supernodes_sorted_ascending(self):
+        ncols = [c for _, c in WORKLOADS["s8"].supernodes()]
+        assert ncols == sorted(ncols)
+
+    def test_unsymmetric_flops_doubled(self):
+        w = WORKLOADS["A"]
+        sym_equiv = Workload(
+            name="A-sym", symmetric=True, nfronts=w.nfronts,
+            ncols_range=w.ncols_range, aspect=w.aspect,
+            small_front_fraction=w.small_front_fraction,
+            assembly_bytes_per_entry=w.assembly_bytes_per_entry,
+            solver_fraction=w.solver_fraction, seed=w.seed,
+        )
+        assert w.total_flops() == pytest.approx(2 * sym_equiv.total_flops())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload("bad", True, 4, (0, 10), 2.0, 0.1, 10.0, 0.5)
+        with pytest.raises(ValueError):
+            Workload("bad", True, 4, (10, 100), 0.5, 0.1, 10.0, 0.5)
+        with pytest.raises(ValueError):
+            Workload("bad", True, 4, (10, 100), 2.0, 0.1, 10.0, 1.5)
+
+
+class TestSolver:
+    def _small(self):
+        """A scaled-down workload so tests stay fast."""
+        return Workload(
+            name="tiny", symmetric=True, nfronts=16, ncols_range=(600, 1800),
+            aspect=2.0, small_front_fraction=0.3,
+            assembly_bytes_per_entry=40.0, solver_fraction=0.7, seed=5,
+        )
+
+    def test_offload_speeds_up_the_solver(self):
+        w = self._small()
+        hs0 = HStreams(platform=make_platform("IVB", 2), backend="sim", trace=False)
+        base = solve_workload(hs0, w, use_cards=False)
+        hs1 = HStreams(platform=make_platform("IVB", 2), backend="sim", trace=False)
+        het = solve_workload(hs1, w, use_cards=True)
+        assert het.elapsed_s < base.elapsed_s
+        assert het.offloaded_fronts > 0
+        assert base.offloaded_fronts == 0
+
+    def test_small_fronts_stay_on_host(self):
+        w = self._small()
+        hs = HStreams(platform=make_platform("HSW", 2), backend="sim", trace=False)
+        res = solve_workload(hs, w, use_cards=True)
+        assert res.host_fronts >= 3  # the 30% small-front share
+
+    def test_ivb_gains_more_than_hsw(self):
+        """Fig. 8: the weaker host sees the bigger speedup."""
+        w = self._small()
+        sp = {}
+        for host in ("IVB", "HSW"):
+            hs0 = HStreams(platform=make_platform(host, 2), backend="sim", trace=False)
+            base = solve_workload(hs0, w, use_cards=False)
+            hs1 = HStreams(platform=make_platform(host, 2), backend="sim", trace=False)
+            het = solve_workload(hs1, w, use_cards=True)
+            sp[host] = base.elapsed_s / het.elapsed_s
+        assert sp["IVB"] > sp["HSW"] > 1.0
+
+    def test_work_distribution_reported(self):
+        w = self._small()
+        hs = HStreams(platform=make_platform("HSW", 2), backend="sim", trace=False)
+        res = solve_workload(hs, w, use_cards=True)
+        assert res.flops == pytest.approx(sum(res.per_domain_flops.values()))
+        assert res.nfronts == 16

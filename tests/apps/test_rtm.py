@@ -1,0 +1,271 @@
+"""Tests for the RTM application: stencil numerics, decomposition
+correctness, the offload schemes' performance shape, and the HLIB API."""
+
+import numpy as np
+import pytest
+
+from repro import HStreams, make_platform
+from repro.apps.rtm import HLIB, decompose, run_rtm
+from repro.apps.rtm.halo import Subdomain
+from repro.apps.rtm.stencil import (
+    HALF_ORDER,
+    laplacian_8th,
+    propagate_reference,
+    propagate_slab,
+    stencil_cost,
+)
+
+
+def padded_field(nz, ny, nx, seed=0):
+    """An interior random field inside zero ghost layers."""
+    h = HALF_ORDER
+    rng = np.random.default_rng(seed)
+    p = np.zeros((nz + 2 * h, ny + 2 * h, nx + 2 * h))
+    p[h:-h, h:-h, h:-h] = rng.random((nz, ny, nx))
+    return p
+
+
+class TestStencil:
+    def test_laplacian_of_constant_is_zero(self):
+        h = HALF_ORDER
+        p = np.ones((2 * h + 6,) * 3)
+        out = np.empty((6, 6, 6))
+        laplacian_8th(p, out)
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+    def test_laplacian_of_quadratic(self):
+        # f = z^2 + 2y^2 + 3x^2 -> laplacian = 2 + 4 + 6 = 12 exactly
+        # (an 8th-order scheme is exact on polynomials of degree <= 8).
+        h = HALF_ORDER
+        n = 2 * h + 5
+        z, y, x = np.meshgrid(*(np.arange(n, dtype=float),) * 3, indexing="ij")
+        p = z**2 + 2 * y**2 + 3 * x**2
+        out = np.empty((5, 5, 5))
+        laplacian_8th(p, out)
+        np.testing.assert_allclose(out, 12.0, rtol=1e-9)
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            laplacian_8th(np.zeros((8, 8, 8)), np.zeros((0, 0, 0)))
+
+    def test_slab_union_equals_whole_step(self):
+        """Propagating [0,k) and [k,nz) slabs == propagating everything."""
+        nz, ny, nx = 16, 6, 6
+        cur = padded_field(nz, ny, nx, seed=1)
+        prev = padded_field(nz, ny, nx, seed=2)
+        whole = np.zeros_like(cur)
+        split = np.zeros_like(cur)
+        propagate_slab(whole, cur, prev, 0.1, 0, nz)
+        propagate_slab(split, cur, prev, 0.1, 0, 7)
+        propagate_slab(split, cur, prev, 0.1, 7, nz)
+        np.testing.assert_allclose(split, whole)
+
+    def test_decomposed_propagation_matches_monolithic(self):
+        """The halo/bulk machinery computes the same wavefield: split the
+        grid in two, exchange ghost planes each step, compare against the
+        single-domain reference after several steps."""
+        h = HALF_ORDER
+        nz, ny, nx = 24, 6, 6
+        vdt2 = 0.05
+        steps = 5
+        cur0 = padded_field(nz, ny, nx, seed=3)
+        prev0 = padded_field(nz, ny, nx, seed=4)
+        ref = propagate_reference(cur0, prev0, vdt2, steps)
+
+        subs = decompose(nz, ny, nx, 2, periodic=False)
+        # Local padded fields per rank.
+        local = []
+        for sub in subs:
+            csub = np.zeros((sub.nz + 2 * h, ny + 2 * h, nx + 2 * h))
+            psub = np.zeros_like(csub)
+            csub[h:-h] = cur0[h + sub.z0 : h + sub.z0 + sub.nz]
+            psub[h:-h] = prev0[h + sub.z0 : h + sub.z0 + sub.nz]
+            local.append([csub, psub, np.zeros_like(csub)])
+
+        def exchange():
+            lo, hi = local[0][0], local[1][0]
+            hi[:h] = lo[-2 * h : -h]  # rank0's top interior -> rank1's ghost
+            lo[-h:] = hi[h : 2 * h]  # rank1's bottom interior -> rank0's ghost
+
+        for _ in range(steps):
+            exchange()
+            for sub, (csub, psub, nsub) in zip(subs, local):
+                propagate_slab(nsub, csub, psub, vdt2, 0, sub.nz)
+            for slot in local:
+                slot[1], slot[0], slot[2] = slot[0], slot[2], slot[1]
+
+        got = np.concatenate([local[0][0][h:-h], local[1][0][h:-h]], axis=0)
+        np.testing.assert_allclose(got, ref[h:-h], rtol=1e-10, atol=1e-12)
+
+    def test_cost_model_flops(self):
+        assert stencil_cost(1000).flops == pytest.approx(80000.0)
+
+
+class TestDecompose:
+    def test_slabs_cover_grid(self):
+        subs = decompose(100, 8, 8, 3)
+        assert sum(s.nz for s in subs) == 100
+        assert subs[0].z0 == 0 and subs[-1].z0 + subs[-1].nz == 100
+
+    def test_periodic_gives_all_halos(self):
+        subs = decompose(64, 8, 8, 2, periodic=True)
+        assert all(s.has_lower and s.has_upper for s in subs)
+
+    def test_non_periodic_edges(self):
+        subs = decompose(64, 8, 8, 2, periodic=False)
+        assert not subs[0].has_lower and subs[0].has_upper
+        assert subs[1].has_lower and not subs[1].has_upper
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(16, 8, 8, 4)
+
+    def test_halo_ratio_grows_with_rank_count(self):
+        r2 = decompose(256, 64, 64, 2)[0].halo_ratio
+        r8 = decompose(256, 64, 64, 8)[0].halo_ratio
+        assert r8 > r2
+
+    def test_ranges(self):
+        sub = Subdomain(0, 0, 32, 8, 8, has_lower=True, has_upper=True)
+        assert sub.lower_halo_range() == (0, HALF_ORDER)
+        assert sub.upper_halo_range() == (32 - HALF_ORDER, 32)
+        assert sub.bulk_range() == (HALF_ORDER, 32 - HALF_ORDER)
+        assert sub.halo_points + sub.bulk_points == sub.total_points
+
+
+GRID = (512, 256, 256)  # small enough for fast sim tests
+
+
+def sim_rtm(ncards=1, **kw):
+    hs = HStreams(platform=make_platform("HSW", max(ncards, 1)), backend="sim", trace=False)
+    return run_rtm(hs, grid=GRID, steps=8, **kw)
+
+
+class TestSchemes:
+    def test_bad_scheme_and_exchange(self):
+        hs = HStreams(backend="sim", trace=False)
+        with pytest.raises(ValueError):
+            run_rtm(hs, scheme="magic")
+        with pytest.raises(ValueError):
+            run_rtm(hs, scheme="async", exchange="psychic")
+
+    def test_ranks_need_cards(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        with pytest.raises(ValueError):
+            run_rtm(hs, nranks=3, scheme="sync")
+
+    def test_async_pipelining_beats_sync(self):
+        """The paper's 3-10% asynchronous pipelining benefit."""
+        sync = sim_rtm(ncards=2, nranks=2, scheme="sync")
+        asyn = sim_rtm(ncards=2, nranks=2, scheme="async")
+        ratio = asyn.mpoints_per_s / sync.mpoints_per_s
+        assert 1.01 < ratio < 1.35
+
+    def test_optimized_knc_beats_host(self):
+        """Paper: 1.52x for 1 card with optimized code."""
+        host = sim_rtm(ncards=1, scheme="host")
+        card = sim_rtm(ncards=1, nranks=1, scheme="async")
+        assert 1.3 < card.mpoints_per_s / host.mpoints_per_s < 1.8
+
+    def test_unoptimized_speedup_is_lower(self):
+        """Paper: unvectorized code hurts the card far more (1.13x)."""
+        host = sim_rtm(ncards=1, scheme="host", optimized=False)
+        card = sim_rtm(ncards=1, nranks=1, scheme="async", optimized=False)
+        host_o = sim_rtm(ncards=1, scheme="host")
+        card_o = sim_rtm(ncards=1, nranks=1, scheme="async")
+        assert (card.mpoints_per_s / host.mpoints_per_s) < (
+            card_o.mpoints_per_s / host_o.mpoints_per_s
+        )
+
+    def test_four_ranks_scale(self):
+        """Paper: 6.02x for 4 ranks on 4 MICs over one host."""
+        host = sim_rtm(ncards=1, scheme="host")
+        four = sim_rtm(ncards=4, nranks=4, scheme="async")
+        assert four.mpoints_per_s / host.mpoints_per_s > 4.0
+
+    def test_dependence_beats_barrier_at_high_halo_ratio(self):
+        """§V: the FIFO-barrier scheme loses when halo/interior grows."""
+        thin = (160, 512, 512)  # thin slabs, fat faces
+        hs1 = HStreams(platform=make_platform("HSW", 4), backend="sim", trace=False)
+        dep = run_rtm(hs1, grid=thin, steps=8, nranks=4, scheme="async",
+                      exchange="dependence")
+        hs2 = HStreams(platform=make_platform("HSW", 4), backend="sim", trace=False)
+        bar = run_rtm(hs2, grid=thin, steps=8, nranks=4, scheme="async",
+                      exchange="barrier")
+        assert dep.mpoints_per_s > 1.05 * bar.mpoints_per_s
+
+    def test_result_metadata(self):
+        r = sim_rtm(ncards=1, nranks=1, scheme="async")
+        assert r.nranks == 1 and r.steps == 8
+        assert r.points == GRID[0] * GRID[1] * GRID[2]
+        assert r.halo_ratio > 0
+
+
+class TestHLIB:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            HLIB(target="fpga")
+
+    @pytest.mark.parametrize("target", ["hstreams", "cpu", "cuda"])
+    def test_same_program_runs_on_all_backends(self, target):
+        """The paper's porting claim: one HLIB program, many back ends."""
+        hl = HLIB(target=target, backend="sim")
+        hl.hl_register("wave", cost_fn=lambda *a: stencil_cost(1e6))
+        hl.hl_alloc("p", 1 << 20)
+        hl.hl_put("p")
+        hl.hl_run("wave", names=["p"], cost=stencil_cost(1e6))
+        hl.hl_get("p")
+        hl.hl_sync()
+        assert hl.hl_elapsed() > 0
+        hl.hl_free("p")
+        hl.hl_fini()
+
+    def test_functional_roundtrip_on_thread_backend(self):
+        hl = HLIB(target="hstreams", backend="thread")
+        hl.hl_register("dbl", fn=lambda x: np.multiply(x, 2.0, out=x))
+        data = np.arange(8.0)
+        out = np.zeros(8)
+        hl.hl_alloc("p", data.nbytes)
+        hl.hl_put("p", host=data)
+        hl.hl_run("dbl", names=["p"])
+        hl.hl_get("p", host=out)
+        hl.hl_sync()
+        np.testing.assert_array_equal(out, np.arange(8.0) * 2)
+        hl.hl_fini()
+
+    def test_double_alloc_rejected(self):
+        hl = HLIB(backend="sim")
+        hl.hl_alloc("p", 64)
+        with pytest.raises(ValueError):
+            hl.hl_alloc("p", 64)
+
+    def test_missing_array_rejected(self):
+        hl = HLIB(backend="sim")
+        with pytest.raises(ValueError):
+            hl.hl_put("ghost")
+
+
+class TestHlibRtmPort:
+    """§V's porting claim: one HLIB program, three back ends."""
+
+    @pytest.mark.parametrize("target", ["hstreams", "cuda", "cpu"])
+    def test_same_rtm_loop_runs_everywhere(self, target):
+        from repro.apps.rtm.hlib import hlib_rtm_steps
+
+        hl = HLIB(target=target, backend="sim",
+                  platform=make_platform("HSW", 1))
+        elapsed = hlib_rtm_steps(hl, grid=(128, 128, 128), steps=3)
+        assert elapsed > 0
+        hl.hl_fini()
+
+    def test_offload_targets_pay_for_transfers(self):
+        from repro.apps.rtm.hlib import hlib_rtm_steps
+
+        times = {}
+        for target in ("hstreams", "cpu"):
+            hl = HLIB(target=target, backend="sim",
+                      platform=make_platform("HSW", 1))
+            times[target] = hlib_rtm_steps(hl, grid=(96, 96, 96), steps=2)
+            hl.hl_fini()
+        # On a tiny grid the PCIe round trips dominate: the card loses.
+        assert times["hstreams"] > times["cpu"]

@@ -1,0 +1,94 @@
+"""Tests for the streamed LDL^T solve phase."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import HStreams, make_platform
+from repro.apps.abaqus import ldlt_solve_dense, solve_supernode
+from repro.apps.abaqus.supernode import factorize_supernode, ldlt_dense
+
+
+def spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    M = rng.random((n, n))
+    return M @ M.T + n * np.eye(n)
+
+
+def factor_and_solve(n, panel, nstreams, seed=0, domain=1):
+    A = spd(n, seed)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.random(n)
+    hs = HStreams(platform=make_platform("HSW", 1), backend="thread", trace=False)
+    fac = factorize_supernode(hs, n, n, panel=panel, domain=domain,
+                              nstreams=nstreams, data=A.copy())
+    res = solve_supernode(hs, fac, b=b, domain=domain, nstreams=nstreams)
+    hs.fini()
+    return A, b, res.x
+
+
+class TestDenseReference:
+    def test_matches_numpy(self):
+        A = spd(20)
+        b = np.arange(20.0)
+        L, d = ldlt_dense(A)
+        np.testing.assert_allclose(
+            ldlt_solve_dense(L, d, b), np.linalg.solve(A, b), rtol=1e-9
+        )
+
+
+class TestStreamedSolve:
+    @pytest.mark.parametrize("n,panel,nstreams", [
+        (48, 16, 1), (48, 16, 3), (96, 24, 3), (96, 40, 2),
+    ])
+    def test_matches_numpy(self, n, panel, nstreams):
+        A, b, x = factor_and_solve(n, panel, nstreams)
+        np.testing.assert_allclose(x, np.linalg.solve(A, b),
+                                   rtol=1e-8, atol=1e-10)
+
+    def test_host_as_target(self):
+        A, b, x = factor_and_solve(60, 20, 2, domain=0)
+        np.testing.assert_allclose(x, np.linalg.solve(A, b),
+                                   rtol=1e-8, atol=1e-10)
+
+    def test_rhs_is_not_modified(self):
+        n = 48
+        A = spd(n)
+        b = np.arange(float(n))
+        hs = HStreams(platform=make_platform("HSW", 1), backend="thread",
+                      trace=False)
+        fac = factorize_supernode(hs, n, n, panel=16, domain=1, data=A.copy())
+        solve_supernode(hs, fac, b=b, domain=1)
+        hs.fini()
+        np.testing.assert_array_equal(b, np.arange(float(n)))
+
+    def test_trapezoidal_factor_rejected(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim",
+                      trace=False)
+        fac = factorize_supernode(hs, 2000, 1000, panel=500, domain=1)
+        with pytest.raises(ValueError):
+            solve_supernode(hs, fac)
+
+    def test_bad_rhs_shape(self):
+        n = 32
+        hs = HStreams(platform=make_platform("HSW", 1), backend="thread",
+                      trace=False)
+        fac = factorize_supernode(hs, n, n, panel=16, domain=1,
+                                  data=spd(n).copy())
+        with pytest.raises(ValueError):
+            solve_supernode(hs, fac, b=np.zeros(n + 1), domain=1)
+        hs.fini()
+
+    def test_sim_backend_times_the_solve(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim",
+                      trace=False)
+        fac = factorize_supernode(hs, 8000, 8000, panel=1000, domain=1)
+        res = solve_supernode(hs, fac, domain=1)
+        assert res.elapsed_s > 0 and res.x is None
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(8, 64), panel=st.integers(4, 32), seed=st.integers(0, 99))
+    def test_property_streamed_solve_is_exact(self, n, panel, seed):
+        A, b, x = factor_and_solve(n, min(panel, n), 2, seed=seed)
+        np.testing.assert_allclose(x, np.linalg.solve(A, b),
+                                   rtol=1e-7, atol=1e-8)

@@ -1,0 +1,80 @@
+"""Tests for the sparse solver's internals: batching, memory lifecycle,
+assembly costs, and placement policy."""
+
+import pytest
+
+from repro import HStreams, make_platform
+from repro.apps.abaqus.solver import _assembly_cost, solve_workload
+from repro.apps.abaqus.workloads import Workload
+
+
+def tiny_workload(**overrides) -> Workload:
+    kw = dict(
+        name="t", symmetric=True, nfronts=9, ncols_range=(400, 1200),
+        aspect=2.0, small_front_fraction=0.34,
+        assembly_bytes_per_entry=40.0, solver_fraction=0.7, seed=4,
+    )
+    kw.update(overrides)
+    return Workload(**kw)
+
+
+class TestAssemblyCost:
+    def test_bandwidth_bound(self):
+        cost = _assembly_cost(1000, 500, 48.0)
+        assert cost.bytes_moved == 1000 * 500 * 48.0
+        assert cost.flops < cost.bytes_moved  # traffic dominates
+
+    def test_scales_with_front_size(self):
+        small = _assembly_cost(100, 50, 40.0)
+        big = _assembly_cost(1000, 500, 40.0)
+        assert big.bytes_moved == 100 * small.bytes_moved
+
+
+class TestBatching:
+    def test_buffers_released_between_batches(self):
+        """The bounded working set: after the run, no front buffers
+        linger (scratch + blocks are all destroyed)."""
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        before = len(hs.buffers)
+        solve_workload(hs, tiny_workload(), batch=3)
+        assert len(hs.buffers) == before
+
+    def test_batch_boundary_at_exact_multiple(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        res = solve_workload(hs, tiny_workload(nfronts=6), batch=3)
+        assert res.nfronts == 6
+        assert len(hs.buffers) == 0
+
+    def test_smaller_batches_cost_some_pipelining(self):
+        w = tiny_workload(nfronts=12)
+        hs1 = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        tight = solve_workload(hs1, w, batch=1)
+        hs2 = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        loose = solve_workload(hs2, w, batch=12)
+        assert loose.elapsed_s <= tight.elapsed_s * 1.02
+
+
+class TestPlacement:
+    def test_per_domain_flops_follow_rates(self):
+        """With two identical cards, neither gets everything."""
+        hs = HStreams(platform=make_platform("HSW", 2), backend="sim", trace=False)
+        res = solve_workload(hs, tiny_workload(nfronts=12, small_front_fraction=0.0))
+        card_flops = [res.per_domain_flops[1], res.per_domain_flops[2]]
+        assert min(card_flops) > 0
+        assert max(card_flops) < res.flops
+
+    def test_no_cards_means_all_host(self):
+        hs = HStreams(platform=make_platform("HSW", 0), backend="sim", trace=False)
+        res = solve_workload(hs, tiny_workload(), use_cards=True)
+        assert res.offloaded_fronts == 0
+        assert res.per_domain_flops[0] == pytest.approx(res.flops)
+
+    def test_unsymmetric_doubles_front_flops(self):
+        sym = tiny_workload()
+        unsym = tiny_workload(symmetric=False)
+        hs1 = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        r_sym = solve_workload(hs1, sym)
+        hs2 = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        r_unsym = solve_workload(hs2, unsym)
+        assert r_unsym.flops == pytest.approx(2 * r_sym.flops)
+        assert r_unsym.elapsed_s > r_sym.elapsed_s

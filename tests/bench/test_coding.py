@@ -1,0 +1,62 @@
+"""Tests for the Fig. 3 coding-comparison analyzer."""
+
+import pytest
+
+from repro.bench.coding import (
+    IMPLEMENTATIONS,
+    PAPER_FIG3,
+    PHASES,
+    analyze,
+)
+
+
+class TestAnalyzer:
+    def test_all_models_analyzable(self):
+        for model in IMPLEMENTATIONS:
+            m = analyze(model)
+            assert m.total_lines > 0
+            assert m.total_api_calls >= m.unique_apis > 0
+
+    def test_phases_are_the_papers(self):
+        m = analyze("hStreams")
+        assert set(m.lines_per_phase) == set(PHASES)
+
+    def test_hstreams_phase_breakdown(self):
+        """Fig. 3's top block: hStreams has code in every phase group."""
+        m = analyze("hStreams")
+        for phase in ("Initialization", "Data alloc", "Data transfers",
+                      "Synchronization", "Data dealloc", "Finalization"):
+            assert m.lines_per_phase[phase] > 0, phase
+
+    def test_ompss_only_computation_and_sync(self):
+        m = analyze("OmpSs")
+        busy = {p for p, c in m.lines_per_phase.items() if c > 0}
+        assert busy == {"Computation", "Synchronization"}
+
+    def test_cuda_needs_explicit_finalization(self):
+        """Events and streams must be destroyed: CUDA's finalization
+        phase is the largest of all models (paper's point about explicit
+        creation/destruction)."""
+        cuda = analyze("CUDA")
+        hstr = analyze("hStreams")
+        assert cuda.lines_per_phase["Finalization"] > hstr.lines_per_phase["Finalization"]
+
+    def test_relative_orderings_match_paper(self):
+        lines = {m: analyze(m).total_lines for m in IMPLEMENTATIONS}
+        paper = {m: PAPER_FIG3[m][0] for m in IMPLEMENTATIONS}
+        # The paper's ranking by code volume survives translation.
+        rank = sorted(lines, key=lines.get)
+        paper_rank = sorted(paper, key=paper.get)
+        assert rank[0] == paper_rank[0] == "OMP 4.0"
+        assert set(rank[-2:]) == set(paper_rank[-2:]) == {"CUDA", "OpenCL"}
+
+    def test_unique_api_counts_reasonable(self):
+        assert analyze("hStreams").unique_apis == 8  # matches the paper exactly
+        assert analyze("OMP 4.0").unique_apis == 1
+
+
+class TestImplementationsRun:
+    @pytest.mark.parametrize("model", list(IMPLEMENTATIONS))
+    def test_small_instance_runs(self, model):
+        elapsed = IMPLEMENTATIONS[model](n=3000, tile=1500)
+        assert elapsed > 0

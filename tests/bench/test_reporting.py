@@ -1,0 +1,82 @@
+"""Tests for the benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import ComparisonTable, Series, ascii_plot, format_table
+
+
+class TestSeries:
+    def test_add_and_peaks(self):
+        s = Series("x")
+        s.add(1, 10.0)
+        s.add(2, 30.0)
+        s.add(3, 20.0)
+        assert s.peak == 30.0
+        assert s.final == 20.0
+
+    def test_empty_series(self):
+        s = Series("empty")
+        assert s.peak == 0.0 and s.final == 0.0
+
+
+class TestComparisonTable:
+    def test_ratio_computed(self):
+        t = ComparisonTable("t")
+        t.add("a", 100.0, 90.0)
+        assert t.rows[0]["ratio"] == pytest.approx(0.9)
+
+    def test_paperless_row(self):
+        t = ComparisonTable("t")
+        t.add("a", None, 5.0)
+        assert t.rows[0]["ratio"] is None
+        assert "-" in t.render()
+
+    def test_render_contains_all_rows(self):
+        t = ComparisonTable("my title", unit="GF/s")
+        t.add("config-one", 10.0, 12.0)
+        t.add("config-two", 20.0, 18.0)
+        text = t.render()
+        assert "my title" in text and "config-one" in text and "GF/s" in text
+
+    def test_max_deviation(self):
+        t = ComparisonTable("t")
+        t.add("a", 100.0, 90.0)   # 10%
+        t.add("b", 100.0, 130.0)  # 30%
+        t.add("c", None, 5.0)     # ignored
+        assert t.max_deviation() == pytest.approx(0.30)
+
+    def test_max_deviation_empty(self):
+        assert ComparisonTable("t").max_deviation() == 0.0
+
+
+class TestAsciiPlot:
+    def test_plots_all_series_glyphs(self):
+        s1 = Series("alpha")
+        s2 = Series("beta")
+        for i in range(5):
+            s1.add(i, i * 2.0)
+            s2.add(i, 10.0 - i)
+        text = ascii_plot([s1, s2], width=40, height=8, title="demo")
+        assert "demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "*" in text and "o" in text
+
+    def test_empty(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_single_point(self):
+        s = Series("p")
+        s.add(1.0, 1.0)
+        assert "p" in ascii_plot([s], width=20, height=5)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:3])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

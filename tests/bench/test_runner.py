@@ -1,0 +1,30 @@
+"""Tests for the sweep helpers."""
+
+from repro.bench.runner import grid_sweep, sweep
+
+
+class TestSweep:
+    def test_series_built_in_order(self):
+        s = sweep("sq", lambda x: x * x, [1, 2, 3])
+        assert s.label == "sq"
+        assert s.x == [1, 2, 3]
+        assert s.y == [1, 4, 9]
+
+    def test_empty_axis(self):
+        s = sweep("empty", lambda x: x, [])
+        assert s.x == [] and s.peak == 0.0
+
+
+class TestGridSweep:
+    def test_cartesian_product(self):
+        out = grid_sweep(lambda a, b: a * 10 + b, {"a": [1, 2], "b": [3, 4]})
+        assert out == {(1, 3): 13, (1, 4): 14, (2, 3): 23, (2, 4): 24}
+
+    def test_axis_order_follows_mapping(self):
+        out = grid_sweep(lambda b, a: (a, b), {"b": [1], "a": [2]})
+        assert list(out) == [(1, 2)]  # (b, a) order
+        assert out[(1, 2)] == (2, 1)
+
+    def test_single_axis(self):
+        out = grid_sweep(lambda n: n + 1, {"n": [0, 5]})
+        assert out == {(0,): 1, (5,): 6}

@@ -1,0 +1,204 @@
+"""Tests for the SCIF/COI plumbing layers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coi.buffer_pool import BufferPool
+from repro.coi.coi import COIContext
+from repro.coi.scif import ScifFabric
+from repro.sim.engine import Engine
+from repro.sim.platforms import make_platform
+
+
+def make_fabric(ncards=2):
+    eng = Engine()
+    platform = make_platform("HSW", ncards=ncards)
+    return eng, ScifFabric(eng, platform.make_links(eng), host_mem_bw_gbs=100.0)
+
+
+class TestScif:
+    def test_message_latency(self):
+        eng, fabric = make_fabric()
+        done = []
+        fabric.message(0, 1).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done[0] > 0
+
+    def test_local_message_is_free(self):
+        eng, fabric = make_fabric()
+        done = []
+        fabric.message(0, 0).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(0.0)]
+
+    def test_dma_occupies_one_direction(self):
+        eng, fabric = make_fabric()
+        finish = []
+        fabric.dma(0, 1, int(6.8e9)).add_callback(lambda e: finish.append(eng.now))
+        fabric.dma(0, 1, int(6.8e9)).add_callback(lambda e: finish.append(eng.now))
+        eng.run()
+        assert finish[1] == pytest.approx(2 * finish[0], rel=1e-4)
+
+    def test_dma_duplex_directions_overlap(self):
+        eng, fabric = make_fabric()
+        finish = {}
+        fabric.dma(0, 1, int(6.8e9)).add_callback(lambda e: finish.setdefault("h2d", eng.now))
+        fabric.dma(1, 0, int(6.8e9)).add_callback(lambda e: finish.setdefault("d2h", eng.now))
+        eng.run()
+        assert finish["h2d"] == pytest.approx(finish["d2h"])
+
+    def test_dma_between_different_cards_is_rejected(self):
+        _, fabric = make_fabric()
+        with pytest.raises(ValueError):
+            fabric.dma(1, 2, 100)
+
+    def test_unknown_node_rejected(self):
+        _, fabric = make_fabric()
+        with pytest.raises(ValueError):
+            fabric.dma(0, 9, 100)
+
+    def test_local_dma_is_free(self):
+        eng, fabric = make_fabric()
+        done = []
+        fabric.dma(1, 1, 1 << 30).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(0.0)]
+
+    def test_host_copy_at_memory_bandwidth(self):
+        eng, fabric = make_fabric()
+        done = []
+        fabric.host_copy(int(100e9)).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_counters(self):
+        eng, fabric = make_fabric()
+        fabric.message(0, 1)
+        fabric.dma(0, 1, 10)
+        eng.run()
+        assert fabric.message_count == 1 and fabric.dma_count == 1
+
+
+class TestBufferPool:
+    def cost(self, nbytes):
+        return 1e-4 + nbytes * 1e-12
+
+    def test_first_acquire_pays(self):
+        pool = BufferPool(2 << 20, self.cost)
+        assert pool.acquire(1, 1 << 20) > 0
+
+    def test_release_then_acquire_is_free(self):
+        pool = BufferPool(2 << 20, self.cost)
+        pool.acquire(1, 3 << 20)  # 2 chunks
+        pool.release(1, 3 << 20)
+        assert pool.acquire(1, 4 << 20) == pytest.approx(0.0)
+
+    def test_partial_reuse_pays_for_the_shortfall(self):
+        pool = BufferPool(2 << 20, self.cost)
+        pool.acquire(1, 2 << 20)  # 1 chunk
+        pool.release(1, 2 << 20)
+        cost = pool.acquire(1, 6 << 20)  # needs 3, has 1
+        assert cost == pytest.approx(self.cost(2 * (2 << 20)))
+
+    def test_pools_are_per_domain(self):
+        pool = BufferPool(2 << 20, self.cost)
+        pool.acquire(1, 2 << 20)
+        pool.release(1, 2 << 20)
+        assert pool.acquire(2, 2 << 20) > 0  # domain 2 has no recycled chunks
+
+    def test_disabled_pool_always_pays(self):
+        pool = BufferPool(2 << 20, self.cost, enabled=False)
+        pool.acquire(1, 2 << 20)
+        pool.release(1, 2 << 20)
+        assert pool.acquire(1, 2 << 20) > 0
+
+    def test_chunks_for_rounds_up(self):
+        pool = BufferPool(2 << 20, self.cost)
+        assert pool.chunks_for(1) == 1
+        assert pool.chunks_for(2 << 20) == 1
+        assert pool.chunks_for((2 << 20) + 1) == 2
+
+    def test_stats(self):
+        pool = BufferPool(2 << 20, self.cost)
+        pool.acquire(1, 2 << 20)
+        pool.release(1, 2 << 20)
+        pool.acquire(1, 2 << 20)
+        assert pool.fresh_allocations == 1
+        assert pool.recycled_allocations == 1
+
+    @given(sizes=st.lists(st.integers(1, 32 << 20), min_size=1, max_size=20))
+    def test_property_acquire_release_cycle_conserves_chunks(self, sizes):
+        pool = BufferPool(2 << 20, self.cost)
+        total = 0
+        for s in sizes:
+            pool.acquire(1, s)
+            total += pool.chunks_for(s)
+        for s in sizes:
+            pool.release(1, s)
+        assert pool.free_chunks(1) == total
+
+
+class TestCOI:
+    def make_ctx(self):
+        eng, fabric = make_fabric()
+        pool = BufferPool(2 << 20, lambda n: 1e-4)
+        return eng, COIContext(eng, fabric, pool, domains=3)
+
+    def test_spawn_costs_only_for_cards(self):
+        _, ctx = self.make_ctx()
+        assert ctx.processes[0].spawn_cost_s == 0.0
+        assert ctx.processes[1].spawn_cost_s > 0
+        assert ctx.init_cost_s == pytest.approx(2 * ctx.processes[1].spawn_cost_s)
+
+    def test_pipeline_runs_in_order(self):
+        eng, ctx = self.make_ctx()
+        pipe = ctx.pipeline(1)
+        finish = []
+        pipe.run_function(0.5).add_callback(lambda e: finish.append(("a", eng.now)))
+        pipe.run_function(0.5).add_callback(lambda e: finish.append(("b", eng.now)))
+        eng.run()
+        assert finish[0][0] == "a"
+        assert finish[1][1] > finish[0][1]
+
+    def test_two_pipelines_run_concurrently(self):
+        eng, ctx = self.make_ctx()
+        p1, p2 = ctx.pipeline(1), ctx.pipeline(1)
+        finish = []
+        p1.run_function(1.0).add_callback(lambda e: finish.append(eng.now))
+        p2.run_function(1.0).add_callback(lambda e: finish.append(eng.now))
+        eng.run()
+        assert max(finish) < 1.5  # not serialized to ~2s
+
+    def test_pipeline_unknown_domain(self):
+        _, ctx = self.make_ctx()
+        with pytest.raises(ValueError):
+            ctx.pipeline(9)
+
+    def test_buffer_create_cost_card_vs_host(self):
+        _, ctx = self.make_ctx()
+        _, cost_card = ctx.buffer_create(1, 1 << 20)
+        _, cost_host = ctx.buffer_create(0, 1 << 20)
+        assert cost_card > 0 and cost_host == 0.0
+
+    def test_buffer_destroy_recycles(self):
+        _, ctx = self.make_ctx()
+        buf, _ = ctx.buffer_create(1, 2 << 20)
+        ctx.buffer_destroy(buf)
+        _, cost = ctx.buffer_create(1, 2 << 20)
+        assert cost == pytest.approx(0.0)
+
+    def test_double_destroy_rejected(self):
+        _, ctx = self.make_ctx()
+        buf, _ = ctx.buffer_create(1, 8)
+        ctx.buffer_destroy(buf)
+        with pytest.raises(ValueError):
+            ctx.buffer_destroy(buf)
+
+    def test_on_start_runs_when_slot_granted(self):
+        eng, ctx = self.make_ctx()
+        pipe = ctx.pipeline(1)
+        starts = []
+        pipe.run_function(1.0, on_start=lambda: starts.append(eng.now))
+        pipe.run_function(1.0, on_start=lambda: starts.append(eng.now))
+        eng.run()
+        assert starts[1] >= starts[0] + 1.0

@@ -1,0 +1,154 @@
+"""Tests for operands, conflict rules, and action types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.actions import (
+    Action,
+    ActionKind,
+    Operand,
+    OperandMode,
+    as_operands,
+)
+from repro.core.buffer import Buffer, ProxyAddressSpace
+from repro.core.errors import HStreamsBadArgument
+
+
+@pytest.fixture()
+def buf():
+    return Buffer(ProxyAddressSpace(), nbytes=1024, name="b")
+
+
+@pytest.fixture()
+def buf2():
+    return Buffer(ProxyAddressSpace(), nbytes=1024, name="b2")
+
+
+class TestOperandModes:
+    def test_in_reads_only(self):
+        assert OperandMode.IN.reads and not OperandMode.IN.writes
+
+    def test_out_writes_only(self):
+        assert OperandMode.OUT.writes and not OperandMode.OUT.reads
+
+    def test_inout_both(self):
+        assert OperandMode.INOUT.reads and OperandMode.INOUT.writes
+
+
+class TestOperand:
+    def test_range_validation(self, buf):
+        with pytest.raises(HStreamsBadArgument):
+            Operand(buf, -1, 10)
+        with pytest.raises(HStreamsBadArgument):
+            Operand(buf, 1000, 100)  # runs past the end
+
+    def test_end(self, buf):
+        assert Operand(buf, 100, 50).end == 150
+
+    def test_overlap_same_buffer(self, buf):
+        a = Operand(buf, 0, 100)
+        b = Operand(buf, 50, 100)
+        c = Operand(buf, 100, 100)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open ranges: [0,100) vs [100,200)
+
+    def test_no_overlap_across_buffers(self, buf, buf2):
+        assert not Operand(buf, 0, 100).overlaps(Operand(buf2, 0, 100))
+
+    def test_conflict_requires_a_writer(self, buf):
+        r1 = Operand(buf, 0, 100, OperandMode.IN)
+        r2 = Operand(buf, 50, 100, OperandMode.IN)
+        w = Operand(buf, 50, 100, OperandMode.OUT)
+        assert not r1.conflicts_with(r2)  # read-read never conflicts
+        assert r1.conflicts_with(w)
+        assert w.conflicts_with(r1)
+
+    def test_proxy_address(self, buf):
+        op = Operand(buf, 64, 8)
+        assert op.proxy_address == buf.proxy_base + 64
+
+    def test_zero_length_operand_never_overlaps(self, buf):
+        z = Operand(buf, 10, 0)
+        assert not z.overlaps(Operand(buf, 0, 100))
+
+    @given(
+        o1=st.integers(0, 900),
+        n1=st.integers(1, 100),
+        o2=st.integers(0, 900),
+        n2=st.integers(1, 100),
+    )
+    def test_property_overlap_is_symmetric(self, o1, n1, o2, n2):
+        space = ProxyAddressSpace()
+        b = Buffer(space, nbytes=1024)
+        a = Operand(b, o1, n1)
+        c = Operand(b, o2, n2)
+        assert a.overlaps(c) == c.overlaps(a)
+
+    @given(
+        o1=st.integers(0, 900),
+        n1=st.integers(1, 100),
+        o2=st.integers(0, 900),
+        n2=st.integers(1, 100),
+    )
+    def test_property_overlap_matches_interval_math(self, o1, n1, o2, n2):
+        space = ProxyAddressSpace()
+        b = Buffer(space, nbytes=1024)
+        expected = max(o1, o2) < min(o1 + n1, o2 + n2)
+        assert Operand(b, o1, n1).overlaps(Operand(b, o2, n2)) == expected
+
+
+class TestActionConflicts:
+    def _compute(self, ops, barrier=False):
+        return Action(
+            kind=ActionKind.SYNC if barrier else ActionKind.COMPUTE,
+            stream=None,
+            operands=tuple(ops),
+            barrier=barrier,
+        )
+
+    def test_disjoint_actions_do_not_conflict(self, buf):
+        a = self._compute([Operand(buf, 0, 100, OperandMode.OUT)])
+        b = self._compute([Operand(buf, 200, 100, OperandMode.OUT)])
+        assert not a.conflicts_with(b)
+
+    def test_overlapping_writer_conflicts(self, buf):
+        a = self._compute([Operand(buf, 0, 100, OperandMode.OUT)])
+        b = self._compute([Operand(buf, 50, 100, OperandMode.IN)])
+        assert a.conflicts_with(b)
+
+    def test_barrier_conflicts_with_everything(self, buf):
+        bar = self._compute([], barrier=True)
+        other = self._compute([Operand(buf, 0, 8, OperandMode.IN)])
+        assert bar.conflicts_with(other)
+        assert other.conflicts_with(bar)
+
+    def test_multi_operand_any_pair_conflicts(self, buf, buf2):
+        a = self._compute(
+            [Operand(buf, 0, 64, OperandMode.IN), Operand(buf2, 0, 64, OperandMode.OUT)]
+        )
+        b = self._compute([Operand(buf2, 32, 64, OperandMode.IN)])
+        assert a.conflicts_with(b)
+
+    def test_display_labels(self, buf):
+        a = self._compute([])
+        assert "#" in a.display
+        labeled = Action(kind=ActionKind.COMPUTE, stream=None, label="my-task")
+        assert labeled.display == "my-task"
+
+    def test_action_seq_monotonic(self):
+        a = Action(kind=ActionKind.COMPUTE, stream=None)
+        b = Action(kind=ActionKind.COMPUTE, stream=None)
+        assert b.seq > a.seq
+
+
+class TestAsOperands:
+    def test_passthrough_and_buffer_promotion(self, buf):
+        op = Operand(buf, 0, 8, OperandMode.IN)
+        out = as_operands([op, buf])
+        assert out[0] is op
+        assert out[1].nbytes == buf.nbytes
+        assert out[1].mode is OperandMode.INOUT
+
+    def test_rejects_garbage(self):
+        with pytest.raises(HStreamsBadArgument):
+            as_operands([42])

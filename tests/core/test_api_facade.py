@@ -1,0 +1,202 @@
+"""Tests for the C-style hStreams API facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import api as hstr
+from repro.core.errors import (
+    HStreamsBadArgument,
+    HStreamsNotFound,
+    HStreamsNotInitialized,
+)
+from repro.sim.platforms import make_platform
+
+
+@pytest.fixture(autouse=True)
+def clean_global_runtime():
+    """Every test gets a fresh process-global runtime."""
+    if hstr.hStreams_IsInitialized():
+        hstr.hStreams_Fini()
+    yield
+    if hstr.hStreams_IsInitialized():
+        hstr.hStreams_Fini()
+
+
+def app_init(**kw):
+    return hstr.hStreams_app_init(
+        2, 1, platform=make_platform("HSW", 2), backend="thread", **kw
+    )
+
+
+class TestLifecycle:
+    def test_api_before_init_raises(self):
+        with pytest.raises(HStreamsNotInitialized):
+            hstr.runtime()
+
+    def test_double_init_rejected(self):
+        hstr.hStreams_Init(backend="thread")
+        with pytest.raises(HStreamsBadArgument):
+            hstr.hStreams_Init(backend="thread")
+
+    def test_fini_is_idempotent(self):
+        hstr.hStreams_Init(backend="thread")
+        hstr.hStreams_Fini()
+        hstr.hStreams_Fini()
+        assert not hstr.hStreams_IsInitialized()
+
+    def test_app_init_creates_streams_per_domain(self):
+        ids = app_init()
+        assert len(ids) == 4  # 2 per card, 2 cards
+        assert ids == sorted(ids)
+
+    def test_app_init_auto_initializes(self):
+        assert not hstr.hStreams_IsInitialized()
+        app_init()
+        assert hstr.hStreams_IsInitialized()
+
+
+class TestDiscovery:
+    def test_phys_domain_count(self):
+        app_init()
+        ncards, host = hstr.hStreams_GetNumPhysDomains()
+        assert (ncards, host) == (2, 0)
+
+    def test_domain_details(self):
+        app_init()
+        props = hstr.hStreams_GetPhysDomainDetails(1)
+        assert props["kind"] == "knc" and props["cores"] == 61
+
+
+class TestBuffersByProxyAddress:
+    def test_create_and_dealloc(self):
+        app_init()
+        addr = hstr.hStreams_app_create_buf(nbytes=1024)
+        assert addr > 0
+        hstr.hStreams_DeAlloc(addr)
+        with pytest.raises(Exception):
+            hstr.hStreams_DeAlloc(addr)
+
+    def test_interior_address_resolves_to_same_buffer(self):
+        app_init()
+        addr = hstr.hStreams_app_create_buf(nbytes=1024)
+        hstr.hStreams_DeAlloc(addr + 512)  # interior address: same buffer
+        rt = hstr.runtime()
+        assert len(rt.buffers) == 0
+
+    def test_xfer_endpoints_must_share_a_buffer(self):
+        ids = app_init()
+        a1 = hstr.hStreams_app_create_buf(nbytes=64)
+        a2 = hstr.hStreams_app_create_buf(nbytes=64)
+        with pytest.raises(HStreamsBadArgument):
+            hstr.hStreams_app_xfer_memory(ids[0], a1, a2, 64, hstr.HSTR_SRC_TO_SINK)
+
+
+class TestRoundTrip:
+    def test_port_shaped_program(self):
+        """A program shaped like the paper's C examples: xfer, invoke
+        with scalar + heap args, event wait, xfer back, sync."""
+        ids = app_init()
+        hstr.hStreams_RegisterSinkFunction(
+            "scale", fn=lambda f, buf: np.multiply(buf, f, out=buf)
+        )
+        data = np.arange(16.0)
+        addr = hstr.hStreams_app_create_buf(array=data)
+        s = ids[0]
+        hstr.hStreams_app_xfer_memory(s, addr, addr, data.nbytes, hstr.HSTR_SRC_TO_SINK)
+        ev = hstr.hStreams_app_invoke(s, "scale", scalar_args=(3.0,),
+                                      heap_args=[addr], heap_nbytes=[data.nbytes])
+        hstr.hStreams_app_event_wait([ev])
+        hstr.hStreams_app_xfer_memory(s, addr, addr, data.nbytes, hstr.HSTR_SINK_TO_SRC)
+        hstr.hStreams_app_thread_sync()
+        np.testing.assert_array_equal(data, 3.0 * np.arange(16.0))
+
+    def test_invoke_with_scalars_and_heap_args(self):
+        ids = app_init()
+        hstr.hStreams_RegisterSinkFunction(
+            "fill", fn=lambda v, buf: buf.view(np.float64).fill(v)
+        )
+        data = np.zeros(8)
+        addr = hstr.hStreams_app_create_buf(array=data)
+        s = ids[0]
+        hstr.hStreams_app_invoke(s, "fill", scalar_args=(7.0,), heap_args=[addr])
+        hstr.hStreams_app_xfer_memory(s, addr, addr, 64, hstr.HSTR_SINK_TO_SRC)
+        hstr.hStreams_app_thread_sync()
+        np.testing.assert_array_equal(data, 7.0 * np.ones(8))
+
+    def test_memset_memcpy(self):
+        ids = app_init()
+        s = ids[0]
+        data = np.zeros(16, dtype=np.uint8)
+        other = np.zeros(16, dtype=np.uint8)
+        a1 = hstr.hStreams_app_create_buf(array=data)
+        a2 = hstr.hStreams_app_create_buf(array=other)
+        hstr.hStreams_app_memset(s, a1, 0xAB, 16)
+        hstr.hStreams_app_memcpy(s, a2, a1, 16)
+        hstr.hStreams_app_xfer_memory(s, a2, a2, 16, hstr.HSTR_SINK_TO_SRC)
+        hstr.hStreams_app_thread_sync()
+        assert (other == 0xAB).all()
+
+    def test_app_dgemm(self):
+        ids = app_init()
+        s = ids[0]
+        rng = np.random.default_rng(0)
+        A, B = rng.random((4, 3)), rng.random((3, 5))
+        C = np.zeros((4, 5))
+        aa = hstr.hStreams_app_create_buf(array=A)
+        ab = hstr.hStreams_app_create_buf(array=B)
+        ac = hstr.hStreams_app_create_buf(array=C)
+        for addr, arr in [(aa, A), (ab, B), (ac, C)]:
+            hstr.hStreams_app_xfer_memory(s, addr, addr, arr.nbytes,
+                                          hstr.HSTR_SRC_TO_SINK)
+        hstr.hStreams_app_dgemm(s, 4, 5, 3, 2.0, aa, ab, 0.0, ac)
+        hstr.hStreams_app_xfer_memory(s, ac, ac, C.nbytes, hstr.HSTR_SINK_TO_SRC)
+        hstr.hStreams_app_thread_sync()
+        np.testing.assert_allclose(C, 2.0 * A @ B, rtol=1e-12)
+
+
+class TestCoreApi:
+    def test_stream_create_and_sync(self):
+        hstr.hStreams_Init(platform=make_platform("HSW", 1), backend="thread")
+        sid = hstr.hStreams_StreamCreate(domain=1, ncores=8)
+        hstr.hStreams_RegisterSinkFunction("noop", fn=lambda: None)
+        hstr.hStreams_EnqueueCompute(sid, "noop")
+        hstr.hStreams_StreamSynchronize(sid)
+        hstr.hStreams_ThreadSynchronize()
+
+    def test_unknown_stream_id(self):
+        hstr.hStreams_Init(backend="thread")
+        with pytest.raises(HStreamsNotFound):
+            hstr.hStreams_StreamSynchronize(99)
+
+    def test_alloc1d_eager_domains(self):
+        hstr.hStreams_Init(platform=make_platform("HSW", 1), backend="thread")
+        addr = hstr.hStreams_Alloc1D(4096, domains=[1])
+        buf, _ = hstr.runtime().proxy_space.resolve(addr)
+        assert buf.instantiated_in(1)
+
+    def test_event_stream_wait_with_addr_scope(self):
+        hstr.hStreams_Init(platform=make_platform("HSW", 2), backend="thread")
+        s1 = hstr.hStreams_StreamCreate(domain=1, ncores=8)
+        s2 = hstr.hStreams_StreamCreate(domain=2, ncores=8)
+        hstr.hStreams_RegisterSinkFunction("noop", fn=lambda *a: None)
+        a1 = hstr.hStreams_Alloc1D(64)
+        ev = hstr.hStreams_EnqueueData1D(s1, a1, 64, hstr.HSTR_SRC_TO_SINK)
+        hstr.hStreams_EventStreamWait(s2, [ev], addrs=[a1])
+        hstr.hStreams_ThreadSynchronize()
+
+    def test_enqueue_data1d_partial_range(self):
+        hstr.hStreams_Init(platform=make_platform("HSW", 1), backend="thread")
+        sid = hstr.hStreams_StreamCreate(domain=1, ncores=8)
+        addr = hstr.hStreams_Alloc1D(1024)
+        ev = hstr.hStreams_EnqueueData1D(sid, addr + 256, 128, hstr.HSTR_SRC_TO_SINK)
+        hstr.hStreams_EventWait([ev])
+        assert ev.is_complete()
+
+    def test_heap_nbytes_mismatch(self):
+        hstr.hStreams_Init(backend="thread")
+        sid = hstr.hStreams_StreamCreate(domain=1, ncores=4)
+        hstr.hStreams_RegisterSinkFunction("noop", fn=lambda *a: None)
+        addr = hstr.hStreams_Alloc1D(64)
+        with pytest.raises(HStreamsBadArgument):
+            hstr.hStreams_app_invoke(sid, "noop", heap_args=[addr],
+                                     heap_nbytes=[1, 2])

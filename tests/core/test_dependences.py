@@ -1,0 +1,205 @@
+"""Tests for the intra-stream dependence window."""
+
+from typing import List
+
+import pytest
+
+from repro.core.actions import Action, ActionKind, Operand, OperandMode
+from repro.core.buffer import Buffer, ProxyAddressSpace
+from repro.core.dependences import StreamWindow
+
+
+class FakeEvent:
+    """Stands in for HEvent: manual completion flag."""
+
+    def __init__(self):
+        self._done = False
+
+    def is_complete(self):
+        return self._done
+
+    def complete(self):
+        self._done = True
+
+
+def make_action(ops, barrier=False) -> Action:
+    a = Action(
+        kind=ActionKind.SYNC if barrier else ActionKind.COMPUTE,
+        stream=None,
+        operands=tuple(ops),
+        barrier=barrier,
+    )
+    a.completion = FakeEvent()
+    return a
+
+
+@pytest.fixture()
+def buf():
+    return Buffer(ProxyAddressSpace(), nbytes=4096)
+
+
+def rd(buf, off, n):
+    return Operand(buf, off, n, OperandMode.IN)
+
+
+def wr(buf, off, n):
+    return Operand(buf, off, n, OperandMode.OUT)
+
+
+class TestDependenceRelaxation:
+    def test_disjoint_actions_have_no_deps(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 100)])
+        w.add(a)
+        b = make_action([wr(buf, 200, 100)])
+        assert w.deps_for(b) == []
+
+    def test_conflicting_action_depends_on_predecessor(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 100)])
+        w.add(a)
+        b = make_action([rd(buf, 50, 10)])
+        assert w.deps_for(b) == [a]
+
+    def test_read_read_is_free(self, buf):
+        w = StreamWindow()
+        a = make_action([rd(buf, 0, 100)])
+        w.add(a)
+        b = make_action([rd(buf, 0, 100)])
+        assert w.deps_for(b) == []
+
+    def test_completed_predecessors_impose_nothing(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 100)])
+        w.add(a)
+        a.completion.complete()
+        b = make_action([rd(buf, 0, 100)])
+        assert w.deps_for(b) == []
+
+    def test_multiple_conflicts_all_collected_in_order(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 100)])
+        b = make_action([rd(buf, 0, 50)])
+        c = make_action([rd(buf, 50, 50)])
+        for x in (a, b, c):
+            w.add(x)
+        d = make_action([wr(buf, 0, 100)])
+        assert w.deps_for(d) == [a, b, c]
+
+    def test_barrier_cuts_off_older_history(self, buf):
+        w = StreamWindow()
+        old = make_action([wr(buf, 0, 100)])
+        w.add(old)
+        bar = make_action([], barrier=True)
+        w.add(bar)
+        nxt = make_action([rd(buf, 0, 100)])
+        # The barrier already orders `old`; only the barrier is a dep.
+        assert w.deps_for(nxt) == [bar]
+
+    def test_sync_with_operands_scopes_the_wait(self, buf):
+        w = StreamWindow()
+        scoped = make_action([wr(buf, 0, 64)])  # sync w/ operands acts like this
+        w.add(scoped)
+        unrelated = make_action([rd(buf, 1000, 64)])
+        related = make_action([rd(buf, 0, 64)])
+        assert w.deps_for(unrelated) == []
+        assert w.deps_for(related) == [scoped]
+
+
+class TestStrictFifo:
+    def test_strict_depends_on_immediate_predecessor_only(self, buf):
+        w = StreamWindow(strict_fifo=True)
+        a = make_action([wr(buf, 0, 8)])
+        w.add(a)
+        b = make_action([wr(buf, 2000, 8)])  # disjoint, still ordered
+        assert w.deps_for(b) == [a]
+        w.add(b)
+        c = make_action([rd(buf, 100, 8)])
+        assert w.deps_for(c) == [b]
+
+    def test_strict_empty_stream_has_no_deps(self, buf):
+        w = StreamWindow(strict_fifo=True)
+        assert w.deps_for(make_action([wr(buf, 0, 8)])) == []
+
+    def test_strict_skips_completed_tail(self, buf):
+        w = StreamWindow(strict_fifo=True)
+        a = make_action([wr(buf, 0, 8)])
+        w.add(a)
+        a.completion.complete()
+        b = make_action([wr(buf, 8, 8)])
+        assert w.deps_for(b) == []
+
+
+class TestWindowBookkeeping:
+    def test_in_flight_counts_incomplete(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 8)])
+        b = make_action([wr(buf, 8, 8)])
+        w.add(a)
+        w.add(b)
+        assert w.in_flight == 2
+        a.completion.complete()
+        assert w.in_flight == 1
+
+    def test_enqueued_count_never_decreases(self, buf):
+        w = StreamWindow()
+        for i in range(5):
+            a = make_action([wr(buf, i * 8, 8)])
+            w.add(a)
+            a.completion.complete()
+        assert w.enqueued_count == 5
+        assert w.in_flight == 0
+
+    def test_pending_completions(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 8)])
+        b = make_action([wr(buf, 8, 8)])
+        w.add(a)
+        w.add(b)
+        a.completion.complete()
+        pend: List = w.pending_completions()
+        assert pend == [b.completion]
+
+
+class TestDependencePropertyFuzz:
+    """Property: deps_for returns exactly the incomplete, conflicting
+    predecessors (cut at the newest conflicting barrier)."""
+
+    def _oracle(self, history, action):
+        deps = []
+        for prev in reversed(history):
+            if prev.completion.is_complete():
+                continue
+            if prev.conflicts_with(action):
+                deps.append(prev)
+                if prev.barrier:
+                    break
+        deps.reverse()
+        return deps
+
+    def test_random_histories_match_oracle(self, buf):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for trial in range(30):
+            w = StreamWindow()
+            history = []
+            for _ in range(int(rng.integers(1, 20))):
+                if rng.random() < 0.1:
+                    a = make_action([], barrier=True)
+                else:
+                    off = int(rng.integers(0, 3500))
+                    ln = int(rng.integers(1, 500))
+                    mode = (OperandMode.IN if rng.random() < 0.5
+                            else OperandMode.OUT)
+                    a = make_action([Operand(buf, off, ln, mode)])
+                if rng.random() < 0.4 and history:
+                    history[int(rng.integers(0, len(history)))].completion.complete()
+                probe_off = int(rng.integers(0, 3500))
+                probe = make_action(
+                    [Operand(buf, probe_off, int(rng.integers(1, 500)),
+                             OperandMode.INOUT)]
+                )
+                assert w.deps_for(probe) == self._oracle(history, probe)
+                w.add(a)
+                history.append(a)

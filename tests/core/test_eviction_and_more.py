@@ -1,0 +1,204 @@
+"""Tests for buffer eviction, Chrome trace export, and multi-unit
+resources — the working-set and tooling features around the core."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import HStreams, make_platform
+from repro.core.errors import HStreamsBadArgument, HStreamsNotFound
+from repro.sim.engine import Engine, Resource, SimError
+from repro.sim.kernels import dgemm
+from repro.sim.trace import Tracer
+
+
+class TestBufferEviction:
+    def test_evict_releases_accounting(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        buf = hs.buffer_create(nbytes=1 << 20, domains=[1])
+        before = hs.domain(1).allocated_bytes
+        hs.buffer_evict(buf, 1)
+        assert hs.domain(1).allocated_bytes == before - (1 << 20)
+        assert not buf.instantiated_in(1)
+
+    def test_evicted_instance_reallocates_on_next_use(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        s = hs.stream_create(domain=1, ncores=61)
+        buf = hs.buffer_create(nbytes=1 << 20, domains=[1])
+        hs.buffer_evict(buf, 1)
+        hs.enqueue_xfer(s, buf)  # re-instantiates lazily
+        hs.thread_synchronize()
+        assert buf.instantiated_in(1)
+
+    def test_host_instance_cannot_be_evicted(self):
+        hs = HStreams(backend="sim", trace=False)
+        buf = hs.buffer_create(nbytes=64)
+        with pytest.raises(HStreamsBadArgument):
+            hs.buffer_evict(buf, 0)
+
+    def test_evicting_missing_instance_raises(self):
+        hs = HStreams(backend="sim", trace=False)
+        buf = hs.buffer_create(nbytes=64)
+        with pytest.raises(HStreamsNotFound):
+            hs.buffer_evict(buf, 1)
+
+    def test_eviction_cycles_a_working_set_past_card_capacity(self):
+        """The Fig. 6 n=30000 situation: more tiles than card memory,
+        processed by evicting used tiles."""
+        from dataclasses import replace
+
+        from repro.sim.platforms import HSW, KNC_7120A, Platform
+
+        small_card = Platform(
+            name="small", host=HSW, cards=(replace(KNC_7120A, ram_gb=0.01),)
+        )  # ~10 MB card
+        hs = HStreams(platform=small_card, backend="sim", trace=False)
+        hs.register_kernel("gemm", cost_fn=lambda m, n, k, *a: dgemm(m, n, k))
+        s = hs.stream_create(domain=1, ncores=61)
+        tile_bytes = 4 << 20  # 4 MB: two at a time at most
+        total = 0
+        for _ in range(8):  # 32 MB total through a 10 MB card
+            buf = hs.buffer_create(nbytes=tile_bytes)
+            hs.enqueue_xfer(s, buf)
+            hs.enqueue_compute(s, "gemm", args=(256, 256, 256, buf.all_inout()))
+            hs.stream_synchronize(s)
+            hs.buffer_evict(buf, 1)
+            total += tile_bytes
+        assert total == 32 << 20
+        assert hs.domain(1).allocated_bytes == 0
+
+    def test_evict_on_thread_backend_frees_real_memory(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="thread", trace=False)
+        hs.register_kernel("fill", fn=lambda x: x.fill(1.0))
+        s = hs.stream_create(domain=1, ncores=8)
+        data = np.zeros(8)
+        buf = hs.wrap(data)
+        hs.enqueue_xfer(s, buf)
+        hs.thread_synchronize()
+        hs.buffer_evict(buf, 1)
+        assert not buf.instantiated_in(1)
+        assert buf.instantiated_in(0)  # host copy untouched
+        hs.fini()
+
+
+class TestChromeTraceExport:
+    def make(self):
+        tr = Tracer()
+        tr.record("s0", 0.0, 1e-3, "gemm", kind="compute")
+        tr.record("link", 5e-4, 2e-3, "xfer", kind="transfer")
+        return tr
+
+    def test_events_and_metadata(self):
+        trace = self.make().to_chrome_trace()
+        meta = [e for e in trace if e["ph"] == "M"]
+        spans = [e for e in trace if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in meta} == {"s0", "link"}
+        assert len(spans) == 2
+
+    def test_microsecond_units(self):
+        spans = [e for e in self.make().to_chrome_trace() if e["ph"] == "X"]
+        gemm = next(e for e in spans if e["name"] == "gemm")
+        assert gemm["ts"] == pytest.approx(0.0)
+        assert gemm["dur"] == pytest.approx(1000.0)
+
+    def test_json_serializable(self):
+        assert json.loads(json.dumps(self.make().to_chrome_trace()))
+
+    def test_runtime_trace_exports(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+        hs.register_kernel("gemm", cost_fn=lambda m, n, k, *a: dgemm(m, n, k))
+        s = hs.stream_create(domain=1, ncores=61)
+        b = hs.buffer_create(nbytes=1 << 20, domains=[1])
+        hs.enqueue_xfer(s, b)
+        hs.enqueue_compute(s, "gemm", args=(512, 512, 512, b.all_inout()))
+        hs.thread_synchronize()
+        trace = hs.tracer.to_chrome_trace()
+        assert any(e.get("cat") == "compute" for e in trace)
+        assert any(e.get("cat") == "transfer" for e in trace)
+
+
+class TestMultiUnitResource:
+    def test_request_more_than_capacity_rejected(self):
+        eng = Engine()
+        res = Resource(eng, capacity=4)
+        with pytest.raises(SimError):
+            res.request(5)
+        with pytest.raises(SimError):
+            res.request(0)
+
+    def test_units_accumulate(self):
+        eng = Engine()
+        res = Resource(eng, capacity=10)
+        res.request(4)
+        res.request(5)
+        eng.run()
+        assert res.in_use == 9
+
+    def test_release_units(self):
+        eng = Engine()
+        res = Resource(eng, capacity=10)
+        res.request(6)
+        eng.run()
+        res.release(4)
+        assert res.in_use == 2
+        with pytest.raises(SimError):
+            res.release(3)
+
+    def test_head_blocking_fifo(self):
+        """A big request at the head is not overtaken by later small ones."""
+        eng = Engine()
+        res = Resource(eng, capacity=10)
+        grants = []
+
+        def user(tag, units, hold):
+            yield res.request(units)
+            grants.append(tag)
+            yield eng.timeout(hold)
+            res.release(units)
+
+        eng.process(user("first-8", 8, 1.0))
+        eng.process(user("big-6", 6, 1.0))   # must wait for 8 to release
+        eng.process(user("small-2", 2, 1.0))  # could fit, but queued behind
+        eng.run()
+        assert grants == ["first-8", "big-6", "small-2"]
+
+    def test_concurrent_fit(self):
+        eng = Engine()
+        res = Resource(eng, capacity=10)
+        done = []
+
+        def user(tag, units):
+            yield res.request(units)
+            yield eng.timeout(1.0)
+            res.release(units)
+            done.append((tag, eng.now))
+
+        eng.process(user("a", 5))
+        eng.process(user("b", 5))
+        eng.run()
+        assert [t for _, t in done] == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_full_width_kernels_contend_in_sim(self):
+        """Two full-width streams on one domain serialize compute."""
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        hs.register_kernel("gemm", cost_fn=lambda m, n, k, *a: dgemm(m, n, k))
+        s1 = hs.stream_create(domain=1, cpu_mask=range(61))
+        s2 = hs.stream_create(domain=1, cpu_mask=range(61))
+        b1 = hs.buffer_create(nbytes=1 << 20, domains=[1])
+        b2 = hs.buffer_create(nbytes=1 << 20, domains=[1])
+        t0 = hs.elapsed()
+        hs.enqueue_compute(s1, "gemm", args=(2048, 2048, 2048, b1.all_inout()))
+        hs.enqueue_compute(s2, "gemm", args=(2048, 2048, 2048, b2.all_inout()))
+        hs.thread_synchronize()
+        both = hs.elapsed() - t0
+
+        hs2 = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        hs2.register_kernel("gemm", cost_fn=lambda m, n, k, *a: dgemm(m, n, k))
+        s = hs2.stream_create(domain=1, cpu_mask=range(61))
+        b = hs2.buffer_create(nbytes=1 << 20, domains=[1])
+        t0 = hs2.elapsed()
+        hs2.enqueue_compute(s, "gemm", args=(2048, 2048, 2048, b.all_inout()))
+        hs2.thread_synchronize()
+        one = hs2.elapsed() - t0
+        assert both > 1.8 * one  # serialized, not concurrent

@@ -1,0 +1,317 @@
+"""Integration tests: the hStreams runtime on the thread backend.
+
+These exercise the library as a real runtime — kernels actually execute,
+transfers actually copy bytes between per-domain address spaces.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import HStreams, OperandMode, RuntimeConfig, XferDirection, make_platform
+from repro.core.errors import (
+    HStreamsBadArgument,
+    HStreamsNotFound,
+    HStreamsNotInitialized,
+    HStreamsOutOfMemory,
+    HStreamsTimedOut,
+)
+
+
+@pytest.fixture()
+def hs():
+    runtime = HStreams(
+        platform=make_platform("HSW", ncards=2), backend="thread", trace=False
+    )
+    yield runtime
+    runtime.fini()
+
+
+class TestLifecycle:
+    def test_domains_discoverable(self, hs):
+        assert hs.ndomains == 3
+        assert hs.domain(0).is_host
+        assert hs.domain(1).props["kind"] == "knc"
+
+    def test_missing_domain(self, hs):
+        with pytest.raises(HStreamsNotFound):
+            hs.domain(9)
+
+    def test_api_after_fini_raises(self):
+        runtime = HStreams(backend="thread", trace=False)
+        runtime.fini()
+        with pytest.raises(HStreamsNotInitialized):
+            runtime.stream_create()
+
+    def test_context_manager(self):
+        with HStreams(backend="thread", trace=False) as runtime:
+            assert runtime.ndomains >= 1
+        with pytest.raises(HStreamsNotInitialized):
+            runtime.buffer_create(nbytes=8)
+
+
+class TestStreamCreation:
+    def test_streams_are_integers(self, hs):
+        s0 = hs.stream_create(domain=1, ncores=10)
+        s1 = hs.stream_create(domain=1, ncores=10)
+        assert (s0.id, s1.id) == (0, 1)
+
+    def test_masks_do_not_overlap_until_wraparound(self, hs):
+        s0 = hs.stream_create(domain=1, ncores=30)
+        s1 = hs.stream_create(domain=1, ncores=30)
+        assert set(s0.cpu_mask).isdisjoint(s1.cpu_mask)
+
+    def test_wraparound_oversubscribes(self, hs):
+        hs.stream_create(domain=1, ncores=60)
+        s = hs.stream_create(domain=1, ncores=10)  # wraps
+        assert len(s.cpu_mask) == 10
+
+    def test_explicit_mask(self, hs):
+        s = hs.stream_create(domain=0, cpu_mask=[0, 2, 4])
+        assert s.cpu_mask == (0, 2, 4)
+        assert s.host_as_target
+
+    def test_mask_and_ncores_conflict(self, hs):
+        with pytest.raises(HStreamsBadArgument):
+            hs.stream_create(domain=0, ncores=2, cpu_mask=[0, 1])
+
+    def test_mask_out_of_range(self, hs):
+        with pytest.raises(HStreamsBadArgument):
+            hs.stream_create(domain=1, cpu_mask=[1000])
+
+    def test_app_init_partitions_cards_evenly(self, hs):
+        streams = hs.app_init(streams_per_domain=4)
+        assert len(streams) == 8  # 4 per card, 2 cards
+        knc_cores = hs.domain(1).device.total_cores
+        for s in streams:
+            assert s.width == knc_cores // 4
+
+    def test_app_init_with_host_and_oversubscription(self, hs):
+        streams = hs.app_init(streams_per_domain=2, oversubscription=2, use_host=True)
+        assert len(streams) == 2 * 2 * 3
+        # Oversubscribed logical streams share a place's mask.
+        assert streams[0].cpu_mask == streams[1].cpu_mask
+
+    def test_app_init_too_many_streams(self, hs):
+        with pytest.raises(HStreamsBadArgument):
+            hs.app_init(streams_per_domain=100)
+
+    def test_streams_in(self, hs):
+        hs.stream_create(domain=1, ncores=5)
+        hs.stream_create(domain=2, ncores=5)
+        assert len(hs.streams_in(1)) == 1
+
+
+class TestBuffers:
+    def test_create_requires_exactly_one_source(self, hs):
+        with pytest.raises(HStreamsBadArgument):
+            hs.buffer_create()
+        with pytest.raises(HStreamsBadArgument):
+            hs.buffer_create(nbytes=8, array=np.zeros(1))
+
+    def test_wrap_is_zero_copy_on_host(self, hs):
+        arr = np.arange(4.0)
+        buf = hs.wrap(arr)
+        buf.view(0)[0] = 9.0
+        assert arr[0] == 9.0
+
+    def test_eager_domain_instantiation(self, hs):
+        buf = hs.buffer_create(nbytes=64, domains=[1, 2])
+        assert buf.instantiated_in(1) and buf.instantiated_in(2)
+
+    def test_capacity_enforced(self):
+        # Shrink the card's RAM so a modest buffer exceeds it.
+        from dataclasses import replace
+
+        from repro.sim.platforms import HSW, KNC_7120A, Platform
+
+        tiny = Platform(
+            name="tiny",
+            host=HSW,
+            cards=(replace(KNC_7120A, ram_gb=1e-6),),  # ~1 KB card
+        )
+        hs = HStreams(platform=tiny, backend="thread", trace=False)
+        big = hs.buffer_create(nbytes=1 << 20)
+        s = hs.stream_create(domain=1, ncores=4)
+        with pytest.raises(HStreamsOutOfMemory):
+            hs.enqueue_xfer(s, big)
+        hs.fini()
+
+    def test_destroy_releases_accounting(self, hs):
+        buf = hs.buffer_create(nbytes=1 << 20, domains=[1])
+        before = hs.domain(1).allocated_bytes
+        hs.buffer_destroy(buf)
+        assert hs.domain(1).allocated_bytes == before - (1 << 20)
+        assert buf not in hs.buffers
+
+
+class TestExecution:
+    def test_offload_roundtrip(self, hs):
+        hs.register_kernel("dbl", fn=lambda x: np.multiply(x, 2.0, out=x))
+        s = hs.stream_create(domain=1, ncores=10)
+        data = np.arange(16.0)
+        buf = hs.wrap(data)
+        hs.enqueue_xfer(s, buf)
+        hs.enqueue_compute(s, "dbl", args=(buf.tensor((16,)),))
+        hs.enqueue_xfer(s, buf, XferDirection.SINK_TO_SRC)
+        hs.thread_synchronize()
+        np.testing.assert_array_equal(data, np.arange(16.0) * 2)
+
+    def test_compute_without_transfer_does_not_touch_host(self, hs):
+        """Data isolation: per-domain address spaces are really separate."""
+        hs.register_kernel("fill", fn=lambda x: x.fill(7.0))
+        s = hs.stream_create(domain=1, ncores=10)
+        data = np.zeros(8)
+        buf = hs.wrap(data)
+        hs.enqueue_xfer(s, buf)
+        hs.enqueue_compute(s, "fill", args=(buf.tensor((8,)),))
+        hs.thread_synchronize()
+        assert (data == 0).all()  # result never copied back
+
+    def test_host_as_target_stream_aliases(self, hs):
+        """Host streams compute directly on the wrapped memory."""
+        hs.register_kernel("fill", fn=lambda x: x.fill(3.0))
+        s = hs.stream_create(domain=0, ncores=4)
+        data = np.zeros(8)
+        buf = hs.wrap(data)
+        hs.enqueue_xfer(s, buf)  # optimized away
+        hs.enqueue_compute(s, "fill", args=(buf.tensor((8,)),))
+        hs.thread_synchronize()
+        assert (data == 3.0).all()
+
+    def test_fifo_semantics_with_conflicting_actions(self, hs):
+        """Conflicting actions must execute in enqueue order."""
+        log = []
+        hs.register_kernel("append", fn=lambda x, tag: log.append(tag))
+        s = hs.stream_create(domain=1, ncores=10)
+        buf = hs.buffer_create(nbytes=8)
+        for i in range(10):
+            hs.enqueue_compute(s, "append", args=(buf.all_inout(), i))
+        hs.thread_synchronize()
+        assert log == list(range(10))
+
+    def test_out_of_order_when_independent(self, hs):
+        """A later independent transfer completes before a slow compute."""
+        hs.register_kernel("slow", fn=lambda x: time.sleep(0.15))
+        s = hs.stream_create(domain=1, ncores=10)
+        work = hs.buffer_create(nbytes=8)
+        other = hs.buffer_create(nbytes=8)
+        ev_compute = hs.enqueue_compute(s, "slow", args=(work.all_inout(),))
+        ev_xfer = hs.enqueue_xfer(s, other)  # independent operand
+        hs.event_wait([ev_xfer])
+        assert not ev_compute.is_complete()  # transfer overtook the compute
+        hs.thread_synchronize()
+
+    def test_strict_fifo_stream_forbids_overtaking(self, hs):
+        hs.register_kernel("slow", fn=lambda x: time.sleep(0.1))
+        s = hs.stream_create(domain=1, ncores=10, strict_fifo=True)
+        work = hs.buffer_create(nbytes=8)
+        other = hs.buffer_create(nbytes=8)
+        ev_compute = hs.enqueue_compute(s, "slow", args=(work.all_inout(),))
+        ev_xfer = hs.enqueue_xfer(s, other)
+        hs.event_wait([ev_xfer])
+        assert ev_compute.is_complete()  # strict order: compute ran first
+        hs.thread_synchronize()
+
+    def test_cross_stream_dependence_via_event_stream_wait(self, hs):
+        order = []
+        hs.register_kernel("tag", fn=lambda x, t: order.append(t))
+        hs.register_kernel("slowtag", fn=lambda x, t: (time.sleep(0.1), order.append(t)))
+        s1 = hs.stream_create(domain=1, ncores=10)
+        s2 = hs.stream_create(domain=2, ncores=10)
+        b1 = hs.buffer_create(nbytes=8)
+        b2 = hs.buffer_create(nbytes=8)
+        ev = hs.enqueue_compute(s1, "slowtag", args=(b1.all_inout(), "producer"))
+        hs.event_stream_wait(s2, [ev])
+        hs.enqueue_compute(s2, "tag", args=(b2.all_inout(), "consumer"))
+        hs.thread_synchronize()
+        assert order == ["producer", "consumer"]
+
+    def test_partial_range_operands_allow_tile_concurrency(self, hs):
+        hs.register_kernel("fill", fn=lambda x, v: x.fill(v))
+        s = hs.stream_create(domain=1, ncores=10)
+        data = np.zeros(16)
+        buf = hs.wrap(data)
+        lo = buf.tensor((8,), offset=0)
+        hi = buf.tensor((8,), offset=64)
+        hs.enqueue_compute(s, "fill", args=(lo, 1.0))
+        hs.enqueue_compute(s, "fill", args=(hi, 2.0))
+        hs.enqueue_xfer(s, buf, XferDirection.SINK_TO_SRC)
+        hs.thread_synchronize()
+        np.testing.assert_array_equal(data[:8], np.ones(8))
+        np.testing.assert_array_equal(data[8:], 2 * np.ones(8))
+
+    def test_scalar_args_pass_through(self, hs):
+        got = []
+        hs.register_kernel("k", fn=lambda x, a, b: got.append((a, b)))
+        s = hs.stream_create(domain=1, ncores=4)
+        buf = hs.buffer_create(nbytes=8)
+        hs.enqueue_compute(s, "k", args=(buf.all_inout(), 5, "tag"))
+        hs.thread_synchronize()
+        assert got == [(5, "tag")]
+
+    def test_unregistered_kernel_raises_at_enqueue(self, hs):
+        s = hs.stream_create(domain=1, ncores=4)
+        with pytest.raises(HStreamsNotFound):
+            hs.enqueue_compute(s, "nope")
+
+
+class TestSynchronization:
+    def test_event_wait_all(self, hs):
+        hs.register_kernel("nap", fn=lambda x: time.sleep(0.02))
+        s = hs.stream_create(domain=1, ncores=4)
+        bufs = [hs.buffer_create(nbytes=8) for _ in range(3)]
+        evs = [hs.enqueue_compute(s, "nap", args=(b.all_inout(),)) for b in bufs]
+        hs.event_wait(evs, wait_all=True)
+        assert all(e.is_complete() for e in evs)
+
+    def test_event_wait_any(self, hs):
+        hs.register_kernel("napx", fn=lambda x, d: time.sleep(d))
+        s1 = hs.stream_create(domain=1, ncores=4)
+        s2 = hs.stream_create(domain=2, ncores=4)
+        b1 = hs.buffer_create(nbytes=8)
+        b2 = hs.buffer_create(nbytes=8)
+        fast = hs.enqueue_compute(s1, "napx", args=(b1.all_inout(), 0.01))
+        slow = hs.enqueue_compute(s2, "napx", args=(b2.all_inout(), 0.5))
+        hs.event_wait([fast, slow], wait_all=False)
+        assert fast.is_complete() or slow.is_complete()
+        hs.thread_synchronize()
+
+    def test_event_wait_timeout(self, hs):
+        hs.register_kernel("nap", fn=lambda x: time.sleep(0.3))
+        s = hs.stream_create(domain=1, ncores=4)
+        b = hs.buffer_create(nbytes=8)
+        ev = hs.enqueue_compute(s, "nap", args=(b.all_inout(),))
+        with pytest.raises(HStreamsTimedOut):
+            hs.event_wait([ev], timeout=0.01)
+        hs.thread_synchronize()
+
+    def test_stream_synchronize_scopes_to_one_stream(self, hs):
+        hs.register_kernel("napx", fn=lambda x, d: time.sleep(d))
+        s1 = hs.stream_create(domain=1, ncores=4)
+        s2 = hs.stream_create(domain=2, ncores=4)
+        b1 = hs.buffer_create(nbytes=8)
+        b2 = hs.buffer_create(nbytes=8)
+        quick = hs.enqueue_compute(s1, "napx", args=(b1.all_inout(), 0.01))
+        slow = hs.enqueue_compute(s2, "napx", args=(b2.all_inout(), 0.4))
+        hs.stream_synchronize(s1)
+        assert quick.is_complete()
+        assert not slow.is_complete()
+        hs.thread_synchronize()
+
+    def test_kernel_error_surfaces_at_sync(self, hs):
+        def boom(x):
+            raise ValueError("kernel exploded")
+
+        hs.register_kernel("boom", fn=boom)
+        s = hs.stream_create(domain=1, ncores=4)
+        b = hs.buffer_create(nbytes=8)
+        hs.enqueue_compute(s, "boom", args=(b.all_inout(),))
+        with pytest.raises(ValueError, match="kernel exploded"):
+            hs.thread_synchronize()
+
+    def test_elapsed_is_wall_clock(self, hs):
+        t0 = hs.elapsed()
+        time.sleep(0.02)
+        assert hs.elapsed() - t0 >= 0.015

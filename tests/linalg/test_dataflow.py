@@ -1,0 +1,126 @@
+"""Unit tests for the FlowContext cross-stream dependence helper."""
+
+import pytest
+
+from repro import HStreams, make_platform
+from repro.linalg.dataflow import FlowContext
+from repro.sim.kernels import KernelCost
+
+
+def cost(seconds: float) -> KernelCost:
+    return KernelCost("default", flops=seconds * 0.45 * 1298.1e9, size=1e9)
+
+
+@pytest.fixture()
+def ctx():
+    hs = HStreams(platform=make_platform("HSW", 2), backend="sim", trace=False)
+    hs.register_kernel("k", fn=lambda *a: None, cost_fn=None)
+    return hs, FlowContext(hs)
+
+
+class TestResidency:
+    def test_initially_nowhere(self, ctx):
+        hs, flow = ctx
+        buf = hs.buffer_create(nbytes=64)
+        assert not flow.is_resident(buf, 0)
+        flow.mark_resident(buf, 0)
+        assert flow.is_resident(buf, 0)
+
+    def test_send_skips_resident_copies(self, ctx):
+        hs, flow = ctx
+        s = hs.stream_create(domain=1, ncores=8)
+        buf = hs.buffer_create(nbytes=1 << 20)
+        assert flow.send(s, buf) is not None  # first send transfers
+        assert flow.send(s, buf) is None  # second is a no-op
+
+    def test_send_to_host_stream_is_aliased(self, ctx):
+        hs, flow = ctx
+        s = hs.stream_create(domain=0, ncores=4)
+        buf = hs.buffer_create(nbytes=1 << 20)
+        assert flow.send(s, buf) is None
+        assert flow.is_resident(buf, 0)
+
+    def test_write_invalidates_other_domains(self, ctx):
+        hs, flow = ctx
+        s1 = hs.stream_create(domain=1, ncores=8)
+        buf = hs.buffer_create(nbytes=1 << 20)
+        flow.send(s1, buf)
+        flow.compute(s1, "k", args=(buf.all_inout(),), writes=(buf,),
+                     cost=cost(0.01))
+        assert flow.is_resident(buf, 1)
+        assert not flow.is_resident(buf, 0)
+
+    def test_retrieve_after_card_write(self, ctx):
+        hs, flow = ctx
+        s1 = hs.stream_create(domain=1, ncores=8)
+        buf = hs.buffer_create(nbytes=1 << 20)
+        flow.send(s1, buf)
+        flow.compute(s1, "k", args=(buf.all_inout(),), writes=(buf,),
+                     cost=cost(0.01))
+        assert flow.retrieve(s1, buf) is not None
+        assert flow.is_resident(buf, 0)
+        assert flow.retrieve(s1, buf) is None  # now cached at home
+
+
+class TestCrossStreamSyncs:
+    def test_same_stream_needs_no_sync(self, ctx):
+        hs, flow = ctx
+        s = hs.stream_create(domain=1, ncores=8)
+        buf = hs.buffer_create(nbytes=64)
+        flow.compute(s, "k", args=(buf.all_inout(),), writes=(buf,), cost=cost(0.01))
+        flow.compute(s, "k", args=(buf.all_inout(),), reads=(buf,), cost=cost(0.01))
+        assert flow.sync_count == 0
+
+    def test_cross_stream_inserts_one_scoped_sync(self, ctx):
+        hs, flow = ctx
+        s1 = hs.stream_create(domain=1, ncores=8)
+        s2 = hs.stream_create(domain=1, ncores=8)
+        buf = hs.buffer_create(nbytes=64)
+        flow.compute(s1, "k", args=(buf.all_inout(),), writes=(buf,), cost=cost(0.05))
+        flow.compute(s2, "k", args=(buf.all_inout(),), reads=(buf,), cost=cost(0.01))
+        assert flow.sync_count == 1
+
+    def test_sync_is_deduplicated_per_consumer_stream(self, ctx):
+        hs, flow = ctx
+        s1 = hs.stream_create(domain=1, ncores=8)
+        s2 = hs.stream_create(domain=1, ncores=8)
+        buf = hs.buffer_create(nbytes=64)
+        flow.compute(s1, "k", args=(buf.all_inout(),), writes=(buf,), cost=cost(0.05))
+        flow.compute(s2, "k", args=(buf.all_inout(),), reads=(buf,), cost=cost(0.01))
+        flow.compute(s2, "k", args=(buf.all_inout(),), reads=(buf,), cost=cost(0.01))
+        assert flow.sync_count == 1  # the second consumer reuses the sync
+
+    def test_ordering_is_actually_enforced(self, ctx):
+        hs, flow = ctx
+        s1 = hs.stream_create(domain=1, ncores=30)
+        s2 = hs.stream_create(domain=1, ncores=30)
+        buf = hs.buffer_create(nbytes=64)
+        producer = flow.compute(s1, "k", args=(buf.all_inout(),), writes=(buf,),
+                                cost=cost(0.2))
+        consumer = flow.compute(s2, "k", args=(buf.all_inout(),), reads=(buf,),
+                                cost=cost(0.01))
+        hs.thread_synchronize()
+        assert consumer.timestamp >= producer.timestamp
+
+    def test_completed_producer_needs_no_sync(self, ctx):
+        hs, flow = ctx
+        s1 = hs.stream_create(domain=1, ncores=8)
+        s2 = hs.stream_create(domain=1, ncores=8)
+        buf = hs.buffer_create(nbytes=64)
+        flow.compute(s1, "k", args=(buf.all_inout(),), writes=(buf,), cost=cost(0.01))
+        hs.thread_synchronize()  # producer done
+        flow.compute(s2, "k", args=(buf.all_inout(),), reads=(buf,), cost=cost(0.01))
+        assert flow.sync_count == 0
+
+    def test_multiple_producers_one_sync_action(self, ctx):
+        hs, flow = ctx
+        s1 = hs.stream_create(domain=1, ncores=8)
+        s2 = hs.stream_create(domain=1, ncores=8)
+        s3 = hs.stream_create(domain=1, ncores=8)
+        b1 = hs.buffer_create(nbytes=64)
+        b2 = hs.buffer_create(nbytes=64)
+        flow.compute(s1, "k", args=(b1.all_inout(),), writes=(b1,), cost=cost(0.05))
+        flow.compute(s2, "k", args=(b2.all_inout(),), writes=(b2,), cost=cost(0.05))
+        flow.compute(s3, "k", args=(b1.all_inout(), b2.all_inout()),
+                     reads=(b1, b2), cost=cost(0.01))
+        assert flow.sync_count == 1  # both producers batched into one wait

@@ -1,0 +1,134 @@
+"""Tests for the tile BLAS kernel bodies and cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import host_blas as hb
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestKernelBodies:
+    def test_dgemm_accumulates(self):
+        r = rng()
+        A, B = r.random((4, 3)), r.random((3, 5))
+        C = r.random((4, 5))
+        expect = C + A @ B
+        hb.k_dgemm(C, A, B)
+        np.testing.assert_allclose(C, expect)
+
+    def test_dgemm_alpha_transb(self):
+        r = rng()
+        A, B = r.random((4, 3)), r.random((5, 3))
+        C = np.zeros((4, 5))
+        hb.k_dgemm(C, A, B, alpha=-2.0, transb=True)
+        np.testing.assert_allclose(C, -2.0 * A @ B.T)
+
+    def test_dsyrk(self):
+        r = rng()
+        A = r.random((4, 3))
+        C = np.eye(4) * 10
+        expect = C - A @ A.T
+        hb.k_dsyrk(C, A)
+        np.testing.assert_allclose(C, expect)
+
+    def test_dpotrf(self):
+        r = rng()
+        M = r.random((5, 5))
+        spd = M @ M.T + 5 * np.eye(5)
+        A = spd.copy()
+        hb.k_dpotrf(A)
+        np.testing.assert_allclose(A @ A.T, spd)
+
+    def test_dtrsm_right_solve(self):
+        r = rng()
+        L = np.tril(r.random((4, 4))) + 4 * np.eye(4)
+        B = r.random((6, 4))
+        X = B.copy()
+        hb.k_dtrsm(X, L)
+        np.testing.assert_allclose(X @ L.T, B)
+
+    def test_dgetrf_reconstructs(self):
+        r = rng()
+        A0 = r.random((6, 6)) + 6 * np.eye(6)
+        A = A0.copy()
+        hb.k_dgetrf(A)
+        L = np.tril(A, -1) + np.eye(6)
+        U = np.triu(A)
+        np.testing.assert_allclose(L @ U, A0)
+
+    def test_dgetrf_zero_pivot(self):
+        A = np.zeros((3, 3))
+        with pytest.raises(ZeroDivisionError):
+            hb.k_dgetrf(A)
+
+    def test_dlaswp_trsm_left(self):
+        r = rng()
+        A0 = r.random((4, 4)) + 4 * np.eye(4)
+        LU = A0.copy()
+        hb.k_dgetrf(LU)
+        L = np.tril(LU, -1) + np.eye(4)
+        B0 = r.random((4, 3))
+        B = B0.copy()
+        hb.k_dlaswp_trsm(B, LU, side="left")
+        np.testing.assert_allclose(L @ B, B0)
+
+    def test_dlaswp_trsm_right(self):
+        r = rng()
+        A0 = r.random((4, 4)) + 4 * np.eye(4)
+        LU = A0.copy()
+        hb.k_dgetrf(LU)
+        U = np.triu(LU)
+        B0 = r.random((3, 4))
+        B = B0.copy()
+        hb.k_dlaswp_trsm(B, LU, side="right")
+        np.testing.assert_allclose(B @ U, B0)
+
+    def test_dlaswp_trsm_bad_side(self):
+        with pytest.raises(ValueError):
+            hb.k_dlaswp_trsm(np.zeros((2, 2)), np.eye(2), side="up")
+
+    @settings(max_examples=25)
+    @given(n=st.integers(2, 12))
+    def test_property_cholesky_roundtrip(self, n):
+        r = np.random.default_rng(n)
+        M = r.random((n, n))
+        spd = M @ M.T + n * np.eye(n)
+        A = spd.copy()
+        hb.k_dpotrf(A)
+        np.testing.assert_allclose(A @ A.T, spd, rtol=1e-9, atol=1e-9)
+
+
+class TestCostModels:
+    def test_costs_use_operand_shapes(self):
+        from repro.core.buffer import Buffer, ProxyAddressSpace
+
+        space = ProxyAddressSpace()
+        b = Buffer(space, nbytes=8 * 64 * 64)
+        c = hb.cost_dgemm(
+            b.tensor((16, 32)), b.tensor((16, 8)), b.tensor((8, 32))
+        )
+        assert c.flops == pytest.approx(2 * 16 * 32 * 8)
+
+    def test_cost_dpotrf(self):
+        from repro.core.buffer import Buffer, ProxyAddressSpace
+
+        b = Buffer(ProxyAddressSpace(), nbytes=8 * 100 * 100)
+        assert hb.cost_dpotrf(b.tensor((100, 100))).flops == pytest.approx(100**3 / 3)
+
+    def test_shapeless_arg_rejected(self):
+        with pytest.raises(ValueError):
+            hb._shape(42)
+
+    def test_register_blas_registers_all(self):
+        from repro import HStreams
+
+        hs = HStreams(backend="thread", trace=False)
+        hb.register_blas(hs)
+        for name in ["dgemm", "dsyrk", "dpotrf", "dtrsm", "dgetrf", "dlaswp_trsm"]:
+            spec = hs.kernel(name)
+            assert spec.fn is not None and spec.cost_fn is not None
+        hs.fini()

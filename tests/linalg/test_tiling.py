@@ -1,0 +1,93 @@
+"""Tests for tile decomposition utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linalg.tiling import TileGrid, join_tiles, split_tiles
+
+
+class TestTileGrid:
+    def test_even_division(self):
+        g = TileGrid(100, 25)
+        assert g.ntiles == 4
+        assert g.tile_rows(3) == 25
+
+    def test_ragged_edge(self):
+        g = TileGrid(100, 30)
+        assert g.ntiles == 4
+        assert g.tile_rows(3) == 10
+
+    def test_span(self):
+        g = TileGrid(100, 30)
+        assert g.span(0) == (0, 30)
+        assert g.span(3) == (90, 100)
+
+    def test_tile_nbytes(self):
+        g = TileGrid(100, 30)
+        assert g.tile_nbytes(0, 0) == 30 * 30 * 8
+        assert g.tile_nbytes(3, 3) == 10 * 10 * 8
+
+    def test_index_bounds(self):
+        g = TileGrid(100, 30)
+        with pytest.raises(IndexError):
+            g.tile_rows(4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 5)
+        with pytest.raises(ValueError):
+            TileGrid(10, 0)
+        with pytest.raises(ValueError):
+            TileGrid(10, 20)
+
+    def test_iteration_covers_all(self):
+        g = TileGrid(60, 20)
+        assert len(list(g)) == 9
+        assert len(list(g.lower())) == 6
+
+    @given(n=st.integers(1, 500), b=st.integers(1, 500))
+    def test_property_tiles_cover_exactly_n(self, n, b):
+        if b > n:
+            b = n
+        g = TileGrid(n, b)
+        assert sum(g.tile_rows(i) for i in range(g.ntiles)) == n
+
+
+class TestSplitJoin:
+    def test_roundtrip_even(self):
+        m = np.arange(64.0).reshape(8, 8)
+        assert (join_tiles(split_tiles(m, 4)) == m).all()
+
+    def test_roundtrip_ragged(self):
+        m = np.arange(100.0).reshape(10, 10)
+        assert (join_tiles(split_tiles(m, 3)) == m).all()
+
+    def test_tiles_are_contiguous_copies(self):
+        m = np.zeros((8, 8))
+        tiles = split_tiles(m, 4)
+        tiles[0][0][0, 0] = 1.0
+        assert m[0, 0] == 0.0
+        assert tiles[1][1].flags["C_CONTIGUOUS"]
+
+    def test_join_into_existing(self):
+        m = np.arange(36.0).reshape(6, 6)
+        out = np.empty((6, 6))
+        join_tiles(split_tiles(m, 2), out=out)
+        assert (out == m).all()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            split_tiles(np.zeros((4, 6)), 2)
+
+    def test_empty_join_rejected(self):
+        with pytest.raises(ValueError):
+            join_tiles([])
+
+    @given(n=st.integers(1, 40), b=st.integers(1, 40))
+    def test_property_split_join_identity(self, n, b):
+        if b > n:
+            b = n
+        rng = np.random.default_rng(0)
+        m = rng.random((n, n))
+        assert np.array_equal(join_tiles(split_tiles(m, b)), m)

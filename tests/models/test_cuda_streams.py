@@ -1,0 +1,173 @@
+"""Tests for the CUDA-Streams comparator model."""
+
+import numpy as np
+import pytest
+
+from repro import make_platform
+from repro.models.cuda_streams import (
+    MEMCPY_DEVICE_TO_HOST,
+    MEMCPY_HOST_TO_DEVICE,
+    CudaError,
+    CudaRuntime,
+)
+from repro.sim.kernels import KernelCost, dgemm
+
+
+def big_cost(seconds: float) -> KernelCost:
+    return KernelCost("default", flops=seconds * 0.5 * 1680e9, size=1e9)
+
+
+@pytest.fixture()
+def cuda():
+    rt = CudaRuntime(platform=make_platform("HSW", 2, card="K40X"), backend="sim")
+    yield rt
+
+
+class TestDeviceManagement:
+    def test_device_count(self, cuda):
+        assert cuda.device_count == 2
+
+    def test_set_get_device(self, cuda):
+        cuda.set_device(1)
+        assert cuda.get_device() == 1
+
+    def test_invalid_device(self, cuda):
+        with pytest.raises(CudaError):
+            cuda.set_device(5)
+
+    def test_needs_a_card(self):
+        with pytest.raises(CudaError):
+            CudaRuntime(platform=make_platform("HSW", 0), backend="sim")
+
+
+class TestHandleDiscipline:
+    """CUDA's explicit create/destroy burden (paper §IV)."""
+
+    def test_stream_double_destroy(self, cuda):
+        s = cuda.stream_create()
+        cuda.stream_destroy(s)
+        with pytest.raises(CudaError):
+            cuda.stream_destroy(s)
+
+    def test_use_after_destroy(self, cuda):
+        s = cuda.stream_create()
+        cuda.stream_destroy(s)
+        with pytest.raises(CudaError):
+            cuda.stream_synchronize(s)
+
+    def test_event_must_be_recorded_before_wait(self, cuda):
+        s = cuda.stream_create()
+        ev = cuda.event_create()
+        with pytest.raises(CudaError):
+            cuda.stream_wait_event(s, ev)
+
+    def test_event_double_destroy(self, cuda):
+        ev = cuda.event_create()
+        cuda.event_destroy(ev)
+        with pytest.raises(CudaError):
+            cuda.event_destroy(ev)
+
+    def test_double_free(self, cuda):
+        ptr = cuda.malloc(1024)
+        cuda.free(ptr)
+        with pytest.raises(CudaError):
+            cuda.free(ptr)
+
+
+class TestPerDeviceAddresses:
+    def test_pointer_bound_to_one_device(self, cuda):
+        cuda.set_device(0)
+        ptr0 = cuda.malloc(1024)
+        cuda.set_device(1)
+        s1 = cuda.stream_create()
+        host = np.zeros(128)
+        with pytest.raises(CudaError, match="per-device"):
+            cuda.memcpy_async(ptr0, host, 1024, MEMCPY_HOST_TO_DEVICE, s1)
+
+    def test_oversized_copy_rejected(self, cuda):
+        ptr = cuda.malloc(64)
+        s = cuda.stream_create()
+        with pytest.raises(CudaError):
+            cuda.memcpy_async(ptr, np.zeros(64), 512, MEMCPY_HOST_TO_DEVICE, s)
+
+    def test_bad_kind_rejected(self, cuda):
+        ptr = cuda.malloc(64)
+        s = cuda.stream_create()
+        with pytest.raises(CudaError):
+            cuda.memcpy_async(ptr, np.zeros(8), 64, "sideways", s)
+
+
+class TestStrictFifo:
+    def test_memcpy_cannot_overtake_kernel(self, cuda):
+        """The defining difference from hStreams (paper §IV)."""
+        cuda.register_kernel("busy", cost_fn=lambda *a: big_cost(1.0))
+        s = cuda.stream_create()
+        work = cuda.malloc(1024)
+        other = cuda.malloc(1024)
+        cuda.launch(s, "busy", args=(work,))
+        # Transfer of an unrelated allocation still queues behind.
+        cuda.memcpy_async(other, np.zeros(128), 1024, MEMCPY_HOST_TO_DEVICE, s)
+        cuda.device_synchronize()
+        tr = cuda.tracer
+        kernel_end = max(e.end for e in tr.filter(kind="compute"))
+        xfer_start = min(e.start for e in tr.filter(kind="transfer"))
+        assert xfer_start >= kernel_end - 1e-9
+
+    def test_two_streams_with_events_pipeline(self, cuda):
+        """The CUDA workaround: split into streams + event sync."""
+        cuda.register_kernel("busy", cost_fn=lambda *a: big_cost(0.2))
+        s_compute = cuda.stream_create()
+        s_copy = cuda.stream_create()
+        bufs = [cuda.malloc(16 << 20) for _ in range(3)]
+        host = np.zeros(1 << 20)
+        for b in bufs:
+            ev = cuda.event_create()
+            cuda.memcpy_async(b, host, 16 << 20, MEMCPY_HOST_TO_DEVICE, s_copy)
+            cuda.event_record(ev, s_copy)
+            cuda.stream_wait_event(s_compute, ev)
+            cuda.launch(s_compute, "busy", args=(b,))
+        cuda.device_synchronize()
+        assert cuda.tracer.overlap("compute", "transfer") > 0
+
+    def test_kernels_from_two_streams_contend_for_the_device(self, cuda):
+        """No sub-device partitioning: full-width kernels serialize."""
+        cuda.register_kernel("busy", cost_fn=lambda *a: big_cost(1.0))
+        s1 = cuda.stream_create()
+        s2 = cuda.stream_create()
+        b1, b2 = cuda.malloc(1024), cuda.malloc(1024)
+        t0 = cuda.elapsed()
+        cuda.launch(s1, "busy", args=(b1,))
+        cuda.launch(s2, "busy", args=(b2,))
+        cuda.device_synchronize()
+        span = cuda.elapsed() - t0
+        assert span > 1.6  # ~2 serialized seconds, not ~1 concurrent
+
+
+class TestFunctional:
+    def test_roundtrip_on_thread_backend(self):
+        cuda = CudaRuntime(
+            platform=make_platform("HSW", 1, card="K40X"), backend="thread", trace=False
+        )
+        cuda.register_kernel("dbl", fn=lambda x: np.multiply(x, 2.0, out=x))
+        s = cuda.stream_create()
+        host_in = np.arange(16.0)
+        host_out = np.zeros(16)
+        ptr = cuda.malloc(host_in.nbytes)
+        cuda.memcpy_async(ptr, host_in, host_in.nbytes, MEMCPY_HOST_TO_DEVICE, s)
+        cuda.launch(s, "dbl", args=(ptr,))
+        cuda.memcpy_async(host_out, ptr, host_out.nbytes, MEMCPY_DEVICE_TO_HOST, s)
+        cuda.device_synchronize()
+        np.testing.assert_array_equal(
+            host_out.view(np.float64), np.arange(16.0) * 2
+        )
+        cuda.fini()
+
+    def test_event_synchronize(self, cuda):
+        cuda.register_kernel("busy", cost_fn=lambda *a: big_cost(0.3))
+        s = cuda.stream_create()
+        b = cuda.malloc(64)
+        cuda.launch(s, "busy", args=(b,))
+        ev = cuda.event_create()
+        cuda.event_record(ev, s)
+        cuda.event_synchronize(ev)
+        assert cuda.elapsed() >= 0.3

@@ -1,0 +1,150 @@
+"""Tests for the Offload-Streams and OpenCL comparator models."""
+
+import numpy as np
+import pytest
+
+from repro import make_platform
+from repro.models.offload_streams import OffloadStreamsRuntime
+from repro.models.opencl_like import CLError, OpenCLRuntime
+from repro.sim.kernels import KernelCost, dgemm
+
+
+def big_cost(seconds: float) -> KernelCost:
+    return KernelCost("default", flops=seconds * 0.45 * 1298.1e9, size=1e9)
+
+
+class TestOffloadStreams:
+    @pytest.fixture()
+    def offl(self):
+        return OffloadStreamsRuntime(platform=make_platform("HSW", 1), backend="sim")
+
+    def test_streams_target_devices_only(self, offl):
+        with pytest.raises(ValueError):
+            offl.stream_create(device=5)
+
+    def test_signal_wait_orders_across_streams(self, offl):
+        offl.register_kernel("k", cost_fn=lambda *a: big_cost(0.2))
+        s1 = offl.stream_create(0, ncores=30)
+        s2 = offl.stream_create(0, ncores=30)
+        a = np.zeros(1024)
+        b = np.zeros(1024)
+        offl.offload(s1, "k", args=(a,), signal="tagA")
+        offl.offload(s2, "k", args=(b,), wait=["tagA"])
+        offl.synchronize()
+        tr = offl.hstreams.tracer
+        computes = sorted(tr.filter(kind="compute"), key=lambda e: e.start)
+        assert computes[1].start >= computes[0].end - 1e-9
+
+    def test_wait_on_unsignaled_tag_fails(self, offl):
+        offl.register_kernel("k", cost_fn=lambda *a: big_cost(0.1))
+        s = offl.stream_create(0)
+        with pytest.raises(ValueError):
+            offl.offload(s, "k", wait=["never"])
+
+    def test_offload_wait_blocks_host(self, offl):
+        offl.register_kernel("k", cost_fn=lambda *a: big_cost(0.3))
+        s = offl.stream_create(0)
+        offl.offload(s, "k", args=(np.zeros(64),), signal="t")
+        offl.offload_wait(["t"])
+        assert offl.elapsed() >= 0.3
+
+    def test_in_out_clauses_roundtrip_on_thread_backend(self):
+        offl = OffloadStreamsRuntime(
+            platform=make_platform("HSW", 1), backend="thread", trace=False
+        )
+        offl.register_kernel("dbl", fn=lambda x: np.multiply(x, 2.0, out=x))
+        s = offl.stream_create(0, ncores=8)
+        data = np.arange(8.0)
+        offl.offload(s, "dbl", args=(data,), in_arrays=[data], out_arrays=[data])
+        offl.synchronize()
+        np.testing.assert_array_equal(data, np.arange(8.0) * 2)
+        offl.fini()
+
+    def test_stream_completed_polling(self, offl):
+        offl.register_kernel("k", cost_fn=lambda *a: big_cost(0.5))
+        s = offl.stream_create(0)
+        offl.offload(s, "k", args=(np.zeros(64),))
+        assert not offl.stream_completed(s)
+        offl.synchronize()
+        assert offl.stream_completed(s)
+
+    def test_offload_transfer_signal(self, offl):
+        s = offl.stream_create(0)
+        offl.offload_transfer(s, np.zeros(1 << 20), to_device=True, signal="x")
+        offl.offload_wait(["x"])
+
+
+class TestOpenCL:
+    @pytest.fixture()
+    def cl(self):
+        return OpenCLRuntime(platform=make_platform("HSW", 1), backend="sim")
+
+    def _setup(self, cl):
+        devs = cl.get_device_ids()
+        ctx = cl.create_context(devs)
+        q = cl.create_command_queue(ctx, devs[0])
+        prog = cl.create_program_with_source(ctx, "__kernel void dgemm(...) {}")
+        cl.build_program(prog)
+        kern = cl.create_kernel(prog, "dgemm")
+        return ctx, q, kern
+
+    def test_boilerplate_object_discipline(self, cl):
+        ctx, q, kern = self._setup(cl)
+        ctx.release()
+        with pytest.raises(CLError):
+            cl.create_command_queue(ctx, 0)
+
+    def test_kernel_requires_built_program(self, cl):
+        ctx = cl.create_context(cl.get_device_ids())
+        prog = cl.create_program_with_source(ctx, "src")
+        with pytest.raises(CLError):
+            cl.create_kernel(prog, "k")
+
+    def test_queue_needs_device_in_context(self, cl):
+        ctx = cl.create_context([0])
+        with pytest.raises(CLError):
+            cl.create_command_queue(ctx, 3)
+
+    def test_clblas_dgemm_is_slow_on_knc(self, cl):
+        """The paper's 35 GFl/s clBLAS measurement vs hStreams' 982."""
+        ctx, q, kern = self._setup(cl)
+        cl.register_kernel("dgemm", cost_fn=lambda *a: None)
+        n = 4000
+        buf = cl.create_buffer(ctx, 8 * n * n)
+        cl.set_kernel_arg(kern, 0, buf)
+        t0 = cl.elapsed()
+        cl.enqueue_nd_range_kernel(q, kern, cost=dgemm(n, n, n))
+        cl.finish(q)
+        rate = 2 * n**3 / (cl.elapsed() - t0) / 1e9
+        assert rate < 60  # demoted to the untuned clBLAS curve
+
+    def test_in_order_queue_is_strict(self, cl):
+        ctx = cl.create_context(cl.get_device_ids())
+        q = cl.create_command_queue(ctx, 0)
+        assert q._inner.strict_fifo
+
+    def test_out_of_order_queue_relaxes(self, cl):
+        ctx = cl.create_context(cl.get_device_ids())
+        q = cl.create_command_queue(ctx, 0, out_of_order=True)
+        assert not q._inner.strict_fifo
+
+    def test_roundtrip_on_thread_backend(self):
+        cl = OpenCLRuntime(
+            platform=make_platform("HSW", 1), backend="thread", trace=False
+        )
+        cl.register_kernel("dbl", fn=lambda x: np.multiply(x, 2.0, out=x))
+        ctx = cl.create_context(cl.get_device_ids())
+        q = cl.create_command_queue(ctx, 0)
+        prog = cl.create_program_with_source(ctx, "src")
+        cl.build_program(prog)
+        kern = cl.create_kernel(prog, "dbl")
+        data = np.arange(8.0)
+        out = np.zeros(8)
+        buf = cl.create_buffer(ctx, data.nbytes)
+        cl.enqueue_write_buffer(q, buf, data)
+        cl.set_kernel_arg(kern, 0, buf)
+        cl.enqueue_nd_range_kernel(q, kern)
+        cl.enqueue_read_buffer(q, buf, out)
+        cl.finish(q)
+        np.testing.assert_array_equal(out, np.arange(8.0) * 2)
+        cl.fini()

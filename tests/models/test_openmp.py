@@ -1,0 +1,121 @@
+"""Tests for the OpenMP 4.0/4.5 comparator model."""
+
+import numpy as np
+import pytest
+
+from repro import make_platform
+from repro.models.openmp import OpenMPRuntime
+from repro.sim.kernels import KernelCost, dgemm
+
+
+def big_cost(seconds: float) -> KernelCost:
+    return KernelCost("default", flops=seconds * 0.45 * 1298.1e9, size=1e9)
+
+
+@pytest.fixture()
+def omp45():
+    return OpenMPRuntime(platform=make_platform("HSW", 2), backend="sim", spec="4.5")
+
+
+@pytest.fixture()
+def omp40():
+    return OpenMPRuntime(platform=make_platform("HSW", 2), backend="sim", spec="4.0")
+
+
+class TestSpecGates:
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            OpenMPRuntime(spec="3.1")
+
+    def test_nowait_requires_45(self, omp40):
+        omp40.register_kernel("k", cost_fn=lambda *a: big_cost(0.1))
+        with pytest.raises(ValueError, match="4.5"):
+            omp40.target(0, "k", nowait=True)
+
+    def test_nowait_update_requires_45(self, omp40):
+        with pytest.raises(ValueError, match="4.5"):
+            omp40.target_update_to(0, np.zeros(8), nowait=True)
+
+
+class TestDevices:
+    def test_num_devices(self, omp45):
+        assert omp45.num_devices == 2
+
+    def test_unknown_device(self, omp45):
+        omp45.register_kernel("k", cost_fn=lambda *a: big_cost(0.1))
+        with pytest.raises(ValueError):
+            omp45.target(7, "k")
+
+
+class TestSynchrony:
+    def test_40_target_blocks_host(self, omp40):
+        omp40.register_kernel("k", cost_fn=lambda *a: big_cost(0.5))
+        t0 = omp40.elapsed()
+        omp40.target(0, "k")
+        assert omp40.elapsed() - t0 >= 0.5  # returned only after completion
+
+    def test_45_nowait_returns_immediately(self, omp45):
+        omp45.register_kernel("k", cost_fn=lambda *a: big_cost(0.5))
+        t0 = omp45.elapsed()
+        ev = omp45.target(0, "k", nowait=True)
+        assert omp45.elapsed() - t0 < 0.01
+        omp45.taskwait()
+        assert omp45.elapsed() - t0 >= 0.5
+        assert ev.is_complete()
+
+    def test_40_no_overlap_of_transfer_and_compute(self, omp40):
+        """4.0 has no async transfers, so pipelining is impossible."""
+        omp40.register_kernel("k", cost_fn=lambda *a: big_cost(0.2))
+        arrays = [np.zeros(1 << 20) for _ in range(3)]
+        for a in arrays:
+            omp40.target_enter_data(0, [a])  # blocks
+            omp40.target(0, "k", args=(a,))  # blocks
+        assert omp40.hstreams.tracer.overlap("compute", "transfer") == pytest.approx(0.0)
+
+    def test_45_nowait_overlaps_on_two_devices(self, omp45):
+        omp45.register_kernel("k", cost_fn=lambda *a: big_cost(0.5))
+        t0 = omp45.elapsed()
+        omp45.target(0, "k", nowait=True)
+        omp45.target(1, "k", nowait=True)
+        omp45.taskwait()
+        assert omp45.elapsed() - t0 < 0.8  # concurrent, not 1.0 serialized
+
+    def test_no_subdevice_concurrency_within_one_device(self, omp45):
+        """One logical device = one queue: two regions serialize."""
+        omp45.register_kernel("k", cost_fn=lambda *a: big_cost(0.5))
+        t0 = omp45.elapsed()
+        omp45.target(0, "k", nowait=True)
+        omp45.target(0, "k", nowait=True)
+        omp45.taskwait()
+        assert omp45.elapsed() - t0 > 0.9
+
+
+class TestDependClauses:
+    def test_depend_orders_tasks(self, omp45):
+        omp45.register_kernel("k", cost_fn=lambda *a: big_cost(0.2))
+        var = np.zeros(64)
+        ev1 = omp45.target(0, "k", nowait=True, depend_out=[var])
+        ev2 = omp45.target(0, "k", nowait=True, depend_in=[var])
+        omp45.taskwait()
+        assert ev2.timestamp >= ev1.timestamp
+
+    def test_independent_depends_do_not_order(self, omp45):
+        omp45.register_kernel("k", cost_fn=lambda *a: big_cost(0.2))
+        v1, v2 = np.zeros(64), np.zeros(64)
+        omp45.target(0, "k", nowait=True, depend_out=[v1])
+        omp45.target(0, "k", nowait=True, depend_out=[v2])
+        omp45.taskwait()  # no deadlock, both ran
+
+
+class TestFunctional:
+    def test_roundtrip_on_thread_backend(self):
+        omp = OpenMPRuntime(
+            platform=make_platform("HSW", 1), backend="thread", spec="4.5", trace=False
+        )
+        omp.register_kernel("dbl", fn=lambda x: np.multiply(x, 2.0, out=x))
+        data = np.arange(8.0)
+        omp.target_enter_data(0, [data])
+        omp.target(0, "dbl", args=(data,))
+        omp.target_exit_data(0, [data])
+        np.testing.assert_array_equal(data, np.arange(8.0) * 2)
+        omp.fini()

@@ -1,0 +1,128 @@
+"""Edge-case tests for the simulation engine's less-traveled paths."""
+
+import pytest
+
+from repro.sim.engine import AnyOf, Engine, SimError
+
+
+class TestConditionFailures:
+    def test_any_of_propagates_failure(self):
+        eng = Engine()
+        good = eng.timeout(5.0)
+        bad = eng.event()
+        cond = AnyOf(eng, [good, bad])
+        bad.fail(RuntimeError("nope"))
+        eng.run()
+        assert cond.triggered and not cond.ok
+        assert isinstance(cond.value, RuntimeError)
+
+    def test_any_of_value_maps_triggered_children(self):
+        eng = Engine()
+        t1 = eng.timeout(1.0, value="first")
+        t2 = eng.timeout(5.0, value="second")
+        values = []
+        eng.any_of([t1, t2]).add_callback(lambda e: values.append(dict(e.value)))
+        eng.run(until=2.0)
+        assert values and values[0][t1] == "first"
+        assert t2 not in values[0]
+
+    def test_condition_rejects_non_events(self):
+        eng = Engine()
+        with pytest.raises(SimError):
+            eng.all_of([eng.timeout(1.0), "not an event"])
+
+    def test_any_of_empty_fires_immediately(self):
+        eng = Engine()
+        fired = []
+        eng.any_of([]).add_callback(lambda e: fired.append(eng.now))
+        eng.run()
+        assert fired == [pytest.approx(0.0)]
+
+
+class TestRunLimits:
+    def test_run_until_event_time_limit(self):
+        eng = Engine()
+        target = eng.event()
+
+        def ticker():
+            while True:
+                yield eng.timeout(1.0)
+
+        eng.process(ticker())
+        with pytest.raises(SimError, match="time limit"):
+            eng.run_until_event(target, limit=10.0)
+
+    def test_run_until_event_returns_value(self):
+        eng = Engine()
+        ev = eng.timeout(2.0, value=42)
+        assert eng.run_until_event(ev) == 42
+
+    def test_run_until_event_raises_failure(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def failer():
+            yield eng.timeout(1.0)
+            ev.fail(ValueError("doomed"))
+
+        eng.process(failer())
+        with pytest.raises(ValueError, match="doomed"):
+            eng.run_until_event(ev)
+
+    def test_pending_count(self):
+        eng = Engine()
+        assert eng.pending_count == 0
+        eng.timeout(1.0)
+        eng.timeout(2.0)
+        assert eng.pending_count == 2
+        eng.run()
+        assert eng.pending_count == 0
+
+
+class TestProcessReturnPaths:
+    def test_process_that_never_yields(self):
+        eng = Engine()
+
+        def instant():
+            return "done"
+            yield  # pragma: no cover - makes it a generator
+
+        p = eng.process(instant())
+        assert eng.run_until_event(p) == "done"
+
+    def test_nested_processes(self):
+        eng = Engine()
+        log = []
+
+        def child(tag):
+            yield eng.timeout(1.0)
+            log.append(tag)
+            return tag
+
+        def parent():
+            a = eng.process(child("a"))
+            b = eng.process(child("b"))
+            got_a = yield a
+            got_b = yield b
+            log.append((got_a, got_b))
+
+        eng.process(parent())
+        eng.run()
+        assert log[-1] == ("a", "b")
+
+    def test_process_waits_on_another_process(self):
+        eng = Engine()
+        order = []
+
+        def slow():
+            yield eng.timeout(3.0)
+            order.append("slow")
+
+        def waiter(target):
+            yield target
+            order.append("waiter")
+
+        p = eng.process(slow())
+        eng.process(waiter(p))
+        eng.run()
+        assert order == ["slow", "waiter"]

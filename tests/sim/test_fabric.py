@@ -1,0 +1,112 @@
+"""Tests for offload-over-fabric: remote Xeon domains (paper §III/§IV)."""
+
+import numpy as np
+import pytest
+
+from repro import HStreams
+from repro.sim.engine import Engine
+from repro.sim.kernels import dgemm
+from repro.sim.platforms import make_fabric_platform, make_platform, Platform, HSW, KNC_7120A
+
+
+class TestFabricPlatform:
+    def test_construction(self):
+        p = make_fabric_platform("HSW", nnodes=2, node="IVB")
+        assert p.nfabric == 2 and p.ncards == 0
+        assert p.devices[1].name == "IVB"
+        assert "fabric" in p.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_fabric_platform("HSW", nnodes=0)
+        with pytest.raises(ValueError):
+            make_fabric_platform("KNC")
+
+    def test_links_use_fabric_parameters(self):
+        p = make_fabric_platform("HSW", nnodes=1, fabric_bandwidth_gbs=4.0,
+                                 fabric_latency_s=5e-6)
+        links = p.make_links(Engine())
+        assert links[1].h2d.bandwidth_gbs == pytest.approx(4.0)
+        assert links[1].h2d.latency_s == pytest.approx(5e-6)
+
+    def test_mixed_cards_and_fabric(self):
+        p = Platform(
+            name="mixed", host=HSW, cards=(KNC_7120A,), fabric_nodes=(HSW,),
+        )
+        links = p.make_links(Engine())
+        assert links[1].h2d.bandwidth_gbs == pytest.approx(6.8)   # PCIe
+        assert links[2].h2d.bandwidth_gbs == pytest.approx(5.5)   # fabric
+        assert p.device(1).kind == "knc" and p.device(2).kind == "xeon"
+
+
+class TestFabricExecution:
+    def test_uniform_api_reaches_remote_node(self):
+        """The §IV uniformity claim: the same enqueue works on a remote
+        node as on a card — only the link parameters differ."""
+        hs = HStreams(platform=make_fabric_platform("HSW", nnodes=1),
+                      backend="sim", trace=False)
+        hs.register_kernel("gemm", cost_fn=lambda m, n, k, *a: dgemm(m, n, k))
+        s = hs.stream_create(domain=1, ncores=28)
+        b = hs.buffer_create(nbytes=8 * 2048 * 2048, domains=[1])
+        t0 = hs.elapsed()
+        hs.enqueue_xfer(s, b)
+        hs.enqueue_compute(s, "gemm", args=(2048, 2048, 2048, b.all_inout()))
+        hs.thread_synchronize()
+        assert hs.elapsed() > t0
+
+    def test_remote_node_computes_at_its_own_rate(self):
+        """A remote HSW node runs DGEMM at HSW rates, not KNC rates."""
+        def run(platform, domain_cores):
+            hs = HStreams(platform=platform, backend="sim", trace=False)
+            hs.register_kernel("gemm", cost_fn=lambda m, n, k, *a: dgemm(m, n, k))
+            s = hs.stream_create(domain=1, ncores=domain_cores)
+            b = hs.buffer_create(nbytes=8, domains=[1])
+            t0 = hs.elapsed()
+            hs.enqueue_compute(s, "gemm", args=(4000, 4000, 4000, b.all_inout()))
+            hs.thread_synchronize()
+            return hs.elapsed() - t0
+
+        t_remote_hsw = run(make_fabric_platform("HSW", 1, node="HSW"), 28)
+        t_knc = run(make_platform("HSW", 1), 61)
+        rate_hsw = 2 * 4000**3 / t_remote_hsw / 1e9
+        assert 800 < rate_hsw < 910  # the HSW DGEMM curve
+
+    def test_fabric_transfer_slower_than_pcie(self):
+        def xfer_time(platform):
+            hs = HStreams(platform=platform, backend="sim", trace=False)
+            s = hs.stream_create(domain=1, ncores=4)
+            b = hs.buffer_create(nbytes=64 << 20, domains=[1])
+            t0 = hs.elapsed()
+            hs.enqueue_xfer(s, b)
+            hs.thread_synchronize()
+            return hs.elapsed() - t0
+
+        assert xfer_time(make_fabric_platform("HSW", 1)) > xfer_time(
+            make_platform("HSW", 1)
+        )
+
+    def test_thread_backend_on_fabric_platform(self):
+        """Functionally, a remote node is just another address space."""
+        hs = HStreams(platform=make_fabric_platform("HSW", nnodes=1),
+                      backend="thread", trace=False)
+        hs.register_kernel("dbl", fn=lambda x: np.multiply(x, 2.0, out=x))
+        s = hs.stream_create(domain=1, ncores=8)
+        data = np.arange(4.0)
+        buf = hs.wrap(data)
+        hs.enqueue_xfer(s, buf)
+        hs.enqueue_compute(s, "dbl", args=(buf.tensor((4,)),))
+        from repro import XferDirection
+        hs.enqueue_xfer(s, buf, XferDirection.SINK_TO_SRC)
+        hs.thread_synchronize()
+        np.testing.assert_array_equal(data, 2 * np.arange(4.0))
+        hs.fini()
+
+    def test_hetero_matmul_spans_fabric_nodes(self):
+        """The whole tiled matmul runs unchanged across a mini-cluster."""
+        from repro.linalg import hetero_matmul
+
+        hs = HStreams(platform=make_fabric_platform("HSW", nnodes=2),
+                      backend="sim", trace=False)
+        res = hetero_matmul(hs, 8000, tile=1000, streams_per_domain=2)
+        # Three HSW-class domains: comfortably above one HSW alone.
+        assert res.gflops > 1.5 * 902

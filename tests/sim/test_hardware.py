@@ -1,0 +1,159 @@
+"""Unit and property tests for device models and efficiency curves."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.hardware import Device, EfficiencyCurve
+from repro.sim.platforms import HSW, IVB, KNC_7120A
+
+
+class TestEfficiencyCurve:
+    def test_monotone_examples(self):
+        c = EfficiencyCurve(eff_max=0.8, half_size=100.0)
+        assert c(10) < c(100) < c(1000)
+
+    def test_half_size_gives_half_of_max(self):
+        c = EfficiencyCurve(eff_max=0.8, half_size=100.0, eff_min=0.0)
+        assert c(100) == pytest.approx(0.4)
+
+    def test_zero_half_size_is_flat(self):
+        c = EfficiencyCurve(eff_max=0.7, half_size=0.0)
+        assert c(1) == pytest.approx(0.7)
+        assert c(1e9) == pytest.approx(0.7)
+
+    def test_nonpositive_size_floor(self):
+        c = EfficiencyCurve(eff_max=0.8, half_size=100.0, eff_min=0.1)
+        assert c(0) == pytest.approx(0.1)
+        assert c(-5) == pytest.approx(0.1)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            EfficiencyCurve(eff_max=1.2, half_size=10.0)
+        with pytest.raises(ValueError):
+            EfficiencyCurve(eff_max=0.5, half_size=10.0, eff_min=0.6)
+        with pytest.raises(ValueError):
+            EfficiencyCurve(eff_max=0.5, half_size=-1.0)
+
+    @given(
+        eff_max=st.floats(0.05, 1.0),
+        half=st.floats(0.0, 1e5),
+        s1=st.floats(1.0, 1e7),
+        s2=st.floats(1.0, 1e7),
+    )
+    def test_property_monotone_nondecreasing(self, eff_max, half, s1, s2):
+        c = EfficiencyCurve(eff_max=eff_max, half_size=half)
+        lo, hi = min(s1, s2), max(s1, s2)
+        assert c(lo) <= c(hi) + 1e-12
+
+    @given(eff_max=st.floats(0.05, 1.0), half=st.floats(0.0, 1e5), s=st.floats(0.0, 1e9))
+    def test_property_bounded(self, eff_max, half, s):
+        c = EfficiencyCurve(eff_max=eff_max, half_size=half)
+        assert 0.0 < c(s) <= eff_max + 1e-12
+
+
+class TestDevicePeaks:
+    """Peaks must match the Fig. 2 architectural arithmetic."""
+
+    def test_ivb_peak(self):
+        assert IVB.peak_dp_gflops == pytest.approx(24 * 2.7 * 8.0)
+
+    def test_hsw_peak(self):
+        assert HSW.peak_dp_gflops == pytest.approx(28 * 2.6 * 16.0)
+
+    def test_knc_peak(self):
+        assert KNC_7120A.peak_dp_gflops == pytest.approx(61 * 1.33 * 16.0)
+
+    def test_thread_counts(self):
+        assert IVB.total_threads == 48
+        assert HSW.total_threads == 56
+        assert KNC_7120A.total_threads == 244
+
+
+class TestCalibratedRates:
+    """Asymptotic DGEMM rates must match the paper's measured values."""
+
+    @pytest.mark.parametrize(
+        "device,expected",
+        [(IVB, 475.0), (HSW, 902.0), (KNC_7120A, 982.0)],
+    )
+    def test_dgemm_asymptote(self, device, expected):
+        rate = device.gflops("dgemm", size=1e7)
+        assert rate == pytest.approx(expected, rel=0.01)
+
+    def test_small_tiles_run_below_asymptote(self):
+        assert KNC_7120A.gflops("dgemm", 128) < 0.5 * KNC_7120A.gflops("dgemm", 1e7)
+
+    def test_knc_dpotrf_is_terrible(self):
+        """The latency-bound panel is why MAGMA ships DPOTF2 to the host."""
+        knc = KNC_7120A.gflops("dpotrf", 4000)
+        hsw = HSW.gflops("dpotrf", 4000)
+        assert knc < 0.35 * hsw
+
+    def test_unknown_kernel_uses_default_curve(self):
+        rate = HSW.gflops("exotic_kernel", 1e6)
+        assert rate > 0
+
+
+class TestComputeTime:
+    def test_partial_cores_scale_rate(self):
+        full = HSW.gflops("dgemm", 2000, cores=28)
+        half = HSW.gflops("dgemm", 2000, cores=14)
+        assert half == pytest.approx(full / 2)
+
+    def test_cores_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            HSW.gflops("dgemm", 100, cores=0)
+        with pytest.raises(ValueError):
+            HSW.gflops("dgemm", 100, cores=1000)
+
+    def test_compute_time_includes_fork_join(self):
+        t = HSW.compute_time("dgemm", flops=0.0, size=1.0)
+        assert t == pytest.approx(HSW.fork_join_s)
+
+    def test_memory_bound_work_uses_bandwidth(self):
+        # Tiny flops, huge traffic: time ~ bytes / bandwidth.
+        nbytes = 1e9
+        t = HSW.compute_time("dgemm", flops=1.0, size=1.0, bytes_moved=nbytes)
+        assert t == pytest.approx(nbytes / (HSW.mem_bw_gbs * 1e9) + HSW.fork_join_s)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            HSW.compute_time("dgemm", flops=-1.0, size=10.0)
+
+    @given(flops=st.floats(0, 1e13), size=st.floats(1, 1e5))
+    def test_property_time_nonnegative_and_monotone_in_flops(self, flops, size):
+        t1 = KNC_7120A.compute_time("dgemm", flops, size)
+        t2 = KNC_7120A.compute_time("dgemm", flops * 2, size)
+        assert 0 < t1 <= t2 + 1e-15
+
+
+class TestDeviceVariants:
+    def test_with_efficiencies_overrides_one_curve(self):
+        tweaked = HSW.with_efficiencies(dgemm=EfficiencyCurve(0.5, 0.0))
+        assert tweaked.gflops("dgemm", 1e7) == pytest.approx(
+            0.5 * HSW.peak_dp_gflops
+        )
+        # Other curves are untouched.
+        assert tweaked.gflops("dtrsm", 1e6) == pytest.approx(
+            HSW.gflops("dtrsm", 1e6)
+        )
+
+    def test_scaled_clock(self):
+        fast = IVB.scaled("IVB-oc", clock_factor=2.0)
+        assert fast.peak_dp_gflops == pytest.approx(2 * IVB.peak_dp_gflops)
+        assert fast.name == "IVB-oc"
+
+    def test_invalid_device_construction(self):
+        with pytest.raises(ValueError):
+            Device(
+                name="bad",
+                kind="xeon",
+                sockets=0,
+                cores_per_socket=4,
+                threads_per_core=1,
+                clock_ghz=2.0,
+                dp_flops_per_cycle=8,
+                sp_flops_per_cycle=16,
+                ram_gb=1,
+                mem_bw_gbs=10,
+            )

@@ -1,0 +1,90 @@
+"""Tests for the PCIe-like link model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.interconnect import Link, LinkPair
+
+
+class TestLink:
+    def test_transfer_time_formula(self):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=6.8, latency_s=1e-5)
+        assert link.transfer_time(6.8e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_zero_bytes_costs_latency_only(self):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=10.0, latency_s=2e-5)
+        assert link.transfer_time(0) == pytest.approx(2e-5)
+
+    def test_negative_bytes_rejected(self):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=10.0, latency_s=0)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+    def test_invalid_parameters_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            Link(eng, bandwidth_gbs=0.0, latency_s=0)
+        with pytest.raises(ValueError):
+            Link(eng, bandwidth_gbs=1.0, latency_s=-1)
+
+    def test_same_direction_transfers_serialize(self):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=1.0, latency_s=0.0)
+        done = []
+        link.transfer(int(1e9)).add_callback(lambda e: done.append(eng.now))
+        link.transfer(int(1e9)).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_accounting(self):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=1.0, latency_s=0.0)
+        link.transfer(1000)
+        link.transfer(500)
+        eng.run()
+        assert link.bytes_moved == 1500
+
+    @given(nbytes=st.integers(0, int(1e10)), bw=st.floats(0.1, 100.0))
+    def test_property_transfer_time_positive_monotone(self, nbytes, bw):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=bw, latency_s=1e-6)
+        t1 = link.transfer_time(nbytes)
+        t2 = link.transfer_time(nbytes * 2)
+        assert 0 < t1 <= t2 + 1e-15
+
+
+class TestLinkPair:
+    def test_opposite_directions_overlap(self):
+        eng = Engine()
+        pair = LinkPair(eng, bandwidth_gbs=1.0, latency_s=0.0)
+        done = []
+        pair.h2d.transfer(int(1e9)).add_callback(lambda e: done.append(("h2d", eng.now)))
+        pair.d2h.transfer(int(1e9)).add_callback(lambda e: done.append(("d2h", eng.now)))
+        eng.run()
+        # Full duplex: both finish at t=1, not serialized to t=2.
+        assert dict(done)["h2d"] == pytest.approx(1.0)
+        assert dict(done)["d2h"] == pytest.approx(1.0)
+
+    def test_direction_selector(self):
+        eng = Engine()
+        pair = LinkPair(eng, bandwidth_gbs=2.0, latency_s=0.0)
+        assert pair.direction(to_device=True) is pair.h2d
+        assert pair.direction(to_device=False) is pair.d2h
+
+    def test_asymmetric_bandwidth(self):
+        eng = Engine()
+        pair = LinkPair(eng, bandwidth_gbs=8.0, latency_s=0.0, d2h_bandwidth_gbs=4.0)
+        assert pair.d2h.transfer_time(4e9) == pytest.approx(1.0)
+        assert pair.h2d.transfer_time(8e9) == pytest.approx(1.0)
+
+    def test_pair_accounting(self):
+        eng = Engine()
+        pair = LinkPair(eng, bandwidth_gbs=1.0, latency_s=0.0)
+        pair.h2d.transfer(100)
+        pair.d2h.transfer(200)
+        eng.run()
+        assert pair.bytes_moved == 300

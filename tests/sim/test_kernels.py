@@ -1,0 +1,96 @@
+"""Tests for the analytic kernel cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import kernels
+from repro.sim.platforms import HSW, KNC_7120A
+
+
+class TestFlopCounts:
+    def test_dgemm(self):
+        assert kernels.dgemm(10, 20, 30).flops == pytest.approx(2 * 10 * 20 * 30)
+
+    def test_dsyrk(self):
+        assert kernels.dsyrk(10, 5).flops == pytest.approx(10 * 11 * 5)
+
+    def test_dtrsm(self):
+        assert kernels.dtrsm(8, 4).flops == pytest.approx(8 * 16)
+
+    def test_dpotrf(self):
+        assert kernels.dpotrf(30).flops == pytest.approx(30**3 / 3)
+
+    def test_dgetrf_square(self):
+        n = 100
+        assert kernels.dgetrf(n, n).flops == pytest.approx(2 * n**3 / 3)
+
+    def test_cholesky_native_matches_dpotrf(self):
+        assert kernels.cholesky_native(500).flops == pytest.approx(
+            kernels.dpotrf(500).flops
+        )
+
+    def test_stencil_flops(self):
+        # The paper's halo workload: 1K x 1K x 8 points at 80 flops each.
+        cost = kernels.stencil(1024 * 1024 * 8)
+        assert cost.flops == pytest.approx(1024 * 1024 * 8 * 80)
+
+    def test_ldlt_panel(self):
+        assert kernels.ldlt_panel(100, 10).flops == pytest.approx(100 * 100)
+
+    def test_ldlt_update_is_gemm_shaped(self):
+        assert kernels.ldlt_update(10, 20, 30).flops == pytest.approx(
+            kernels.dgemm(10, 20, 30).flops
+        )
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.dgemm(-1, 2, 3)
+        with pytest.raises(ValueError):
+            kernels.stencil(-5)
+
+
+class TestKernelCost:
+    def test_scaled(self):
+        c = kernels.dgemm(10, 10, 10).scaled(0.5)
+        assert c.flops == pytest.approx(10 * 10 * 10)
+        assert c.kernel == "dgemm"
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.KernelCost("x", -1.0, 10.0)
+
+    def test_size_is_min_dimension_for_gemm(self):
+        assert kernels.dgemm(100, 2000, 50).size == pytest.approx(50)
+
+
+class TestTimeOn:
+    def test_time_positive(self):
+        t = kernels.time_on(HSW, kernels.dgemm(1000, 1000, 1000))
+        assert t > 0
+
+    def test_bigger_problems_take_longer(self):
+        t1 = kernels.time_on(HSW, kernels.dgemm(500, 500, 500))
+        t2 = kernels.time_on(HSW, kernels.dgemm(1000, 1000, 1000))
+        assert t2 > t1
+
+    def test_large_dgemm_rate_matches_calibration(self):
+        n = 8000
+        cost = kernels.dgemm(n, n, n)
+        t = kernels.time_on(KNC_7120A, cost)
+        achieved = cost.flops / t / 1e9
+        # At n=8000 the curve should be near (but below) the 982 asymptote.
+        assert 880 < achieved < 982
+
+    def test_partial_cores(self):
+        cost = kernels.dgemm(2000, 2000, 2000)
+        t_full = kernels.time_on(HSW, cost)
+        t_half = kernels.time_on(HSW, cost, cores=14)
+        assert t_half > 1.8 * (t_full - HSW.fork_join_s)
+
+    @given(
+        m=st.integers(1, 3000), n=st.integers(1, 3000), k=st.integers(1, 3000)
+    )
+    def test_property_gemm_time_scales_with_work(self, m, n, k):
+        small = kernels.time_on(HSW, kernels.dgemm(m, n, k))
+        big = kernels.time_on(HSW, kernels.dgemm(2 * m, n, k))
+        assert big >= small - 1e-12

@@ -1,0 +1,77 @@
+"""Tests for platform presets (the paper's Fig. 2 machines)."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.platforms import HSW, IVB, K40X, KNC_7120A, make_platform
+
+
+class TestMakePlatform:
+    def test_default_is_hsw_plus_one_knc(self):
+        p = make_platform()
+        assert p.host is HSW
+        assert p.ncards == 1
+        assert p.cards[0] is KNC_7120A
+
+    def test_two_cards(self):
+        p = make_platform("IVB", ncards=2)
+        assert p.host is IVB
+        assert len(p.cards) == 2
+        assert p.name == "IVB+2KNC"
+
+    def test_host_only(self):
+        p = make_platform("HSW", ncards=0)
+        assert p.ncards == 0
+        assert p.devices == (HSW,)
+        assert p.name == "HSW"
+
+    def test_k40x_card(self):
+        p = make_platform("HSW", ncards=1, card="K40X")
+        assert p.cards[0] is K40X
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(ValueError):
+            make_platform("SKYLAKE")
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(ValueError):
+            make_platform("HSW", ncards=1, card="H100")
+
+    def test_negative_cards_rejected(self):
+        with pytest.raises(ValueError):
+            make_platform("HSW", ncards=-1)
+
+    def test_case_insensitive(self):
+        p = make_platform("hsw", ncards=1, card="knc")
+        assert p.host is HSW
+
+
+class TestPlatform:
+    def test_device_indexing(self):
+        p = make_platform("HSW", ncards=2)
+        assert p.device(0) is HSW
+        assert p.device(1) is KNC_7120A
+        assert p.device(2) is KNC_7120A
+
+    def test_make_links_one_pair_per_card(self):
+        p = make_platform("HSW", ncards=2)
+        links = p.make_links(Engine())
+        assert sorted(links) == [1, 2]
+        assert links[1].h2d.bandwidth_gbs == pytest.approx(6.8)
+
+    def test_host_only_platform_has_no_links(self):
+        p = make_platform("HSW", ncards=0)
+        assert p.make_links(Engine()) == {}
+
+    def test_describe_mentions_host_and_cards(self):
+        text = make_platform("IVB", ncards=2).describe()
+        assert "IVB" in text and "KNC" in text
+
+    def test_knc_memory_is_16gb(self):
+        """Fig. 2: the card's 16 GB GDDR5 constrains problem sizes."""
+        assert KNC_7120A.ram_gb == pytest.approx(16.0)
+
+    def test_hsw_is_roughly_twice_ivb_peak(self):
+        """The paper attributes lower HSW speedups to its ~2x peak."""
+        ratio = HSW.peak_dp_gflops / IVB.peak_dp_gflops
+        assert 1.9 < ratio < 2.4

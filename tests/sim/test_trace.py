@@ -1,0 +1,87 @@
+"""Tests for timeline tracing."""
+
+import pytest
+
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        ev = TraceEvent("s0", 1.0, 3.5, "dgemm")
+        assert ev.duration == pytest.approx(2.5)
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent("s0", 2.0, 1.0, "bad")
+
+
+class TestTracer:
+    def make(self):
+        tr = Tracer()
+        tr.record("s0", 0.0, 2.0, "gemm0", kind="compute")
+        tr.record("s0", 3.0, 4.0, "gemm1", kind="compute")
+        tr.record("link", 1.0, 3.5, "xferA", kind="transfer")
+        tr.record("s1", 0.5, 1.5, "gemm2", kind="compute")
+        return tr
+
+    def test_lane_order_is_first_appearance(self):
+        assert self.make().lanes() == ["s0", "link", "s1"]
+
+    def test_span(self):
+        assert self.make().span() == pytest.approx(4.0)
+
+    def test_empty_span_is_zero(self):
+        assert Tracer().span() == 0.0
+
+    def test_busy_time_merges_overlaps(self):
+        tr = Tracer()
+        tr.record("s0", 0.0, 2.0, "a")
+        tr.record("s0", 1.0, 3.0, "b")
+        tr.record("s0", 5.0, 6.0, "c")
+        assert tr.busy_time("s0") == pytest.approx(4.0)
+
+    def test_busy_time_by_kind(self):
+        tr = self.make()
+        assert tr.busy_time("s0", kind="transfer") == 0.0
+        assert tr.busy_time("s0", kind="compute") == pytest.approx(3.0)
+
+    def test_utilization(self):
+        tr = self.make()
+        assert tr.utilization("s0") == pytest.approx(3.0 / 4.0)
+
+    def test_overlap_compute_transfer(self):
+        tr = self.make()
+        # transfer [1, 3.5] overlaps compute on [1,2] (s0), [1,1.5] (s1),
+        # [3,3.5] (s0) -> union of compute during transfer = [1,2]+[3,3.5]
+        assert tr.overlap("compute", "transfer") == pytest.approx(1.5)
+
+    def test_overlap_none(self):
+        tr = Tracer()
+        tr.record("a", 0.0, 1.0, "x", kind="compute")
+        tr.record("b", 2.0, 3.0, "y", kind="transfer")
+        assert tr.overlap("compute", "transfer") == pytest.approx(0.0)
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.record("s0", 0.0, 1.0, "x")
+        assert tr.events == []
+
+    def test_gantt_renders_all_lanes(self):
+        text = self.make().gantt(width=60)
+        for lane in ["s0", "s1", "link"]:
+            assert lane in text
+        assert "#" in text and "=" in text
+
+    def test_gantt_empty(self):
+        assert "empty" in Tracer().gantt()
+
+    def test_filter(self):
+        tr = self.make()
+        assert len(tr.filter(kind="compute")) == 3
+        assert len(tr.filter(lane="link")) == 1
+        assert len(tr.filter(kind="compute", lane="s0")) == 2
+
+    def test_clear(self):
+        tr = self.make()
+        tr.clear()
+        assert tr.events == []

@@ -1,0 +1,74 @@
+"""Smoke tests: the shipped examples must run clean end to end.
+
+Each example is executed as a subprocess (the way a user runs it); a
+non-zero exit or traceback fails the test. The heavier sweeps inside the
+examples are exercised by the benchmarks, so only the faster examples
+run here.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "Traceback" not in proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "thread backend" in out and "sim backend" in out
+        assert "#" in out  # the Gantt chart rendered
+
+    def test_ompss_dataflow(self):
+        out = run_example("ompss_dataflow.py")
+        assert "(2 + 3) * 10 = 50" in out
+        assert "hStreams layer advantage" in out
+
+    def test_fabric_cluster(self):
+        out = run_example("fabric_cluster.py")
+        assert "remote HSW node over fabric" in out
+
+    def test_trace_export(self, tmp_path):
+        import subprocess, sys
+        target = tmp_path / "trace.json"
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "trace_export.py"), str(target)],
+            capture_output=True, text=True, timeout=240,
+        )
+        assert proc.returncode == 0, proc.stderr
+        import json
+        events = json.loads(target.read_text())
+        assert any(e.get("cat") == "transfer" for e in events)
+
+    def test_abaqus_solver(self):
+        out = run_example("abaqus_solver.py")
+        assert "Fig. 9" in out and "Fig. 8" in out
+
+    @pytest.mark.slow
+    def test_matmul_hetero(self):
+        out = run_example("matmul_hetero.py")
+        assert "GFl/s" in out
+
+    @pytest.mark.slow
+    def test_cholesky_hetero(self):
+        out = run_example("cholesky_hetero.py")
+        assert "MAGMA" in out
+
+    @pytest.mark.slow
+    def test_rtm_pipeline(self):
+        out = run_example("rtm_pipeline.py")
+        assert "max field error = 0.00e+00" in out

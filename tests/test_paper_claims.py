@@ -1,0 +1,129 @@
+"""Fast, suite-level checks of the paper's headline claims.
+
+The benchmarks regenerate the full figures; these are scaled-down
+versions of the same claims that run in seconds inside the ordinary test
+suite, so a regression in any headline behaviour fails `pytest tests/`
+without needing the benchmark pass.
+"""
+
+import pytest
+
+from repro import HStreams, RuntimeConfig, make_platform
+from repro.apps.rtm import run_rtm
+from repro.linalg import hetero_cholesky, hetero_matmul, magma_cholesky
+from repro.linalg.host_blas import register_blas
+from repro.ompss.matmul import ompss_matmul
+from repro.sim.kernels import dgemm
+
+
+def sim(host="HSW", ncards=1, **kw):
+    return HStreams(platform=make_platform(host, ncards), backend="sim",
+                    trace=False, **kw)
+
+
+class TestHeadlineClaims:
+    def test_ooo_beats_strict_fifo_on_one_stream(self):
+        """§II/§IV: the FIFO *semantic* with out-of-order execution
+        pipelines what strict FIFO serializes."""
+        def run(strict):
+            hs = sim()
+            register_blas(hs)
+            s = hs.stream_create(domain=1, ncores=61, strict_fifo=strict)
+            tiles = [hs.buffer_create(nbytes=8 * 1500**2, domains=[1])
+                     for _ in range(6)]
+            t0 = hs.elapsed()
+            for b in tiles:
+                hs.enqueue_xfer(s, b)
+                hs.enqueue_compute(s, "dgemm", args=(1500, 1500, 1500),
+                                   operands=(b.all_inout(),),
+                                   cost=dgemm(1500, 1500, 1500))
+            hs.thread_synchronize()
+            return hs.elapsed() - t0
+
+        assert run(strict=True) > 1.1 * run(strict=False)
+
+    def test_hetero_matmul_beats_host_and_card_alone(self):
+        """Fig. 6's qualitative core."""
+        n = 8000
+        both = hetero_matmul(sim(ncards=1), n, tile=1000).gflops
+        card = hetero_matmul(sim(ncards=1), n, tile=1000, use_host=False).gflops
+        host = hetero_matmul(sim(ncards=0), n, tile=1000).gflops
+        assert both > card and both > host
+
+    def test_ivb_needs_load_balancing(self):
+        """Fig. 6: the weak host must not get an equal share."""
+        lb = hetero_matmul(sim("IVB", 2), 12000, tile=1500, load_balance=True)
+        nb = hetero_matmul(sim("IVB", 2), 12000, tile=1500, load_balance=False)
+        assert lb.gflops > 1.15 * nb.gflops
+
+    def test_hstreams_cholesky_beats_magma_with_host(self):
+        """Fig. 7: spare host resources beat a panels-only host."""
+        n = 12000
+        h = hetero_cholesky(sim(), n, tile=n // 20, host_streams=4).gflops
+        m = magma_cholesky(sim(), n, tile=n // 20).gflops
+        assert h > m
+
+    def test_ompss_hstreams_layer_beats_cuda_layer(self):
+        """§IV: 1.45x at 4K in the paper; >1.15x required here."""
+        t_h = ompss_matmul("hstreams", 4096, 4).elapsed_s
+        t_c = ompss_matmul("cuda", 4096, 4).elapsed_s
+        assert t_c > 1.15 * t_h
+
+    def test_rtm_async_pipelining_helps(self):
+        """§VI: asynchronous pipelined offload beats synchronous."""
+        grid = (512, 256, 256)
+        hs1 = sim(ncards=2)
+        sync = run_rtm(hs1, grid=grid, steps=6, nranks=2, scheme="sync")
+        hs2 = sim(ncards=2)
+        asyn = run_rtm(hs2, grid=grid, steps=6, nranks=2, scheme="async")
+        assert asyn.mpoints_per_s > sync.mpoints_per_s
+
+    def test_buffer_pool_removes_realloc_cost(self):
+        """§III: COI overheads negligible with the 2 MB pool."""
+        def realloc_cost(pooled):
+            hs = sim(config=RuntimeConfig(use_buffer_pool=pooled))
+            b = hs.buffer_create(nbytes=2 << 20, domains=[1])
+            hs.buffer_destroy(b)
+            t0 = hs.elapsed()
+            hs.buffer_create(nbytes=2 << 20, domains=[1])
+            return hs.elapsed() - t0
+
+        assert realloc_cost(True) == pytest.approx(0.0)
+        assert realloc_cost(False) > 0
+
+    def test_transfer_overhead_brackets(self):
+        """§III: 20-30 us small-transfer overhead, <5% for multi-MB."""
+        def overhead(nbytes):
+            hs = sim()
+            s = hs.stream_create(domain=1, ncores=61)
+            b = hs.buffer_create(nbytes=nbytes, domains=[1])
+            t0 = hs.elapsed()
+            hs.enqueue_xfer(s, b)
+            hs.thread_synchronize()
+            total = hs.elapsed() - t0
+            wire = nbytes / 6.8e9 + hs.platform.pcie_latency_s
+            return total - wire, (total - wire) / total
+
+        small_abs, _ = overhead(32 << 10)
+        assert 15e-6 < small_abs < 35e-6
+        _, big_frac = overhead(32 << 20)
+        assert big_frac < 0.05
+
+    def test_uniform_interface_spans_domain_kinds(self):
+        """§IV: one enqueue API for host, card, and remote node."""
+        from repro.sim.platforms import make_fabric_platform
+
+        for platform, domain in [
+            (make_platform("HSW", 1), 0),       # host-as-target
+            (make_platform("HSW", 1), 1),       # PCIe card
+            (make_fabric_platform("HSW", 1), 1),  # remote node
+        ]:
+            hs = HStreams(platform=platform, backend="sim", trace=False)
+            register_blas(hs)
+            s = hs.stream_create(domain=domain, ncores=4)
+            b = hs.buffer_create(nbytes=1 << 16, domains=[domain])
+            hs.enqueue_xfer(s, b)
+            hs.enqueue_compute(s, "dgemm", args=(128, 128, 128),
+                               operands=(b.all_inout(),),
+                               cost=dgemm(128, 128, 128))
+            hs.thread_synchronize()
