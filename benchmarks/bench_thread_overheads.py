@@ -12,7 +12,9 @@ Measured quantities:
 * round-trip latency — enqueue + execute + synchronize of a no-op;
 * pipeline throughput — actions/second through one stream;
 * dependence analysis scaling — enqueue cost with a deep conflicting
-  history vs an empty one.
+  history vs an empty one;
+* scheduling overheads — the scheduler's own lifecycle decomposition
+  (dependence stall, dispatch stall, execution) from ``HStreams.metrics()``.
 """
 
 import numpy as np
@@ -102,4 +104,35 @@ def test_dependence_scan_with_deep_history(benchmark):
 
     benchmark.pedantic(enqueue_against_window, rounds=100, iterations=1)
     hs.thread_synchronize()
+    hs.fini()
+
+
+def test_scheduling_overhead_decomposition(benchmark):
+    """Drive a dependent chain and report the scheduler's lifecycle
+    decomposition as benchmark extra_info: where time went between
+    enqueue and completion (dependence stall vs dispatch stall vs
+    execution), straight from ``HStreams.metrics()``."""
+    hs = make_runtime()
+    s = hs.stream_create(domain=1, ncores=4)
+    buf = hs.buffer_create(nbytes=64)
+    op = buf.all_inout()
+
+    def chain():
+        for _ in range(32):  # conflicting ops: a pure dependence chain
+            hs.enqueue_compute(s, "noop", args=(op,))
+        hs.stream_synchronize(s)
+
+    benchmark.pedantic(chain, rounds=20, iterations=1)
+    m = hs.metrics()
+    done = max(m["actions"]["completed"], 1)
+    benchmark.extra_info["dep_stall_us_per_action"] = (
+        1e6 * m["lifecycle"]["dep_stall_s"] / done
+    )
+    benchmark.extra_info["dispatch_stall_us_per_action"] = (
+        1e6 * m["lifecycle"]["dispatch_stall_s"] / done
+    )
+    benchmark.extra_info["exec_us_per_action"] = 1e6 * m["lifecycle"]["exec_s"] / done
+    benchmark.extra_info["max_queue_depth"] = max(
+        st["max_depth"] for st in m["streams"].values()
+    )
     hs.fini()

@@ -49,9 +49,9 @@ def ldlt_dense(A: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     for j in range(n):
         d = W[j, j]
         col = W[j + 1 :, j].copy()
-        l = col / d
-        W[j + 1 :, j] = l
-        W[j + 1 :, j + 1 :] -= np.outer(l, col[: n - 1 - j])
+        lcol = col / d
+        W[j + 1 :, j] = lcol
+        W[j + 1 :, j + 1 :] -= np.outer(lcol, col[: n - 1 - j])
     L = np.tril(W, -1) + np.eye(n)
     return L, np.diag(W).copy()
 
@@ -71,10 +71,10 @@ def k_ldlt_panel(block: np.ndarray, d_out: np.ndarray) -> None:
             raise ZeroDivisionError("zero pivot in LDL^T panel")
         d_out[j] = d
         col = block[j + 1 :, j].copy()
-        l = col / d
-        block[j + 1 :, j] = l
+        lcol = col / d
+        block[j + 1 :, j] = lcol
         if j + 1 < w:
-            block[j + 1 :, j + 1 : w] -= np.outer(l, col[: w - 1 - j])
+            block[j + 1 :, j + 1 : w] -= np.outer(lcol, col[: w - 1 - j])
 
 
 def k_ldlt_update(

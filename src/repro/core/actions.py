@@ -110,7 +110,13 @@ class Operand:
 
 @dataclass
 class Action:
-    """One enqueued unit of work, bound to a stream at enqueue time."""
+    """One enqueued unit of work, bound to a stream at enqueue time.
+
+    An action is a plain description of the work: scheduling state
+    (readiness counters, dependent lists, lifecycle timestamps) lives on
+    its :class:`~repro.core.graph.ActionNode`, never on the action
+    itself.
+    """
 
     kind: ActionKind
     stream: Optional["Stream"]

@@ -1,11 +1,25 @@
-"""The execution backend interface.
+"""The execution backend (executor) interface.
 
-The runtime's scheduling logic (FIFO order, dependence relaxation, event
-plumbing) is backend-independent; a backend only needs to *execute*
-actions whose dependences the runtime has already computed, and to
-provide completion handles and a clock. This mirrors the paper's layering
-(hStreams above COI above SCIF): the same application code runs on the
-thread backend (real execution) or the sim backend (virtual time).
+All scheduling lives in :class:`~repro.core.scheduler.Scheduler`: FIFO
+policies, dependence edges, ready-set dispatch, completion propagation,
+and lifecycle metrics are backend-independent. A backend is a pure
+*executor*: it only ever sees actions whose dependences are already
+satisfied, runs them, and reports lifecycle events back to the
+scheduler. This mirrors the paper's layering (hStreams above COI above
+SCIF): the same application code runs on the thread backend (real
+execution) or the sim backend (virtual time).
+
+The executor contract for :meth:`Backend.execute`:
+
+1. the scheduler calls ``execute(action)`` exactly once, only after
+   every dependence of ``action`` has completed;
+2. the backend runs the action (possibly asynchronously), calling
+   ``runtime.scheduler.on_start(action, when=...)`` when execution
+   begins and ``runtime.scheduler.on_complete(action, when=..., error=...)``
+   when it finishes — including on failure, so dependents are released
+   and the error surfaces at the next synchronization;
+3. the scheduler triggers the action's completion event through
+   :meth:`Backend.signal_completion` during ``on_complete``.
 """
 
 from __future__ import annotations
@@ -41,6 +55,10 @@ class Backend(ABC):
         """Non-blocking completion poll for an event of this backend."""
 
     @abstractmethod
+    def signal_completion(self, event: "HEvent", when: float) -> None:
+        """Fire an event's handle; called by the scheduler at completion."""
+
+    @abstractmethod
     def make_stream(self, stream: "Stream") -> None:
         """Provision backend state for a newly created stream."""
 
@@ -58,11 +76,12 @@ class Backend(ABC):
         """Release backend state for a destroyed (drained) stream."""
 
     @abstractmethod
-    def submit(self, action: "Action") -> None:
-        """Schedule an action whose ``deps``/``completion`` are set.
+    def execute(self, action: "Action") -> None:
+        """Run an action whose dependences the scheduler satisfied.
 
-        The action must run only after every event in ``action.deps`` has
-        completed, and must trigger ``action.completion`` when done.
+        Must report ``on_start`` / ``on_complete`` back to
+        ``runtime.scheduler`` (see the executor contract in the module
+        docstring).
         """
 
     @abstractmethod
@@ -76,7 +95,7 @@ class Backend(ABC):
 
     @abstractmethod
     def wait_all(self) -> None:
-        """Block the source until every submitted action completed."""
+        """Block the source until every admitted action completed."""
 
     @abstractmethod
     def now(self) -> float:

@@ -1,4 +1,4 @@
-"""Intra-stream dependence analysis.
+"""Intra-stream dependence analysis: FIFO policies over a stream view.
 
 The FIFO order of a stream plus the memory operands of its actions
 *implicitly* specify the actual dependences (paper §II): a later action
@@ -7,53 +7,49 @@ at least one writer). Everything else is free to execute and complete out
 of order — the behaviour that distinguishes hStreams from CUDA Streams'
 strict FIFO execution.
 
-A stream may instead be created *strict* (``strict_fifo=True``), in which
-case every action depends on its immediate predecessor; the CUDA-Streams
-comparator model is built from such streams.
+Which predecessors an action must wait for is a *policy* applied by the
+scheduler, not a property of the window itself:
+
+* :class:`RelaxedPolicy` — operand-conflict relaxation (hStreams);
+* :class:`StrictFifoPolicy` — every action waits on its immediate
+  predecessor (the CUDA-Streams comparator is built from streams using
+  this policy, rather than being special-cased in the dependence scan).
+
+:class:`StreamWindow` itself is a thin per-stream view over the action
+graph: the scheduler retires entries incrementally as actions complete
+(O(1) per completion), so the window holds only the in-flight frontier
+and never needs a full prune rescan. Used standalone (unit tests), it
+falls back to lazily dropping completed entries during iteration.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.actions import Action
 
-__all__ = ["StreamWindow"]
+__all__ = ["DependencePolicy", "RelaxedPolicy", "StrictFifoPolicy", "StreamWindow"]
 
 
-class StreamWindow:
-    """Tracks the not-yet-completed actions of one stream.
+class DependencePolicy:
+    """How a stream orders a new action against its in-flight history."""
 
-    ``deps_for`` computes the set of earlier in-flight actions a new
-    action must wait for; completed predecessors impose no constraint and
-    are pruned lazily.
+    def deps_for(self, window: "StreamWindow", action: Action) -> List[Action]:
+        """Earlier in-flight actions ``action`` must follow."""
+        raise NotImplementedError
+
+
+class RelaxedPolicy(DependencePolicy):
+    """hStreams semantics: depend only on conflicting predecessors.
+
+    The scan walks newest-first and *cuts off* at the newest conflicting
+    barrier — anything older is already ordered through it transitively
+    (barriers conflict with everything).
     """
 
-    def __init__(self, strict_fifo: bool = False):
-        self.strict_fifo = strict_fifo
-        self._recent: List[Action] = []
-        self.enqueued_count = 0
-
-    def _prune(self) -> None:
-        self._recent = [
-            a
-            for a in self._recent
-            if a.completion is None or not a.completion.is_complete()
-        ]
-
-    def deps_for(self, action: Action) -> List[Action]:
-        """Earlier in-flight actions that ``action`` must follow.
-
-        For a strict stream: just the most recent action. Otherwise: every
-        in-flight predecessor with a conflicting operand, *cut off* at the
-        newest conflicting barrier (anything older is already ordered
-        through it transitively — barriers conflict with everything).
-        """
-        self._prune()
-        if self.strict_fifo:
-            return [self._recent[-1]] if self._recent else []
+    def deps_for(self, window: "StreamWindow", action: Action) -> List[Action]:
         deps: List[Action] = []
-        for prev in reversed(self._recent):
+        for prev in window.live_newest_first():
             if prev.conflicts_with(action):
                 deps.append(prev)
                 if prev.barrier:
@@ -61,22 +57,87 @@ class StreamWindow:
         deps.reverse()
         return deps
 
+
+class StrictFifoPolicy(DependencePolicy):
+    """CUDA-Streams semantics: depend on the immediate predecessor.
+
+    Ordering is transitive through the chain, so one edge per action
+    reproduces full in-order execution.
+    """
+
+    def deps_for(self, window: "StreamWindow", action: Action) -> List[Action]:
+        for prev in window.live_newest_first():
+            return [prev]
+        return []
+
+
+class StreamWindow:
+    """Per-stream view over the in-flight actions of the shared graph.
+
+    The scheduler calls :meth:`retire` as each action completes, so the
+    live set shrinks incrementally; ``deps_for`` then only ever scans
+    genuinely in-flight work.
+    """
+
+    def __init__(
+        self,
+        strict_fifo: bool = False,
+        policy: Optional[DependencePolicy] = None,
+    ):
+        self.strict_fifo = strict_fifo
+        if policy is None:
+            policy = StrictFifoPolicy() if strict_fifo else RelaxedPolicy()
+        self.policy = policy
+        #: In-flight actions by sequence number, in enqueue order.
+        self._live: Dict[int, Action] = {}
+        self.enqueued_count = 0
+        self.retired_count = 0
+
+    # -- maintenance ---------------------------------------------------------
+
     def add(self, action: Action) -> None:
         """Record a newly enqueued action."""
-        self._recent.append(action)
+        self._live[action.seq] = action
         self.enqueued_count += 1
+
+    def retire(self, action: Action) -> None:
+        """Drop one completed action from the view (O(1))."""
+        if self._live.pop(action.seq, None) is not None:
+            self.retired_count += 1
+
+    def live_newest_first(self) -> Iterator[Action]:
+        """In-flight actions, newest first.
+
+        Completed entries nobody retired (standalone use, without a
+        scheduler) are dropped as the scan encounters them.
+        """
+        for seq in reversed(list(self._live)):
+            action = self._live.get(seq)
+            if action is None:  # retired concurrently by the scheduler
+                continue
+            done = action.completion is not None and action.completion.is_complete()
+            if done:
+                if self._live.pop(seq, None) is not None:
+                    self.retired_count += 1
+                continue
+            yield action
+
+    # -- queries -------------------------------------------------------------
+
+    def deps_for(self, action: Action) -> List[Action]:
+        """Earlier in-flight actions that ``action`` must follow, under
+        this stream's FIFO policy."""
+        return self.policy.deps_for(self, action)
 
     @property
     def in_flight(self) -> int:
-        """Number of tracked, possibly-incomplete actions."""
-        self._prune()
-        return len(self._recent)
+        """Number of tracked, incomplete actions."""
+        return sum(1 for _ in self.live_newest_first())
 
     def pending_completions(self) -> List:
         """Completion events of the still-incomplete actions."""
-        self._prune()
-        return [
-            a.completion
-            for a in self._recent
-            if a.completion is not None and not a.completion.is_complete()
+        pending = [
+            a.completion for a in self.live_newest_first() if a.completion is not None
         ]
+        pending.reverse()
+        return pending

@@ -17,7 +17,9 @@ __all__ = [
     "HStreamsOutOfMemory",
     "HStreamsOutOfRange",
     "HStreamsTimedOut",
+    "HStreamsBusy",
     "HStreamsInternalError",
+    "HStreamsDeadlock",
 ]
 
 
@@ -69,7 +71,29 @@ class HStreamsTimedOut(HStreamsError):
     code = "HSTR_RESULT_TIME_OUT_REACHED"
 
 
+class HStreamsBusy(HStreamsError):
+    """The target resource is still referenced by in-flight actions.
+
+    Raised e.g. by ``buffer_evict`` when an instance is an operand of
+    actions that have not completed yet — synchronize the streams
+    touching it first.
+    """
+
+    code = "HSTR_RESULT_BUSY"
+
+
 class HStreamsInternalError(HStreamsError):
     """Invariant violation inside the runtime (a bug, not user error)."""
 
     code = "HSTR_RESULT_INTERNAL_ERROR"
+
+
+class HStreamsDeadlock(HStreamsInternalError):
+    """No in-flight action can ever run (dependence deadlock).
+
+    Raised at synchronization when every remaining action waits on an
+    event that no remaining work will fire — typically a cross-stream
+    wait on an action that was never enqueued.
+    """
+
+    code = "HSTR_RESULT_DEADLOCK"

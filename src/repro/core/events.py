@@ -23,14 +23,17 @@ class HEvent:
     under the sim backend.
     """
 
-    __slots__ = ("backend", "handle", "action", "timestamp")
+    __slots__ = ("backend", "handle", "action", "timestamp", "record")
 
     def __init__(self, backend: Any, handle: Any, action: Optional["Action"] = None):
         self.backend = backend
         self.handle = handle
         self.action = action
-        #: Completion time (backend clock); set by the backend at completion.
+        #: Completion time (backend clock); set by the scheduler at completion.
         self.timestamp: Optional[float] = None
+        #: Lifecycle summary (:class:`~repro.core.graph.ActionRecord`);
+        #: set by the scheduler at completion.
+        self.record: Optional[Any] = None
 
     def is_complete(self) -> bool:
         """Non-blocking completion poll."""

@@ -1,0 +1,244 @@
+"""The backend-agnostic action dependence graph.
+
+Every enqueued action becomes a node with an explicit lifecycle::
+
+    ENQUEUED --> READY --> RUNNING --> COMPLETE
+                                  \\-> FAILED
+
+* **ENQUEUED** — the action entered its stream; dependences are still
+  outstanding.
+* **READY** — every dependence completed; the action has been handed to
+  the executor (backend) for dispatch.
+* **RUNNING** — the executor began real (or virtual) execution.
+* **COMPLETE** / **FAILED** — the action finished; its node is retired
+  from the graph and folded into the scheduler's metrics.
+
+Edges run from a dependence (producer) to its dependent (consumer). The
+graph is acyclic *by construction*: actions enqueue one at a time with
+monotonically increasing sequence numbers, and an edge may only point
+from an older action to a newer one. :meth:`ActionGraph.add_edge`
+enforces that invariant — a back edge means runtime corruption, and is
+reported as a cycle. Deadlocks (actions waiting on events that will
+never fire, e.g. a cross-stream wait on work that was never enqueued)
+are detectable via :meth:`ActionGraph.stalled`.
+
+The graph carries no backend-specific state: readiness counters and
+dependent lists live on the nodes here, not monkey-patched onto
+:class:`~repro.core.actions.Action` (which stays a plain description of
+the work).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from repro.core.errors import HStreamsInternalError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.actions import Action
+
+__all__ = ["ActionState", "ActionRecord", "ActionNode", "ActionGraph"]
+
+
+class ActionState(enum.Enum):
+    """Lifecycle states of an enqueued action."""
+
+    ENQUEUED = "enqueued"
+    READY = "ready"
+    RUNNING = "running"
+    COMPLETE = "complete"
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the action finished (successfully or not)."""
+        return self in (ActionState.COMPLETE, ActionState.FAILED)
+
+
+#: Legal lifecycle transitions. READY -> COMPLETE/FAILED is allowed so
+#: executors that finish trivial actions without a distinct "running"
+#: phase (e.g. aliased transfers) stay valid.
+_TRANSITIONS = {
+    ActionState.ENQUEUED: {ActionState.READY},
+    ActionState.READY: {
+        ActionState.RUNNING,
+        ActionState.COMPLETE,
+        ActionState.FAILED,
+    },
+    ActionState.RUNNING: {ActionState.COMPLETE, ActionState.FAILED},
+    ActionState.COMPLETE: set(),
+    ActionState.FAILED: set(),
+}
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """Immutable lifecycle summary of one finished action.
+
+    Timestamps are on the owning backend's clock (wall seconds for the
+    thread backend, virtual seconds for the sim backend).
+    """
+
+    seq: int
+    kind: str
+    stream_id: int
+    label: str
+    state: str
+    t_enqueue: float
+    t_ready: float
+    t_start: float
+    t_end: float
+
+    @property
+    def dep_stall(self) -> float:
+        """Time spent ENQUEUED waiting on dependences."""
+        return self.t_ready - self.t_enqueue
+
+    @property
+    def dispatch_stall(self) -> float:
+        """Time spent READY waiting for the executor to start it."""
+        return self.t_start - self.t_ready
+
+    @property
+    def exec_time(self) -> float:
+        """Time spent executing (RUNNING to terminal)."""
+        return self.t_end - self.t_start
+
+    @property
+    def total_latency(self) -> float:
+        """Enqueue-to-completion latency."""
+        return self.t_end - self.t_enqueue
+
+
+class ActionNode:
+    """Graph node: one in-flight action plus its scheduling state."""
+
+    __slots__ = (
+        "action",
+        "state",
+        "waiting",
+        "dependents",
+        "t_enqueue",
+        "t_ready",
+        "t_start",
+        "t_end",
+        "error",
+    )
+
+    def __init__(self, action: "Action", t_enqueue: float):
+        self.action = action
+        self.state = ActionState.ENQUEUED
+        #: Number of unfinished dependences gating this node.
+        self.waiting = 0
+        #: Nodes that must be notified when this one finishes.
+        self.dependents: List["ActionNode"] = []
+        self.t_enqueue = t_enqueue
+        self.t_ready: Optional[float] = None
+        self.t_start: Optional[float] = None
+        self.t_end: Optional[float] = None
+        self.error: Optional[BaseException] = None
+
+    def transition(self, new: ActionState) -> None:
+        """Move to ``new``, validating against the lifecycle machine."""
+        if new not in _TRANSITIONS[self.state]:
+            raise HStreamsInternalError(
+                f"illegal lifecycle transition {self.state.value} -> "
+                f"{new.value} for {self.action.display!r}"
+            )
+        self.state = new
+
+    def record(self) -> ActionRecord:
+        """Snapshot this node as an immutable lifecycle record."""
+        t_end = self.t_end if self.t_end is not None else self.t_enqueue
+        t_ready = self.t_ready if self.t_ready is not None else t_end
+        t_start = self.t_start if self.t_start is not None else t_ready
+        return ActionRecord(
+            seq=self.action.seq,
+            kind=self.action.kind.value,
+            stream_id=self.action.stream.id if self.action.stream else -1,
+            label=self.action.display,
+            state=self.state.value,
+            t_enqueue=self.t_enqueue,
+            t_ready=t_ready,
+            t_start=t_start,
+            t_end=t_end,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ActionNode {self.action.display} {self.state.value} "
+            f"waiting={self.waiting}>"
+        )
+
+
+class ActionGraph:
+    """In-flight actions and the dependence edges between them.
+
+    Nodes are keyed by the action's global sequence number; finished
+    nodes are popped immediately (incremental retirement), so the graph
+    holds only the live frontier — its size is the number of in-flight
+    actions, not the program length.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, ActionNode] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add(self, action: "Action", t_enqueue: float) -> ActionNode:
+        """Insert a node for a newly enqueued action."""
+        if action.seq in self._nodes:
+            raise HStreamsInternalError(
+                f"action {action.display!r} enqueued twice"
+            )
+        node = ActionNode(action, t_enqueue)
+        self._nodes[action.seq] = node
+        return node
+
+    def get(self, action: Optional["Action"]) -> Optional[ActionNode]:
+        """The live node for ``action``, or None if finished/foreign."""
+        if action is None:
+            return None
+        return self._nodes.get(action.seq)
+
+    def add_edge(self, dep: ActionNode, node: ActionNode) -> None:
+        """Register that ``node`` must wait for ``dep`` to finish.
+
+        Acyclicity check: edges may only run from older to newer actions.
+        A violation cannot arise from the public API (dependences are
+        always on already-enqueued work) — seeing one means the graph was
+        corrupted, so it is reported as an internal cycle error.
+        """
+        if dep.action.seq >= node.action.seq:
+            raise HStreamsInternalError(
+                f"dependence cycle: {node.action.display!r} cannot wait on "
+                f"{dep.action.display!r} (edge runs backwards in enqueue order)"
+            )
+        dep.dependents.append(node)
+        node.waiting += 1
+
+    def pop(self, node: ActionNode) -> None:
+        """Retire a finished node from the live set."""
+        self._nodes.pop(node.action.seq, None)
+
+    def nodes(self) -> Iterator[ActionNode]:
+        """All live nodes in enqueue order."""
+        return iter(list(self._nodes.values()))
+
+    def stalled(self) -> List[ActionNode]:
+        """Deadlock probe: blocked nodes when nothing can make progress.
+
+        Returns the ENQUEUED nodes iff no node is READY or RUNNING (and
+        at least one node is blocked) — i.e. every in-flight action is
+        waiting on an event that no remaining work will ever fire.
+        """
+        blocked: List[ActionNode] = []
+        for node in self._nodes.values():
+            if node.state in (ActionState.READY, ActionState.RUNNING):
+                return []
+            if node.state is ActionState.ENQUEUED:
+                blocked.append(node)
+        return blocked

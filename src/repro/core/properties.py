@@ -39,6 +39,9 @@ class RuntimeConfig:
     * ``jitter`` — amplitude of seeded, sporadic compute-time inefficiency
       modeling the software-stack noise behind hStreams' "noticeably
       jagged" Fig. 7 curve; 0 disables it.
+    * ``metrics_history`` — how many per-action lifecycle records the
+      scheduler retains for ``HStreams.metrics()``; 0 disables record
+      retention (aggregates are still kept).
     """
 
     enqueue_overhead_s: float = 4.0e-6
@@ -53,6 +56,7 @@ class RuntimeConfig:
     jitter_prob: float = 0.05
     seed: int = 0
     host_mem_bw_gbs: float = 0.0  # 0 -> use the host device's bandwidth
+    metrics_history: int = 1024
     extra: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -72,6 +76,8 @@ class RuntimeConfig:
             raise ValueError("jitter must be >= 0")
         if self.pool_chunk_bytes <= 0:
             raise ValueError("pool_chunk_bytes must be > 0")
+        if self.metrics_history < 0:
+            raise ValueError("metrics_history must be >= 0")
 
     def alloc_cost(self, nbytes: int) -> float:
         """Host-blocking cost of instantiating ``nbytes`` on a card."""
@@ -90,4 +96,5 @@ class RuntimeConfig:
             pool_chunk_bytes=self.pool_chunk_bytes,
             jitter=0.0,
             seed=self.seed,
+            metrics_history=self.metrics_history,
         )

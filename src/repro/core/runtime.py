@@ -16,6 +16,7 @@ as in the paper's applications.
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,12 +31,14 @@ from repro.core.actions import (
 from repro.core.buffer import Buffer, ProxyAddressSpace
 from repro.core.errors import (
     HStreamsBadArgument,
+    HStreamsBusy,
     HStreamsNotFound,
     HStreamsNotInitialized,
     HStreamsOutOfMemory,
 )
 from repro.core.events import HEvent
 from repro.core.properties import MemType, RuntimeConfig
+from repro.core.scheduler import Scheduler
 from repro.core.stream import Stream
 from repro.sim.kernels import KernelCost
 from repro.sim.platforms import Platform, make_platform
@@ -141,6 +144,9 @@ class HStreams:
         else:
             self.backend = backend
         self.backend.attach(self)
+        #: The backend-agnostic scheduling core; both backends dispatch
+        #: exclusively through it.
+        self.scheduler = Scheduler(self)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -218,6 +224,7 @@ class HStreams:
         self._next_stream_id += 1
         self.streams.append(stream)
         self.backend.make_stream(stream)
+        self.scheduler.on_stream_create(stream)
         return stream
 
     def app_init(
@@ -263,6 +270,7 @@ class HStreams:
                     self._next_stream_id += 1
                     self.streams.append(stream)
                     self.backend.make_stream(stream)
+                    self.scheduler.on_stream_create(stream)
                     created.append(stream)
         return created
 
@@ -338,8 +346,9 @@ class HStreams:
 
         This is how a bounded working set cycles card memory when the
         full tile set exceeds the 16 GB card (the reference codes do
-        exactly this to reach n=30000 in Fig. 6). The caller must ensure
-        no in-flight action still uses the instance — synchronize the
+        exactly this to reach n=30000 in Fig. 6). In-flight actions that
+        still reference the instance make the eviction raise
+        :class:`~repro.core.errors.HStreamsBusy` — synchronize the
         streams touching it first.
         """
         self._check_init()
@@ -348,6 +357,14 @@ class HStreams:
         if not buf.instantiated_in(domain):
             raise HStreamsNotFound(
                 f"buffer {buf.name!r} has no instance in domain {domain}"
+            )
+        busy = self.scheduler.inflight_touching(buf, domain)
+        if busy:
+            names = ", ".join(repr(a.display) for a in busy[:4])
+            raise HStreamsBusy(
+                f"cannot evict buffer {buf.name!r} from domain {domain}: "
+                f"{len(busy)} in-flight action(s) still reference it "
+                f"({names}); synchronize the streams touching it first"
             )
         self.domain(domain).allocated_bytes -= buf.nbytes
         self.backend.on_instance_evict(buf, domain)
@@ -469,7 +486,9 @@ class HStreams:
                 if direction is XferDirection.SRC_TO_SINK
                 else OperandMode.IN
             )
-            operand = Operand(operand.buffer, operand.offset, operand.nbytes, mode)
+            # Rebuild with only the mode changed: dtype/shape must survive
+            # so sink-side views keep the caller's element type.
+            operand = _dc_replace(operand, mode=mode)
         action = Action(
             kind=ActionKind.XFER,
             stream=stream,
@@ -510,8 +529,7 @@ class HStreams:
         return self._enqueue(action)
 
     def _enqueue(self, action: Action) -> HEvent:
-        stream = action.stream
-        assert stream is not None
+        assert action.stream is not None
         if action.kind is ActionKind.COMPUTE:
             self.stats["computes"] += 1
         elif action.kind is ActionKind.XFER:
@@ -519,14 +537,8 @@ class HStreams:
             self.stats["bytes_transferred"] += action.nbytes
         else:
             self.stats["syncs"] += 1
-        for prev in stream.window.deps_for(action):
-            assert prev.completion is not None
-            action.deps.append(prev.completion)
-        action.completion = HEvent(self.backend, self.backend.make_handle(), action)
-        stream.window.add(action)
         self.backend.advance_host(self.config.enqueue_overhead_s)
-        self.backend.submit(action)
-        return action.completion
+        return self.scheduler.enqueue(action)
 
     # -- synchronization -----------------------------------------------------------
 
@@ -559,11 +571,22 @@ class HStreams:
         self.backend.wait_all()
         self.backend.advance_host(self.config.sync_overhead_s)
 
-    # -- time ------------------------------------------------------------------------
+    # -- time & observability ----------------------------------------------------------
 
     def elapsed(self) -> float:
         """Source-side clock: virtual seconds (sim) or wall seconds (thread)."""
         return self.backend.now()
+
+    def metrics(self) -> Dict[str, Any]:
+        """Scheduling observability snapshot (see ``Scheduler.metrics``).
+
+        Reports per-action lifecycle timing (dependence-stall,
+        dispatch-stall, execution), per-stream queue depths, and
+        throughput counters — identical structure under both backends,
+        with timestamps on the owning backend's clock.
+        """
+        self._check_init()
+        return self.scheduler.metrics()
 
 
 def _make_backend(name: str):

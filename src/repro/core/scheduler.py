@@ -1,0 +1,358 @@
+"""The backend-agnostic action scheduler.
+
+One scheduling core drives both backends (paper layering: hStreams above
+COI above SCIF). The scheduler owns everything between ``enqueue`` and
+``execute``:
+
+* **edge registration** — intra-stream dependences from the per-stream
+  window view (operand-conflict relaxation, or strict FIFO as a policy),
+  plus explicit cross-stream event waits;
+* **incremental ready-set dispatch** — an action is handed to the
+  executor the moment its last dependence finishes, never rescanned;
+* **completion propagation** — a finishing action decrements its
+  dependents' wait counts, retires its node and its stream-window entry
+  (O(1)), and dispatches whatever became ready;
+* **cycle/deadlock detection** — the graph enforces acyclicity on edge
+  registration and can name the blocked actions when nothing can make
+  progress;
+* **lifecycle observability** — per-action enqueue/ready/start/end
+  timestamps, dependence-stall and dispatch-stall totals, and per-stream
+  queue-depth metrics, exported through :meth:`metrics` and the runtime
+  :class:`~repro.sim.trace.Tracer`.
+
+Backends are pure executors: they implement
+``execute(action) -> completion`` for actions whose dependences the
+scheduler has already satisfied, and report back through
+:meth:`on_start` / :meth:`on_complete`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+
+from repro.core.actions import ActionKind
+from repro.core.errors import HStreamsBadArgument
+from repro.core.events import HEvent
+from repro.core.graph import ActionGraph, ActionRecord, ActionState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.actions import Action
+    from repro.core.buffer import Buffer
+    from repro.core.runtime import HStreams
+    from repro.core.stream import Stream
+
+__all__ = ["Scheduler", "StreamStats"]
+
+
+class StreamStats:
+    """Per-stream scheduling aggregates (live + retired)."""
+
+    __slots__ = (
+        "stream",
+        "depth",
+        "max_depth",
+        "enqueued",
+        "completed",
+        "failed",
+        "dep_stall_s",
+        "dispatch_stall_s",
+        "exec_s",
+    )
+
+    def __init__(self, stream: "Stream"):
+        self.stream = stream
+        #: Current number of in-flight actions in the stream.
+        self.depth = 0
+        #: High-water mark of :attr:`depth`.
+        self.max_depth = 0
+        self.enqueued = 0
+        self.completed = 0
+        self.failed = 0
+        self.dep_stall_s = 0.0
+        self.dispatch_stall_s = 0.0
+        self.exec_s = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view for :meth:`Scheduler.metrics`."""
+        return {
+            "name": self.stream.name,
+            "lane": self.stream.lane,
+            "depth": self.depth,
+            "max_depth": self.max_depth,
+            "enqueued": self.enqueued,
+            "completed": self.completed,
+            "failed": self.failed,
+            "dep_stall_s": self.dep_stall_s,
+            "dispatch_stall_s": self.dispatch_stall_s,
+            "exec_s": self.exec_s,
+        }
+
+
+class Scheduler:
+    """Shared scheduling core in front of a pluggable executor backend."""
+
+    def __init__(self, runtime: "HStreams"):
+        self.runtime = runtime
+        self.graph = ActionGraph()
+        # Reentrant: a backend may finish one action while the host
+        # thread is enqueueing another; the sim backend completes from
+        # inside the engine loop which may nest through event callbacks.
+        self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._outstanding = 0
+        self._streams: Dict[int, StreamStats] = {}
+        history = int(runtime.config.metrics_history)
+        self._records: Deque[ActionRecord] = deque(maxlen=history if history > 0 else 0)
+        self._totals = {
+            "enqueued": 0,
+            "completed": 0,
+            "failed": 0,
+            "dep_stall_s": 0.0,
+            "dispatch_stall_s": 0.0,
+            "exec_s": 0.0,
+        }
+        self._by_kind = {
+            kind.value: {"count": 0, "dep_stall_s": 0.0, "exec_s": 0.0}
+            for kind in ActionKind
+        }
+
+    # -- stream registry ------------------------------------------------------
+
+    def on_stream_create(self, stream: "Stream") -> None:
+        """Start tracking scheduling metrics for a new stream."""
+        with self._lock:
+            self._streams[stream.id] = StreamStats(stream)
+
+    def _stream_stats(self, stream: "Stream") -> StreamStats:
+        stats = self._streams.get(stream.id)
+        if stats is None:  # streams made outside stream_create (tests)
+            stats = StreamStats(stream)
+            self._streams[stream.id] = stats
+        return stats
+
+    # -- enqueue ----------------------------------------------------------------
+
+    def enqueue(self, action: "Action") -> HEvent:
+        """Admit an action: wire its dependence edges and dispatch if ready.
+
+        ``action.deps`` may already hold explicit cross-stream event
+        waits (``event_stream_wait``); intra-stream dependences are
+        computed here from the stream's window view under its FIFO
+        policy. Returns the action's completion event.
+        """
+        backend = self.runtime.backend
+        stream = action.stream
+        assert stream is not None
+        ready = False
+        with self._lock:
+            now = backend.now()
+            for prev in stream.window.deps_for(action):
+                assert prev.completion is not None
+                action.deps.append(prev.completion)
+            # Resolve and validate every dependence before mutating the
+            # graph, so a rejected enqueue leaves no zombie node behind.
+            dep_nodes: List = []
+            seen: set = set()
+            for ev in action.deps:
+                dep_node = self.graph.get(ev.action)
+                if dep_node is not None:
+                    if dep_node.action.seq in seen:
+                        continue
+                    seen.add(dep_node.action.seq)
+                    dep_nodes.append(dep_node)
+                elif not ev.is_complete():
+                    raise HStreamsBadArgument(
+                        f"{action.display!r} waits on an event unknown to "
+                        "this runtime's scheduler; cross-runtime event "
+                        "dependences are not supported"
+                    )
+            node = self.graph.add(action, now)
+            action.completion = HEvent(backend, backend.make_handle(), action)
+            for dep_node in dep_nodes:
+                self.graph.add_edge(dep_node, node)
+            stream.window.add(action)
+            stats = self._stream_stats(stream)
+            stats.enqueued += 1
+            stats.depth += 1
+            if stats.depth > stats.max_depth:
+                stats.max_depth = stats.depth
+            self._totals["enqueued"] += 1
+            self._outstanding += 1
+            self.runtime.tracer.counter(f"sched:{stream.lane}", now, stats.depth)
+            if node.waiting == 0:
+                node.transition(ActionState.READY)
+                node.t_ready = now
+                ready = True
+        if ready:
+            backend.execute(action)
+        return action.completion
+
+    # -- executor callbacks --------------------------------------------------------
+
+    def on_start(self, action: "Action", when: Optional[float] = None) -> None:
+        """Executor callback: real (or virtual) execution began."""
+        with self._lock:
+            node = self.graph.get(action)
+            if node is None:  # already retired (defensive)
+                return
+            node.transition(ActionState.RUNNING)
+            node.t_start = when if when is not None else self.runtime.backend.now()
+
+    def on_complete(
+        self,
+        action: "Action",
+        when: Optional[float] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Executor callback: the action finished (or failed).
+
+        Signals the completion event, retires the node and its stream
+        window entry, folds lifecycle timings into the metrics, and
+        dispatches every dependent whose last dependence this was. A
+        failed action still releases its dependents — the error is
+        surfaced at the next synchronization, exactly as before.
+        """
+        backend = self.runtime.backend
+        to_dispatch: List["Action"] = []
+        with self._lock:
+            node = self.graph.get(action)
+            if node is None:  # double completion (defensive)
+                return
+            end = when if when is not None else backend.now()
+            node.t_end = end
+            node.error = error
+            node.transition(
+                ActionState.FAILED if error is not None else ActionState.COMPLETE
+            )
+            assert action.completion is not None
+            action.completion.timestamp = end
+            backend.signal_completion(action.completion, end)
+            record = node.record()
+            action.completion.record = record
+            if self._records.maxlen != 0:
+                self._records.append(record)
+            self._fold(node, record)
+            stream = action.stream
+            assert stream is not None
+            stream.window.retire(action)
+            stats = self._stream_stats(stream)
+            stats.depth -= 1
+            self.runtime.tracer.counter(f"sched:{stream.lane}", end, stats.depth)
+            for dep_node in node.dependents:
+                dep_node.waiting -= 1
+                if dep_node.waiting == 0 and dep_node.state is ActionState.ENQUEUED:
+                    dep_node.transition(ActionState.READY)
+                    dep_node.t_ready = end
+                    to_dispatch.append(dep_node.action)
+            node.dependents = []
+            self.graph.pop(node)
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._idle.notify_all()
+        for nxt in to_dispatch:
+            backend.execute(nxt)
+
+    def _fold(self, node, record: ActionRecord) -> None:
+        """Accumulate one finished node into the aggregates."""
+        failed = node.state is ActionState.FAILED
+        stats = self._stream_stats(node.action.stream)
+        if failed:
+            stats.failed += 1
+            self._totals["failed"] += 1
+        else:
+            stats.completed += 1
+            self._totals["completed"] += 1
+        stats.dep_stall_s += record.dep_stall
+        stats.dispatch_stall_s += record.dispatch_stall
+        stats.exec_s += record.exec_time
+        self._totals["dep_stall_s"] += record.dep_stall
+        self._totals["dispatch_stall_s"] += record.dispatch_stall
+        self._totals["exec_s"] += record.exec_time
+        kind = self._by_kind[record.kind]
+        kind["count"] += 1
+        kind["dep_stall_s"] += record.dep_stall
+        kind["exec_s"] += record.exec_time
+
+    # -- queries -----------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Number of admitted, not-yet-finished actions."""
+        with self._lock:
+            return self._outstanding
+
+    def enqueue_time(self, action: "Action") -> float:
+        """The backend-clock time at which ``action`` was admitted."""
+        with self._lock:
+            node = self.graph.get(action)
+            return node.t_enqueue if node is not None else 0.0
+
+    def wait_idle(self) -> None:
+        """Block the calling (host) thread until no action is in flight."""
+        with self._idle:
+            while self._outstanding > 0:
+                self._idle.wait()
+
+    def inflight_touching(
+        self, buf: "Buffer", domain: Optional[int] = None
+    ) -> List["Action"]:
+        """Live actions with an operand on ``buf``.
+
+        With ``domain`` given, only actions whose stream sinks into that
+        domain count — the query behind the busy check in
+        :meth:`~repro.core.runtime.HStreams.buffer_evict`.
+        """
+        with self._lock:
+            out: List["Action"] = []
+            for node in self.graph.nodes():
+                a = node.action
+                if domain is not None and (
+                    a.stream is None or a.stream.domain != domain
+                ):
+                    continue
+                if any(op.buffer is buf for op in a.operands):
+                    out.append(a)
+            return out
+
+    def find_stalled(self) -> List["Action"]:
+        """Actions that can never run because nothing can unblock them."""
+        with self._lock:
+            return [n.action for n in self.graph.stalled()]
+
+    # -- metrics --------------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """A point-in-time snapshot of scheduling observability data.
+
+        Keys:
+
+        * ``actions`` — enqueued / completed / failed / in-flight counts;
+        * ``lifecycle`` — total dependence-stall, dispatch-stall, and
+          execution seconds across all finished actions;
+        * ``by_kind`` — the same split per action kind;
+        * ``streams`` — per-stream queue depth (current and high-water),
+          throughput counts, and stall totals;
+        * ``records`` — the most recent per-action lifecycle records
+          (bounded by ``RuntimeConfig.metrics_history``).
+        """
+        with self._lock:
+            return {
+                "actions": {
+                    "enqueued": self._totals["enqueued"],
+                    "completed": self._totals["completed"],
+                    "failed": self._totals["failed"],
+                    "in_flight": self._outstanding,
+                },
+                "lifecycle": {
+                    "dep_stall_s": self._totals["dep_stall_s"],
+                    "dispatch_stall_s": self._totals["dispatch_stall_s"],
+                    "exec_s": self._totals["exec_s"],
+                },
+                "by_kind": {k: dict(v) for k, v in self._by_kind.items()},
+                "streams": {
+                    sid: stats.snapshot() for sid, stats in self._streams.items()
+                },
+                "records": list(self._records),
+            }

@@ -1,6 +1,7 @@
 """Sim backend: virtual-time execution on the calibrated platform models.
 
-The same runtime scheduling logic drives a discrete-event engine:
+The shared :class:`~repro.core.scheduler.Scheduler` drives a
+discrete-event engine:
 
 * compute actions occupy their stream's COI pipeline (one at a time, in
   readiness order) for a duration from the device's kernel cost model,
@@ -10,6 +11,14 @@ The same runtime scheduling logic drives a discrete-event engine:
 * host-as-target transfers are aliased away (zero cost);
 * card-side buffer instantiation is *synchronous* — it blocks the virtual
   host clock, amortized by the COI 2 MB buffer pool when enabled.
+
+The backend is a pure executor: the scheduler hands it an action only
+once every dependence completed, and the spawned engine process merely
+models *when* that action occupies sink resources. An action still
+cannot start before its (virtual) host enqueue time — the process first
+waits out ``max(0, t_enqueue - engine.now)``, which reproduces the old
+submit-time arrival semantics exactly (start = max(arrival, deps done)
+either way).
 
 The virtual host clock (``now()``) advances by the configured per-call
 overheads during enqueues and jumps forward to the engine clock at each
@@ -31,6 +40,7 @@ from repro.core.backend import Backend
 from repro.core.buffer import Buffer
 from repro.core.errors import (
     HStreamsBadArgument,
+    HStreamsDeadlock,
     HStreamsInternalError,
     HStreamsTimedOut,
 )
@@ -66,7 +76,6 @@ class SimBackend(Backend):
         self._pipelines: Dict[int, COIPipeline] = {}
         self._coi_bufs: Dict[Tuple[int, int], COIBuffer] = {}
         self._host_now = 0.0
-        self._outstanding = 0
         self._rng = random.Random(cfg.seed)
         #: One-time init cost (COI process spawns); not charged to the
         #: clock — the paper's measurements exclude initialization.
@@ -81,6 +90,9 @@ class SimBackend(Backend):
 
     def event_done(self, event: HEvent) -> bool:
         return event.handle.triggered
+
+    def signal_completion(self, event: HEvent, when: float) -> None:
+        event.handle.trigger()
 
     # -- provisioning -----------------------------------------------------------
 
@@ -109,29 +121,25 @@ class SimBackend(Backend):
         if coi_buf is not None:
             self.coi.buffer_destroy(coi_buf)
 
-    # -- submission ----------------------------------------------------------------
+    # -- execution ----------------------------------------------------------------
 
-    def submit(self, action: Action) -> None:
-        self._outstanding += 1
-        delay = self._host_now - self.engine.now
-        if delay < 0:  # pragma: no cover - host clock never lags the engine
-            raise HStreamsInternalError("virtual host clock lagged the engine")
-        arrival = self.engine.timeout(delay)
-        dep_handles = [d.handle for d in action.deps]
+    def execute(self, action: Action) -> None:
+        """Model a dependence-free action as one engine process.
+
+        The scheduler already satisfied the action's dependences; the
+        process only enforces that nothing starts before the virtual
+        host time at which the action was enqueued.
+        """
+        scheduler = self.runtime.scheduler
+        delay = max(0.0, scheduler.enqueue_time(action) - self.engine.now)
 
         def proc():
-            yield arrival
-            if dep_handles:
-                yield self.engine.all_of(dep_handles)
+            if delay > 0:
+                yield self.engine.timeout(delay)
             yield from self._execute(action)
-            assert action.completion is not None
-            action.completion.timestamp = self.engine.now
-            action.completion.handle.trigger()
-            self._outstanding -= 1
+            scheduler.on_complete(action, when=self.engine.now)
 
         self.engine.process(proc(), name=action.display)
-
-    # -- execution --------------------------------------------------------------------
 
     def _compute_duration(self, action: Action) -> float:
         assert action.stream is not None
@@ -149,6 +157,7 @@ class SimBackend(Backend):
 
     def _execute(self, action: Action):
         cfg = self.runtime.config
+        scheduler = self.runtime.scheduler
         assert action.stream is not None
         stream = action.stream
         if action.kind is ActionKind.COMPUTE:
@@ -157,6 +166,7 @@ class SimBackend(Backend):
 
             def on_start() -> None:
                 start_holder[0] = self.engine.now
+                scheduler.on_start(action, when=self.engine.now)
 
             yield self._pipelines[stream.id].run_function(
                 duration,
@@ -168,6 +178,7 @@ class SimBackend(Backend):
                 stream.lane, start_holder[0], self.engine.now, action.display, "compute"
             )
         elif action.kind is ActionKind.XFER:
+            scheduler.on_start(action, when=self.engine.now)
             if stream.domain == 0:
                 return  # aliased host-as-target transfer: optimized away
             yield self.engine.timeout(cfg.transfer_overhead_s)
@@ -185,6 +196,7 @@ class SimBackend(Backend):
                 lane, start, self.engine.now, action.display, "transfer"
             )
         elif action.kind is ActionKind.SYNC:
+            scheduler.on_start(action, when=self.engine.now)
             yield self.engine.timeout(cfg.sync_overhead_s)
         else:  # pragma: no cover - exhaustive over ActionKind
             raise HStreamsInternalError(f"unknown action kind {action.kind}")
@@ -213,10 +225,17 @@ class SimBackend(Backend):
 
     def wait_all(self) -> None:
         self.engine.run()
-        if self._outstanding > 0:
+        stalled = self.runtime.scheduler.find_stalled()
+        if stalled:
+            names = ", ".join(repr(a.display) for a in stalled[:8])
+            raise HStreamsDeadlock(
+                f"{len(stalled)} action(s) can never run: {names} "
+                "(cross-stream wait on work that was never enqueued?)"
+            )
+        outstanding = self.runtime.scheduler.outstanding
+        if outstanding > 0:  # pragma: no cover - engine drain invariant
             raise HStreamsInternalError(
-                f"{self._outstanding} action(s) can never complete "
-                "(cross-stream wait deadlock?)"
+                f"{outstanding} action(s) still in flight after engine drain"
             )
         self._host_now = max(self._host_now, self.engine.now)
 

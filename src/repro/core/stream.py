@@ -41,6 +41,9 @@ class Stream:
         self.cpu_mask = tuple(cpu_mask)
         self.strict_fifo = strict_fifo
         self.name = name or f"s{stream_id}"
+        # The window view picks the stream's FIFO policy: strict_fifo
+        # selects StrictFifoPolicy (CUDA-Streams in-order execution as a
+        # scheduler policy, not a special case), else operand relaxation.
         self.window = StreamWindow(strict_fifo=strict_fifo)
         #: Set by the runtime: whether the sink is the source domain, in
         #: which case transfers are aliased away (paper §V).

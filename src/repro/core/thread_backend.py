@@ -17,8 +17,13 @@ Mapping of the paper's resources:
   instance of a wrapped array is the caller's own memory (zero-copy), so
   host-as-target transfers alias away.
 
-Kernel exceptions do not deadlock the runtime: the failing action still
-completes, and the first error re-raises on the next synchronization.
+The backend is a pure executor: dependence tracking, readiness dispatch,
+and completion propagation belong to the shared
+:class:`~repro.core.scheduler.Scheduler`, which only hands this backend
+actions whose dependences are already satisfied. Kernel exceptions do
+not deadlock the runtime: the failing action still completes (releasing
+its dependents), and the first error re-raises on the next
+synchronization.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -41,16 +46,6 @@ __all__ = ["ThreadBackend"]
 _ANY_POLL_S = 5e-5  # poll period for wait-any
 
 
-class _Handle:
-    """Completion handle: a threading.Event plus dependent bookkeeping."""
-
-    __slots__ = ("event", "dependents")
-
-    def __init__(self) -> None:
-        self.event = threading.Event()
-        self.dependents: List[Action] = []
-
-
 class ThreadBackend(Backend):
     """Real-execution backend on worker threads."""
 
@@ -63,9 +58,7 @@ class ThreadBackend(Backend):
 
     def attach(self, runtime) -> None:
         self.runtime = runtime
-        self._lock = threading.RLock()
-        self._idle = threading.Condition(self._lock)
-        self._pending = 0
+        self._lock = threading.Lock()
         self._stream_pools: Dict[int, ThreadPoolExecutor] = {}
         self._xfer_pool = ThreadPoolExecutor(
             max_workers=self._xfer_workers, thread_name_prefix="hstr-xfer"
@@ -80,11 +73,14 @@ class ThreadBackend(Backend):
 
     # -- handles & events --------------------------------------------------------
 
-    def make_handle(self) -> _Handle:
-        return _Handle()
+    def make_handle(self) -> threading.Event:
+        return threading.Event()
 
     def event_done(self, event: HEvent) -> bool:
-        return event.handle.event.is_set()
+        return event.handle.is_set()
+
+    def signal_completion(self, event: HEvent, when: float) -> None:
+        event.handle.set()
 
     # -- provisioning --------------------------------------------------------------
 
@@ -105,24 +101,15 @@ class ThreadBackend(Backend):
             inst = np.zeros(buf.nbytes, dtype=np.uint8)
         buf.instances[domain] = inst
 
-    # -- submission ------------------------------------------------------------------
+    # -- execution ------------------------------------------------------------------
 
-    def submit(self, action: Action) -> None:
-        ready = False
-        with self._lock:
-            self._pending += 1
-            remaining = 0
-            for dep in action.deps:
-                handle: _Handle = dep.handle
-                if not handle.event.is_set():
-                    handle.dependents.append(action)
-                    remaining += 1
-            action._remaining_deps = remaining  # type: ignore[attr-defined]
-            ready = remaining == 0
-        if ready:
-            self._dispatch(action)
+    def execute(self, action: Action) -> None:
+        """Dispatch a dependence-free action onto its worker pool.
 
-    def _dispatch(self, action: Action) -> None:
+        Compute and sync actions go to the stream's single worker (the
+        sink's compute slot); transfers ride the DMA-like pool so they
+        overlap with compute.
+        """
         assert action.stream is not None
         if action.kind is ActionKind.XFER:
             self._xfer_pool.submit(self._run, action)
@@ -130,10 +117,14 @@ class ThreadBackend(Backend):
             self._stream_pools[action.stream.id].submit(self._run, action)
 
     def _run(self, action: Action) -> None:
+        scheduler = self.runtime.scheduler
         start = time.perf_counter() - self._t0
+        scheduler.on_start(action, when=start)
+        error: Optional[BaseException] = None
         try:
             self._execute(action)
         except BaseException as exc:  # noqa: BLE001 - surfaced at next sync
+            error = exc
             with self._lock:
                 if self._error is None:
                     self._error = exc
@@ -150,27 +141,7 @@ class ThreadBackend(Backend):
             ActionKind.SYNC: "sync",
         }[action.kind]
         self.runtime.tracer.record(lane, start, end, action.display, kind=kind)
-        self._complete(action, end)
-
-    def _complete(self, action: Action, when: float) -> None:
-        ready: List[Action] = []
-        with self._lock:
-            assert action.completion is not None
-            action.completion.timestamp = when
-            handle: _Handle = action.completion.handle
-            handle.event.set()
-            for dependent in handle.dependents:
-                dependent._remaining_deps -= 1  # type: ignore[attr-defined]
-                if dependent._remaining_deps == 0:  # type: ignore[attr-defined]
-                    ready.append(dependent)
-            handle.dependents.clear()
-            self._pending -= 1
-            if self._pending == 0:
-                self._idle.notify_all()
-        for nxt in ready:
-            self._dispatch(nxt)
-
-    # -- execution ----------------------------------------------------------------------
+        scheduler.on_complete(action, when=end, error=error)
 
     def _resolve(self, action: Action, item: Any) -> Any:
         assert action.stream is not None
@@ -209,7 +180,8 @@ class ThreadBackend(Backend):
             src = op.buffer.instance_array(src_dom)[op.offset : op.end]
             dst = op.buffer.instance_array(dst_dom)[op.offset : op.end]
             np.copyto(dst, src)
-        # SYNC: dependences were already waited on before dispatch.
+        # SYNC: its dependences were satisfied before the scheduler
+        # dispatched it; there is nothing left to execute.
 
     # -- waiting --------------------------------------------------------------------------
 
@@ -221,7 +193,7 @@ class ThreadBackend(Backend):
 
     def wait_events(
         self,
-        events: List[HEvent],
+        events: list,
         wait_all: bool = True,
         timeout: Optional[float] = None,
     ) -> None:
@@ -229,21 +201,19 @@ class ThreadBackend(Backend):
         if wait_all:
             for ev in events:
                 remaining = None if deadline is None else deadline - time.monotonic()
-                if not ev.handle.event.wait(remaining):
+                if not ev.handle.wait(remaining):
                     raise HStreamsTimedOut(
                         f"timed out waiting for {len(events)} event(s)"
                     )
         else:
-            while events and not any(ev.handle.event.is_set() for ev in events):
+            while events and not any(ev.handle.is_set() for ev in events):
                 if deadline is not None and time.monotonic() > deadline:
                     raise HStreamsTimedOut("timed out in wait-any")
                 time.sleep(_ANY_POLL_S)
         self._raise_pending_error()
 
     def wait_all(self) -> None:
-        with self._idle:
-            while self._pending > 0:
-                self._idle.wait()
+        self.runtime.scheduler.wait_idle()
         self._raise_pending_error()
 
     def now(self) -> float:

@@ -16,7 +16,10 @@ Reproduces the semantics the paper contrasts with hStreams (§IV):
   from different streams contend for the whole device.
 
 Runs on either backend via a private hStreams runtime whose streams are
-created ``strict_fifo=True`` with full-device masks.
+created ``strict_fifo=True`` with full-device masks. Strict in-order
+execution is the scheduler's :class:`~repro.core.dependences.StrictFifoPolicy`
+applied to those streams — the same scheduling core as hStreams, with a
+different dependence policy.
 """
 
 from __future__ import annotations
@@ -329,6 +332,10 @@ class CudaRuntime:
     def elapsed(self) -> float:
         """Virtual (sim) or wall (thread) seconds since init."""
         return self._hs.elapsed()
+
+    def metrics(self) -> Dict[str, Any]:
+        """Scheduling observability snapshot of the underlying runtime."""
+        return self._hs.metrics()
 
     @property
     def tracer(self):

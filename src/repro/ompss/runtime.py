@@ -425,6 +425,10 @@ class OmpSsRuntime:
         """Virtual (sim) or wall (thread) seconds since init."""
         return self._hs.elapsed()
 
+    def metrics(self) -> Dict[str, Any]:
+        """Scheduling observability snapshot of the plumbing runtime."""
+        return self._hs.metrics()
+
     @property
     def tracer(self):
         """The underlying trace recorder."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "CounterEvent", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -35,11 +35,21 @@ class TraceEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class CounterEvent:
+    """One sample of a time-varying counter (e.g. a queue depth)."""
+
+    lane: str
+    t: float
+    value: float
+
+
 @dataclass
 class Tracer:
     """Collects trace events and answers utilization/overlap queries."""
 
     events: List[TraceEvent] = field(default_factory=list)
+    counters: List[CounterEvent] = field(default_factory=list)
     enabled: bool = True
 
     def record(
@@ -48,6 +58,26 @@ class Tracer:
         """Append one event (no-op when disabled)."""
         if self.enabled:
             self.events.append(TraceEvent(lane, start, end, label, kind))
+
+    def counter(self, lane: str, t: float, value: float) -> None:
+        """Sample a counter lane (no-op when disabled).
+
+        The scheduler samples per-stream queue depth here on every
+        enqueue and completion; exported as Chrome "C" counter events.
+        """
+        if self.enabled:
+            self.counters.append(CounterEvent(lane, t, value))
+
+    def counter_series(self, lane: str) -> List[CounterEvent]:
+        """All samples of one counter lane, in record order."""
+        return [c for c in self.counters if c.lane == lane]
+
+    def counter_lanes(self) -> List[str]:
+        """Counter lane names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for c in self.counters:
+            seen.setdefault(c.lane, None)
+        return list(seen)
 
     def lanes(self) -> List[str]:
         """Lane names in first-appearance order."""
@@ -126,7 +156,7 @@ class Tracer:
         t1 = max(e.end for e in self.events)
         span = max(t1 - t0, 1e-12)
         glyph = {"compute": "#", "transfer": "=", "sync": "|"}
-        name_w = max(len(l) for l in self.lanes()[:max_lanes]) + 1
+        name_w = max(len(lane) for lane in self.lanes()[:max_lanes]) + 1
         bar_w = max(width - name_w - 2, 10)
         lines = [f"{'lane':<{name_w}} 0 {'-' * (bar_w - 4)} {span * 1e3:.3f} ms"]
         for lane in self.lanes()[:max_lanes]:
@@ -156,6 +186,7 @@ class Tracer:
     def clear(self) -> None:
         """Drop all recorded events."""
         self.events.clear()
+        self.counters.clear()
 
     def to_chrome_trace(self) -> List[dict]:
         """Export as Chrome ``chrome://tracing`` / Perfetto trace events.
@@ -186,6 +217,16 @@ class Tracer:
                     "tid": lanes[ev.lane],
                     "ts": ev.start * 1e6,  # microseconds
                     "dur": ev.duration * 1e6,
+                }
+            )
+        for c in self.counters:
+            out.append(
+                {
+                    "name": c.lane,
+                    "ph": "C",
+                    "pid": 1,
+                    "ts": c.t * 1e6,
+                    "args": {"value": c.value},
                 }
             )
         return out

@@ -75,7 +75,7 @@ class TestFormatTable:
         text = format_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
         lines = text.splitlines()
         assert len(lines) == 4
-        assert all(len(l) == len(lines[0]) for l in lines[1:3])
+        assert all(len(row) == len(lines[0]) for row in lines[1:3])
 
     def test_row_width_mismatch(self):
         with pytest.raises(ValueError):

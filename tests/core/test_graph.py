@@ -1,0 +1,147 @@
+"""Unit tests for the action graph: lifecycle machine, acyclicity,
+retirement, and the deadlock probe."""
+
+import pytest
+
+from repro.core.actions import Action, ActionKind
+from repro.core.errors import HStreamsInternalError
+from repro.core.graph import ActionGraph, ActionNode, ActionRecord, ActionState
+
+
+def mk_action(label="a"):
+    return Action(kind=ActionKind.COMPUTE, stream=None, kernel="k", label=label)
+
+
+class TestLifecycle:
+    def test_happy_path_transitions(self):
+        node = ActionNode(mk_action(), t_enqueue=0.0)
+        assert node.state is ActionState.ENQUEUED
+        node.transition(ActionState.READY)
+        node.transition(ActionState.RUNNING)
+        node.transition(ActionState.COMPLETE)
+        assert node.state.is_terminal
+
+    def test_ready_may_fail_or_complete_directly(self):
+        # Trivial executions (aliased transfers) may skip RUNNING.
+        node = ActionNode(mk_action(), t_enqueue=0.0)
+        node.transition(ActionState.READY)
+        node.transition(ActionState.COMPLETE)
+        node2 = ActionNode(mk_action(), t_enqueue=0.0)
+        node2.transition(ActionState.READY)
+        node2.transition(ActionState.FAILED)
+        assert node2.state is ActionState.FAILED
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            (ActionState.RUNNING,),  # enqueued cannot start without readiness
+            (ActionState.COMPLETE,),
+            (ActionState.READY, ActionState.READY),
+            (ActionState.READY, ActionState.RUNNING, ActionState.READY),
+            (
+                ActionState.READY,
+                ActionState.RUNNING,
+                ActionState.COMPLETE,
+                ActionState.FAILED,  # terminal states are final
+            ),
+        ],
+    )
+    def test_illegal_transitions_raise(self, path):
+        node = ActionNode(mk_action(), t_enqueue=0.0)
+        with pytest.raises(HStreamsInternalError):
+            for state in path:
+                node.transition(state)
+
+    def test_terminal_flags(self):
+        assert ActionState.COMPLETE.is_terminal
+        assert ActionState.FAILED.is_terminal
+        for s in (ActionState.ENQUEUED, ActionState.READY, ActionState.RUNNING):
+            assert not s.is_terminal
+
+
+class TestRecord:
+    def test_stall_decomposition(self):
+        node = ActionNode(mk_action(), t_enqueue=1.0)
+        node.transition(ActionState.READY)
+        node.t_ready = 3.0
+        node.transition(ActionState.RUNNING)
+        node.t_start = 4.5
+        node.transition(ActionState.COMPLETE)
+        node.t_end = 7.0
+        rec = node.record()
+        assert isinstance(rec, ActionRecord)
+        assert rec.dep_stall == pytest.approx(2.0)
+        assert rec.dispatch_stall == pytest.approx(1.5)
+        assert rec.exec_time == pytest.approx(2.5)
+        assert rec.total_latency == pytest.approx(6.0)
+        assert rec.state == "complete"
+
+    def test_missing_timestamps_backfill(self):
+        # A node that never ran still yields a consistent record.
+        node = ActionNode(mk_action(), t_enqueue=2.0)
+        rec = node.record()
+        assert rec.t_ready == rec.t_start == rec.t_end == 2.0
+        assert rec.dep_stall == rec.exec_time == 0.0
+
+
+class TestGraph:
+    def test_add_get_pop(self):
+        g = ActionGraph()
+        a = mk_action("a")
+        node = g.add(a, 0.0)
+        assert g.get(a) is node
+        assert len(g) == 1
+        g.pop(node)
+        assert g.get(a) is None
+        assert len(g) == 0
+
+    def test_double_add_raises(self):
+        g = ActionGraph()
+        a = mk_action()
+        g.add(a, 0.0)
+        with pytest.raises(HStreamsInternalError):
+            g.add(a, 0.0)
+
+    def test_edge_wires_waiting_and_dependents(self):
+        g = ActionGraph()
+        na = g.add(mk_action("a"), 0.0)
+        nb = g.add(mk_action("b"), 0.0)
+        g.add_edge(na, nb)
+        assert nb.waiting == 1
+        assert na.dependents == [nb]
+
+    def test_back_edge_is_a_cycle_error(self):
+        g = ActionGraph()
+        na = g.add(mk_action("a"), 0.0)
+        nb = g.add(mk_action("b"), 0.0)
+        with pytest.raises(HStreamsInternalError, match="cycle"):
+            g.add_edge(nb, na)  # newer -> older runs backwards
+
+    def test_self_edge_is_a_cycle_error(self):
+        g = ActionGraph()
+        na = g.add(mk_action(), 0.0)
+        with pytest.raises(HStreamsInternalError, match="cycle"):
+            g.add_edge(na, na)
+
+    def test_stalled_empty_when_progress_possible(self):
+        g = ActionGraph()
+        na = g.add(mk_action("a"), 0.0)
+        nb = g.add(mk_action("b"), 0.0)
+        g.add_edge(na, nb)
+        na.transition(ActionState.READY)  # a can run -> b is not stalled
+        assert g.stalled() == []
+
+    def test_stalled_names_blocked_nodes(self):
+        g = ActionGraph()
+        na = g.add(mk_action("a"), 0.0)
+        nb = g.add(mk_action("b"), 0.0)
+        g.add_edge(na, nb)
+        # a finishes and retires, but b's waiting count was never
+        # decremented (simulating a lost completion): true deadlock.
+        na.transition(ActionState.READY)
+        na.transition(ActionState.COMPLETE)
+        g.pop(na)
+        assert [n.action.display for n in g.stalled()] == [nb.action.display]
+
+    def test_stalled_empty_graph(self):
+        assert ActionGraph().stalled() == []

@@ -10,7 +10,6 @@ runtime fails to enforce shows up as a wrong value.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import HStreams, OperandMode, XferDirection, make_platform
@@ -164,6 +163,42 @@ class TestSimDeterminismFuzz:
             return hs.elapsed()
 
         assert run() == run()
+
+
+class TestSchedulerOrderFuzz:
+    """The sim-backend half of the equivalence property: the scheduler's
+    lifecycle records must show every conflicting pair executing in
+    enqueue order (the FIFO semantic), for random programs through the
+    action graph."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(prog=programs())
+    def test_conflicting_pairs_respect_enqueue_order(self, prog):
+        from repro.sim.kernels import KernelCost
+
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim", trace=False)
+        cost = KernelCost(kernel="rmw", flops=1e6, size=float(N_CELLS))
+        for name in KERNELS:
+            hs.register_kernel(name, cost_fn=lambda *a, c=cost: c)
+        s = hs.stream_create(domain=1, ncores=16)
+        buf = hs.buffer_create(nbytes=8 * N_CELLS, domains=[1])
+        ranges = [(0, 8 * N_CELLS)]  # the initial whole-buffer transfer
+        hs.enqueue_xfer(s, buf)
+        for op, start, length, value in prog:
+            operand = buf.tensor((length,), offset=8 * start, mode=OperandMode.INOUT)
+            hs.enqueue_compute(s, op, args=(operand, value))
+            ranges.append((8 * start, 8 * (start + length)))
+        hs.thread_synchronize()
+        recs = sorted(hs.metrics()["records"], key=lambda r: r.seq)
+        assert len(recs) == len(prog) + 1
+        assert all(r.state == "complete" for r in recs)
+        for j in range(len(recs)):
+            for i in range(j):
+                a0, a1 = ranges[i]
+                b0, b1 = ranges[j]
+                if a0 < b1 and b0 < a1:  # overlapping INOUT: must order
+                    assert recs[j].t_start >= recs[i].t_end
+        hs.fini()
 
 
 class TestThreadBackendStress:
