@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import HStreams, XferDirection, make_platform
+from repro import HStreams, OperandMode, XferDirection, make_platform
 from repro.sim.kernels import dgemm
 
 
@@ -34,7 +34,12 @@ def real_execution() -> None:
 
     hs.enqueue_xfer(stream, bx)                       # host -> card
     hs.enqueue_xfer(stream, by)
-    hs.enqueue_compute(stream, "axpy", args=(by.tensor((8,)), bx.tensor((8,)), 10.0))
+    # x is read-only: declaring IN (the default is INOUT) keeps the
+    # dependence footprint honest - an INOUT x would count as a sink
+    # write that never returns home (the analyzer's missing-d2h).
+    hs.enqueue_compute(stream, "axpy",
+                       args=(by.tensor((8,)),
+                             bx.tensor((8,), mode=OperandMode.IN), 10.0))
     hs.enqueue_xfer(stream, by, XferDirection.SINK_TO_SRC)  # card -> host
     hs.thread_synchronize()
 

@@ -1,0 +1,49 @@
+"""CLI entry point: ``python -m repro.analysis <program.py> ...``.
+
+Checks each program with :func:`~repro.analysis.checker.check_program`
+and exits 2 if any program has error-severity findings, 1 if the worst
+finding is a warning, 0 when everything is clean. ``--json`` emits one
+machine-readable report object per program instead of prose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.checker import check_program
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "hsan: capture-run hStreams programs and report stream "
+            "races, buffer-lifetime hazards, and unsatisfiable waits"
+        ),
+    )
+    parser.add_argument("programs", nargs="+", help="program file(s) to check")
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON reports instead of prose"
+    )
+    args = parser.parse_args(argv)
+
+    worst = 0
+    for path in args.programs:
+        try:
+            report = check_program(path)
+        except (OSError, ValueError) as exc:
+            print(f"hsan: {path}: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.format())
+        worst = max(worst, report.exit_code())
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Structured diagnostics and the hazard-rule catalog.
+
+Every finding of the hazard analyzer — a data race, a lifetime lint, a
+dangling wait — is a :class:`Diagnostic` carrying a stable rule id from
+:data:`RULES`, a severity, the offending actions (by their
+:attr:`~repro.core.actions.Action.display` labels and source sites), and
+a fix hint. Rule ids are what ``# hsan: ignore[rule]`` waivers name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Severity", "Rule", "RULES", "ActionRef", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe programs whose results are
+    nondeterministic or wrong on a real platform; ``WARNING`` findings
+    describe patterns that are almost always mistakes but can be benign.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalog."""
+
+    id: str
+    severity: Severity
+    summary: str
+    hint: str
+
+
+#: The rule catalog. Ids are stable: tests, waivers, and CI reference
+#: them verbatim (see DESIGN.md for the prose catalog).
+RULES: Dict[str, Rule] = {
+    r.id: r
+    for r in [
+        Rule(
+            "stream-race",
+            Severity.ERROR,
+            "cross-stream accesses to overlapping buffer ranges are not "
+            "ordered by any event, sync, or barrier",
+            "order the streams with event_stream_wait on the producing "
+            "action's event, or synchronize between the accesses",
+        ),
+        Rule(
+            "read-before-init",
+            Severity.ERROR,
+            "a compute task reads a buffer range that no transfer or "
+            "earlier task ever wrote (uninitialized sink read)",
+            "enqueue_xfer the range to the sink (or write it with an "
+            "OUT-operand task) before reading it",
+        ),
+        Rule(
+            "stale-read",
+            Severity.WARNING,
+            "a sink task reads a host-initialized buffer whose data was "
+            "never transferred to the sink domain (reads zeros, not the "
+            "host's values)",
+            "enqueue_xfer(stream, buf) host-to-sink after the host "
+            "writes and before the sink reads",
+        ),
+        Rule(
+            "use-after-evict",
+            Severity.ERROR,
+            "a sink task reads a buffer range in a domain whose instance "
+            "was evicted, with no re-transfer since (the re-instantiated "
+            "range is zeros)",
+            "enqueue_xfer the range back to the sink after buffer_evict "
+            "before reading it again",
+        ),
+        Rule(
+            "use-after-destroy",
+            Severity.ERROR,
+            "an action's operand references a buffer that was already "
+            "destroyed",
+            "move buffer_destroy after the last action touching the "
+            "buffer (and a synchronization covering it)",
+        ),
+        Rule(
+            "evict-in-flight",
+            Severity.WARNING,
+            "buffer_evict runs while earlier actions touching the "
+            "instance may still be in flight (no host synchronization "
+            "orders them before the evict); a real run raises "
+            "HStreamsBusy here",
+            "stream_synchronize (or wait the touching actions' events) "
+            "before evicting",
+        ),
+        Rule(
+            "missing-d2h",
+            Severity.WARNING,
+            "a sink task wrote a host-visible (wrapped) buffer but the "
+            "result was never transferred back before the program ended "
+            "(the host sees stale data)",
+            "enqueue_xfer(stream, buf, XferDirection.SINK_TO_SRC) after "
+            "the last sink write",
+        ),
+        Rule(
+            "unwaited-event",
+            Severity.WARNING,
+            "an action's completion is never observed: no later action "
+            "depends on it and no host synchronization covers it "
+            "(fire-and-forget work)",
+            "wait the returned event, synchronize the stream, or call "
+            "thread_synchronize before the program ends",
+        ),
+        Rule(
+            "deadlock",
+            Severity.ERROR,
+            "a wait can never be satisfied: it names an event that no "
+            "action of this program fires, or the dependence graph "
+            "contains a cycle",
+            "only wait on events returned by this runtime's enqueue "
+            "calls; break the cyclic wait",
+        ),
+        Rule(
+            "zero-length-operand",
+            Severity.WARNING,
+            "an operand covers zero bytes, so it imposes no ordering at "
+            "all (empty ranges never conflict) — likely a size "
+            "arithmetic bug",
+            "check the offset/nbytes arithmetic; drop the operand if "
+            "the empty range is intentional",
+        ),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class ActionRef:
+    """A diagnostic's pointer at one offending action (or lifecycle op).
+
+    ``site`` is the user-code source location of the enqueue (or
+    buffer/sync call) when capture could determine one.
+    """
+
+    label: str
+    seq: int = -1
+    stream: Optional[str] = None
+    site: Optional[Tuple[str, int]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"label": self.label, "seq": self.seq}
+        if self.stream is not None:
+            d["stream"] = self.stream
+        if self.site is not None:
+            d["file"], d["line"] = self.site
+        return d
+
+    def __str__(self) -> str:
+        loc = f" ({self.site[0]}:{self.site[1]})" if self.site else ""
+        lane = f" in {self.stream}" if self.stream else ""
+        return f"{self.label}{lane}{loc}"
+
+
+@dataclass
+class Diagnostic:
+    """One analyzer finding."""
+
+    rule: str
+    message: str
+    actions: List[ActionRef] = field(default_factory=list)
+    buffer: Optional[str] = None
+    #: How many further occurrences were folded into this diagnostic
+    #: (races on the same stream pair / buffer repeat per iteration).
+    occurrences: int = 1
+
+    @property
+    def severity(self) -> Severity:
+        return RULES[self.rule].severity
+
+    @property
+    def hint(self) -> str:
+        return RULES[self.rule].hint
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "buffer": self.buffer,
+            "occurrences": self.occurrences,
+            "actions": [a.to_dict() for a in self.actions],
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering for the CLI."""
+        lines = [f"{self.severity.value}[{self.rule}]: {self.message}"]
+        for ref in self.actions:
+            lines.append(f"    at {ref}")
+        if self.occurrences > 1:
+            lines.append(f"    ({self.occurrences} occurrences folded)")
+        lines.append(f"    hint: {self.hint}")
+        return "\n".join(lines)

@@ -93,7 +93,16 @@ class Operand:
         return self.offset + self.nbytes
 
     def overlaps(self, other: "Operand") -> bool:
-        """True when both ranges touch the same bytes of the same buffer."""
+        """True when both ranges touch the same bytes of the same buffer.
+
+        A zero-length operand touches no bytes, so it never overlaps —
+        and therefore never conflicts: empty operands impose **no
+        ordering** under :class:`~repro.core.dependences.RelaxedPolicy`
+        (strict-FIFO streams still order every action by position).
+        Declaring an empty range is almost always a bug in the caller's
+        size arithmetic; the hazard analyzer flags it as
+        ``zero-length-operand``.
+        """
         if self.buffer is not other.buffer or self.nbytes == 0 or other.nbytes == 0:
             return False
         return self.offset < other.end and other.offset < self.end

@@ -40,6 +40,12 @@ class ProxyAddressSpace:
         self._next = _BASE
         self._bases: List[int] = []
         self._buffers: Dict[int, "Buffer"] = {}
+        # Tombstones for destroyed buffers: base -> (nbytes, name).
+        # Proxy ranges are never reused (the allocator cursor is
+        # monotonic), so a tombstone identifies the stale buffer a
+        # dangling proxy address used to point into.
+        self._destroyed: Dict[int, Tuple[int, str]] = {}
+        self._destroyed_bases: List[int] = []
 
     def allocate(self, nbytes: int) -> int:
         """Reserve an aligned proxy range and return its base address."""
@@ -56,18 +62,25 @@ class ProxyAddressSpace:
         self._buffers[buffer.proxy_base] = buffer
 
     def unregister(self, buffer: "Buffer") -> None:
-        """Remove a destroyed buffer from the resolver."""
+        """Remove a destroyed buffer from the resolver, leaving a
+        tombstone so stale addresses resolve to a named error."""
         idx = bisect.bisect_left(self._bases, buffer.proxy_base)
         if idx >= len(self._bases) or self._bases[idx] != buffer.proxy_base:
             raise HStreamsNotFound(f"buffer {buffer.name!r} is not registered")
         self._bases.pop(idx)
         del self._buffers[buffer.proxy_base]
+        self._destroyed[buffer.proxy_base] = (buffer.nbytes, buffer.name)
+        bisect.insort(self._destroyed_bases, buffer.proxy_base)
 
     def resolve(self, proxy_addr: int) -> Tuple["Buffer", int]:
         """Translate a proxy address to ``(buffer, offset)``.
 
         This is the lookup the runtime performs when a raw proxy pointer
-        is passed as a task operand.
+        is passed as a task operand. An address inside a *destroyed*
+        buffer's (never-reused) range raises
+        :class:`~repro.core.errors.HStreamsNotFound` naming that buffer;
+        an address that was never part of any buffer raises
+        :class:`~repro.core.errors.HStreamsOutOfRange`.
         """
         idx = bisect.bisect_right(self._bases, proxy_addr) - 1
         if idx >= 0:
@@ -75,6 +88,15 @@ class ProxyAddressSpace:
             off = proxy_addr - buf.proxy_base
             if off < buf.nbytes:
                 return buf, off
+        didx = bisect.bisect_right(self._destroyed_bases, proxy_addr) - 1
+        if didx >= 0:
+            base = self._destroyed_bases[didx]
+            nbytes, name = self._destroyed[base]
+            if proxy_addr - base < nbytes:
+                raise HStreamsNotFound(
+                    f"proxy address {proxy_addr:#x} belonged to buffer "
+                    f"{name!r}, which has been destroyed"
+                )
         raise HStreamsOutOfRange(
             f"proxy address {proxy_addr:#x} falls in no registered buffer"
         )
@@ -96,14 +118,14 @@ class Buffer:
         host_array: Optional[np.ndarray] = None,
     ):
         if host_array is not None:
+            # Wrapping requires the caller's memory, not a copy, so the
+            # sink writes land where the user can see them.
             arr = np.ascontiguousarray(host_array)
-            if arr.nbytes != host_array.nbytes or arr is not host_array:
-                # Wrapping requires the caller's memory, not a copy, so the
-                # sink writes land where the user can see them.
-                if not host_array.flags["C_CONTIGUOUS"]:
-                    raise HStreamsBadArgument(
-                        f"buffer {name!r}: wrapped arrays must be C-contiguous"
-                    )
+            made_copy = arr is not host_array or arr.nbytes != host_array.nbytes
+            if made_copy and not host_array.flags["C_CONTIGUOUS"]:
+                raise HStreamsBadArgument(
+                    f"buffer {name!r}: wrapped arrays must be C-contiguous"
+                )
             nbytes = host_array.nbytes
         self.space = space
         self.nbytes = int(nbytes)

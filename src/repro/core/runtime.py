@@ -46,6 +46,12 @@ from repro.sim.trace import Tracer
 
 __all__ = ["DomainInfo", "HStreams", "KernelSpec"]
 
+#: When set (by ``repro.analysis.capture.capture_session``), every
+#: HStreams constructed is forced into capture mode and appended here,
+#: so the program checker can analyze runtimes a program creates
+#: internally without the program opting in.
+_capture_registry: Optional[List["HStreams"]] = None
+
 
 class DomainInfo:
     """One discoverable domain: its device and resource bookkeeping."""
@@ -122,6 +128,7 @@ class HStreams:
         backend: Union[str, Any] = "thread",
         config: Optional[RuntimeConfig] = None,
         trace: bool = True,
+        capture_only: bool = False,
     ):
         self.platform = platform if platform is not None else make_platform("HSW", 1)
         self.config = config if config is not None else RuntimeConfig()
@@ -139,7 +146,14 @@ class HStreams:
         self.stats: Dict[str, int] = {
             "computes": 0, "transfers": 0, "syncs": 0, "bytes_transferred": 0,
         }
-        if isinstance(backend, str):
+        forced = _capture_registry is not None
+        if capture_only or forced:
+            # Capture mode: record the full action graph for the hazard
+            # analyzer without dispatching any real (or virtual) work.
+            from repro.analysis.capture import CaptureBackend
+
+            self.backend = CaptureBackend()
+        elif isinstance(backend, str):
             self.backend = _make_backend(backend)
         else:
             self.backend = backend
@@ -147,6 +161,15 @@ class HStreams:
         #: The backend-agnostic scheduling core; both backends dispatch
         #: exclusively through it.
         self.scheduler = Scheduler(self)
+        #: The program-capture recorder, set only in capture mode.
+        self.capture = None
+        if capture_only or forced:
+            from repro.analysis.capture import ProgramCapture
+
+            self.capture = ProgramCapture(self)
+            self.scheduler.observers.append(self.capture)
+            if forced:
+                _capture_registry.append(self)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -323,6 +346,7 @@ class HStreams:
             host_array=array,
         )
         self.buffers.append(buf)
+        self.scheduler.notify_buffer("create", buf)
         for d in {0, *domains}:
             self._ensure_instance(buf, d)
         return buf
@@ -340,6 +364,7 @@ class HStreams:
         self.backend.on_buffer_destroy(buf)
         buf.destroy()
         self.buffers.remove(buf)
+        self.scheduler.notify_buffer("destroy", buf)
 
     def buffer_evict(self, buf: Buffer, domain: int) -> None:
         """Release a buffer's instance in one (non-host) domain.
@@ -369,6 +394,7 @@ class HStreams:
         self.domain(domain).allocated_bytes -= buf.nbytes
         self.backend.on_instance_evict(buf, domain)
         del buf.instances[domain]
+        self.scheduler.notify_buffer("evict", buf, domain=domain)
 
     def _ensure_instance(self, buf: Buffer, domain: int) -> None:
         if buf.instantiated_in(domain):
@@ -556,6 +582,12 @@ class HStreams:
         self._check_init()
         self.backend.wait_events(list(events), wait_all=wait_all, timeout=timeout)
         self.backend.advance_host(self.config.sync_overhead_s)
+        # With wait-any semantics only *some* event completed; the
+        # happens-before edge to the host is the completed subset.
+        observed = (
+            list(events) if wait_all else [e for e in events if e.is_complete()]
+        )
+        self.scheduler.notify_host_sync("event_wait", events=observed)
 
     def stream_synchronize(self, stream: Stream) -> None:
         """Block until every action enqueued into ``stream`` completed."""
@@ -564,12 +596,14 @@ class HStreams:
         if pending:
             self.backend.wait_events(pending, wait_all=True, timeout=None)
         self.backend.advance_host(self.config.sync_overhead_s)
+        self.scheduler.notify_host_sync("stream_synchronize", stream=stream)
 
     def thread_synchronize(self) -> None:
         """Block until all actions in all streams completed."""
         self._check_init()
         self.backend.wait_all()
         self.backend.advance_host(self.config.sync_overhead_s)
+        self.scheduler.notify_host_sync("thread_synchronize")
 
     # -- time & observability ----------------------------------------------------------
 

@@ -18,7 +18,14 @@ COI above SCIF). The scheduler owns everything between ``enqueue`` and
 * **lifecycle observability** — per-action enqueue/ready/start/end
   timestamps, dependence-stall and dispatch-stall totals, and per-stream
   queue-depth metrics, exported through :meth:`metrics` and the runtime
-  :class:`~repro.sim.trace.Tracer`.
+  :class:`~repro.sim.trace.Tracer`;
+* **observer hooks** — :class:`SchedulerObserver` instances registered
+  in :attr:`Scheduler.observers` see every admission (with its resolved
+  dependence edges), completion, host synchronization, and buffer
+  lifecycle transition. This is the attachment point for the hazard
+  analyzer: :mod:`repro.analysis` uses it both for whole-program capture
+  (``HStreams(capture_only=True)``) and for the online checker that runs
+  the same happens-before rules incrementally during real execution.
 
 Backends are pure executors: they implement
 ``execute(action) -> completion`` for actions whose dependences the
@@ -30,7 +37,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence
 
 from repro.core.actions import ActionKind
 from repro.core.errors import HStreamsBadArgument
@@ -43,7 +50,56 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import HStreams
     from repro.core.stream import Stream
 
-__all__ = ["Scheduler", "StreamStats"]
+__all__ = ["Scheduler", "SchedulerObserver", "StreamStats"]
+
+
+class SchedulerObserver:
+    """Hook interface over scheduler and runtime lifecycle events.
+
+    Subclass and append to :attr:`Scheduler.observers`. All callbacks
+    are invoked with the scheduler lock held (keep them fast, do not
+    call back into the runtime) and default to no-ops, so observers
+    override only what they need. The hazard analyzer's capture recorder
+    and online checker are the two in-tree observers.
+    """
+
+    def on_enqueue(
+        self,
+        action: "Action",
+        deps: List["Action"],
+        dangling: List[HEvent],
+    ) -> None:
+        """``action`` was admitted. ``deps`` are the live actions it was
+        ordered after (explicit event waits plus intra-stream policy
+        dependences); ``dangling`` are waits this observer claimed via
+        :meth:`on_dangling_wait`."""
+
+    def on_action_complete(self, action: "Action", record: ActionRecord) -> None:
+        """``action`` reached a terminal state."""
+
+    def on_dangling_wait(self, action: "Action", event: HEvent) -> bool:
+        """``action`` waits on an incomplete event no live node owns.
+
+        Return True to claim (record) the dangling wait; when no
+        observer claims it the scheduler raises, as it always did.
+        """
+        return False
+
+    def on_host_sync(
+        self,
+        kind: str,
+        stream: Optional["Stream"] = None,
+        events: Sequence[HEvent] = (),
+    ) -> None:
+        """The source thread blocked: ``kind`` is one of ``event_wait``,
+        ``stream_synchronize``, ``thread_synchronize``."""
+
+    def on_stream_create(self, stream: "Stream") -> None:
+        """A stream was created."""
+
+    def on_buffer(self, kind: str, buf: "Buffer", domain: Optional[int] = None) -> None:
+        """Buffer lifecycle: ``kind`` is ``create``, ``destroy``, or
+        ``evict`` (with ``domain`` set for evictions)."""
 
 
 class StreamStats:
@@ -117,6 +173,9 @@ class Scheduler:
             kind.value: {"count": 0, "dep_stall_s": 0.0, "exec_s": 0.0}
             for kind in ActionKind
         }
+        #: Registered :class:`SchedulerObserver` hooks (capture recorder,
+        #: online checker). Appended to directly; order is call order.
+        self.observers: List[SchedulerObserver] = []
 
     # -- stream registry ------------------------------------------------------
 
@@ -124,6 +183,8 @@ class Scheduler:
         """Start tracking scheduling metrics for a new stream."""
         with self._lock:
             self._streams[stream.id] = StreamStats(stream)
+            for obs in self.observers:
+                obs.on_stream_create(stream)
 
     def _stream_stats(self, stream: "Stream") -> StreamStats:
         stats = self._streams.get(stream.id)
@@ -154,8 +215,18 @@ class Scheduler:
             # Resolve and validate every dependence before mutating the
             # graph, so a rejected enqueue leaves no zombie node behind.
             dep_nodes: List = []
+            dangling: List[HEvent] = []
             seen: set = set()
+            # For observers: every resolved ordering edge, including ones
+            # whose action already completed (capture mode completes
+            # everything instantly, so the live graph alone would record
+            # no edges at all).
+            dep_actions: List["Action"] = []
+            dep_seen: set = set()
             for ev in action.deps:
+                if ev.action is not None and ev.action.seq not in dep_seen:
+                    dep_seen.add(ev.action.seq)
+                    dep_actions.append(ev.action)
                 dep_node = self.graph.get(ev.action)
                 if dep_node is not None:
                     if dep_node.action.seq in seen:
@@ -163,6 +234,13 @@ class Scheduler:
                     seen.add(dep_node.action.seq)
                     dep_nodes.append(dep_node)
                 elif not ev.is_complete():
+                    # An observer (the capture recorder) may claim the
+                    # dangling wait as a diagnostic instead of an error.
+                    # Every observer gets to see it (no short-circuit).
+                    claims = [obs.on_dangling_wait(action, ev) for obs in self.observers]
+                    if any(claims):
+                        dangling.append(ev)
+                        continue
                     raise HStreamsBadArgument(
                         f"{action.display!r} waits on an event unknown to "
                         "this runtime's scheduler; cross-runtime event "
@@ -181,6 +259,8 @@ class Scheduler:
             self._totals["enqueued"] += 1
             self._outstanding += 1
             self.runtime.tracer.counter(f"sched:{stream.lane}", now, stats.depth)
+            for obs in self.observers:
+                obs.on_enqueue(action, dep_actions, dangling)
             if node.waiting == 0:
                 node.transition(ActionState.READY)
                 node.t_ready = now
@@ -234,6 +314,8 @@ class Scheduler:
             if self._records.maxlen != 0:
                 self._records.append(record)
             self._fold(node, record)
+            for obs in self.observers:
+                obs.on_action_complete(action, record)
             stream = action.stream
             assert stream is not None
             stream.window.retire(action)
@@ -274,6 +356,34 @@ class Scheduler:
         kind["count"] += 1
         kind["dep_stall_s"] += record.dep_stall
         kind["exec_s"] += record.exec_time
+
+    # -- observer notifications ---------------------------------------------------
+
+    def notify_host_sync(
+        self,
+        kind: str,
+        stream: Optional["Stream"] = None,
+        events: Sequence[HEvent] = (),
+    ) -> None:
+        """Runtime callback: the source thread performed a blocking sync.
+
+        Host synchronizations are happens-before edges (everything the
+        host observed orders before whatever it enqueues next), so the
+        hazard analyzer needs to see them even when the backend had
+        nothing left to wait for.
+        """
+        with self._lock:
+            for obs in self.observers:
+                obs.on_host_sync(kind, stream=stream, events=list(events))
+
+    def notify_buffer(
+        self, kind: str, buf: "Buffer", domain: Optional[int] = None
+    ) -> None:
+        """Runtime callback: buffer lifecycle transition (create /
+        destroy / evict), forwarded to observers for lifetime lints."""
+        with self._lock:
+            for obs in self.observers:
+                obs.on_buffer(kind, buf, domain=domain)
 
     # -- queries -----------------------------------------------------------------------
 

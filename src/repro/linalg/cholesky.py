@@ -149,7 +149,7 @@ def hetero_cholesky(
                 writes=(bufs[i][k],),
                 label=f"trsm{i}.{k}",
             )
-            for dom, pool in card_streams.items():
+            for _dom, pool in card_streams.items():
                 flow.send(pool[i % len(pool)], bufs[i][k], label=f"bcast L{i}_{k}")
         # 3. Trailing updates, distributed by tile-row.
         for i in range(k + 1, T):

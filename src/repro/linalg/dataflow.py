@@ -60,7 +60,7 @@ class FlowContext:
         No action is inserted for same-stream producers (FIFO covers
         them) or producers already synced into this stream.
         """
-        pending: Dict[int, Tuple[HEvent, Buffer]] = {}
+        pending: Dict[Tuple[int, int], Tuple[HEvent, Buffer]] = {}
         for buf in bufs:
             prod = self._producer.get(buf.uid)
             if prod is None:
@@ -68,16 +68,23 @@ class FlowContext:
             ev, sid = prod
             if sid == stream.id or ev.is_complete():
                 continue
-            key = (stream.id, id(ev))
+            # The inserted sync is *scoped* to the buffer's ranges, so
+            # under the relaxed FIFO policy only later actions touching
+            # those ranges order after it. A sync recorded for one
+            # buffer enforces nothing for a different buffer of the same
+            # producer event — dedup must be per (consumer stream,
+            # producer event, buffer), not per (stream, event).
+            key = (stream.id, id(ev), buf.uid)
             if key in self._synced:
                 continue
             self._synced.add(key)
-            pending[id(ev)] = (ev, buf)
+            pending[(id(ev), buf.uid)] = (ev, buf)
         if pending:
             self.sync_count += 1
+            events = {id(ev): ev for ev, _ in pending.values()}
             self.hs.event_stream_wait(
                 stream,
-                [ev for ev, _ in pending.values()],
+                list(events.values()),
                 operands=[buf.all_inout() for _, buf in pending.values()],
             )
 

@@ -130,7 +130,7 @@ def hetero_lu(
                 writes=(bufs[i][k],),
                 label=f"trsmR{i}.{k}",
             )
-            for dom, pool in card_streams.items():
+            for _dom, pool in card_streams.items():
                 flow.send(pool[i % len(pool)], bufs[i][k], label=f"bcast L{i}_{k}")
         for j in range(k + 1, T):
             bj = grid.tile_cols(j)
@@ -147,7 +147,7 @@ def hetero_lu(
                 writes=(bufs[k][j],),
                 label=f"trsmL{k}.{j}",
             )
-            for dom, pool in card_streams.items():
+            for _dom, pool in card_streams.items():
                 flow.send(pool[j % len(pool)], bufs[k][j], label=f"bcast U{k}_{j}")
         # Trailing updates A[i][j] -= A[i][k] A[k][j], by tile-row.
         for i in range(k + 1, T):

@@ -148,11 +148,16 @@ def hetero_matmul(
                 flow.send(s, Bb[k][j])
                 mi, mj = grid.tile_shape(i, j)
                 kk = grid.tile_cols(k)
+                # The first k-tile is the C tile's first touch at the
+                # sink (the instance starts zeroed, matching the host's
+                # zeros): declaring it OUT makes the initialization
+                # explicit instead of reading data never transferred.
+                c_mode = OperandMode.OUT if k == 0 else OperandMode.INOUT
                 flow.compute(
                     s,
                     "dgemm",
                     args=(
-                        Cb[i][j].tensor((mi, mj), mode=OperandMode.INOUT),
+                        Cb[i][j].tensor((mi, mj), mode=c_mode),
                         Ab[i][k].tensor((mi, kk), mode=OperandMode.IN),
                         Bb[k][j].tensor((kk, mj), mode=OperandMode.IN),
                     ),

@@ -1,0 +1,30 @@
+"""Clean: cross-stream ordering through a barrier event wait.
+
+``event_stream_wait`` with ``operands=None`` is a full barrier in its
+stream: everything s2 enqueues afterwards is ordered behind s1's
+producer, whatever it touches.
+
+Expected: zero diagnostics.
+"""
+
+import numpy as np
+
+from repro import HStreams, OperandMode, XferDirection, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("scale", fn=lambda *a: None)
+hs.register_kernel("consume", fn=lambda *a: None)
+s1 = hs.stream_create(domain=1, ncores=30)
+s2 = hs.stream_create(domain=1, ncores=30)
+y = np.ones(32)
+buf = hs.wrap(y, name="result")
+
+hs.enqueue_xfer(s1, buf)
+ev = hs.enqueue_compute(s1, "scale", args=(buf.tensor((32,)),))
+
+hs.event_stream_wait(s2, [ev])  # barrier: no operand scope
+hs.enqueue_compute(s2, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),))
+hs.enqueue_xfer(s2, buf, XferDirection.SINK_TO_SRC)
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,28 @@
+"""Clean: producer and consumer streams ordered by a scoped event wait.
+
+Expected: zero diagnostics.
+"""
+
+import numpy as np
+
+from repro import HStreams, OperandMode, XferDirection, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("scale", fn=lambda *a: None)
+hs.register_kernel("consume", fn=lambda *a: None)
+s1 = hs.stream_create(domain=1, ncores=30)
+s2 = hs.stream_create(domain=1, ncores=30)
+y = np.ones(32)
+buf = hs.wrap(y, name="result")
+
+hs.enqueue_xfer(s1, buf)  # host -> card
+ev = hs.enqueue_compute(s1, "scale", args=(buf.tensor((32,)),))
+
+# The scoped wait orders every later s2 action touching buf after the
+# producer — and, transitively, after the transfer it depends on.
+hs.event_stream_wait(s2, [ev], operands=[buf.all_inout()])
+hs.enqueue_compute(s2, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),))
+hs.enqueue_xfer(s2, buf, XferDirection.SINK_TO_SRC)  # card -> host
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,30 @@
+"""Clean: cross-stream ordering through a blocking host synchronization.
+
+Once the source thread drains s1, everything it observed
+happens-before every action it enqueues afterwards — s2 needs no event
+of its own.
+
+Expected: zero diagnostics.
+"""
+
+import numpy as np
+
+from repro import HStreams, OperandMode, XferDirection, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("scale", fn=lambda *a: None)
+hs.register_kernel("consume", fn=lambda *a: None)
+s1 = hs.stream_create(domain=1, ncores=30)
+s2 = hs.stream_create(domain=1, ncores=30)
+y = np.ones(32)
+buf = hs.wrap(y, name="result")
+
+hs.enqueue_xfer(s1, buf)
+hs.enqueue_compute(s1, "scale", args=(buf.tensor((32,)),))
+hs.stream_synchronize(s1)  # the host observed all of s1's work
+
+hs.enqueue_compute(s2, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),))
+hs.enqueue_xfer(s2, buf, XferDirection.SINK_TO_SRC)
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,19 @@
+"""Clean: a single strict-FIFO stream — total order, no cross-stream work.
+
+Expected: zero diagnostics.
+"""
+
+from repro import HStreams, XferDirection, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("scale", fn=lambda *a: None)
+s = hs.stream_create(domain=1, ncores=30, strict_fifo=True)
+tiles = [hs.buffer_create(nbytes=256, name=f"tile{i}") for i in range(3)]
+
+for b in tiles:
+    hs.enqueue_xfer(s, b)
+    hs.enqueue_compute(s, "scale", args=(b.tensor((32,)),))
+hs.enqueue_xfer(s, tiles[0], XferDirection.SINK_TO_SRC)
+
+hs.stream_synchronize(s)
+hs.fini()

@@ -1,0 +1,20 @@
+"""Hazard: a stream waits on an event no action of this program fires.
+
+Expected: deadlock. A real run would block forever in the sink's wait
+loop (or raise, depending on backend); the analyzer reports the
+unsatisfiable wait statically.
+"""
+
+from repro import HStreams, make_platform
+from repro.core.events import HEvent
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+s = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+# A bare event: constructed by hand, owned by no enqueued action.
+bare = HEvent(hs.backend, hs.backend.make_handle())
+hs.event_stream_wait(s, [bare])
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,22 @@
+"""Hazard: the sink updates host-visible memory that never comes back.
+
+Expected: missing-d2h (warning — the host array still holds the
+pre-offload values when the program ends).
+"""
+
+import numpy as np
+
+from repro import HStreams, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("scale", fn=lambda *a: None)
+s = hs.stream_create(domain=1, ncores=30)
+y = np.ones(32)
+buf = hs.wrap(y, name="result")
+
+hs.enqueue_xfer(s, buf)  # host -> card
+hs.enqueue_compute(s, "scale", args=(buf.tensor((32,)),))  # INOUT: sink write
+
+# Missing: hs.enqueue_xfer(s, buf, XferDirection.SINK_TO_SRC)
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,19 @@
+"""Hazard: one stream transfers data in, another reads it — no event.
+
+Expected: stream-race (RAW between the transfer's sink write and the
+consumer's read).
+"""
+
+from repro import HStreams, OperandMode, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("consume", fn=lambda *a: None)
+s1 = hs.stream_create(domain=1, ncores=30)
+s2 = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+hs.enqueue_xfer(s1, buf)  # host -> card, writes the sink instance
+hs.enqueue_compute(s2, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),))
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,26 @@
+"""Hazard: a reader and a later writer in different streams, unordered.
+
+Stream s2 waits on the *transfer* (so the clobber is ordered after the
+initialization and the WAW pair disappears) but nothing orders it
+against s1's reader.
+
+Expected: stream-race (WAR).
+"""
+
+from repro import HStreams, OperandMode, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("reader", fn=lambda *a: None)
+hs.register_kernel("clobber", fn=lambda *a: None)
+s1 = hs.stream_create(domain=1, ncores=30)
+s2 = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+ev = hs.enqueue_xfer(s1, buf)  # host -> card
+hs.enqueue_compute(s1, "reader", args=(buf.tensor((32,), mode=OperandMode.IN),))
+
+hs.event_stream_wait(s2, [ev], operands=[buf.all_inout()])
+hs.enqueue_compute(s2, "clobber", args=(buf.tensor((32,), mode=OperandMode.OUT),))
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,18 @@
+"""Hazard: two streams write the same sink range, nothing orders them.
+
+Expected: stream-race (WAW).
+"""
+
+from repro import HStreams, OperandMode, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("fill", fn=lambda *a: None)
+s1 = hs.stream_create(domain=1, ncores=30)
+s2 = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+hs.enqueue_compute(s1, "fill", args=(buf.tensor((32,), mode=OperandMode.OUT),))
+hs.enqueue_compute(s2, "fill", args=(buf.tensor((32,), mode=OperandMode.OUT),))
+
+hs.thread_synchronize()
+hs.fini()

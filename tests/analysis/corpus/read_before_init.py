@@ -1,0 +1,16 @@
+"""Hazard: a sink task reads a range nothing ever wrote.
+
+Expected: read-before-init.
+"""
+
+from repro import HStreams, OperandMode, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("consume", fn=lambda *a: None)
+s = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+hs.enqueue_compute(s, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),))
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,21 @@
+"""Hazard: the sink reads host-initialized data never transferred over.
+
+Expected: stale-read (warning — the read itself is well-defined, it
+just sees zeros instead of the host's values).
+"""
+
+import numpy as np
+
+from repro import HStreams, OperandMode, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("consume", fn=lambda *a: None)
+s = hs.stream_create(domain=1, ncores=30)
+x = np.ones(32)
+buf = hs.wrap(x, name="hostdata")
+
+# Missing: hs.enqueue_xfer(s, buf) — the sink instance holds zeros.
+hs.enqueue_compute(s, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),))
+
+hs.thread_synchronize()
+hs.fini()

@@ -1,0 +1,18 @@
+"""Hazard: fire-and-forget work — nothing ever observes completion.
+
+Expected: unwaited-event (warning). Only the tail of the chain is
+reported: the transfer has a dependent (the compute), the compute has
+none and no host synchronization ever runs.
+"""
+
+from repro import HStreams, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("scale", fn=lambda *a: None)
+s = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+hs.enqueue_xfer(s, buf)
+hs.enqueue_compute(s, "scale", args=(buf.tensor((32,)),))
+# No event_wait / stream_synchronize / thread_synchronize: the program
+# ends without ever learning whether the work ran.

@@ -1,0 +1,21 @@
+"""Hazard: read an evicted instance without re-transferring the data.
+
+Expected: use-after-evict.
+"""
+
+from repro import HStreams, OperandMode, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("consume", fn=lambda *a: None)
+s = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+hs.enqueue_xfer(s, buf)  # host -> card
+hs.stream_synchronize(s)  # drain, so the evict itself is legal
+hs.buffer_evict(buf, 1)
+
+# The instance re-materializes zero-filled; the transferred data is gone.
+hs.enqueue_compute(s, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),))
+
+hs.thread_synchronize()
+hs.fini()

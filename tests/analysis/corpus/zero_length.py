@@ -1,0 +1,24 @@
+"""Hazard: an operand covering zero bytes orders nothing.
+
+Expected: zero-length-operand (warning — the empty range never
+conflicts, so the operand is dependence-inert; almost always a size
+arithmetic bug).
+"""
+
+from repro import HStreams, OperandMode, make_platform
+
+hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+hs.register_kernel("consume", fn=lambda *a: None)
+s = hs.stream_create(domain=1, ncores=30)
+buf = hs.buffer_create(nbytes=256, name="tile")
+
+hs.enqueue_xfer(s, buf)
+hs.enqueue_compute(
+    s,
+    "consume",
+    args=(buf.tensor((32,)),),
+    operands=(buf.range(128, 0, OperandMode.IN),),  # n - n bytes, oops
+)
+
+hs.thread_synchronize()
+hs.fini()

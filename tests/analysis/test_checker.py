@@ -1,0 +1,206 @@
+"""Tests for the program checker: waivers, reports, and online mode."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro import HStreams, OperandMode, make_platform
+from repro.analysis import Report, attach_checker, check_program
+from repro.analysis.checker import parse_waivers
+from repro.analysis.diagnostics import ActionRef, Diagnostic
+from repro.sim.kernels import KernelCost
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class TestParseWaivers:
+    def test_bare_ignore_waives_everything_on_the_line(self):
+        waivers = parse_waivers("x = 1\ny = 2  # hsan: ignore\n")
+        assert waivers == {2: None}
+
+    def test_rule_list_is_parsed_and_split(self):
+        src = "call()  # hsan: ignore[stream-race, missing-d2h]\n"
+        assert parse_waivers(src) == {1: {"stream-race", "missing-d2h"}}
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            parse_waivers("x  # hsan: ignore[no-such-rule]\n")
+
+    def test_unmarked_source_has_no_waivers(self):
+        assert parse_waivers("x = 1\n") == {}
+
+
+class TestWaiverApplication:
+    def write_program(self, tmp_path, suffix):
+        # The read_before_init corpus program, with a waiver suffix on
+        # the offending enqueue line.
+        src = textwrap.dedent(
+            """\
+            from repro import HStreams, OperandMode, make_platform
+
+            hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+            hs.register_kernel("consume", fn=lambda *a: None)
+            s = hs.stream_create(domain=1, ncores=30)
+            buf = hs.buffer_create(nbytes=256, name="tile")
+            hs.enqueue_compute(s, "consume", args=(buf.tensor((32,), mode=OperandMode.IN),)){}
+            hs.thread_synchronize()
+            """
+        ).format(suffix)
+        path = tmp_path / "prog.py"
+        path.write_text(src)
+        return str(path)
+
+    def test_matching_waiver_moves_diagnostic_aside(self, tmp_path):
+        path = self.write_program(
+            tmp_path, "  # hsan: ignore[read-before-init]"
+        )
+        report = check_program(path)
+        assert report.diagnostics == []
+        assert [d.rule for d in report.waived] == ["read-before-init"]
+        assert report.exit_code() == 0
+
+    def test_bare_waiver_covers_any_rule(self, tmp_path):
+        path = self.write_program(tmp_path, "  # hsan: ignore")
+        report = check_program(path)
+        assert report.diagnostics == []
+        assert len(report.waived) == 1
+
+    def test_waiver_for_a_different_rule_does_not_match(self, tmp_path):
+        path = self.write_program(tmp_path, "  # hsan: ignore[stream-race]")
+        report = check_program(path)
+        assert [d.rule for d in report.diagnostics] == ["read-before-init"]
+        assert report.waived == []
+        assert report.exit_code() == 2
+
+    def test_waiver_on_an_unrelated_line_does_not_match(self, tmp_path):
+        path = self.write_program(tmp_path, "")
+        prog = tmp_path / "prog.py"
+        prog.write_text(
+            prog.read_text().replace(
+                "hs.thread_synchronize()",
+                "hs.thread_synchronize()  # hsan: ignore[read-before-init]",
+            )
+        )
+        report = check_program(path)
+        assert [d.rule for d in report.diagnostics] == ["read-before-init"]
+
+
+class TestCheckProgram:
+    def test_crashing_program_still_analyzes_its_prefix(self, tmp_path):
+        path = tmp_path / "crash.py"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                from repro import HStreams, make_platform
+
+                hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+                s = hs.stream_create(domain=1, ncores=30)
+                b = hs.buffer_create(nbytes=64)
+                hs.enqueue_xfer(s, b)
+                raise RuntimeError("numeric check failed")
+                """
+            )
+        )
+        report = check_program(str(path))
+        assert "numeric check failed" in report.program_error
+        assert report.actions == 1  # the prefix was captured
+        # The enqueued transfer is never observed (the crash cut the
+        # program short): the analyzer still reports on the prefix.
+        assert {d.rule for d in report.diagnostics} == {"unwaited-event"}
+
+    def test_clean_sys_exit_is_not_an_error(self, tmp_path):
+        path = tmp_path / "exits.py"
+        path.write_text("import sys\nsys.exit(0)\n")
+        report = check_program(str(path))
+        assert report.program_error is None
+
+    def test_nonzero_sys_exit_is_recorded(self, tmp_path):
+        path = tmp_path / "exits.py"
+        path.write_text("import sys\nsys.exit(3)\n")
+        report = check_program(str(path))
+        assert report.program_error == "SystemExit: 3"
+
+    def test_program_stdout_does_not_leak_into_reports(self, tmp_path, capsys):
+        path = tmp_path / "noisy.py"
+        path.write_text("print('chatter')\n")
+        check_program(str(path))
+        out = capsys.readouterr()
+        assert "chatter" not in out.out  # stdout is the report stream
+
+    def test_report_dict_shape(self):
+        report = check_program(os.path.join(CORPUS, "race_waw.py"))
+        d = report.to_dict()
+        assert d["errors"] == 1
+        assert d["warnings"] == 0
+        assert d["diagnostics"][0]["rule"] == "stream-race"
+        assert d["diagnostics"][0]["severity"] == "error"
+        assert d["diagnostics"][0]["hint"]
+        assert d["runtimes"] == 1
+
+    def test_report_format_mentions_rule_and_verdict(self):
+        report = check_program(os.path.join(CORPUS, "race_waw.py"))
+        text = report.format()
+        assert "error[stream-race]" in text
+        assert "1 error(s), 0 warning(s)" in text
+
+
+class TestReportExitCodes:
+    def make(self, rule):
+        return Diagnostic(rule=rule, message="m", actions=[ActionRef("a")])
+
+    def test_clean_is_zero(self):
+        assert Report(path="p").exit_code() == 0
+
+    def test_warning_only_is_one(self):
+        r = Report(path="p", diagnostics=[self.make("missing-d2h")])
+        assert r.exit_code() == 1
+
+    def test_any_error_is_two(self):
+        r = Report(
+            path="p",
+            diagnostics=[self.make("missing-d2h"), self.make("stream-race")],
+        )
+        assert r.exit_code() == 2
+
+
+class TestOnlineChecker:
+    def test_live_run_reports_the_same_race(self):
+        # The online checker sees the interleaving that actually
+        # happened on a *real* backend — the race is still a race.
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+        checker = attach_checker(hs)
+        hs.register_kernel(
+            "k", cost_fn=lambda *a: KernelCost("k", flops=1e6, size=8)
+        )
+        s1 = hs.stream_create(domain=1, ncores=30)
+        s2 = hs.stream_create(domain=1, ncores=30)
+        b = hs.buffer_create(nbytes=64, name="t")
+        hs.enqueue_compute(s1, "k", args=(b.tensor((8,), mode=OperandMode.OUT),))
+        hs.enqueue_compute(s2, "k", args=(b.tensor((8,), mode=OperandMode.OUT),))
+        hs.thread_synchronize()
+        diags = checker.finish()
+        assert "stream-race" in {d.rule for d in diags}
+
+    def test_live_clean_program_stays_clean(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+        checker = attach_checker(hs)
+        hs.register_kernel(
+            "k", cost_fn=lambda *a: KernelCost("k", flops=1e6, size=8)
+        )
+        s1 = hs.stream_create(domain=1, ncores=30)
+        s2 = hs.stream_create(domain=1, ncores=30)
+        b = hs.buffer_create(nbytes=64, name="t")
+        ev = hs.enqueue_compute(
+            s1, "k", args=(b.tensor((8,), mode=OperandMode.OUT),)
+        )
+        hs.event_stream_wait(s2, [ev], operands=[b.all_inout()])
+        hs.enqueue_compute(s2, "k", args=(b.tensor((8,), mode=OperandMode.IN),))
+        hs.thread_synchronize()
+        assert checker.finish() == []
+
+    def test_finish_is_idempotent(self):
+        hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
+        checker = attach_checker(hs)
+        hs.thread_synchronize()
+        assert checker.finish() == checker.finish()

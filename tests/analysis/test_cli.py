@@ -1,0 +1,97 @@
+"""Tests for the ``python -m repro.analysis`` command line."""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+def corpus(name):
+    return os.path.join(CORPUS, name)
+
+
+class TestExitCodes:
+    def test_clean_program_exits_zero(self):
+        proc = run_cli(corpus("clean_event_ordered.py"))
+        assert proc.returncode == 0
+        assert "0 error(s), 0 warning(s)" in proc.stdout
+
+    def test_warning_program_exits_one(self):
+        proc = run_cli(corpus("missing_d2h.py"))
+        assert proc.returncode == 1
+        assert "warning[missing-d2h]" in proc.stdout
+
+    def test_error_program_exits_two(self):
+        proc = run_cli(corpus("race_waw.py"))
+        assert proc.returncode == 2
+        assert "error[stream-race]" in proc.stdout
+        assert "hint:" in proc.stdout
+
+    def test_worst_code_wins_across_programs(self):
+        proc = run_cli(corpus("clean_strict_fifo.py"), corpus("race_waw.py"))
+        assert proc.returncode == 2
+
+    def test_missing_file_exits_two_with_stderr(self):
+        proc = run_cli(corpus("does_not_exist.py"))
+        assert proc.returncode == 2
+        assert "does_not_exist" in proc.stderr
+
+    def test_bad_waiver_rule_exits_two(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("x = 1  # hsan: ignore[bogus-rule]\n")
+        proc = run_cli(str(path))
+        assert proc.returncode == 2
+        assert "bogus-rule" in proc.stderr
+
+
+class TestJsonOutput:
+    def test_json_is_parseable_despite_program_prints(self, tmp_path):
+        path = tmp_path / "noisy.py"
+        path.write_text(
+            "print('interleaved chatter')\n"
+            "from repro import HStreams, make_platform\n"
+            "hs = HStreams(platform=make_platform('HSW', 1), backend='sim')\n"
+            "s = hs.stream_create(domain=1, ncores=30)\n"
+            "b = hs.buffer_create(nbytes=64)\n"
+            "hs.enqueue_xfer(s, b)\n"
+            "hs.thread_synchronize()\n"
+        )
+        proc = run_cli("--json", str(path))
+        report = json.loads(proc.stdout)
+        assert report["errors"] == 0
+        assert "chatter" not in proc.stdout
+        assert "chatter" in proc.stderr
+
+    def test_json_report_carries_diagnostics(self):
+        proc = run_cli("--json", corpus("race_raw.py"))
+        report = json.loads(proc.stdout)
+        assert proc.returncode == 2
+        assert report["errors"] == 1
+        diag = report["diagnostics"][0]
+        assert diag["rule"] == "stream-race"
+        assert diag["actions"]
+        assert diag["actions"][0]["file"].endswith("race_raw.py")
+
+
+class TestUsage:
+    def test_no_arguments_is_a_usage_error(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr.lower()

@@ -1,0 +1,73 @@
+"""The seeded hazard corpus: every rule fires where expected, and the
+clean variants stay clean.
+
+Each corpus program is a standalone hStreams program checked through
+the full :func:`~repro.analysis.check_program` pipeline (capture run,
+happens-before construction, every rule pass, waiver filtering).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import check_program
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: (program, the one rule it must trip, CLI exit code, message fragment)
+HAZARDS = [
+    ("race_waw.py", "stream-race", 2, "WAW race"),
+    ("race_raw.py", "stream-race", 2, "RAW race"),
+    ("race_war.py", "stream-race", 2, "WAR race"),
+    ("read_before_init.py", "read-before-init", 2, "uninitialized read"),
+    ("stale_read.py", "stale-read", 1, "never transferred"),
+    ("use_after_evict.py", "use-after-evict", 2, "evicted"),
+    ("missing_d2h.py", "missing-d2h", 1, "never transferred back"),
+    ("unwaited_event.py", "unwaited-event", 1, "unobserved"),
+    ("deadlock.py", "deadlock", 2, "never be satisfied"),
+    ("zero_length.py", "zero-length-operand", 1, "zero-length operand"),
+]
+
+CLEAN = [
+    "clean_event_ordered.py",
+    "clean_barrier_ordered.py",
+    "clean_strict_fifo.py",
+    "clean_host_synced.py",
+]
+
+
+@pytest.mark.parametrize("program,rule,code,fragment", HAZARDS)
+def test_hazard_program_flags_expected_rule(program, rule, code, fragment):
+    report = check_program(os.path.join(CORPUS, program))
+    assert report.program_error is None
+    rules = {d.rule for d in report.diagnostics}
+    # Exactly the expected rule: collateral findings would mean the
+    # corpus program (or a rule pass) drifted.
+    assert rules == {rule}
+    assert report.exit_code() == code
+    assert any(fragment in d.message for d in report.diagnostics)
+
+
+@pytest.mark.parametrize("program,rule,code,fragment", HAZARDS)
+def test_hazard_diagnostics_carry_action_sites(program, rule, code, fragment):
+    path = os.path.join(CORPUS, program)
+    report = check_program(path)
+    for diag in report.diagnostics:
+        if diag.rule == "missing-d2h":
+            continue  # end-of-program finding: points at the last write
+        assert diag.actions, f"{diag.rule} diagnostic lacks action refs"
+        assert any(
+            ref.site is not None and ref.site[0] == path
+            for ref in diag.actions
+        ), f"{diag.rule} diagnostic does not point into the program"
+
+
+@pytest.mark.parametrize("program", CLEAN)
+def test_clean_program_has_zero_diagnostics(program):
+    report = check_program(os.path.join(CORPUS, program))
+    assert report.program_error is None
+    assert report.diagnostics == []
+    assert report.waived == []
+    assert report.clean
+    assert report.exit_code() == 0
+    assert report.actions > 0  # the capture really recorded the program

@@ -1,0 +1,263 @@
+"""Unit tests for the happens-before engine.
+
+The interesting property under test: the *relaxed* FIFO semantic makes
+same-stream admission order meaningless for non-conflicting actions, so
+the engine's authoritative relation (ancestor closure over recorded
+edges) must order exactly the pairs the runtime guarantees — no more.
+"""
+
+from repro import HStreams, OperandMode, make_platform
+from repro.analysis import HOST, HBState, VectorClock
+
+
+class TestVectorClock:
+    def test_empty_clock_components_default_to_zero(self):
+        assert VectorClock().get(3) == 0
+
+    def test_join_is_componentwise_max(self):
+        a = VectorClock({0: 2, 1: 5})
+        b = VectorClock({1: 3, 2: 7})
+        j = a.join(b)
+        assert j.as_dict() == {0: 2, 1: 5, 2: 7}
+
+    def test_join_with_empty_returns_other_side(self):
+        a = VectorClock({0: 1})
+        assert a.join(VectorClock()) is a
+        assert VectorClock().join(a) is a
+
+    def test_tick_does_not_mutate_original(self):
+        a = VectorClock({0: 1})
+        b = a.tick(0, 2)
+        assert a.get(0) == 1
+        assert b.get(0) == 2
+
+    def test_dominates_requires_every_component(self):
+        big = VectorClock({0: 3, 1: 3})
+        small = VectorClock({0: 2, 1: 3})
+        assert big.dominates(small)
+        assert not small.dominates(big)
+        # Missing components count as zero on the dominating side too.
+        assert not VectorClock({0: 9}).dominates(VectorClock({1: 1}))
+
+    def test_repr_names_the_host_component(self):
+        assert "host" in repr(VectorClock({HOST: 1}))
+
+
+def capture_program(build):
+    """Run ``build(hs, ...)`` on a capture-only runtime, return its trace."""
+    hs = HStreams(
+        platform=make_platform("HSW", 1), backend="sim", capture_only=True
+    )
+    hs.register_kernel("k", fn=lambda *a: None)
+    build(hs)
+    return hs.capture.trace
+
+
+def hb_of(trace):
+    hb = HBState()
+    for event in trace:
+        hb.feed(event)
+    return hb
+
+
+def seqs_of(trace):
+    return [e.action.seq for e in trace.actions()]
+
+
+class TestIntraStream:
+    def test_conflicting_same_stream_actions_are_ordered(self):
+        def build(hs):
+            s = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            hs.enqueue_xfer(s, b)
+            hs.enqueue_compute(s, "k", args=(b.tensor((8,)),))
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        first, second = seqs_of(trace)
+        assert hb.happens_before(first, second)
+        assert not hb.happens_before(second, first)
+
+    def test_disjoint_same_stream_actions_are_unordered(self):
+        # The relaxed policy's defining property: FIFO admission order
+        # does NOT order non-conflicting work of one stream.
+        def build(hs):
+            s = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            hs.enqueue_compute(
+                s, "k", args=(b.range(0, 32, OperandMode.OUT),)
+            )
+            hs.enqueue_compute(
+                s, "k", args=(b.range(32, 32, OperandMode.OUT),)
+            )
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        first, second = seqs_of(trace)
+        assert not hb.ordered(first, second)
+
+    def test_strict_fifo_orders_disjoint_actions(self):
+        def build(hs):
+            s = hs.stream_create(domain=1, ncores=30, strict_fifo=True)
+            b = hs.buffer_create(nbytes=64)
+            hs.enqueue_compute(
+                s, "k", args=(b.range(0, 32, OperandMode.OUT),)
+            )
+            hs.enqueue_compute(
+                s, "k", args=(b.range(32, 32, OperandMode.OUT),)
+            )
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        first, second = seqs_of(trace)
+        assert hb.happens_before(first, second)
+
+
+class TestCrossStream:
+    def test_streams_are_unordered_without_events(self):
+        def build(hs):
+            s1 = hs.stream_create(domain=1, ncores=30)
+            s2 = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            hs.enqueue_compute(s1, "k", args=(b.tensor((8,)),))
+            hs.enqueue_compute(s2, "k", args=(b.tensor((8,)),))
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        a, b = seqs_of(trace)
+        assert not hb.ordered(a, b)
+
+    def test_event_stream_wait_orders_across_streams(self):
+        def build(hs):
+            s1 = hs.stream_create(domain=1, ncores=30)
+            s2 = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            ev = hs.enqueue_compute(s1, "k", args=(b.tensor((8,)),))
+            hs.event_stream_wait(s2, [ev], operands=[b.all_inout()])
+            hs.enqueue_compute(s2, "k", args=(b.tensor((8,)),))
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        producer, sync, consumer = seqs_of(trace)
+        assert hb.happens_before(producer, sync)
+        assert hb.happens_before(sync, consumer)
+        assert hb.happens_before(producer, consumer)  # transitive
+
+    def test_host_sync_orders_later_enqueues_after_observed_work(self):
+        def build(hs):
+            s1 = hs.stream_create(domain=1, ncores=30)
+            s2 = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            hs.enqueue_compute(s1, "k", args=(b.tensor((8,)),))
+            hs.stream_synchronize(s1)
+            hs.enqueue_compute(s2, "k", args=(b.tensor((8,)),))
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        producer, consumer = seqs_of(trace)
+        assert hb.happens_before(producer, consumer)
+        assert hb.host_observed(producer)
+        assert not hb.host_observed(consumer)
+
+    def test_stream_synchronize_covers_only_its_stream(self):
+        def build(hs):
+            s1 = hs.stream_create(domain=1, ncores=30)
+            s2 = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            c = hs.buffer_create(nbytes=64)
+            hs.enqueue_compute(s1, "k", args=(b.tensor((8,)),))
+            hs.enqueue_compute(s2, "k", args=(c.tensor((8,)),))
+            hs.stream_synchronize(s1)
+            hs.enqueue_compute(s2, "k", args=(b.tensor((8,)),))
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        in_s1, in_s2, late = seqs_of(trace)
+        assert hb.host_observed(in_s1)
+        assert not hb.host_observed(in_s2)
+        assert hb.happens_before(in_s1, late)
+        # Same stream, but conflicting operands on c? No — disjoint
+        # buffers, so only the host edge could order them, and the host
+        # never observed the s2 predecessor.
+        assert not hb.ordered(in_s2, late)
+
+    def test_thread_synchronize_covers_everything(self):
+        def build(hs):
+            s1 = hs.stream_create(domain=1, ncores=30)
+            s2 = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            c = hs.buffer_create(nbytes=64)
+            hs.enqueue_compute(s1, "k", args=(b.tensor((8,)),))
+            hs.enqueue_compute(s2, "k", args=(c.tensor((8,)),))
+            hs.thread_synchronize()
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        for seq in seqs_of(trace):
+            assert hb.host_observed(seq)
+
+    def test_event_wait_joins_only_the_waited_action(self):
+        def build(hs):
+            s1 = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            c = hs.buffer_create(nbytes=64)
+            ev = hs.enqueue_compute(s1, "k", args=(b.tensor((8,)),))
+            hs.enqueue_compute(s1, "k", args=(c.tensor((8,)),))
+            hs.event_wait([ev])
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        waited, other = seqs_of(trace)
+        assert hb.host_observed(waited)
+        assert not hb.host_observed(other)
+
+
+class TestQueries:
+    def test_unknown_seq_is_never_ordered(self):
+        hb = HBState()
+        assert not hb.happens_before(1, 2)
+        assert not hb.knows(1)
+        assert hb.clock(1).as_dict() == {}
+
+    def test_action_never_happens_before_itself(self):
+        def build(hs):
+            s = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            hs.enqueue_compute(s, "k", args=(b.tensor((8,)),))
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        (seq,) = seqs_of(trace)
+        assert hb.knows(seq)
+        assert not hb.happens_before(seq, seq)
+
+    def test_clocks_reflect_dependence_joins(self):
+        def build(hs):
+            s1 = hs.stream_create(domain=1, ncores=30)
+            s2 = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            ev = hs.enqueue_compute(s1, "k", args=(b.tensor((8,)),))
+            hs.event_stream_wait(s2, [ev], operands=[b.all_inout()])
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        producer, sync = seqs_of(trace)
+        events = trace.actions()
+        s1_id = events[0].action.stream.id
+        s2_id = events[1].action.stream.id
+        assert hb.clock(sync).dominates(hb.clock(producer))
+        assert hb.clock(sync).get(s1_id) == 1
+        assert hb.clock(sync).get(s2_id) == 1
+
+    def test_has_dependent_tracks_edge_targets(self):
+        def build(hs):
+            s = hs.stream_create(domain=1, ncores=30)
+            b = hs.buffer_create(nbytes=64)
+            hs.enqueue_xfer(s, b)
+            hs.enqueue_compute(s, "k", args=(b.tensor((8,)),))
+
+        trace = capture_program(build)
+        hb = hb_of(trace)
+        first, second = seqs_of(trace)
+        assert first in hb.has_dependent
+        assert second not in hb.has_dependent

@@ -49,13 +49,35 @@ class TestProxyAddressSpace:
         with pytest.raises(HStreamsOutOfRange):
             space.resolve(b1.proxy_base + 32)  # in b1's padding, not b1
 
-    def test_unregister_then_resolve_raises(self):
+    def test_unregister_then_resolve_raises_not_found(self):
+        # A destroyed buffer's range is a tombstone: resolving into it
+        # names the buffer (HStreamsNotFound), unlike addresses that
+        # never belonged to any buffer (HStreamsOutOfRange).
         space = ProxyAddressSpace()
-        b = Buffer(space, nbytes=64)
+        b = Buffer(space, nbytes=64, name="victim")
         addr = b.proxy_base
         b.destroy()
-        with pytest.raises(HStreamsOutOfRange):
+        with pytest.raises(HStreamsNotFound, match="victim"):
             space.resolve(addr)
+        with pytest.raises(HStreamsNotFound, match="destroyed"):
+            space.resolve(addr + 63)  # last byte of the dead range
+
+    def test_resolve_never_registered_stays_out_of_range(self):
+        space = ProxyAddressSpace()
+        b = Buffer(space, nbytes=64)
+        b.destroy()
+        with pytest.raises(HStreamsOutOfRange):
+            space.resolve(b.proxy_base + 64)  # past the dead range
+        with pytest.raises(HStreamsOutOfRange):
+            space.resolve(10**12)
+
+    def test_resolve_live_buffer_unaffected_by_neighbor_destroy(self):
+        space = ProxyAddressSpace()
+        b1 = Buffer(space, nbytes=64)
+        b2 = Buffer(space, nbytes=64)
+        b1.destroy()
+        buf, off = space.resolve(b2.proxy_base + 5)
+        assert buf is b2 and off == 5
 
     def test_double_destroy_raises(self):
         space = ProxyAddressSpace()

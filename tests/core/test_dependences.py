@@ -106,6 +106,50 @@ class TestDependenceRelaxation:
         assert w.deps_for(related) == [scoped]
 
 
+class TestZeroLengthOperands:
+    """Zero-length operands are dependence-inert under the relaxed
+    policy (empty ranges never overlap, hence never conflict), while
+    strict-FIFO streams still order every action by position. The
+    hazard analyzer flags the pattern as ``zero-length-operand``."""
+
+    def test_relaxed_policy_ignores_zero_length_operands(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 100)])
+        w.add(a)
+        probe = make_action([Operand(buf, 50, 0, OperandMode.INOUT)])
+        assert w.deps_for(probe) == []
+
+    def test_zero_length_predecessor_imposes_nothing(self, buf):
+        w = StreamWindow()
+        a = make_action([Operand(buf, 0, 0, OperandMode.OUT)])
+        w.add(a)
+        probe = make_action([wr(buf, 0, 100)])
+        assert w.deps_for(probe) == []
+
+    def test_zero_length_operands_never_overlap_or_conflict(self, buf):
+        empty = Operand(buf, 50, 0, OperandMode.OUT)
+        full = Operand(buf, 0, 100, OperandMode.OUT)
+        assert not empty.overlaps(full)
+        assert not full.overlaps(empty)
+        assert not empty.conflicts_with(full)
+        assert not empty.overlaps(empty)
+
+    def test_strict_fifo_still_orders_zero_length_actions(self, buf):
+        w = StreamWindow(strict_fifo=True)
+        a = make_action([Operand(buf, 0, 0, OperandMode.OUT)])
+        w.add(a)
+        probe = make_action([Operand(buf, 50, 0, OperandMode.IN)])
+        assert w.deps_for(probe) == [a]
+
+    def test_barrier_still_orders_zero_length_actions(self, buf):
+        # A barrier conflicts positionally, not through operand ranges.
+        w = StreamWindow()
+        bar = make_action([], barrier=True)
+        w.add(bar)
+        probe = make_action([Operand(buf, 0, 0, OperandMode.INOUT)])
+        assert w.deps_for(probe) == [bar]
+
+
 class TestStrictFifo:
     def test_strict_depends_on_immediate_predecessor_only(self, buf):
         w = StreamWindow(strict_fifo=True)
@@ -128,6 +172,92 @@ class TestStrictFifo:
         a.completion.complete()
         b = make_action([wr(buf, 8, 8)])
         assert w.deps_for(b) == []
+
+
+class TestRetirementEdges:
+    """Scheduler-driven retirement: completions arrive in any order and
+    the window's live view must stay exact through every interleaving."""
+
+    def test_retire_out_of_order_keeps_remaining_deps(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 8)])
+        b = make_action([wr(buf, 8, 8)])
+        c = make_action([wr(buf, 16, 8)])
+        for x in (a, b, c):
+            w.add(x)
+        # The middle action completes first: a and c stay live.
+        w.retire(b)
+        probe = make_action([rd(buf, 0, 24)])
+        assert w.deps_for(probe) == [a, c]
+        assert w.in_flight == 2
+
+    def test_retire_is_idempotent(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 8)])
+        w.add(a)
+        w.retire(a)
+        w.retire(a)
+        assert w.retired_count == 1
+        assert w.in_flight == 0
+
+    def test_window_full_of_retired_entries_imposes_nothing(self, buf):
+        w = StreamWindow()
+        actions = [make_action([wr(buf, i * 8, 8)]) for i in range(5)]
+        for x in actions:
+            w.add(x)
+        for x in actions:
+            w.retire(x)
+        probe = make_action([wr(buf, 0, 40)])
+        assert w.deps_for(probe) == []
+        assert w.in_flight == 0
+        assert w.enqueued_count == 5
+        assert w.retired_count == 5
+
+    def test_strict_fifo_retire_out_of_order_falls_back_to_live_tail(self, buf):
+        w = StreamWindow(strict_fifo=True)
+        a = make_action([wr(buf, 0, 8)])
+        b = make_action([wr(buf, 8, 8)])
+        for x in (a, b):
+            w.add(x)
+        # The newest completes first; the chain's guarantee holds
+        # because a strict stream's predecessor edges are transitive:
+        # the next action orders after the newest *live* predecessor.
+        w.retire(b)
+        probe = make_action([wr(buf, 16, 8)])
+        assert w.deps_for(probe) == [a]
+
+    def test_barrier_interleaved_with_retirement(self, buf):
+        w = StreamWindow()
+        old = make_action([wr(buf, 0, 100)])
+        w.add(old)
+        bar = make_action([], barrier=True)
+        w.add(bar)
+        # The barrier completes (and retires) while `old` is still in
+        # flight: the cut-off is gone, so the probe must order after
+        # the still-live conflicting predecessor directly.
+        w.retire(bar)
+        probe = make_action([rd(buf, 0, 100)])
+        assert w.deps_for(probe) == [old]
+
+    def test_retired_barrier_with_nothing_older_leaves_no_deps(self, buf):
+        w = StreamWindow()
+        bar = make_action([], barrier=True)
+        w.add(bar)
+        w.retire(bar)
+        probe = make_action([rd(buf, 0, 8)])
+        assert w.deps_for(probe) == []
+
+    def test_lazy_drop_and_explicit_retire_count_once(self, buf):
+        w = StreamWindow()
+        a = make_action([wr(buf, 0, 8)])
+        w.add(a)
+        a.completion.complete()
+        # The lazy scan drops the completed entry...
+        assert w.deps_for(make_action([rd(buf, 0, 8)])) == []
+        assert w.retired_count == 1
+        # ...and a late scheduler retire must not double-count.
+        w.retire(a)
+        assert w.retired_count == 1
 
 
 class TestWindowBookkeeping:
@@ -181,7 +311,7 @@ class TestDependencePropertyFuzz:
         import numpy as np
 
         rng = np.random.default_rng(7)
-        for trial in range(30):
+        for _trial in range(30):
             w = StreamWindow()
             history = []
             for _ in range(int(rng.integers(1, 20))):

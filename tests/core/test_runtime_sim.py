@@ -81,7 +81,7 @@ class TestVirtualTime:
             hs.register_kernel("gemm", cost_fn=lambda m, n, k, *a: dgemm(m, n, k))
             streams = [hs.stream_create(domain=1, ncores=15) for _ in range(4)]
             bufs = [hs.buffer_create(nbytes=1 << 20, domains=[1]) for _ in range(4)]
-            for i, (s, b) in enumerate(zip(streams, bufs)):
+            for s, b in zip(streams, bufs):
                 hs.enqueue_xfer(s, b)
                 hs.enqueue_compute(s, "gemm", args=(512, 512, 512, b.all_inout()))
                 hs.enqueue_xfer(s, b, XferDirection.SINK_TO_SRC)
