@@ -157,10 +157,11 @@ class BufferEvent:
 
 @dataclass(frozen=True)
 class StreamEvent:
-    """A stream came into existence."""
+    """A stream lifecycle transition: ``create`` or ``destroy``."""
 
     pos: int
     stream: "Stream"
+    kind: str = "create"
 
 
 @dataclass
@@ -273,7 +274,14 @@ class ProgramCapture(SchedulerObserver):
         )
 
     def on_stream_create(self, stream: "Stream") -> None:
-        self.trace.events.append(StreamEvent(pos=self._next_pos(), stream=stream))
+        self.trace.events.append(
+            StreamEvent(pos=self._next_pos(), stream=stream, kind="create")
+        )
+
+    def on_stream_destroy(self, stream: "Stream") -> None:
+        self.trace.events.append(
+            StreamEvent(pos=self._next_pos(), stream=stream, kind="destroy")
+        )
 
 
 class _CaptureHandle:
@@ -325,7 +333,7 @@ class CaptureBackend(Backend):
         pass
 
     def make_instance(self, buf, domain: int) -> None:
-        buf.instances[domain] = None  # capture instances carry no data
+        return None  # capture instances carry no data
 
     # -- execution -------------------------------------------------------------
 

@@ -37,14 +37,15 @@ them, so the program's result depends on scheduling.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.capture import ActionEvent, SyncEvent
 from repro.analysis.diagnostics import ActionRef, Diagnostic
-from repro.core.actions import ActionKind, XferDirection
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.actions import Action, Operand
+# Re-exported for compatibility: the physical-access enumeration moved
+# into the runtime's memory subsystem, which shares it with the live
+# coherence state machine (see repro.core.memory).
+from repro.core.memory import instance_accesses  # noqa: F401
 
 __all__ = ["HOST", "VectorClock", "HBState", "RaceDetector", "instance_accesses"]
 
@@ -203,32 +204,6 @@ class HBState:
     def clock(self, seq: int) -> VectorClock:
         """The action's vector clock (empty if unknown)."""
         return self._clock.get(seq, VectorClock())
-
-
-def instance_accesses(
-    action: "Action",
-) -> Iterator[Tuple[int, "Operand", bool, bool]]:
-    """The physical buffer-instance accesses an action performs.
-
-    Yields ``(domain, operand, reads, writes)``. Compute tasks touch
-    their operands in the sink domain; a transfer reads one endpoint's
-    instance and writes the other's; host-as-target transfers alias
-    away and touch nothing; sync actions only order, never access.
-    """
-    stream = action.stream
-    if stream is None:
-        return
-    if action.kind is ActionKind.COMPUTE:
-        for op in action.operands:
-            yield stream.domain, op, op.mode.reads, op.mode.writes
-    elif action.kind is ActionKind.XFER and stream.domain != 0:
-        op = action.operands[0]
-        if action.direction is XferDirection.SRC_TO_SINK:
-            yield 0, op, True, False
-            yield stream.domain, op, False, True
-        else:
-            yield stream.domain, op, True, False
-            yield 0, op, False, True
 
 
 class _Access:

@@ -24,6 +24,16 @@ from repro.analysis.diagnostics import ActionRef, Diagnostic
 from repro.analysis.hb import HBState, instance_accesses
 from repro.core.actions import ActionKind
 
+# Re-exported for compatibility: the interval algebra and the coherence
+# state machine now live in the runtime's memory subsystem, and the
+# lints replay the very same committed transitions the live
+# MemoryManager performs (see repro.core.memory).
+from repro.core.memory import (  # noqa: F401  (IntervalSet re-export)
+    BufferCoherence,
+    IntervalSet,
+    apply_action_writes,
+)
+
 __all__ = [
     "IntervalSet",
     "LintPass",
@@ -32,71 +42,6 @@ __all__ = [
     "DeadlockLint",
     "ZeroLengthOperandLint",
 ]
-
-
-class IntervalSet:
-    """A set of byte ranges: sorted, disjoint, half-open intervals."""
-
-    __slots__ = ("_iv",)
-
-    def __init__(self) -> None:
-        self._iv: List[Tuple[int, int]] = []
-
-    def __bool__(self) -> bool:
-        return bool(self._iv)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return "IntervalSet(" + ", ".join(f"[{s},{e})" for s, e in self._iv) + ")"
-
-    def add(self, start: int, end: int) -> None:
-        """Union ``[start, end)`` into the set."""
-        if start >= end:
-            return
-        merged: List[Tuple[int, int]] = []
-        for s, e in self._iv:
-            if e < start or s > end:  # disjoint (touching ranges merge)
-                merged.append((s, e))
-            else:
-                start = min(start, s)
-                end = max(end, e)
-        merged.append((start, end))
-        merged.sort()
-        self._iv = merged
-
-    def subtract(self, start: int, end: int) -> None:
-        """Remove ``[start, end)`` from the set."""
-        if start >= end:
-            return
-        out: List[Tuple[int, int]] = []
-        for s, e in self._iv:
-            if e <= start or s >= end:
-                out.append((s, e))
-                continue
-            if s < start:
-                out.append((s, start))
-            if end < e:
-                out.append((end, e))
-        self._iv = out
-
-    def covers(self, start: int, end: int) -> bool:
-        """Whether ``[start, end)`` lies entirely inside the set."""
-        if start >= end:
-            return True
-        return any(s <= start and end <= e for s, e in self._iv)
-
-    def intersects(self, start: int, end: int) -> bool:
-        """Whether ``[start, end)`` shares any byte with the set."""
-        return any(s < end and start < e for s, e in self._iv)
-
-    def clear(self) -> "IntervalSet":
-        """Empty the set, returning the removed intervals as a new set."""
-        old = IntervalSet()
-        old._iv = self._iv
-        self._iv = []
-        return old
-
-    def spans(self) -> List[Tuple[int, int]]:
-        return list(self._iv)
 
 
 class LintPass:
@@ -127,44 +72,41 @@ def _ref(event: ActionEvent) -> ActionRef:
 
 
 class _BufState:
-    """Per-buffer lint state."""
+    """Per-buffer lint state: a replayed coherence record plus the
+    lint-only bookkeeping (destroy site, touchers, last sink write)."""
 
     __slots__ = (
-        "buffer",
-        "wrapped",
+        "coh",
         "destroyed_site",
-        "valid",
-        "lost",
-        "dirty",
         "touchers",
         "last_sink_write",
     )
 
     def __init__(self, buffer) -> None:
-        self.buffer = buffer
-        self.wrapped = buffer.host_array is not None
+        #: The shared coherence state machine, replayed in capture
+        #: order (the live MemoryManager commits the same transitions
+        #: at completion time).
+        self.coh = BufferCoherence(buffer)
         self.destroyed_site: Optional[Tuple[str, int]] = None
-        #: domain -> byte ranges holding meaningful data at the instance.
-        self.valid: Dict[int, IntervalSet] = {}
-        #: domain -> ranges that were valid when the instance was evicted
-        #: and have not been re-transferred since.
-        self.lost: Dict[int, IntervalSet] = {}
-        #: Sink-written ranges not yet transferred back to the host.
-        self.dirty = IntervalSet()
         #: domain -> [(seq, ActionRef)] of actions touching the instance
         #: (pruned of host-observed entries at each evict).
         self.touchers: Dict[int, List[Tuple[int, ActionRef]]] = {}
         self.last_sink_write: Optional[ActionRef] = None
 
+    @property
+    def buffer(self):
+        return self.coh.buffer
+
+    @property
+    def wrapped(self) -> bool:
+        return self.coh.wrapped
+
+    @property
+    def lost(self) -> Dict[int, IntervalSet]:
+        return self.coh.lost
+
     def valid_in(self, domain: int) -> IntervalSet:
-        iv = self.valid.get(domain)
-        if iv is None:
-            iv = self.valid[domain] = IntervalSet()
-            if domain == 0 and self.wrapped:
-                # Wrapping caller memory IS the host write: the whole
-                # host instance holds meaningful data from creation.
-                iv.add(0, self.buffer.nbytes)
-        return iv
+        return self.coh.valid_in(domain)
 
 
 class BufferStateLint(LintPass):
@@ -221,11 +163,9 @@ class BufferStateLint(LintPass):
                     key=("evict-in-flight", st.buffer.uid, domain),
                 )
             # Whatever was valid at the sink is gone; a later implicit
-            # re-instantiation starts from zeros.
-            lost = st.valid_in(domain).clear()
-            st.lost.setdefault(domain, IntervalSet())
-            for s, e in lost.spans():
-                st.lost[domain].add(s, e)
+            # re-instantiation starts from zeros. (Dirty ranges stay:
+            # the unretrieved result is still missing at the host.)
+            st.coh.note_evict(domain)
 
     def _feed_action(self, ev: ActionEvent) -> None:
         action = ev.action
@@ -254,19 +194,17 @@ class BufferStateLint(LintPass):
             st.touchers.setdefault(domain, []).append((action.seq, _ref(ev)))
             if reads and action.kind is ActionKind.COMPUTE and op.nbytes > 0:
                 self._check_read(ev, st, domain, op)
+        # Write-side transitions are the memory subsystem's committed
+        # state machine, replayed here in capture order.
+        apply_action_writes(lambda b: self._state(b).coh, action)
         for domain, op, _reads, writes in accesses:
-            if not writes:
-                continue
-            st = self._state(op.buffer)
-            st.valid_in(domain).add(op.offset, op.end)
-            if domain in st.lost:
-                st.lost[domain].subtract(op.offset, op.end)
-            if action.kind is ActionKind.COMPUTE and domain != 0 and st.wrapped:
-                st.dirty.add(op.offset, op.end)
-                st.last_sink_write = _ref(ev)
-            if action.kind is ActionKind.XFER and domain == 0:
-                # d2h landed: the host now sees the sink's writes.
-                st.dirty.subtract(op.offset, op.end)
+            if (
+                writes
+                and action.kind is ActionKind.COMPUTE
+                and domain != 0
+                and self._state(op.buffer).wrapped
+            ):
+                self._state(op.buffer).last_sink_write = _ref(ev)
 
     def _check_read(self, ev: ActionEvent, st: _BufState, domain, op) -> None:
         if domain == 0:
@@ -328,8 +266,9 @@ class BufferStateLint(LintPass):
 
     def finish(self, hb: HBState) -> None:
         for st in self._bufs.values():
-            if st.wrapped and st.dirty:
-                spans = ", ".join(f"[{s}, {e})" for s, e in st.dirty.spans()[:4])
+            dirty = st.coh.dirty_union()
+            if st.wrapped and dirty:
+                spans = ", ".join(f"[{s}, {e})" for s, e in dirty.spans()[:4])
                 self._emit(
                     Diagnostic(
                         rule="missing-d2h",

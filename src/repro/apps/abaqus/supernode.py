@@ -184,7 +184,6 @@ def factorize_supernode(
             blocks.append(
                 hs.buffer_create(nbytes=8 * m * widths[p], name=f"sn_blk{p}")
             )
-        flow.mark_resident(blocks[p], 0)
     d_bufs = []
     d_arrays = []
     for p in range(npanels):
@@ -194,7 +193,6 @@ def factorize_supernode(
             d_bufs.append(hs.wrap(darr, name=f"sn_d{p}"))
         else:
             d_bufs.append(hs.buffer_create(nbytes=8 * widths[p], name=f"sn_d{p}"))
-        flow.mark_resident(d_bufs[p], 0)
 
     if panel_stream is None:
         panel_stream = streams[0]

@@ -102,7 +102,10 @@ class HLIB:
             )
         else:
             if host is not None and h.instances.get(0) is not None:
-                h.instances[0][: host.nbytes] = host.view(np.uint8).reshape(-1)
+                h.instance_array(0)[: host.nbytes] = host.view(np.uint8).reshape(-1)
+                # Out-of-band host write: keep the memory manager's
+                # coherence current so the upload is not elided.
+                self._hs.memory.note_external_host_write(h, 0, host.nbytes)
             self._hs.enqueue_xfer(self._pick(stream), h, XferDirection.SRC_TO_SINK)
 
     def hl_get(self, name: str, stream: int = 0,
@@ -118,7 +121,9 @@ class HLIB:
             self._hs.enqueue_xfer(self._pick(stream), h, XferDirection.SINK_TO_SRC)
             if host is not None and h.instances.get(0) is not None:
                 self._hs.thread_synchronize()
-                host.view(np.uint8).reshape(-1)[:] = h.instances[0][: host.nbytes]
+                host.view(np.uint8).reshape(-1)[:] = h.instance_array(0)[
+                    : host.nbytes
+                ]
 
     def hl_register(self, kernel: str, fn=None, cost_fn=None) -> None:
         """Register a device kernel (one per back end in real HLIB)."""

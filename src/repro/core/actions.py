@@ -137,6 +137,11 @@ class Action:
     # transfer
     direction: Optional[XferDirection] = None
     nbytes: int = 0
+    #: Set by the memory manager at admission when the destination
+    #: instance is already expected-valid over the operand range: the
+    #: backends skip the byte movement, but the action still flows
+    #: through the scheduler for dependence ordering.
+    elided: bool = False
     # bookkeeping
     label: str = ""
     seq: int = field(default_factory=lambda: next(_action_ids))

@@ -63,8 +63,17 @@ class Backend(ABC):
         """Provision backend state for a newly created stream."""
 
     @abstractmethod
-    def make_instance(self, buf: "Buffer", domain: int) -> None:
-        """Instantiate a buffer in a domain (allocating as needed)."""
+    def make_instance(self, buf: "Buffer", domain: int) -> Optional[Any]:
+        """Create the backing payload for a buffer instance in a domain.
+
+        Returns the per-domain payload the
+        :class:`~repro.core.memory.MemoryManager` stores in
+        ``buf.instances`` — a flat uint8 ndarray under the thread
+        backend (the caller's own memory for a wrapped host array), or
+        ``None`` for data-free sim/capture instances. Backends never
+        mutate ``buf.instances`` themselves: the manager is the single
+        authority over instance lifecycle.
+        """
 
     def on_buffer_destroy(self, buf: "Buffer") -> None:
         """Release backend state for a destroyed buffer."""

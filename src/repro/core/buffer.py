@@ -215,9 +215,14 @@ class Buffer:
         return typed.reshape(shape) if shape is not None else typed
 
     def destroy(self) -> None:
-        """Release the proxy range and all instances."""
+        """Release the proxy range.
+
+        Instance teardown (backend state, capacity accounting, the
+        ``instances`` dict itself) belongs to the runtime's
+        :class:`~repro.core.memory.MemoryManager`; a bare buffer used
+        without a runtime never instantiates anywhere.
+        """
         self.space.unregister(self)
-        self.instances.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         doms = sorted(self.instances)

@@ -31,12 +31,11 @@ from repro.core.actions import (
 from repro.core.buffer import Buffer, ProxyAddressSpace
 from repro.core.errors import (
     HStreamsBadArgument,
-    HStreamsBusy,
     HStreamsNotFound,
     HStreamsNotInitialized,
-    HStreamsOutOfMemory,
 )
 from repro.core.events import HEvent
+from repro.core.memory import EvictionPolicy, MemoryManager
 from repro.core.properties import MemType, RuntimeConfig
 from repro.core.scheduler import Scheduler
 from repro.core.stream import Stream
@@ -59,8 +58,20 @@ class DomainInfo:
     def __init__(self, index: int, device):
         self.index = index
         self.device = device
-        self.allocated_bytes = 0
         self._core_cursor = 0
+        #: Back-reference to the owning runtime's memory manager, set
+        #: by :class:`HStreams`; ``None`` for bare DomainInfo objects.
+        self._memory: Optional[MemoryManager] = None
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes charged against this domain's capacity.
+
+        Delegates to the runtime's
+        :class:`~repro.core.memory.MemoryManager`, the single authority
+        over per-domain byte accounting.
+        """
+        return self._memory.allocated_bytes(self.index) if self._memory else 0
 
     @property
     def is_host(self) -> bool:
@@ -129,6 +140,8 @@ class HStreams:
         config: Optional[RuntimeConfig] = None,
         trace: bool = True,
         capture_only: bool = False,
+        eviction_policy: Union[str, EvictionPolicy] = "manual",
+        transfer_elision: bool = True,
     ):
         self.platform = platform if platform is not None else make_platform("HSW", 1)
         self.config = config if config is not None else RuntimeConfig()
@@ -137,6 +150,15 @@ class HStreams:
         self.domains: List[DomainInfo] = [
             DomainInfo(i, dev) for i, dev in enumerate(self.platform.devices)
         ]
+        #: The memory subsystem: instance lifecycle, per-domain capacity
+        #: accounting, coherence states, transfer elision, and eviction.
+        #: Created before the backend attaches (the sim backend hands it
+        #: the COI buffer pool during attach).
+        self.memory = MemoryManager(
+            self, policy=eviction_policy, transfer_elision=transfer_elision
+        )
+        for dom in self.domains:
+            dom._memory = self.memory
         self.streams: List[Stream] = []
         self.buffers: List[Buffer] = []
         self._kernels: Dict[str, KernelSpec] = {}
@@ -161,6 +183,10 @@ class HStreams:
         #: The backend-agnostic scheduling core; both backends dispatch
         #: exclusively through it.
         self.scheduler = Scheduler(self)
+        # The manager observes first: it decides transfer elision at
+        # admission (before dispatch and before other observers record
+        # the action) and commits coherence states at completion.
+        self.scheduler.observers.append(self.memory)
         #: The program-capture recorder, set only in capture mode.
         self.capture = None
         if capture_only or forced:
@@ -314,6 +340,7 @@ class HStreams:
             raise HStreamsNotFound(f"stream {stream.id} is not active")
         self.stream_synchronize(stream)
         self.backend.on_stream_destroy(stream)
+        self.scheduler.on_stream_destroy(stream)
         self.streams.remove(stream)
 
     # -- buffers -----------------------------------------------------------------
@@ -356,12 +383,15 @@ class HStreams:
         return self.buffer_create(array=array, name=name)
 
     def buffer_destroy(self, buf: Buffer) -> None:
-        """Release a buffer's instances and proxy range."""
+        """Release a buffer's instances and proxy range.
+
+        In-flight actions that still reference the buffer make the
+        destroy raise :class:`~repro.core.errors.HStreamsBusy` —
+        destroying it would yank instances out from under running
+        tasks; synchronize the streams touching it first.
+        """
         self._check_init()
-        for d in list(buf.instances):
-            dom = self.domain(d)
-            dom.allocated_bytes -= buf.nbytes
-        self.backend.on_buffer_destroy(buf)
+        self.memory.destroy(buf)
         buf.destroy()
         self.buffers.remove(buf)
         self.scheduler.notify_buffer("destroy", buf)
@@ -371,43 +401,18 @@ class HStreams:
 
         This is how a bounded working set cycles card memory when the
         full tile set exceeds the 16 GB card (the reference codes do
-        exactly this to reach n=30000 in Fig. 6). In-flight actions that
+        exactly this to reach n=30000 in Fig. 6) — or, with
+        ``eviction_policy="lru"``, what the memory manager does
+        automatically under capacity pressure. In-flight actions that
         still reference the instance make the eviction raise
         :class:`~repro.core.errors.HStreamsBusy` — synchronize the
         streams touching it first.
         """
         self._check_init()
-        if domain == 0:
-            raise HStreamsBadArgument("the host instance cannot be evicted")
-        if not buf.instantiated_in(domain):
-            raise HStreamsNotFound(
-                f"buffer {buf.name!r} has no instance in domain {domain}"
-            )
-        busy = self.scheduler.inflight_touching(buf, domain)
-        if busy:
-            names = ", ".join(repr(a.display) for a in busy[:4])
-            raise HStreamsBusy(
-                f"cannot evict buffer {buf.name!r} from domain {domain}: "
-                f"{len(busy)} in-flight action(s) still reference it "
-                f"({names}); synchronize the streams touching it first"
-            )
-        self.domain(domain).allocated_bytes -= buf.nbytes
-        self.backend.on_instance_evict(buf, domain)
-        del buf.instances[domain]
-        self.scheduler.notify_buffer("evict", buf, domain=domain)
+        self.memory.evict(buf, domain)
 
     def _ensure_instance(self, buf: Buffer, domain: int) -> None:
-        if buf.instantiated_in(domain):
-            return
-        dom = self.domain(domain)
-        capacity = dom.device.ram_gb * (1 << 30)
-        if dom.allocated_bytes + buf.nbytes > capacity:
-            raise HStreamsOutOfMemory(
-                f"domain {domain} ({dom.device.name}): instantiating "
-                f"{buf.name!r} ({buf.nbytes}B) exceeds {dom.device.ram_gb} GB"
-            )
-        dom.allocated_bytes += buf.nbytes
-        self.backend.make_instance(buf, domain)
+        self.memory.instantiate(buf, domain)
 
     # -- kernels -------------------------------------------------------------------
 
@@ -617,10 +622,16 @@ class HStreams:
         Reports per-action lifecycle timing (dependence-stall,
         dispatch-stall, execution), per-stream queue depths, and
         throughput counters — identical structure under both backends,
-        with timestamps on the owning backend's clock.
+        with timestamps on the owning backend's clock. The ``memory``
+        key adds the memory subsystem's view: per-domain capacity
+        accounting, transfer-elision and eviction counters, and (sim
+        backend) COI buffer-pool hit rates — see
+        :meth:`repro.core.memory.MemoryManager.metrics`.
         """
         self._check_init()
-        return self.scheduler.metrics()
+        out = self.scheduler.metrics()
+        out["memory"] = self.memory.metrics()
+        return out
 
 
 def _make_backend(name: str):

@@ -97,6 +97,9 @@ class SchedulerObserver:
     def on_stream_create(self, stream: "Stream") -> None:
         """A stream was created."""
 
+    def on_stream_destroy(self, stream: "Stream") -> None:
+        """A stream was destroyed (after draining)."""
+
     def on_buffer(self, kind: str, buf: "Buffer", domain: Optional[int] = None) -> None:
         """Buffer lifecycle: ``kind`` is ``create``, ``destroy``, or
         ``evict`` (with ``domain`` set for evictions)."""
@@ -115,6 +118,7 @@ class StreamStats:
         "dep_stall_s",
         "dispatch_stall_s",
         "exec_s",
+        "destroyed",
     )
 
     def __init__(self, stream: "Stream"):
@@ -129,6 +133,9 @@ class StreamStats:
         self.dep_stall_s = 0.0
         self.dispatch_stall_s = 0.0
         self.exec_s = 0.0
+        #: Whether the stream has been torn down; its stats survive in
+        #: the final :meth:`Scheduler.metrics` snapshot regardless.
+        self.destroyed = False
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view for :meth:`Scheduler.metrics`."""
@@ -143,6 +150,7 @@ class StreamStats:
             "dep_stall_s": self.dep_stall_s,
             "dispatch_stall_s": self.dispatch_stall_s,
             "exec_s": self.exec_s,
+            "destroyed": self.destroyed,
         }
 
 
@@ -185,6 +193,22 @@ class Scheduler:
             self._streams[stream.id] = StreamStats(stream)
             for obs in self.observers:
                 obs.on_stream_create(stream)
+
+    def on_stream_destroy(self, stream: "Stream") -> None:
+        """A (drained) stream was torn down.
+
+        Mirrors :meth:`on_stream_create` so metrics, the tracer, and
+        the capture recorder see teardown; the stream's
+        :class:`StreamStats` are kept, flagged ``destroyed``.
+        """
+        with self._lock:
+            stats = self._stream_stats(stream)
+            stats.destroyed = True
+            self.runtime.tracer.counter(
+                f"sched:{stream.lane}", self.runtime.backend.now(), stats.depth
+            )
+            for obs in self.observers:
+                obs.on_stream_destroy(stream)
 
     def _stream_stats(self, stream: "Stream") -> StreamStats:
         stats = self._streams.get(stream.id)

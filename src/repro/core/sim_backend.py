@@ -64,6 +64,9 @@ class SimBackend(Backend):
         self.pool = BufferPool(
             cfg.pool_chunk_bytes, cfg.alloc_cost, enabled=cfg.use_buffer_pool
         )
+        # The pool is the manager's allocation-cost layer: hit rates
+        # land in metrics()["memory"] next to the capacity accounting.
+        runtime.memory.attach_pool(self.pool)
         self.coi = COIContext(self.engine, self.fabric, self.pool, runtime.ndomains)
         # Per-domain core pools: a compute holds its stream's width while
         # it runs, so overlapping masks / whole-device kernels contend.
@@ -108,7 +111,7 @@ class SimBackend(Backend):
         if cost > 0:
             self._host_now += cost  # synchronous card-side allocation
             self.alloc_blocked_s += cost
-        buf.instances[domain] = None  # sim instances carry no data
+        return None  # sim instances carry no data
 
     def on_buffer_destroy(self, buf: Buffer) -> None:
         for domain in list(buf.instances):
@@ -179,8 +182,11 @@ class SimBackend(Backend):
             )
         elif action.kind is ActionKind.XFER:
             scheduler.on_start(action, when=self.engine.now)
-            if stream.domain == 0:
-                return  # aliased host-as-target transfer: optimized away
+            if stream.domain == 0 or action.elided:
+                # Aliased host-as-target transfer, or a redundant one
+                # the memory manager elided: completes in zero virtual
+                # time, still ordering its dependents.
+                return
             yield self.engine.timeout(cfg.transfer_overhead_s)
             src, dst = (
                 (0, stream.domain)

@@ -94,12 +94,10 @@ class ThreadBackend(Backend):
         if pool is not None:
             pool.shutdown(wait=True)
 
-    def make_instance(self, buf: Buffer, domain: int) -> None:
+    def make_instance(self, buf: Buffer, domain: int) -> np.ndarray:
         if domain == 0 and buf.host_array is not None:
-            inst = buf.host_array.view(np.uint8).reshape(-1)
-        else:
-            inst = np.zeros(buf.nbytes, dtype=np.uint8)
-        buf.instances[domain] = inst
+            return buf.host_array.view(np.uint8).reshape(-1)
+        return np.zeros(buf.nbytes, dtype=np.uint8)
 
     # -- execution ------------------------------------------------------------------
 
@@ -170,8 +168,10 @@ class ThreadBackend(Backend):
         elif action.kind is ActionKind.XFER:
             op = action.operands[0]
             sink = action.stream.domain  # type: ignore[union-attr]
-            if sink == 0:
-                return  # host-as-target: source and sink instances alias
+            if sink == 0 or action.elided:
+                # Host-as-target transfers alias away; elided transfers
+                # would re-copy bytes the destination already holds.
+                return
             src_dom, dst_dom = (
                 (0, sink)
                 if action.direction is XferDirection.SRC_TO_SINK

@@ -120,7 +120,6 @@ def hetero_cholesky(
                 bufs[i][j] = hs.buffer_create(
                     nbytes=grid.tile_nbytes(i, j), name=f"L{i}_{j}"
                 )
-            flow.mark_resident(bufs[i][j], 0)
 
     # -- the factorization schedule -------------------------------------------------------
     for k in range(T):

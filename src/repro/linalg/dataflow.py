@@ -10,9 +10,12 @@ pattern every tiled code needs:
   ``event_stream_wait`` (deduplicated per consumer stream and producer
   event) so only actions touching that buffer are ordered behind it.
 
-It also tracks per-domain tile residency so broadcast/send helpers skip
-transfers for data already in place (and host-as-target streams keep
-their aliasing optimization).
+Redundant data movement is no longer this layer's concern: the runtime's
+:class:`~repro.core.memory.MemoryManager` tracks per-instance coherence
+and *elides* transfers whose destination already holds the bytes (they
+complete immediately but still order dependents), so :meth:`send` and
+:meth:`retrieve` always enqueue and let the runtime decide — the elision
+counters land in ``hs.metrics()["memory"]``.
 """
 
 from __future__ import annotations
@@ -30,27 +33,15 @@ __all__ = ["FlowContext"]
 
 
 class FlowContext:
-    """Dependence and residency tracker over one runtime."""
+    """Cross-stream dependence tracker over one runtime."""
 
     def __init__(self, hs: HStreams):
         self.hs = hs
         #: buffer uid -> (producing event, producing stream id)
         self._producer: Dict[int, Tuple[HEvent, int]] = {}
         #: sync actions already inserted: (consumer stream id, producer event id)
-        self._synced: Set[Tuple[int, int]] = set()
-        #: (buffer uid, domain) pairs with a valid tile copy
-        self._resident: Set[Tuple[int, int]] = set()
+        self._synced: Set[Tuple[int, int, int]] = set()
         self.sync_count = 0
-
-    # -- residency -----------------------------------------------------------
-
-    def mark_resident(self, buf: Buffer, domain: int) -> None:
-        """Record that ``buf`` holds valid data in ``domain``."""
-        self._resident.add((buf.uid, domain))
-
-    def is_resident(self, buf: Buffer, domain: int) -> bool:
-        """Whether ``buf`` holds valid data in ``domain``."""
-        return (buf.uid, domain) in self._resident
 
     # -- dependences ------------------------------------------------------------
 
@@ -113,35 +104,32 @@ class FlowContext:
         ev = self.hs.enqueue_compute(stream, kernel, args=args, cost=cost, label=label)
         for buf in writes:
             self.produced(buf, ev, stream)
-            # A write at the sink invalidates other domains' copies.
-            self._resident = {
-                (uid, dom) for uid, dom in self._resident if uid != buf.uid
-            }
-            self.mark_resident(buf, stream.domain)
         return ev
 
-    def send(self, stream: Stream, buf: Buffer, label: str = "") -> Optional[HEvent]:
-        """Move ``buf``'s host copy to ``stream``'s domain (if needed)."""
+    def send(self, stream: Stream, buf: Buffer, label: str = "") -> HEvent:
+        """Move ``buf``'s host copy to ``stream``'s domain.
+
+        Always enqueues; the runtime's memory manager elides the
+        transfer (zero cost, ordering preserved) when the destination
+        instance already holds the bytes — including the aliased
+        host-as-target case.
+        """
         self.require(stream, buf)
-        if stream.domain == 0 or self.is_resident(buf, stream.domain):
-            self.mark_resident(buf, stream.domain)
-            return None
         ev = self.hs.enqueue_xfer(
             stream, buf, XferDirection.SRC_TO_SINK, label=label or f"to({buf.name})"
         )
         self.produced(buf, ev, stream)
-        self.mark_resident(buf, stream.domain)
         return ev
 
-    def retrieve(self, stream: Stream, buf: Buffer, label: str = "") -> Optional[HEvent]:
-        """Move ``buf``'s sink copy back to the host (if needed)."""
+    def retrieve(self, stream: Stream, buf: Buffer, label: str = "") -> HEvent:
+        """Move ``buf``'s sink copy back to the host.
+
+        Always enqueues; redundant retrievals (the host copy is already
+        current) are elided by the runtime.
+        """
         self.require(stream, buf)
-        if stream.domain == 0 or self.is_resident(buf, 0):
-            self.mark_resident(buf, 0)
-            return None
         ev = self.hs.enqueue_xfer(
             stream, buf, XferDirection.SINK_TO_SRC, label=label or f"from({buf.name})"
         )
         self.produced(buf, ev, stream)
-        self.mark_resident(buf, 0)
         return ev

@@ -102,7 +102,6 @@ def hetero_lu(
                 bufs[i][j] = hs.buffer_create(
                     nbytes=grid.tile_nbytes(i, j), name=f"LU{i}_{j}"
                 )
-            flow.mark_resident(bufs[i][j], 0)
 
     for k in range(T):
         bk = grid.tile_rows(k)

@@ -90,7 +90,6 @@ def magma_cholesky(
                 bufs[i][j] = hs.buffer_create(
                     nbytes=grid.tile_nbytes(i, j), name=f"M{i}_{j}"
                 )
-            flow.mark_resident(bufs[i][j], 0)
 
     def stream_for(i: int, j: int) -> Stream:
         pool = card_streams[row_owner[i]]

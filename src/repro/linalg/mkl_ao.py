@@ -85,7 +85,6 @@ def mkl_ao_cholesky(
                 bufs[i][j] = hs.buffer_create(
                     nbytes=grid.tile_nbytes(i, j), name=f"AO{i}_{j}"
                 )
-            flow.mark_resident(bufs[i][j], 0)
 
     def pick_stream(dom: int, salt: int) -> Stream:
         if dom == 0:

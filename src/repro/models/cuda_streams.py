@@ -273,13 +273,15 @@ class CudaRuntime:
         host_real = (
             isinstance(host, np.ndarray)
             and host.nbytes >= nbytes
-            and hbuf.instantiated_in(0)
-            and hbuf.instances[0] is not None
+            and hbuf.instances.get(0) is not None
         )
         if host_real and direction is XferDirection.SRC_TO_SINK:
             # Thread backend: stage the caller's bytes into the buffer's
-            # host instance before the DMA reads it.
-            hbuf.instances[0][:nbytes] = host.view(np.uint8).reshape(-1)[:nbytes]
+            # host instance before the DMA reads it. The staging bypasses
+            # the enqueue path, so the memory manager must be told the
+            # host copy changed (or a later upload could be elided).
+            hbuf.instance_array(0)[:nbytes] = host.view(np.uint8).reshape(-1)[:nbytes]
+            self._hs.memory.note_external_host_write(hbuf, 0, nbytes)
         ev = self._hs.enqueue_xfer(
             stream._inner,
             hbuf.range(0, nbytes),
@@ -289,7 +291,9 @@ class CudaRuntime:
         if host_real and direction is XferDirection.SINK_TO_SRC:
             # The copy-back must land in the caller's array once complete.
             def copy_back(host=host, hbuf=hbuf, nbytes=nbytes) -> None:
-                host.view(np.uint8).reshape(-1)[:nbytes] = hbuf.instances[0][:nbytes]
+                host.view(np.uint8).reshape(-1)[:nbytes] = hbuf.instance_array(0)[
+                    :nbytes
+                ]
 
             self._pending_readbacks.append((ev, copy_back))
 

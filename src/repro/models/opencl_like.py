@@ -184,10 +184,12 @@ class OpenCLRuntime:
         """clEnqueueWriteBuffer (host -> device)."""
         queue._check()
         dst._check()
-        if src is not None and dst._buffer.instantiated_in(0):
-            inst = dst._buffer.instances[0]
-            if inst is not None:
-                inst[: src.nbytes] = src.view(np.uint8).reshape(-1)
+        if src is not None and dst._buffer.instances.get(0) is not None:
+            inst = dst._buffer.instance_array(0)
+            inst[: src.nbytes] = src.view(np.uint8).reshape(-1)
+            # Out-of-band host write: tell the memory manager so the
+            # upload below is not elided as redundant.
+            self._hs.memory.note_external_host_write(dst._buffer, 0, src.nbytes)
         return self._hs.enqueue_xfer(queue._inner, dst._buffer, label="clWrite")
 
     def enqueue_read_buffer(
@@ -199,11 +201,11 @@ class OpenCLRuntime:
         ev = self._hs.enqueue_xfer(
             queue._inner, src._buffer, XferDirection.SINK_TO_SRC, label="clRead"
         )
-        if dst is not None and src._buffer.instantiated_in(0):
-            inst = src._buffer.instances[0]
-            if inst is not None:
-                self._hs.event_wait([ev])
-                dst.view(np.uint8).reshape(-1)[:] = inst[: dst.nbytes]
+        if dst is not None and src._buffer.instances.get(0) is not None:
+            self._hs.event_wait([ev])
+            dst.view(np.uint8).reshape(-1)[:] = src._buffer.instance_array(0)[
+                : dst.nbytes
+            ]
         return ev
 
     # -- execution -----------------------------------------------------------------------

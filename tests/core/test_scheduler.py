@@ -23,7 +23,7 @@ def thread_runtime(**kw):
     return HStreams(platform=make_platform("HSW", 1), backend="thread", **kw)
 
 
-METRIC_KEYS = {"actions", "lifecycle", "by_kind", "streams", "records"}
+METRIC_KEYS = {"actions", "lifecycle", "by_kind", "streams", "records", "memory"}
 
 
 class TestMetricsSim:
