@@ -1,0 +1,187 @@
+"""FAULTS — failure-semantics matrix under deterministic fault injection.
+
+Not a paper figure: the reference hStreams library returns
+``HSTR_RESULT_*`` codes from every call and the paper's applications
+(Abaqus, RTM) run for hours, so swallowed errors and hung waits are
+production concerns. This benchmark drives the runtime's failure layer
+through a seeded :class:`~repro.core.faults.FaultPlan` matrix —
+{transient, permanent} faults x {poison, fail_fast, retry} policies x
+{thread, sim} backends — and checks the observable contract:
+
+* a failed producer's transitive dependents are CANCELLED and their
+  kernels never execute (poison);
+* a transient fault under ``failure_policy="retry"`` recovers with
+  capped exponential backoff and the program's numeric result is
+  correct;
+* both backends report **identical** action-outcome metrics for the
+  same plan and policy;
+* no configuration hangs: every wait returns (with the pending error)
+  even when the faulted action sits behind the waited one.
+
+The CI fault-matrix job runs ``python bench_faults.py --smoke``.
+"""
+
+import sys
+
+from conftest import run_once
+
+from repro import (
+    FaultPlan,
+    FaultSpec,
+    HStreams,
+    InjectedFault,
+    make_platform,
+)
+from repro.sim.kernels import KernelCost
+
+BACKENDS = ("thread", "sim")
+POLICIES = ("poison", "fail_fast", "retry")
+FAULTS = ("none", "transient", "permanent")
+
+#: Chain length of the pipeline each cell runs (fault hits stage 2).
+STAGES = 4
+
+
+def _runtime(backend, policy):
+    hs = HStreams(platform=make_platform("HSW", 1), backend=backend,
+                  trace=False, failure_policy=policy)
+    for i in range(STAGES):
+        hs.register_kernel(
+            f"stage{i}",
+            fn=lambda x, _i=i: x.__iadd__(1.0),
+            cost_fn=lambda x: KernelCost(kernel="stage", flops=1e6, size=8),
+        )
+    return hs
+
+
+def _plan(fault):
+    if fault == "none":
+        return None
+    return FaultPlan(
+        specs=(FaultSpec(kind="compute", kernel="stage1", nth=1, times=2,
+                         transient=(fault == "transient")),),
+        seed=17,
+    )
+
+
+def run_cell(backend, policy, fault):
+    """One pipeline run; returns the observable outcome of the cell."""
+    from repro.core.faults import inject_faults
+
+    hs = _runtime(backend, policy)
+    injector = None
+    plan = _plan(fault)
+    if plan is not None:
+        injector = inject_faults(hs, plan)
+    s = hs.stream_create(domain=1, ncores=4)
+    buf = hs.buffer_create(nbytes=64)
+    op = buf.all_inout()
+    error = None
+    try:
+        hs.enqueue_xfer(s, buf)
+        for i in range(STAGES):
+            hs.enqueue_compute(s, f"stage{i}", args=(op,))
+        hs.thread_synchronize()
+    except InjectedFault as exc:
+        error = exc
+    m = hs.metrics()["actions"]
+    out = {
+        "error": type(error).__name__ if error else None,
+        "completed": m["completed"],
+        "failed": m["failed"],
+        "cancelled": m["cancelled"],
+        "retried": m["retried"],
+        "injected": injector.injected if injector else 0,
+    }
+    if error is not None:
+        hs.clear_failure()
+    hs.fini()
+    return out
+
+
+def run_matrix():
+    """Every cell of the fault matrix, keyed (backend, policy, fault)."""
+    return {
+        (backend, policy, fault): run_cell(backend, policy, fault)
+        for backend in BACKENDS
+        for policy in POLICIES
+        for fault in FAULTS
+    }
+
+
+def check_matrix(cells) -> None:
+    total = STAGES + 1  # the pipeline plus its H2D transfer
+    for backend in BACKENDS:
+        clean = cells[(backend, "poison", "none")]
+        assert clean["error"] is None and clean["completed"] == total, clean
+
+        # Poison: stage1 fails twice (times=2 outlives the single
+        # non-retrying attempt), downstream stages cancel, upstream work
+        # completes, and the wait raised instead of hanging.
+        for policy in ("poison", "fail_fast"):
+            cell = cells[(backend, policy, "transient")]
+            assert cell["error"] == "InjectedFault", (policy, cell)
+            assert cell["failed"] == 1, (policy, cell)
+            assert cell["cancelled"] == STAGES - 2, (policy, cell)
+            assert cell["completed"] == 2, (policy, cell)  # xfer + stage0
+            assert cell["retried"] == 0, (policy, cell)
+            assert cell["injected"] == 1, (policy, cell)  # single attempt
+
+        # Retry: the transient fault burns its two armed attempts, the
+        # third dispatch succeeds, nothing fails or cancels.
+        cell = cells[(backend, "retry", "transient")]
+        assert cell["error"] is None, cell
+        assert cell["completed"] == total, cell
+        assert cell["retried"] == 2, cell
+        assert cell["injected"] == 2, cell
+
+        # A permanent fault is not retried even under retry policy.
+        cell = cells[(backend, "retry", "permanent")]
+        assert cell["error"] == "InjectedFault", cell
+        assert cell["failed"] == 1 and cell["retried"] == 0, cell
+
+    # Backend parity: identical observable outcomes, cell for cell.
+    for policy in POLICIES:
+        for fault in FAULTS:
+            t = cells[("thread", policy, fault)]
+            s = cells[("sim", policy, fault)]
+            assert t == s, (policy, fault, t, s)
+
+
+def render(cells) -> str:
+    header = f"{'backend':>7} {'policy':>9} {'fault':>9} | " \
+             f"{'done':>4} {'fail':>4} {'canc':>4} {'retry':>5} {'raised':>13}"
+    lines = ["FAULT MATRIX: action outcomes per cell", header,
+             "-" * len(header)]
+    for (backend, policy, fault), c in sorted(cells.items()):
+        lines.append(
+            f"{backend:>7} {policy:>9} {fault:>9} | "
+            f"{c['completed']:>4} {c['failed']:>4} {c['cancelled']:>4} "
+            f"{c['retried']:>5} {c['error'] or '-':>13}"
+        )
+    return "\n".join(lines)
+
+
+def smoke_check() -> None:
+    cells = run_matrix()
+    check_matrix(cells)
+    print(render(cells))
+    retries = cells[("thread", "retry", "transient")]["retried"]
+    print(f"[smoke] fault matrix OK: {len(cells)} cells, backend parity "
+          f"holds, transient fault recovered after {retries} retries")
+
+
+def test_fault_matrix(benchmark, capsys):
+    cells = run_once(benchmark, run_matrix)
+    check_matrix(cells)
+    with capsys.disabled():
+        print()
+        print(render(cells))
+
+
+if __name__ == "__main__":
+    # --smoke (the CI entry point) and the bare invocation coincide:
+    # the matrix *is* the smoke test.
+    if len(sys.argv) > 1 and sys.argv[1] not in ("--smoke",):
+        sys.exit(f"usage: {sys.argv[0]} [--smoke]")
+    smoke_check()

@@ -28,15 +28,21 @@ Quickstart::
 
 from repro.core import (
     Buffer,
+    FaultPlan,
+    FaultSpec,
     HEvent,
     HStreams,
     HStreamsError,
+    InjectedFault,
     MemType,
     Operand,
     OperandMode,
     RuntimeConfig,
     Stream,
     XferDirection,
+    inject_faults,
+    is_transient,
+    mark_transient,
 )
 from repro.sim.platforms import Platform, make_platform
 
@@ -44,15 +50,21 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Buffer",
+    "FaultPlan",
+    "FaultSpec",
     "HEvent",
     "HStreams",
     "HStreamsError",
+    "InjectedFault",
     "MemType",
     "Operand",
     "OperandMode",
     "RuntimeConfig",
     "Stream",
     "XferDirection",
+    "inject_faults",
+    "is_transient",
+    "mark_transient",
     "Platform",
     "make_platform",
     "__version__",

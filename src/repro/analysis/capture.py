@@ -346,7 +346,7 @@ class CaptureBackend(Backend):
     def wait_events(self, events, wait_all: bool = True, timeout=None) -> None:
         pass  # everything already completed at admission
 
-    def wait_all(self) -> None:
+    def wait_all(self, timeout=None) -> None:
         pass
 
     def now(self) -> float:

@@ -35,7 +35,7 @@ from repro.analysis.capture import (
     capture_session,
     policy_dep_seqs,
 )
-from repro.analysis.diagnostics import RULES, Diagnostic, Severity
+from repro.analysis.diagnostics import RULES, ActionRef, Diagnostic, Severity
 from repro.analysis.hb import HBState, RaceDetector
 from repro.analysis.lints import (
     BufferStateLint,
@@ -317,6 +317,29 @@ class OnlineChecker(SchedulerObserver):
                 domain=domain,
                 site=_user_site(),
             )
+        )
+
+    def on_action_complete(self, action, record) -> None:
+        # Failure-path findings only exist online: capture mode never
+        # executes, so nothing can fail or be cancelled there. Repeats
+        # of the same (rule, kernel, stream) fold into one diagnostic.
+        if record.state not in ("failed", "cancelled"):
+            return
+        rule = "failed-action" if record.state == "failed" else "cancelled-action"
+        stream = action.stream.name if action.stream is not None else None
+        detail = f": {record.error}" if record.error else ""
+        retried = f" after {record.retries} retr{'y' if record.retries == 1 else 'ies'}"
+        self.engine._emit(
+            Diagnostic(
+                rule=rule,
+                message=(
+                    f"{action.display} {record.state}"
+                    + (retried if record.retries else "")
+                    + detail
+                ),
+                actions=[ActionRef(label=action.display, seq=action.seq, stream=stream)],
+            ),
+            key=(rule, action.kind.value, action.kernel, stream),
         )
 
     # -- results ---------------------------------------------------------------

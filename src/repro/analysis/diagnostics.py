@@ -123,6 +123,23 @@ RULES: Dict[str, Rule] = {
             "calls; break the cyclic wait",
         ),
         Rule(
+            "failed-action",
+            Severity.ERROR,
+            "an action raised during execution (or timed out); its "
+            "writes were rolled back and its dependents were poisoned",
+            "inspect the recorded error, fix the kernel or mark the "
+            "error transient and run under failure_policy='retry'; call "
+            "clear_failure() before reusing the runtime",
+        ),
+        Rule(
+            "cancelled-action",
+            Severity.WARNING,
+            "an action was cancelled without running because an "
+            "upstream action it depends on (or conflicts with) failed",
+            "fix the root failure named in the message; cancelled work "
+            "must be re-enqueued after clear_failure()",
+        ),
+        Rule(
             "zero-length-operand",
             Severity.WARNING,
             "an operand covers zero bytes, so it imposes no ordering at "

@@ -24,12 +24,22 @@ from repro.core.buffer import Buffer, ProxyAddressSpace
 from repro.core.errors import (
     HStreamsError,
     HStreamsBadArgument,
+    HStreamsCancelled,
     HStreamsNotFound,
     HStreamsNotInitialized,
     HStreamsOutOfMemory,
     HStreamsTimedOut,
+    is_transient,
+    mark_transient,
 )
 from repro.core.events import HEvent
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    inject_faults,
+)
 from repro.core.properties import MemType, RuntimeConfig
 from repro.core.runtime import DomainInfo, HStreams
 from repro.core.stream import Stream
@@ -44,10 +54,18 @@ __all__ = [
     "ProxyAddressSpace",
     "HStreamsError",
     "HStreamsBadArgument",
+    "HStreamsCancelled",
     "HStreamsNotFound",
     "HStreamsNotInitialized",
     "HStreamsOutOfMemory",
     "HStreamsTimedOut",
+    "is_transient",
+    "mark_transient",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "inject_faults",
     "HEvent",
     "MemType",
     "RuntimeConfig",

@@ -93,6 +93,16 @@ class Backend(ABC):
         docstring).
         """
 
+    def execute_after(self, action: "Action", delay: float) -> None:
+        """Re-run ``action`` after ``delay`` seconds (retry dispatch).
+
+        Called by the scheduler when ``failure_policy="retry"`` backs a
+        transient failure off. Semantics are those of :meth:`execute`
+        with the start postponed by ``delay`` on this backend's clock.
+        The default ignores the delay and re-executes immediately.
+        """
+        self.execute(action)
+
     @abstractmethod
     def wait_events(
         self,
@@ -100,11 +110,22 @@ class Backend(ABC):
         wait_all: bool = True,
         timeout: Optional[float] = None,
     ) -> None:
-        """Block the source until any/all of ``events`` complete."""
+        """Block the source until any/all of ``events`` complete.
+
+        Raises :class:`~repro.core.errors.HStreamsTimedOut` when
+        ``timeout`` (seconds on this backend's clock) expires first,
+        and must re-raise pending run failures (via
+        ``runtime.scheduler.failure.raise_pending()``) rather than
+        block forever on events a failed producer will never fire.
+        """
 
     @abstractmethod
-    def wait_all(self) -> None:
-        """Block the source until every admitted action completed."""
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Block the source until every admitted action completed.
+
+        Same timeout and failure-surfacing contract as
+        :meth:`wait_events`.
+        """
 
     @abstractmethod
     def now(self) -> float:

@@ -20,6 +20,9 @@ __all__ = [
     "HStreamsBusy",
     "HStreamsInternalError",
     "HStreamsDeadlock",
+    "HStreamsCancelled",
+    "mark_transient",
+    "is_transient",
 ]
 
 
@@ -97,3 +100,38 @@ class HStreamsDeadlock(HStreamsInternalError):
     """
 
     code = "HSTR_RESULT_DEADLOCK"
+
+
+class HStreamsCancelled(HStreamsError):
+    """An action was cancelled because a producer it depends on failed.
+
+    Under ``failure_policy="poison"`` (the default) a failed action
+    transitively poisons its dependents: they never run their kernels
+    and carry one of these as their error, with the root failure
+    attached as ``__cause__``.
+    """
+
+    code = "HSTR_RESULT_CANCELLED"
+
+
+#: Attribute set by :func:`mark_transient`; checked by :func:`is_transient`.
+_TRANSIENT_ATTR = "hstreams_transient"
+
+
+def mark_transient(exc: BaseException) -> BaseException:
+    """Mark an exception as *transient*: retryable under the retry policy.
+
+    Under ``failure_policy="retry"`` the scheduler re-executes actions
+    that fail with a transient error (capped exponential backoff, up to
+    ``RuntimeConfig.retry_limit`` attempts). Kernels signal retryability
+    by raising ``mark_transient(SomeError(...))``; the fault-injection
+    harness marks its injected faults the same way. Returns ``exc`` so
+    it composes inside a ``raise`` statement.
+    """
+    setattr(exc, _TRANSIENT_ATTR, True)
+    return exc
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` was marked retryable via :func:`mark_transient`."""
+    return bool(getattr(exc, _TRANSIENT_ATTR, False))

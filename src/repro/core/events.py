@@ -40,7 +40,15 @@ class HEvent:
         return self.backend.event_done(self)
 
     def wait(self, timeout: Optional[float] = None) -> None:
-        """Block the source thread until this action completes."""
+        """Block the source thread until this action completes.
+
+        Without an explicit ``timeout``, the owning runtime's
+        ``RuntimeConfig.wait_timeout_s`` applies (``None`` = forever).
+        """
+        if timeout is None:
+            runtime = getattr(self.backend, "runtime", None)
+            if runtime is not None:
+                timeout = runtime.config.wait_timeout_s
         self.backend.wait_events([self], wait_all=True, timeout=timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -3,7 +3,9 @@
 Every enqueued action becomes a node with an explicit lifecycle::
 
     ENQUEUED --> READY --> RUNNING --> COMPLETE
-                                  \\-> FAILED
+        \\          \\          \\---> FAILED
+         \\          \\--------------^    (RUNNING --> READY on retry)
+          \\-> CANCELLED
 
 * **ENQUEUED** — the action entered its stream; dependences are still
   outstanding.
@@ -12,6 +14,17 @@ Every enqueued action becomes a node with an explicit lifecycle::
 * **RUNNING** — the executor began real (or virtual) execution.
 * **COMPLETE** / **FAILED** — the action finished; its node is retired
   from the graph and folded into the scheduler's metrics.
+* **CANCELLED** — a dependence failed and the scheduler's failure
+  policy poisoned this action: its kernel never runs, its completion
+  event still fires (so host waits cannot hang), and its
+  :attr:`ActionNode.error` is an
+  :class:`~repro.core.errors.HStreamsCancelled` chaining the root
+  failure.
+
+Under ``failure_policy="retry"`` a RUNNING action that fails with a
+transient error moves back to READY (the one legal backwards edge) and
+is re-dispatched after backoff; :attr:`ActionNode.attempts` counts the
+retries.
 
 Edges run from a dependence (producer) to its dependent (consumer). The
 graph is acyclic *by construction*: actions enqueue one at a time with
@@ -50,26 +63,41 @@ class ActionState(enum.Enum):
     RUNNING = "running"
     COMPLETE = "complete"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
     @property
     def is_terminal(self) -> bool:
         """Whether the action finished (successfully or not)."""
-        return self in (ActionState.COMPLETE, ActionState.FAILED)
+        return self in (
+            ActionState.COMPLETE,
+            ActionState.FAILED,
+            ActionState.CANCELLED,
+        )
 
 
 #: Legal lifecycle transitions. READY -> COMPLETE/FAILED is allowed so
 #: executors that finish trivial actions without a distinct "running"
-#: phase (e.g. aliased transfers) stay valid.
+#: phase (e.g. aliased transfers) stay valid. RUNNING/READY -> READY is
+#: the retry edge; ENQUEUED/READY -> CANCELLED is failure poisoning
+#: (READY covers the race where the last dependence completes and a
+#: sibling producer fails before the dispatched action starts).
 _TRANSITIONS = {
-    ActionState.ENQUEUED: {ActionState.READY},
+    ActionState.ENQUEUED: {ActionState.READY, ActionState.CANCELLED},
     ActionState.READY: {
         ActionState.RUNNING,
         ActionState.COMPLETE,
         ActionState.FAILED,
+        ActionState.CANCELLED,
+        ActionState.READY,
     },
-    ActionState.RUNNING: {ActionState.COMPLETE, ActionState.FAILED},
+    ActionState.RUNNING: {
+        ActionState.COMPLETE,
+        ActionState.FAILED,
+        ActionState.READY,
+    },
     ActionState.COMPLETE: set(),
     ActionState.FAILED: set(),
+    ActionState.CANCELLED: set(),
 }
 
 
@@ -90,6 +118,10 @@ class ActionRecord:
     t_ready: float
     t_start: float
     t_end: float
+    #: ``str(error)`` for failed/cancelled actions, else None.
+    error: Optional[str] = None
+    #: How many retry attempts the action consumed before finishing.
+    retries: int = 0
 
     @property
     def dep_stall(self) -> float:
@@ -125,6 +157,7 @@ class ActionNode:
         "t_start",
         "t_end",
         "error",
+        "attempts",
     )
 
     def __init__(self, action: "Action", t_enqueue: float):
@@ -139,6 +172,8 @@ class ActionNode:
         self.t_start: Optional[float] = None
         self.t_end: Optional[float] = None
         self.error: Optional[BaseException] = None
+        #: Retry attempts consumed under ``failure_policy="retry"``.
+        self.attempts = 0
 
     def transition(self, new: ActionState) -> None:
         """Move to ``new``, validating against the lifecycle machine."""
@@ -164,6 +199,8 @@ class ActionNode:
             t_ready=t_ready,
             t_start=t_start,
             t_end=t_end,
+            error=str(self.error) if self.error is not None else None,
+            retries=self.attempts,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -660,15 +660,53 @@ class MemoryManager(SchedulerObserver):
     def on_action_complete(self, action: "Action", record: "ActionRecord") -> None:
         """Commit the ``INVALID → VALID → DIRTY`` machine.
 
-        Failed actions commit too: a partially-executed write may have
-        landed, and the program aborts at its next synchronization
-        anyway.
+        Failed and cancelled actions do **not** commit: their write
+        ranges are *rolled back* instead — subtracted from the expected,
+        valid, and dirty layers — so a partially-landed write is treated
+        as garbage. Rolling back keeps failure recovery honest: a
+        re-enqueued transfer over a poisoned range is never elided (the
+        destination is no longer expected-valid), and a failed sink
+        compute leaves its instance clean rather than DIRTY, so
+        pressure/manual eviction of poisoned instances stays legal.
         """
-        apply_action_writes(self.coherence, action)
+        if record.state in ("failed", "cancelled"):
+            self._rollback_action(action)
+        else:
+            apply_action_writes(self.coherence, action)
         stream = action.stream
         if stream is not None:
             for op in action.operands:
                 self._touch(self.coherence(op.buffer), stream.domain)
+
+    def _rollback_action(self, action: "Action") -> None:
+        """Poison an unfinished action's write footprint (see above).
+
+        Elided transfers are rolled back too, conservatively: their
+        enqueue-time decision extended the expected layer, and the bytes
+        they promised may descend from work that is now dead.
+        """
+        stream = action.stream
+        if stream is None:
+            return
+        writes: List[Tuple[int, "Operand"]] = []
+        if action.kind is ActionKind.COMPUTE:
+            for op in action.operands:
+                if op.mode.writes:
+                    writes.append((stream.domain, op))
+        elif action.kind is ActionKind.XFER and stream.domain != 0:
+            op = action.operands[0]
+            dst = (
+                stream.domain
+                if action.direction is XferDirection.SRC_TO_SINK
+                else 0
+            )
+            writes.append((dst, op))
+        for domain, op in writes:
+            coh = self.coherence(op.buffer)
+            for layer in (coh.expected, coh.valid, coh.dirty):
+                iv = layer.get(domain)
+                if iv is not None:
+                    iv.subtract(op.offset, op.end)
 
     # -- allocation-cost layer ------------------------------------------------
 

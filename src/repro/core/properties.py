@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = ["MemType", "RuntimeConfig"]
 
@@ -42,6 +42,24 @@ class RuntimeConfig:
     * ``metrics_history`` — how many per-action lifecycle records the
       scheduler retains for ``HStreams.metrics()``; 0 disables record
       retention (aggregates are still kept).
+    * ``retry_limit`` / ``retry_backoff_s`` / ``retry_backoff_factor`` /
+      ``retry_backoff_max_s`` — under ``failure_policy="retry"``, an
+      action failing with a transient error (see
+      :func:`~repro.core.errors.mark_transient`) is re-executed up to
+      ``retry_limit`` times, waiting
+      ``min(retry_backoff_s * retry_backoff_factor**(attempt-1),
+      retry_backoff_max_s)`` before each attempt (wall seconds on the
+      thread backend, virtual seconds on the sim backend).
+    * ``action_timeout_s`` — per-action execution budget, enforced in
+      both backends: an action exceeding it fails with
+      :class:`~repro.core.errors.HStreamsTimedOut` (the sim backend caps
+      the modeled duration at the budget; the thread backend cannot
+      preempt a Python kernel, so it marks the action failed when it
+      finally returns). ``None`` disables the budget.
+    * ``wait_timeout_s`` — default timeout applied to every blocking
+      host wait (``event_wait``, ``stream_synchronize``,
+      ``thread_synchronize``) that does not pass an explicit timeout;
+      ``None`` (the default) waits forever, as before.
     """
 
     enqueue_overhead_s: float = 4.0e-6
@@ -57,6 +75,12 @@ class RuntimeConfig:
     seed: int = 0
     host_mem_bw_gbs: float = 0.0  # 0 -> use the host device's bandwidth
     metrics_history: int = 1024
+    retry_limit: int = 3
+    retry_backoff_s: float = 2.0e-3
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max_s: float = 0.25
+    action_timeout_s: Optional[float] = None
+    wait_timeout_s: Optional[float] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -78,6 +102,15 @@ class RuntimeConfig:
             raise ValueError("pool_chunk_bytes must be > 0")
         if self.metrics_history < 0:
             raise ValueError("metrics_history must be >= 0")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        for name in ("retry_backoff_s", "retry_backoff_factor", "retry_backoff_max_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("action_timeout_s", "wait_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
 
     def alloc_cost(self, nbytes: int) -> float:
         """Host-blocking cost of instantiating ``nbytes`` on a card."""
@@ -97,4 +130,10 @@ class RuntimeConfig:
             jitter=0.0,
             seed=self.seed,
             metrics_history=self.metrics_history,
+            retry_limit=self.retry_limit,
+            retry_backoff_s=self.retry_backoff_s,
+            retry_backoff_factor=self.retry_backoff_factor,
+            retry_backoff_max_s=self.retry_backoff_max_s,
+            action_timeout_s=self.action_timeout_s,
+            wait_timeout_s=self.wait_timeout_s,
         )

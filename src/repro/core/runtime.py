@@ -37,7 +37,7 @@ from repro.core.errors import (
 from repro.core.events import HEvent
 from repro.core.memory import EvictionPolicy, MemoryManager
 from repro.core.properties import MemType, RuntimeConfig
-from repro.core.scheduler import Scheduler
+from repro.core.scheduler import FAILURE_POLICIES, Scheduler
 from repro.core.stream import Stream
 from repro.sim.kernels import KernelCost
 from repro.sim.platforms import Platform, make_platform
@@ -142,7 +142,23 @@ class HStreams:
         capture_only: bool = False,
         eviction_policy: Union[str, EvictionPolicy] = "manual",
         transfer_elision: bool = True,
+        failure_policy: str = "poison",
     ):
+        if failure_policy not in FAILURE_POLICIES:
+            raise HStreamsBadArgument(
+                f"unknown failure_policy {failure_policy!r}; "
+                f"use one of {FAILURE_POLICIES}"
+            )
+        #: What a failed action does to the rest of the run: ``"poison"``
+        #: transitively cancels its dependents, ``"fail_fast"``
+        #: additionally cancels all enqueued work and rejects new
+        #: enqueues, ``"retry"`` re-executes transient failures with
+        #: capped exponential backoff before poisoning.
+        self.failure_policy = failure_policy
+        #: Live :class:`~repro.core.faults.FaultInjector`, set by
+        #: :func:`~repro.core.faults.inject_faults`; backends consult it
+        #: before executing each action.
+        self.fault_injector = None
         self.platform = platform if platform is not None else make_platform("HSW", 1)
         self.config = config if config is not None else RuntimeConfig()
         self.tracer = Tracer(enabled=trace)
@@ -204,11 +220,47 @@ class HStreams:
             raise HStreamsNotInitialized("runtime has been finalized")
 
     def fini(self) -> None:
-        """Tear the runtime down. Waits for in-flight work first."""
-        if self._initialized:
-            self.backend.wait_all()
+        """Tear the runtime down. Waits for in-flight work first.
+
+        A run failure the caller has *not* yet observed still raises
+        here — errors are never silently swallowed — but one that
+        already surfaced at an earlier synchronization is not raised a
+        second time, so ``fini`` in a ``finally:`` (or context-manager
+        exit) after handling the error is safe. Backend resources are
+        released either way.
+        """
+        if not self._initialized:
+            return
+        failure = self.scheduler.failure
+        already_seen = failure.observed
+        try:
+            try:
+                self.backend.wait_all()
+            except BaseException as exc:
+                if not (already_seen and failure.errors and exc is failure.errors[0]):
+                    raise
+        finally:
             self.backend.close()
             self._initialized = False
+
+    @property
+    def failed(self) -> bool:
+        """Whether any action failed (and the failure was not cleared)."""
+        return self.scheduler.failure.failed
+
+    def failure_errors(self) -> List[BaseException]:
+        """Every recorded action error, in completion order."""
+        return list(self.scheduler.failure.errors)
+
+    def clear_failure(self) -> List[BaseException]:
+        """Acknowledge and reset the run's failure state.
+
+        Drops the error ledger and the poison tombstones: subsequent
+        synchronizations stop re-raising, and new enqueues no longer
+        cancel against past failures. Returns the dropped errors.
+        """
+        self._check_init()
+        return self.scheduler.clear_failure()
 
     def __enter__(self) -> "HStreams":
         return self
@@ -582,9 +634,12 @@ class HStreams:
         """Block the source until any/all of ``events`` complete.
 
         Waiting on a *set* with any/all semantics saves the CPU-spinning
-        the paper calls out in the CUDA comparison.
+        the paper calls out in the CUDA comparison. Without an explicit
+        ``timeout``, ``RuntimeConfig.wait_timeout_s`` applies.
         """
         self._check_init()
+        if timeout is None:
+            timeout = self.config.wait_timeout_s
         self.backend.wait_events(list(events), wait_all=wait_all, timeout=timeout)
         self.backend.advance_host(self.config.sync_overhead_s)
         # With wait-any semantics only *some* event completed; the
@@ -594,19 +649,37 @@ class HStreams:
         )
         self.scheduler.notify_host_sync("event_wait", events=observed)
 
-    def stream_synchronize(self, stream: Stream) -> None:
-        """Block until every action enqueued into ``stream`` completed."""
+    def stream_synchronize(
+        self, stream: Stream, timeout: Optional[float] = None
+    ) -> None:
+        """Block until every action enqueued into ``stream`` completed.
+
+        Without an explicit ``timeout``, ``RuntimeConfig.wait_timeout_s``
+        applies.
+        """
         self._check_init()
+        if timeout is None:
+            timeout = self.config.wait_timeout_s
         pending = stream.window.pending_completions()
         if pending:
-            self.backend.wait_events(pending, wait_all=True, timeout=None)
+            self.backend.wait_events(pending, wait_all=True, timeout=timeout)
+        else:
+            # Nothing in flight, but an unacknowledged failure must
+            # still surface at every synchronization point.
+            self.scheduler.failure.raise_pending()
         self.backend.advance_host(self.config.sync_overhead_s)
         self.scheduler.notify_host_sync("stream_synchronize", stream=stream)
 
-    def thread_synchronize(self) -> None:
-        """Block until all actions in all streams completed."""
+    def thread_synchronize(self, timeout: Optional[float] = None) -> None:
+        """Block until all actions in all streams completed.
+
+        Without an explicit ``timeout``, ``RuntimeConfig.wait_timeout_s``
+        applies.
+        """
         self._check_init()
-        self.backend.wait_all()
+        if timeout is None:
+            timeout = self.config.wait_timeout_s
+        self.backend.wait_all(timeout=timeout)
         self.backend.advance_host(self.config.sync_overhead_s)
         self.scheduler.notify_host_sync("thread_synchronize")
 

@@ -36,13 +36,19 @@ scheduler has already satisfied, and report back through
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.actions import ActionKind
-from repro.core.errors import HStreamsBadArgument
+from repro.core.errors import (
+    HStreamsBadArgument,
+    HStreamsCancelled,
+    HStreamsTimedOut,
+    is_transient,
+)
 from repro.core.events import HEvent
-from repro.core.graph import ActionGraph, ActionRecord, ActionState
+from repro.core.graph import ActionGraph, ActionNode, ActionRecord, ActionState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.actions import Action
@@ -50,7 +56,70 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import HStreams
     from repro.core.stream import Stream
 
-__all__ = ["Scheduler", "SchedulerObserver", "StreamStats"]
+__all__ = ["FailureState", "Scheduler", "SchedulerObserver", "StreamStats"]
+
+#: Recognized values of ``HStreams(failure_policy=...)``.
+FAILURE_POLICIES = ("poison", "fail_fast", "retry")
+
+
+class FailureState:
+    """Thread-safe ledger of every error a run has observed.
+
+    Backends and the scheduler :meth:`record` errors as actions fail;
+    host-facing wait paths call :meth:`raise_pending`, which raises the
+    *first* error with every subsequent one attached (as an ``errors``
+    attribute, plus ``add_note`` summaries where the interpreter
+    supports them) — later failures are never silently dropped. The
+    state is *sticky*: once failed, every synchronization keeps raising
+    until :meth:`clear` (``HStreams.clear_failure()``) is called.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Every recorded error, in completion order.
+        self.errors: List[BaseException] = []
+        #: Whether :meth:`raise_pending` has surfaced the failure to the
+        #: host at least once (``fini`` uses this to avoid re-raising an
+        #: error the caller already handled).
+        self.observed = False
+
+    @property
+    def failed(self) -> bool:
+        """Whether any error has been recorded (and not cleared)."""
+        return bool(self.errors)
+
+    def record(self, error: BaseException) -> None:
+        """Append a terminal action failure to the ledger."""
+        with self._lock:
+            self.errors.append(error)
+
+    def raise_pending(self) -> None:
+        """Raise the first recorded error, with the rest attached.
+
+        No-op when nothing failed. Does *not* clear the ledger — the
+        runtime stays marked failed until explicitly cleared.
+        """
+        with self._lock:
+            if not self.errors:
+                return
+            self.observed = True
+            first = self.errors[0]
+            first.errors = list(self.errors)  # type: ignore[attr-defined]
+            if len(self.errors) > 1 and not getattr(first, "_hstreams_noted", False):
+                first._hstreams_noted = True  # type: ignore[attr-defined]
+                if hasattr(first, "add_note"):  # pragma: no branch
+                    for extra in self.errors[1:]:
+                        first.add_note(
+                            f"also failed: {type(extra).__name__}: {extra}"
+                        )
+            raise first
+
+    def clear(self) -> List[BaseException]:
+        """Reset to the no-failure state; returns the dropped errors."""
+        with self._lock:
+            dropped, self.errors = self.errors, []
+            self.observed = False
+            return dropped
 
 
 class SchedulerObserver:
@@ -115,6 +184,8 @@ class StreamStats:
         "enqueued",
         "completed",
         "failed",
+        "cancelled",
+        "retried",
         "dep_stall_s",
         "dispatch_stall_s",
         "exec_s",
@@ -130,6 +201,10 @@ class StreamStats:
         self.enqueued = 0
         self.completed = 0
         self.failed = 0
+        #: Actions poisoned into CANCELLED by a failed producer.
+        self.cancelled = 0
+        #: Retry attempts consumed under ``failure_policy="retry"``.
+        self.retried = 0
         self.dep_stall_s = 0.0
         self.dispatch_stall_s = 0.0
         self.exec_s = 0.0
@@ -147,6 +222,8 @@ class StreamStats:
             "enqueued": self.enqueued,
             "completed": self.completed,
             "failed": self.failed,
+            "cancelled": self.cancelled,
+            "retried": self.retried,
             "dep_stall_s": self.dep_stall_s,
             "dispatch_stall_s": self.dispatch_stall_s,
             "exec_s": self.exec_s,
@@ -173,10 +250,19 @@ class Scheduler:
             "enqueued": 0,
             "completed": 0,
             "failed": 0,
+            "cancelled": 0,
+            "retried": 0,
             "dep_stall_s": 0.0,
             "dispatch_stall_s": 0.0,
             "exec_s": 0.0,
         }
+        #: Run-wide failure ledger; host wait paths raise through it.
+        self.failure = FailureState()
+        #: Failed/cancelled actions (by seq) with their errors, so work
+        #: enqueued *after* a failure deterministically poisons too when
+        #: it depends on — or operand-conflicts with — a dead producer.
+        #: Cleared by :meth:`clear_failure`.
+        self._poisoned: Dict[int, Tuple["Action", BaseException]] = {}
         self._by_kind = {
             kind.value: {"count": 0, "dep_stall_s": 0.0, "exec_s": 0.0}
             for kind in ActionKind
@@ -232,6 +318,9 @@ class Scheduler:
         assert stream is not None
         ready = False
         with self._lock:
+            if self.failure_policy == "fail_fast":
+                # Refuse new work outright once anything failed.
+                self.failure.raise_pending()
             now = backend.now()
             for prev in stream.window.deps_for(action):
                 assert prev.completion is not None
@@ -270,6 +359,12 @@ class Scheduler:
                         "this runtime's scheduler; cross-runtime event "
                         "dependences are not supported"
                     )
+            # Determinism across enqueue/failure interleavings: work
+            # admitted *after* a producer failed must poison exactly
+            # like work admitted before (failed actions have already
+            # left the live graph and the stream window, so the edge
+            # machinery alone would happily run it on garbage).
+            poison = self._admission_poison(action)
             node = self.graph.add(action, now)
             action.completion = HEvent(backend, backend.make_handle(), action)
             for dep_node in dep_nodes:
@@ -285,13 +380,34 @@ class Scheduler:
             self.runtime.tracer.counter(f"sched:{stream.lane}", now, stats.depth)
             for obs in self.observers:
                 obs.on_enqueue(action, dep_actions, dangling)
-            if node.waiting == 0:
+            if poison is not None:
+                self._cancel_subgraph(node, poison, now)
+            elif node.waiting == 0:
                 node.transition(ActionState.READY)
                 node.t_ready = now
                 ready = True
         if ready:
             backend.execute(action)
         return action.completion
+
+    def _admission_poison(self, action: "Action") -> Optional[BaseException]:
+        """Root error poisoning ``action`` at admission, if any.
+
+        Called with the lock held, before the node exists. An action is
+        poisoned on arrival when (under the poison/retry policies) it
+        explicitly waits on a failed/cancelled action, or its operands
+        conflict with one — the ordering edge the dead producer would
+        have supplied.
+        """
+        if not self._poisoned or self.failure_policy == "fail_fast":
+            return None
+        for ev in action.deps:
+            if ev.action is not None and ev.action.seq in self._poisoned:
+                return self._poisoned[ev.action.seq][1]
+        for dead, error in self._poisoned.values():
+            if dead.conflicts_with(action):
+                return error
+        return None
 
     # -- executor callbacks --------------------------------------------------------
 
@@ -304,6 +420,11 @@ class Scheduler:
             node.transition(ActionState.RUNNING)
             node.t_start = when if when is not None else self.runtime.backend.now()
 
+    @property
+    def failure_policy(self) -> str:
+        """The owning runtime's failure policy (defaults to poison)."""
+        return getattr(self.runtime, "failure_policy", "poison")
+
     def on_complete(
         self,
         action: "Action",
@@ -312,61 +433,171 @@ class Scheduler:
     ) -> None:
         """Executor callback: the action finished (or failed).
 
-        Signals the completion event, retires the node and its stream
-        window entry, folds lifecycle timings into the metrics, and
-        dispatches every dependent whose last dependence this was. A
-        failed action still releases its dependents — the error is
-        surfaced at the next synchronization, exactly as before.
+        On success: signals the completion event, retires the node and
+        its stream window entry, folds lifecycle timings into the
+        metrics, and dispatches every dependent whose last dependence
+        this was.
+
+        On failure the configured policy applies. Under ``"retry"``, a
+        transient error (:func:`~repro.core.errors.is_transient`) with
+        attempts remaining re-dispatches the action after capped
+        exponential backoff — the node stays live and its completion
+        event does not fire. A terminal failure records the error in
+        :attr:`failure`, then transitively **cancels** the dependents
+        (they never run; their completion events fire with a
+        :class:`~repro.core.errors.HStreamsCancelled` chained to the
+        root error). ``"fail_fast"`` additionally cancels every other
+        still-ENQUEUED action in the graph.
         """
         backend = self.runtime.backend
         to_dispatch: List["Action"] = []
+        retry_delay: Optional[float] = None
         with self._lock:
             node = self.graph.get(action)
             if node is None:  # double completion (defensive)
                 return
             end = when if when is not None else backend.now()
-            node.t_end = end
-            node.error = error
-            node.transition(
-                ActionState.FAILED if error is not None else ActionState.COMPLETE
-            )
-            assert action.completion is not None
-            action.completion.timestamp = end
-            backend.signal_completion(action.completion, end)
-            record = node.record()
-            action.completion.record = record
-            if self._records.maxlen != 0:
-                self._records.append(record)
-            self._fold(node, record)
-            for obs in self.observers:
-                obs.on_action_complete(action, record)
-            stream = action.stream
-            assert stream is not None
-            stream.window.retire(action)
-            stats = self._stream_stats(stream)
-            stats.depth -= 1
-            self.runtime.tracer.counter(f"sched:{stream.lane}", end, stats.depth)
+            if error is not None:
+                cfg = self.runtime.config
+                if (
+                    self.failure_policy == "retry"
+                    and is_transient(error)
+                    and node.attempts < cfg.retry_limit
+                ):
+                    node.attempts += 1
+                    retry_delay = min(
+                        cfg.retry_backoff_s
+                        * cfg.retry_backoff_factor ** (node.attempts - 1),
+                        cfg.retry_backoff_max_s,
+                    )
+                    stream = action.stream
+                    assert stream is not None
+                    stats = self._stream_stats(stream)
+                    stats.retried += 1
+                    self._totals["retried"] += 1
+                    tracer = self.runtime.tracer
+                    tracer.record(
+                        f"retry:{stream.lane}",
+                        end,
+                        end + retry_delay,
+                        f"retry {node.attempts}: {action.display}",
+                        kind="retry",
+                    )
+                    tracer.counter(f"retry:{stream.lane}", end, stats.retried)
+                    # Back to READY for re-dispatch. A fault raised
+                    # before on_start leaves the node READY already.
+                    node.transition(ActionState.READY)
+                    node.t_start = None
+                else:
+                    self.failure.record(error)
+                    node.t_end = end
+                    node.error = error
+                    node.transition(ActionState.FAILED)
+                    self._finish_node(node, end, to_dispatch)
+            else:
+                node.t_end = end
+                node.transition(ActionState.COMPLETE)
+                self._finish_node(node, end, to_dispatch)
+        if retry_delay is not None:
+            backend.execute_after(action, retry_delay)
+        for nxt in to_dispatch:
+            backend.execute(nxt)
+
+    def _finish_node(
+        self,
+        node: ActionNode,
+        end: float,
+        to_dispatch: List["Action"],
+    ) -> None:
+        """Terminal bookkeeping shared by completion, failure, and
+        cancellation (lock held; ``node`` already in a terminal state
+        with ``t_end``/``error`` set).
+
+        Fires the completion event, records and folds metrics, retires
+        the window entry, then releases (on success) or transitively
+        cancels (on failure) the dependents.
+        """
+        backend = self.runtime.backend
+        action = node.action
+        assert action.completion is not None
+        action.completion.timestamp = end
+        backend.signal_completion(action.completion, end)
+        record = node.record()
+        action.completion.record = record
+        if self._records.maxlen != 0:
+            self._records.append(record)
+        self._fold(node, record)
+        for obs in self.observers:
+            obs.on_action_complete(action, record)
+        stream = action.stream
+        assert stream is not None
+        stream.window.retire(action)
+        stats = self._stream_stats(stream)
+        stats.depth -= 1
+        self.runtime.tracer.counter(f"sched:{stream.lane}", end, stats.depth)
+        failed = node.state is not ActionState.COMPLETE
+        if failed:
+            assert node.error is not None
+            self._poisoned[action.seq] = (action, node.error)
+            root = node.error
+            if isinstance(root, HStreamsCancelled) and root.__cause__ is not None:
+                root = root.__cause__
             for dep_node in node.dependents:
+                self._cancel_subgraph(dep_node, root, end)
+            if (
+                self.failure_policy == "fail_fast"
+                and node.state is ActionState.FAILED
+            ):
+                for other in self.graph.nodes():
+                    if other.state is ActionState.ENQUEUED:
+                        self._cancel_subgraph(other, root, end)
+        else:
+            for dep_node in node.dependents:
+                if dep_node.state.is_terminal:
+                    continue
                 dep_node.waiting -= 1
                 if dep_node.waiting == 0 and dep_node.state is ActionState.ENQUEUED:
                     dep_node.transition(ActionState.READY)
                     dep_node.t_ready = end
                     to_dispatch.append(dep_node.action)
-            node.dependents = []
-            self.graph.pop(node)
-            self._outstanding -= 1
-            if self._outstanding == 0:
-                self._idle.notify_all()
-        for nxt in to_dispatch:
-            backend.execute(nxt)
+        node.dependents = []
+        self.graph.pop(node)
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._idle.notify_all()
+
+    def _cancel_subgraph(
+        self, node: ActionNode, root: BaseException, end: float
+    ) -> None:
+        """Poison ``node`` (and, transitively, its dependents) into
+        CANCELLED because producer work it needs failed with ``root``.
+
+        Lock held. READY/RUNNING nodes cannot be recalled from the
+        executor and are left to finish normally — only not-yet-released
+        (ENQUEUED) work is cancelled, which is exactly the set that
+        would otherwise run on garbage inputs.
+        """
+        if node.state is not ActionState.ENQUEUED:
+            return
+        err = HStreamsCancelled(
+            f"{node.action.display!r} cancelled: a producer it depends on "
+            f"failed ({type(root).__name__}: {root})"
+        )
+        err.__cause__ = root
+        node.error = err
+        node.t_end = end
+        node.transition(ActionState.CANCELLED)
+        self._finish_node(node, end, [])
 
     def _fold(self, node, record: ActionRecord) -> None:
         """Accumulate one finished node into the aggregates."""
-        failed = node.state is ActionState.FAILED
         stats = self._stream_stats(node.action.stream)
-        if failed:
+        if node.state is ActionState.FAILED:
             stats.failed += 1
             self._totals["failed"] += 1
+        elif node.state is ActionState.CANCELLED:
+            stats.cancelled += 1
+            self._totals["cancelled"] += 1
         else:
             stats.completed += 1
             self._totals["completed"] += 1
@@ -423,11 +654,37 @@ class Scheduler:
             node = self.graph.get(action)
             return node.t_enqueue if node is not None else 0.0
 
-    def wait_idle(self) -> None:
-        """Block the calling (host) thread until no action is in flight."""
+    def wait_idle(self, timeout: Optional[float] = None) -> None:
+        """Block the calling (host) thread until no action is in flight.
+
+        With ``timeout`` (wall seconds), raises
+        :class:`~repro.core.errors.HStreamsTimedOut` if work is still
+        outstanding when it expires.
+        """
         with self._idle:
+            if timeout is None:
+                while self._outstanding > 0:
+                    self._idle.wait()
+                return
+            deadline = time.monotonic() + timeout
             while self._outstanding > 0:
-                self._idle.wait()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise HStreamsTimedOut(
+                        f"wait_all timed out after {timeout} s with "
+                        f"{self._outstanding} action(s) outstanding"
+                    )
+                self._idle.wait(remaining)
+
+    def clear_failure(self) -> List[BaseException]:
+        """Reset the failure ledger and the poison tombstones.
+
+        After this, new enqueues no longer poison against past failures
+        and host waits stop re-raising. Returns the dropped errors.
+        """
+        with self._lock:
+            self._poisoned.clear()
+            return self.failure.clear()
 
     def inflight_touching(
         self, buf: "Buffer", domain: Optional[int] = None
@@ -462,7 +719,8 @@ class Scheduler:
 
         Keys:
 
-        * ``actions`` — enqueued / completed / failed / in-flight counts;
+        * ``actions`` — enqueued / completed / failed / cancelled /
+          retried / in-flight counts;
         * ``lifecycle`` — total dependence-stall, dispatch-stall, and
           execution seconds across all finished actions;
         * ``by_kind`` — the same split per action kind;
@@ -477,6 +735,8 @@ class Scheduler:
                     "enqueued": self._totals["enqueued"],
                     "completed": self._totals["completed"],
                     "failed": self._totals["failed"],
+                    "cancelled": self._totals["cancelled"],
+                    "retried": self._totals["retried"],
                     "in_flight": self._outstanding,
                 },
                 "lifecycle": {

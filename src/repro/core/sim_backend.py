@@ -131,18 +131,42 @@ class SimBackend(Backend):
 
         The scheduler already satisfied the action's dependences; the
         process only enforces that nothing starts before the virtual
-        host time at which the action was enqueued.
+        host time at which the action was enqueued. Failures (cost-model
+        errors, injected faults) never crash the engine loop: they are
+        caught and reported through ``scheduler.on_complete`` so the
+        failure policy applies exactly as on the thread backend.
         """
+        delay = max(0.0, self.runtime.scheduler.enqueue_time(action) - self.engine.now)
+        self.engine.process(self._proc(action, delay), name=action.display)
+
+    def execute_after(self, action: Action, delay: float) -> None:
+        """Retry dispatch: re-model ``action`` after ``delay`` virtual s."""
+        self.engine.process(
+            self._proc(action, delay), name=f"retry:{action.display}"
+        )
+
+    def _proc(self, action: Action, delay: float):
         scheduler = self.runtime.scheduler
-        delay = max(0.0, scheduler.enqueue_time(action) - self.engine.now)
-
-        def proc():
-            if delay > 0:
-                yield self.engine.timeout(delay)
+        if delay > 0:
+            yield self.engine.timeout(delay)
+        t_exec = self.engine.now
+        error: Optional[BaseException] = None
+        try:
+            injector = self.runtime.fault_injector
+            if injector is not None:
+                injector.check(action)
             yield from self._execute(action)
-            scheduler.on_complete(action, when=self.engine.now)
-
-        self.engine.process(proc(), name=action.display)
+        except Exception as exc:  # noqa: BLE001 - routed to failure policy
+            error = exc
+        budget = self.runtime.config.action_timeout_s
+        if error is None and budget is not None and self.engine.now - t_exec > budget:
+            # Post-hoc, like the thread backend: the modeled duration is
+            # known only once the pipeline ran it.
+            error = HStreamsTimedOut(
+                f"{action.display!r} ran {self.engine.now - t_exec:.6f} virtual "
+                f"s, over the action_timeout_s budget of {budget} s"
+            )
+        scheduler.on_complete(action, when=self.engine.now, error=error)
 
     def _compute_duration(self, action: Action) -> float:
         assert action.stream is not None
@@ -215,22 +239,47 @@ class SimBackend(Backend):
         wait_all: bool = True,
         timeout: Optional[float] = None,
     ) -> None:
+        failure = self.runtime.scheduler.failure
         handles = [e.handle for e in events]
         target = (
             self.engine.all_of(handles) if wait_all else self.engine.any_of(handles)
         )
         if timeout is not None:
-            self.engine.run(until=self._host_now + timeout)
+            # Run only until the events complete; the clock advances to
+            # the deadline solely on an actual timeout — a timed wait on
+            # fast events no longer inflates virtual host time.
+            self.engine.run_until_event(target, until=self._host_now + timeout)
             if not target.triggered:
+                self._host_now = max(self._host_now, self.engine.now)
+                failure.raise_pending()
                 raise HStreamsTimedOut(
                     f"virtual wait exceeded {timeout} s for {len(events)} event(s)"
                 )
         else:
             self.engine.run_until_event(target)
         self._host_now = max(self._host_now, self.engine.now)
+        failure.raise_pending()
 
-    def wait_all(self) -> None:
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        failure = self.runtime.scheduler.failure
+        if timeout is not None:
+            deadline = self._host_now + timeout
+            self.engine.run_to(deadline)
+            if self.runtime.scheduler.outstanding > 0:
+                self._host_now = deadline
+                failure.raise_pending()
+                raise HStreamsTimedOut(
+                    f"virtual wait_all exceeded {timeout} s with "
+                    f"{self.runtime.scheduler.outstanding} action(s) outstanding"
+                )
+            self._host_now = max(self._host_now, self.engine.now)
+            failure.raise_pending()
+            return
         self.engine.run()
+        self._host_now = max(self._host_now, self.engine.now)
+        # A recorded failure explains the drain better than the
+        # dependents it poisoned ever could — surface it first.
+        failure.raise_pending()
         stalled = self.runtime.scheduler.find_stalled()
         if stalled:
             names = ", ".join(repr(a.display) for a in stalled[:8])
@@ -243,7 +292,6 @@ class SimBackend(Backend):
             raise HStreamsInternalError(
                 f"{outstanding} action(s) still in flight after engine drain"
             )
-        self._host_now = max(self._host_now, self.engine.now)
 
     def now(self) -> float:
         return self._host_now

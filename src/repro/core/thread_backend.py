@@ -18,12 +18,15 @@ Mapping of the paper's resources:
   host-as-target transfers alias away.
 
 The backend is a pure executor: dependence tracking, readiness dispatch,
-and completion propagation belong to the shared
+completion propagation, and failure policy belong to the shared
 :class:`~repro.core.scheduler.Scheduler`, which only hands this backend
 actions whose dependences are already satisfied. Kernel exceptions do
-not deadlock the runtime: the failing action still completes (releasing
-its dependents), and the first error re-raises on the next
-synchronization.
+not deadlock the runtime: the failing action still completes, the
+scheduler applies the failure policy (poisoning dependents into
+CANCELLED, or retrying transient errors), and every error is kept in
+the scheduler's :class:`~repro.core.scheduler.FailureState` ledger —
+the next synchronization re-raises the first with the rest attached,
+and keeps re-raising until ``HStreams.clear_failure()``.
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ from repro.core.events import HEvent
 __all__ = ["ThreadBackend"]
 
 _ANY_POLL_S = 5e-5  # poll period for wait-any
+_ALL_SLICE_S = 0.05  # slice for wait-all, so pending failures surface
 
 
 class ThreadBackend(Backend):
@@ -58,13 +62,11 @@ class ThreadBackend(Backend):
 
     def attach(self, runtime) -> None:
         self.runtime = runtime
-        self._lock = threading.Lock()
         self._stream_pools: Dict[int, ThreadPoolExecutor] = {}
         self._xfer_pool = ThreadPoolExecutor(
             max_workers=self._xfer_workers, thread_name_prefix="hstr-xfer"
         )
         self._t0 = time.perf_counter()
-        self._error: Optional[BaseException] = None
 
     def close(self) -> None:
         for pool in self._stream_pools.values():
@@ -114,19 +116,43 @@ class ThreadBackend(Backend):
         else:
             self._stream_pools[action.stream.id].submit(self._run, action)
 
-    def _run(self, action: Action) -> None:
+    def execute_after(self, action: Action, delay: float) -> None:
+        """Retry dispatch: re-run ``action`` after ``delay`` wall seconds.
+
+        The backoff sleep rides the same worker the action runs on (the
+        stream's compute slot, or the DMA pool for transfers), which
+        also keeps retried work ordered before anything enqueued behind
+        it in the same stream.
+        """
+        assert action.stream is not None
+        if action.kind is ActionKind.XFER:
+            self._xfer_pool.submit(self._run, action, delay)
+        else:
+            self._stream_pools[action.stream.id].submit(self._run, action, delay)
+
+    def _run(self, action: Action, delay: float = 0.0) -> None:
+        if delay > 0.0:
+            time.sleep(delay)
         scheduler = self.runtime.scheduler
+        injector = self.runtime.fault_injector
         start = time.perf_counter() - self._t0
         scheduler.on_start(action, when=start)
         error: Optional[BaseException] = None
         try:
+            if injector is not None:
+                injector.check(action)
             self._execute(action)
         except BaseException as exc:  # noqa: BLE001 - surfaced at next sync
             error = exc
-            with self._lock:
-                if self._error is None:
-                    self._error = exc
         end = time.perf_counter() - self._t0
+        budget = self.runtime.config.action_timeout_s
+        if error is None and budget is not None and end - start > budget:
+            # Python kernels cannot be preempted: enforce the per-action
+            # budget post-hoc by failing the action once it returns.
+            error = HStreamsTimedOut(
+                f"{action.display!r} ran {end - start:.6f} s, over the "
+                f"action_timeout_s budget of {budget} s"
+            )
         assert action.stream is not None
         lane = (
             f"xfer:d{action.stream.domain}"
@@ -186,10 +212,12 @@ class ThreadBackend(Backend):
     # -- waiting --------------------------------------------------------------------------
 
     def _raise_pending_error(self) -> None:
-        with self._lock:
-            err, self._error = self._error, None
-        if err is not None:
-            raise err
+        """Surface run failures: first error raised, rest attached.
+
+        Sticky — every synchronization keeps raising until the caller
+        invokes ``HStreams.clear_failure()``.
+        """
+        self.runtime.scheduler.failure.raise_pending()
 
     def wait_events(
         self,
@@ -197,23 +225,43 @@ class ThreadBackend(Backend):
         wait_all: bool = True,
         timeout: Optional[float] = None,
     ) -> None:
+        failure = self.runtime.scheduler.failure
         deadline = None if timeout is None else time.monotonic() + timeout
         if wait_all:
             for ev in events:
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if not ev.handle.wait(remaining):
-                    raise HStreamsTimedOut(
-                        f"timed out waiting for {len(events)} event(s)"
+                # Wait in short slices so a kernel failure elsewhere
+                # surfaces promptly instead of blocking to the deadline
+                # (or forever) on events that may never fire.
+                while not ev.handle.is_set():
+                    if failure.failed:
+                        failure.raise_pending()
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
                     )
+                    if remaining is not None and remaining <= 0:
+                        raise HStreamsTimedOut(
+                            f"timed out waiting for {len(events)} event(s)"
+                        )
+                    slice_s = (
+                        _ALL_SLICE_S
+                        if remaining is None
+                        else min(_ALL_SLICE_S, remaining)
+                    )
+                    ev.handle.wait(slice_s)
         else:
             while events and not any(ev.handle.is_set() for ev in events):
+                # A failure can mean the awaited events never fire
+                # (e.g. under fail_fast) — check every poll iteration
+                # so wait-any cannot hang on a dead producer.
+                if failure.failed:
+                    failure.raise_pending()
                 if deadline is not None and time.monotonic() > deadline:
                     raise HStreamsTimedOut("timed out in wait-any")
                 time.sleep(_ANY_POLL_S)
         self._raise_pending_error()
 
-    def wait_all(self) -> None:
-        self.runtime.scheduler.wait_idle()
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        self.runtime.scheduler.wait_idle(timeout)
         self._raise_pending_error()
 
     def now(self) -> float:

@@ -346,9 +346,34 @@ class Engine:
             self.now = until
         return self.now
 
-    def run_until_event(self, event: Event, limit: float = 1e12) -> Any:
-        """Run until ``event`` fires; return its value or raise its failure."""
+    def run_to(self, until: float) -> float:
+        """Fire every calendar entry scheduled at or before ``until``.
+
+        Unlike :meth:`run`, the clock stays at the last fired entry — it
+        does not jump to ``until`` when the calendar drains early.
+        Returns the final simulation time.
+        """
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        return self.now
+
+    def run_until_event(
+        self, event: Event, limit: float = 1e12, until: Optional[float] = None
+    ) -> Any:
+        """Run until ``event`` fires; return its value or raise its failure.
+
+        With ``until`` set, stop stepping once the next calendar entry
+        lies past it (or the calendar drains first): the clock advances
+        exactly to ``until`` and ``None`` is returned — a *timeout*, not
+        an error — so a timed wait never simulates past its deadline
+        when the event fires earlier, and never deadlocks when it cannot
+        fire at all.
+        """
         while not event.triggered:
+            if until is not None and (not self._heap or self._heap[0][0] > until):
+                if until > self.now:
+                    self.now = until
+                return None
             if not self._heap:
                 raise SimError(
                     f"deadlock: event {event!r} can never fire (calendar empty)"

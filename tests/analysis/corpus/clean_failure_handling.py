@@ -1,0 +1,47 @@
+"""Clean: a fault-injected, retry-recovering pipeline.
+
+The program arms a deterministic transient fault on its compute kernel
+and runs under ``failure_policy="retry"`` — when executed for real, the
+first attempt raises, the scheduler re-dispatches with backoff, and the
+pipeline completes. Under capture nothing executes, so the fault plan is
+inert and the analyzer sees an ordinarily well-synchronized program.
+
+Expected: zero diagnostics.
+"""
+
+import numpy as np
+
+from repro import (
+    FaultPlan,
+    FaultSpec,
+    HStreams,
+    XferDirection,
+    inject_faults,
+    make_platform,
+)
+
+hs = HStreams(
+    platform=make_platform("HSW", 1),
+    backend="sim",
+    failure_policy="retry",
+)
+hs.register_kernel("scale", fn=lambda x, f: np.multiply(x, f, out=x))
+inject_faults(
+    hs,
+    FaultPlan(
+        specs=(
+            FaultSpec(kind="compute", kernel="scale", nth=1, transient=True),
+        ),
+        seed=7,
+    ),
+)
+s = hs.stream_create(domain=1, ncores=30)
+
+data = np.arange(16.0)
+buf = hs.wrap(data, name="payload")
+hs.enqueue_xfer(s, buf)
+hs.enqueue_compute(s, "scale", args=(buf.tensor((16,)), 2.0))
+hs.enqueue_xfer(s, buf, XferDirection.SINK_TO_SRC)
+
+hs.thread_synchronize()
+hs.fini()

@@ -33,6 +33,7 @@ CLEAN = [
     "clean_barrier_ordered.py",
     "clean_strict_fifo.py",
     "clean_host_synced.py",
+    "clean_failure_handling.py",
 ]
 
 

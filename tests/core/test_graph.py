@@ -36,13 +36,21 @@ class TestLifecycle:
         [
             (ActionState.RUNNING,),  # enqueued cannot start without readiness
             (ActionState.COMPLETE,),
-            (ActionState.READY, ActionState.READY),
-            (ActionState.READY, ActionState.RUNNING, ActionState.READY),
             (
                 ActionState.READY,
                 ActionState.RUNNING,
                 ActionState.COMPLETE,
                 ActionState.FAILED,  # terminal states are final
+            ),
+            (
+                ActionState.READY,
+                ActionState.CANCELLED,
+                ActionState.READY,  # cancellation is final too
+            ),
+            (
+                ActionState.READY,
+                ActionState.RUNNING,
+                ActionState.CANCELLED,  # running work cannot be recalled
             ),
         ],
     )
@@ -52,9 +60,32 @@ class TestLifecycle:
             for state in path:
                 node.transition(state)
 
+    def test_retry_edges_are_legal(self):
+        # failure_policy="retry" re-dispatches: RUNNING -> READY, and a
+        # fault raised before on_start leaves READY re-entering READY.
+        node = ActionNode(mk_action(), t_enqueue=0.0)
+        node.transition(ActionState.READY)
+        node.transition(ActionState.RUNNING)
+        node.transition(ActionState.READY)
+        node.transition(ActionState.READY)
+        node.transition(ActionState.RUNNING)
+        node.transition(ActionState.COMPLETE)
+
+    def test_poison_edges_are_legal(self):
+        # A failed producer cancels ENQUEUED (and not-yet-started READY)
+        # dependents.
+        node = ActionNode(mk_action(), t_enqueue=0.0)
+        node.transition(ActionState.CANCELLED)
+        assert node.state.is_terminal
+        node2 = ActionNode(mk_action(), t_enqueue=0.0)
+        node2.transition(ActionState.READY)
+        node2.transition(ActionState.CANCELLED)
+        assert node2.state.is_terminal
+
     def test_terminal_flags(self):
         assert ActionState.COMPLETE.is_terminal
         assert ActionState.FAILED.is_terminal
+        assert ActionState.CANCELLED.is_terminal
         for s in (ActionState.ENQUEUED, ActionState.READY, ActionState.RUNNING):
             assert not s.is_terminal
 

@@ -52,12 +52,15 @@ class TestErrorCodes:
         assert errors.HStreamsTimedOut.code == "HSTR_RESULT_TIME_OUT_REACHED"
         assert errors.HStreamsNotFound.code == "HSTR_RESULT_NOT_FOUND"
         assert errors.HStreamsOutOfMemory.code == "HSTR_RESULT_OUT_OF_MEMORY"
-        # Every error class carries a distinct code.
-        codes = {
-            getattr(errors, name).code
+        # Every error class carries a distinct code (__all__ also
+        # exports the transient-marking helpers, which have none).
+        classes = [
+            getattr(errors, name)
             for name in errors.__all__
-        }
-        assert len(codes) == len(errors.__all__)
+            if isinstance(getattr(errors, name), type)
+        ]
+        codes = {cls.code for cls in classes}
+        assert len(codes) == len(classes)
 
 
 class TestKernelSpec:

@@ -156,14 +156,15 @@ class TestMetricsThread:
         hs.thread_synchronize()
         hs.fini()
 
-    def test_failed_action_releases_dependents_and_is_recorded(self):
+    def test_failed_action_poisons_dependents_and_is_recorded(self):
         hs = thread_runtime(trace=False)
+        ran = []
 
         def boom(x):
             raise RuntimeError("kernel exploded")
 
         hs.register_kernel("boom", fn=boom)
-        hs.register_kernel("after", fn=lambda x: None)
+        hs.register_kernel("after", fn=lambda x: ran.append(1))
         s = hs.stream_create(domain=1, ncores=4)
         buf = hs.buffer_create(nbytes=64)
         op = buf.all_inout()
@@ -171,12 +172,18 @@ class TestMetricsThread:
         dep = hs.enqueue_compute(s, "after", args=(op,))  # depends on boom
         with pytest.raises(RuntimeError, match="kernel exploded"):
             hs.thread_synchronize()
-        assert dep.is_complete()  # dependent was released, not deadlocked
+        # The dependent was cancelled (its event still fires so host
+        # waits cannot hang), and its kernel never executed.
+        assert dep.is_complete()
+        assert ran == []
         m = hs.metrics()
         assert m["actions"]["failed"] == 1
-        assert m["actions"]["completed"] == 1
+        assert m["actions"]["cancelled"] == 1
+        assert m["actions"]["completed"] == 0
         states = sorted(r.state for r in m["records"])
-        assert states == ["complete", "failed"]
+        assert states == ["cancelled", "failed"]
+        hs.clear_failure()
+        hs.fini()
 
 
 class TestPolicies:
