@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Hot-path perf microbenchmarks → BENCH_perf.json (+ CI regression gate).
+
+Thin CLI over :mod:`repro.bench.perf`: runs the enqueue/dispatch suite,
+writes ``BENCH_perf.json`` (schema: bench, metric, value, unit, n,
+backend), and optionally gates deterministic counters against a
+committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpath.py \
+        --check benchmarks/baselines/BENCH_perf.json
+
+Refresh the baseline after an intentional change with
+``--write-baseline`` (then commit the diff)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpath.py --write-baseline
+
+Wall-clock rows are informational only; regressions are judged solely on
+deterministic counters (scan candidates/comparisons, allocations,
+unelided transfers), so the gate is stable on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import perf  # noqa: E402
+
+BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_perf.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-smoke sizes")
+    parser.add_argument(
+        "--json", default="BENCH_perf.json", help="output path ('-' for stdout)"
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help=f"gate gated counters against a baseline (e.g. {BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=perf.DEFAULT_TOLERANCE,
+        help="relative allowance for gated counters",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help=f"also refresh the committed baseline at {BASELINE}",
+    )
+    args = parser.parse_args(argv)
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    forwarded += ["--json", args.json]
+    if args.check:
+        forwarded += ["--check", args.check, "--tolerance", str(args.tolerance)]
+    status = perf.main(forwarded)
+
+    if args.write_baseline and args.json not in ("-", str(BASELINE)):
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(Path(args.json).read_text())
+        print(f"refreshed baseline {BASELINE}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

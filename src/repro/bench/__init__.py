@@ -7,6 +7,9 @@
   matmul-offload implementations (one per programming model) with
   per-phase annotations, plus the analyzer that counts additional source
   lines, unique APIs, and total API calls.
+* :mod:`repro.bench.perf` — hot-path enqueue/dispatch microbenchmarks
+  (``python -m repro.bench.perf``): emits ``BENCH_perf.json`` rows and
+  gates CI on deterministic counters via ``--check`` (DESIGN.md §8).
 """
 
 from repro.bench.reporting import ComparisonTable, Series, ascii_plot, format_table

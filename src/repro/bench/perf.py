@@ -1,0 +1,528 @@
+"""Hot-path performance microbenchmarks with a CI regression gate.
+
+The paper's §III evaluation is an overhead story — hStreams adds only
+20–30 µs per small transfer and <5 % on multi-MB payloads — and per-
+enqueue cost is what caps achievable stream concurrency. This module
+measures the runtime's enqueue→dispatch hot path and emits rows with the
+fixed schema ``{bench, metric, value, unit, n, backend}`` (the
+``BENCH_perf.json`` artifact), so a committed baseline can gate CI.
+
+Benches:
+
+* ``enqueue_scan`` — :meth:`StreamWindow.deps_for` latency and scan
+  counters vs in-flight window depth (10/100/1k/5k), for the conflict-
+  indexed :class:`~repro.core.dependences.RelaxedPolicy` **and** the
+  pre-index :class:`~repro.core.dependences.NaiveRelaxedPolicy`, on a
+  per-action-buffer (``disjoint``) and a shared-buffer workload. The
+  indexed-vs-naive pair is the before/after axis.
+* ``enqueue_admission`` — full ``enqueue_compute`` latency through the
+  scheduler at held window depth (thread backend, blocked kernels),
+  plus allocated heap blocks per enqueue.
+* ``dispatch_throughput`` — end-to-end actions/second for dependence-
+  free no-op computes on both backends.
+* ``transfer_overhead`` — virtual per-transfer cost vs payload size on
+  the sim backend, mirroring §III.
+* ``elision`` — redundant-transfer elision count (deterministic).
+
+Gating: rows with unit ``"count"`` are deterministic counters (scan
+candidates/comparisons, elisions, allocations) and are compared against
+the baseline by :func:`check_rows`; wall-clock and virtual-time rows
+(unit ``"s"``, ``"ops/s"``) are reported but never gate. Allocation
+counters vary slightly across CPython versions, so they get at least a
+2x allowance regardless of ``--tolerance``.
+
+CLI::
+
+    python -m repro.bench.perf [--quick] [--json PATH|-]
+        [--check BASELINE.json] [--tolerance 0.25]
+
+Exit status: 0 on success, 1 when ``--check`` finds a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.actions import Action, ActionKind, Operand, OperandMode
+from repro.core.buffer import Buffer, ProxyAddressSpace
+from repro.core.dependences import (
+    NaiveRelaxedPolicy,
+    RelaxedPolicy,
+    StreamWindow,
+)
+
+__all__ = [
+    "PerfRow",
+    "run_suite",
+    "check_rows",
+    "format_rows",
+    "rows_to_json",
+    "rows_from_json",
+    "main",
+]
+
+#: Rows with this unit are deterministic counters and gate regressions.
+GATED_UNIT = "count"
+
+#: Default relative regression allowance for gated counters.
+DEFAULT_TOLERANCE = 0.25
+
+#: Metrics matching this substring are allocator-dependent: they gate
+#: with at least a 2x allowance (CPython versions differ slightly).
+_ALLOC_METRIC = "alloc"
+
+_DEPTHS = (10, 100, 1000, 5000)
+_QUICK_DEPTHS = (10, 100)
+
+
+@dataclass(frozen=True)
+class PerfRow:
+    """One measurement in the ``BENCH_perf.json`` schema."""
+
+    bench: str
+    metric: str
+    value: float
+    unit: str
+    n: int
+    backend: str
+
+
+class _NeverDone:
+    """Completion stand-in for held-open window entries."""
+
+    __slots__ = ()
+
+    def is_complete(self) -> bool:
+        return False
+
+
+def _window_action(operands: Sequence[Operand], barrier: bool = False) -> Action:
+    action = Action(
+        kind=ActionKind.SYNC if barrier else ActionKind.COMPUTE,
+        stream=None,
+        operands=tuple(operands),
+        barrier=barrier,
+    )
+    action.completion = _NeverDone()
+    return action
+
+
+def _fill_window(
+    window: StreamWindow, depth: int, workload: str
+) -> Tuple[List[Buffer], Action]:
+    """Populate ``window`` with ``depth`` incomplete writers; return the
+    buffers and a probe action conflicting with a bounded subset."""
+    space = ProxyAddressSpace()
+    if workload == "disjoint":
+        # One buffer per in-flight action — tiled pipelines where every
+        # stage owns its slice. Conflict set of the probe: 1.
+        bufs = [Buffer(space, nbytes=64) for _ in range(depth)]
+        for buf in bufs:
+            window.add(_window_action([Operand(buf, 0, 64, OperandMode.OUT)]))
+        probe = _window_action([Operand(bufs[-1], 0, 64, OperandMode.IN)])
+    elif workload == "shared":
+        # Eight shared buffers, 64-byte slices cycling per action: every
+        # bucket holds depth/8 entries, the probe range conflicts with
+        # the writers of one slice.
+        bufs = [Buffer(space, nbytes=4096) for _ in range(8)]
+        for i in range(depth):
+            buf = bufs[i % 8]
+            offset = (i * 64) % 4096
+            window.add(_window_action([Operand(buf, offset, 64, OperandMode.OUT)]))
+        probe = _window_action([Operand(bufs[0], 0, 64, OperandMode.INOUT)])
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown workload {workload!r}")
+    return bufs, probe
+
+
+def bench_enqueue_scan(
+    rows: List[PerfRow], depths: Sequence[int], probes: int
+) -> None:
+    """deps_for latency + deterministic scan counters vs window depth."""
+    for workload in ("disjoint", "shared"):
+        for depth in depths:
+            for policy_name, policy in (
+                ("indexed", RelaxedPolicy()),
+                ("naive", NaiveRelaxedPolicy()),
+            ):
+                window = StreamWindow(policy=policy)
+                _bufs, probe = _fill_window(window, depth, workload)
+                candidates0 = window.scan_candidates
+                comparisons0 = window.scan_comparisons
+                samples: List[float] = []
+                for _ in range(probes):
+                    t0 = time.perf_counter()
+                    window.deps_for(probe)
+                    samples.append(time.perf_counter() - t0)
+                bench = f"enqueue_scan:{workload}:{policy_name}:d{depth}"
+                rows.append(
+                    PerfRow(
+                        bench,
+                        "scan_candidates",
+                        (window.scan_candidates - candidates0) / probes,
+                        GATED_UNIT,
+                        probes,
+                        "window",
+                    )
+                )
+                rows.append(
+                    PerfRow(
+                        bench,
+                        "scan_comparisons",
+                        (window.scan_comparisons - comparisons0) / probes,
+                        GATED_UNIT,
+                        probes,
+                        "window",
+                    )
+                )
+                rows.append(
+                    PerfRow(
+                        bench,
+                        "deps_for_p50_s",
+                        statistics.median(samples),
+                        "s",
+                        probes,
+                        "window",
+                    )
+                )
+
+
+def _blocked_runtime(depth: int):
+    """A thread-backend runtime holding ``depth`` blocked disjoint
+    computes in one stream's window. Returns (runtime, stream, gate)."""
+    import threading
+
+    from repro.core.runtime import HStreams
+
+    gate = threading.Event()
+    hs = HStreams(backend="thread", trace=False)
+    hs.register_kernel("block", fn=lambda *_args: gate.wait())
+    stream = hs.stream_create(domain=0, ncores=1)
+    for _ in range(depth):
+        buf = hs.buffer_create(nbytes=64)
+        hs.enqueue_compute(
+            stream, "block", operands=(buf.range(0, 64, OperandMode.OUT),)
+        )
+    return hs, stream, gate
+
+
+def bench_enqueue_admission(
+    rows: List[PerfRow],
+    depths: Sequence[int],
+    measure: int,
+    naive_depth: Optional[int],
+) -> None:
+    """Full enqueue latency through the scheduler at held window depth.
+
+    The window is filled through the indexed policy (fast) either way;
+    only the *measured* enqueues run under the policy being benchmarked,
+    so the naive number is honest without paying O(depth^2) to set up.
+    """
+    variants: List[Tuple[str, int]] = [("indexed", d) for d in depths]
+    if naive_depth is not None:
+        variants.append(("naive", naive_depth))
+    for policy_name, depth in variants:
+        hs, stream, gate = _blocked_runtime(depth)
+        try:
+            if policy_name == "naive":
+                stream.window.policy = NaiveRelaxedPolicy()
+            operands = []
+            for _ in range(measure):
+                buf = hs.buffer_create(nbytes=64)
+                operands.append(buf.range(0, 64, OperandMode.OUT))
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                samples: List[float] = []
+                blocks0 = sys.getallocatedblocks()
+                for op in operands:
+                    t0 = time.perf_counter()
+                    hs.enqueue_compute(stream, "block", operands=(op,))
+                    samples.append(time.perf_counter() - t0)
+                blocks = sys.getallocatedblocks() - blocks0
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            bench = f"enqueue_admission:{policy_name}:d{depth}"
+            rows.append(
+                PerfRow(
+                    bench,
+                    "enqueue_p50_s",
+                    statistics.median(samples),
+                    "s",
+                    measure,
+                    "thread",
+                )
+            )
+            if policy_name == "indexed":
+                rows.append(
+                    PerfRow(
+                        bench,
+                        "allocated_blocks_per_enqueue",
+                        blocks / measure,
+                        GATED_UNIT,
+                        measure,
+                        "thread",
+                    )
+                )
+        finally:
+            gate.set()
+            hs.fini()
+
+
+def bench_dispatch_throughput(rows: List[PerfRow], count: int) -> None:
+    """End-to-end dependence-free dispatch rate on both backends."""
+    from repro.core.runtime import HStreams
+    from repro.sim.kernels import KernelCost
+
+    for backend in ("thread", "sim"):
+        hs = HStreams(backend=backend, trace=False)
+        hs.register_kernel(
+            "noop",
+            fn=lambda *_args: None,
+            cost_fn=lambda *_args: KernelCost("noop", flops=1e3, size=1.0),
+        )
+        stream = hs.stream_create(domain=0 if backend == "thread" else 1)
+        ops = []
+        for _ in range(count):
+            buf = hs.buffer_create(nbytes=64)
+            ops.append(buf.range(0, 64, OperandMode.OUT))
+        t0 = time.perf_counter()
+        for op in ops:
+            hs.enqueue_compute(stream, "noop", operands=(op,))
+        hs.thread_synchronize()
+        elapsed = time.perf_counter() - t0
+        hs.fini()
+        rows.append(
+            PerfRow(
+                "dispatch_throughput",
+                "actions_per_s",
+                count / elapsed if elapsed > 0 else float("inf"),
+                "ops/s",
+                count,
+                backend,
+            )
+        )
+
+
+def bench_transfer_overhead(
+    rows: List[PerfRow], payloads: Sequence[int], reps: int
+) -> None:
+    """Virtual per-transfer cost vs payload size (sim, §III mirror)."""
+    from repro.core.runtime import HStreams
+
+    for payload in payloads:
+        hs = HStreams(backend="sim", trace=False, transfer_elision=False)
+        stream = hs.stream_create(domain=1)
+        buf = hs.buffer_create(nbytes=payload)
+        t0 = hs.elapsed()
+        for _ in range(reps):
+            hs.enqueue_xfer(stream, buf.all_out())
+            hs.stream_synchronize(stream)
+        per_xfer = (hs.elapsed() - t0) / reps
+        hs.fini()
+        rows.append(
+            PerfRow(
+                f"transfer_overhead:{payload}B",
+                "virtual_xfer_s",
+                per_xfer,
+                "s",
+                reps,
+                "sim",
+            )
+        )
+
+
+def bench_elision(rows: List[PerfRow], reps: int) -> None:
+    """Redundant h2d transfers elided by the memory manager."""
+    from repro.core.runtime import HStreams
+
+    hs = HStreams(backend="sim", trace=False)
+    stream = hs.stream_create(domain=1)
+    buf = hs.buffer_create(nbytes=1 << 16)
+    for _ in range(reps + 1):
+        hs.enqueue_xfer(stream, buf.all_out())
+    hs.thread_synchronize()
+    elided = hs.metrics()["memory"]["elided_transfers"]
+    hs.fini()
+    # Elisions are savings: gate them as a *floor* by storing the count
+    # of transfers that were NOT elided (lower stays better throughout).
+    rows.append(
+        PerfRow("elision", "elided_transfers", elided, "info", reps + 1, "sim")
+    )
+    rows.append(
+        PerfRow(
+            "elision",
+            "unelided_transfers",
+            (reps + 1) - elided,
+            GATED_UNIT,
+            reps + 1,
+            "sim",
+        )
+    )
+
+
+def run_suite(
+    quick: bool = False,
+    depths: Optional[Sequence[int]] = None,
+    probes: Optional[int] = None,
+) -> List[PerfRow]:
+    """Run every microbench; returns the result rows."""
+    if depths is None:
+        depths = _QUICK_DEPTHS if quick else _DEPTHS
+    if probes is None:
+        probes = 20 if quick else 50
+    measure = 30 if quick else 100
+    count = 200 if quick else 1000
+    reps = 2 if quick else 3
+    payloads = (4 << 10, 64 << 10) if quick else (4 << 10, 64 << 10, 1 << 20, 8 << 20)
+    rows: List[PerfRow] = []
+    bench_enqueue_scan(rows, depths, probes)
+    bench_enqueue_admission(rows, depths, measure, naive_depth=max(depths))
+    bench_dispatch_throughput(rows, count)
+    bench_transfer_overhead(rows, payloads, reps)
+    bench_elision(rows, reps)
+    return rows
+
+
+# -- reporting & gating -------------------------------------------------------
+
+
+def rows_to_json(rows: Iterable[PerfRow]) -> str:
+    return json.dumps([asdict(r) for r in rows], indent=2) + "\n"
+
+
+def rows_from_json(text: str) -> List[PerfRow]:
+    return [PerfRow(**entry) for entry in json.loads(text)]
+
+
+def format_rows(rows: Iterable[PerfRow]) -> str:
+    lines = [
+        f"{'bench':44} {'metric':30} {'value':>14} {'unit':>6} {'n':>5} backend"
+    ]
+    for r in rows:
+        value = f"{r.value:.6g}"
+        lines.append(
+            f"{r.bench:44} {r.metric:30} {value:>14} {r.unit:>6} {r.n:>5} {r.backend}"
+        )
+    return "\n".join(lines)
+
+
+def check_rows(
+    current: Iterable[PerfRow],
+    baseline: Iterable[PerfRow],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Compare gated counters against a baseline; returns the failures.
+
+    All gated counters are lower-is-better. A current value may exceed
+    its baseline by ``tolerance`` (relative) plus one absolute count of
+    slack; allocator-dependent metrics get at least 2x. Gated baseline
+    rows missing from the current run fail too — a silently vanished
+    counter is how a harness rots.
+    """
+    current_by_key: Dict[Tuple[str, str, str], PerfRow] = {
+        (r.bench, r.metric, r.backend): r for r in current
+    }
+    problems: List[str] = []
+    for base in baseline:
+        if base.unit != GATED_UNIT:
+            continue
+        key = (base.bench, base.metric, base.backend)
+        row = current_by_key.get(key)
+        if row is None:
+            problems.append(
+                f"{base.bench}/{base.metric}: gated counter missing from current run"
+            )
+            continue
+        tol = tolerance
+        if _ALLOC_METRIC in base.metric:
+            tol = max(tolerance, 1.0)
+        limit = base.value * (1.0 + tol) + 1.0
+        if row.value > limit:
+            problems.append(
+                f"{base.bench}/{base.metric}: {row.value:.6g} exceeds baseline "
+                f"{base.value:.6g} by more than {tol:.0%} (+1) "
+                f"[limit {limit:.6g}]"
+            )
+    return problems
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="Hot-path enqueue/dispatch microbenchmarks "
+        "(BENCH_perf.json emitter + regression gate).",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small depths/counts (CI smoke)"
+    )
+    parser.add_argument(
+        "--depths",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=None,
+        help="comma-separated window depths (default 10,100,1000,5000)",
+    )
+    parser.add_argument(
+        "--probes", type=int, default=None, help="deps_for probes per depth"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write rows as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare gated counters against a baseline JSON file",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"relative allowance for gated counters (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    rows = run_suite(quick=args.quick, depths=args.depths, probes=args.probes)
+
+    if args.json == "-":
+        sys.stdout.write(rows_to_json(rows))
+    else:
+        print(format_rows(rows))
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(rows_to_json(rows))
+            print(f"\nwrote {args.json}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = rows_from_json(fh.read())
+        problems = check_rows(rows, baseline, tolerance=args.tolerance)
+        if problems:
+            print(
+                f"\nPERF GATE: {len(problems)} regression(s) vs {args.check}:",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        gated = sum(1 for r in rows if r.unit == GATED_UNIT)
+        print(f"\nperf gate ok: {gated} gated counter(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,7 +58,7 @@ class XferDirection(enum.Enum):
     SINK_TO_SRC = "sink_to_src"  # sink domain -> host (source)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operand:
     """A byte range of a buffer with an access mode.
 
@@ -117,7 +117,11 @@ class Operand:
         return self.buffer.proxy_base + self.offset
 
 
-@dataclass
+#: One cached footprint entry: ``(buffer uid, start, end, writes)``.
+FootprintEntry = Tuple[int, int, int, bool]
+
+
+@dataclass(slots=True)
 class Action:
     """One enqueued unit of work, bound to a stream at enqueue time.
 
@@ -148,6 +152,20 @@ class Action:
     completion: Optional["HEvent"] = None
     deps: List["HEvent"] = field(default_factory=list)
     barrier: bool = False  # sync action with no operands orders everything
+    #: Cached operand footprint: one ``(buffer uid, start, end, writes)``
+    #: interval per non-empty operand, computed once at construction.
+    #: This is what ``conflicts_with`` and the stream window's conflict
+    #: index compare — an interval check, never an operand rebuild.
+    footprint: Tuple[FootprintEntry, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Zero-length operands touch no bytes: they are excluded here so
+        # they stay dependence-inert under the relaxed policy.
+        self.footprint = tuple(
+            (op.buffer.uid, op.offset, op.offset + op.nbytes, op.mode.writes)
+            for op in self.operands
+            if op.nbytes > 0
+        )
 
     def conflicts_with(self, other: "Action") -> bool:
         """Operand-level conflict between two actions.
@@ -156,9 +174,14 @@ class Action:
         """
         if self.barrier or other.barrier:
             return True
-        for a in self.operands:
-            for b in other.operands:
-                if a.conflicts_with(b):
+        for uid_a, start_a, end_a, writes_a in self.footprint:
+            for uid_b, start_b, end_b, writes_b in other.footprint:
+                if (
+                    uid_a == uid_b
+                    and (writes_a or writes_b)
+                    and start_a < end_b
+                    and start_b < end_a
+                ):
                     return True
         return False
 

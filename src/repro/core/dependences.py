@@ -13,13 +13,24 @@ scheduler, not a property of the window itself:
 * :class:`RelaxedPolicy` — operand-conflict relaxation (hStreams);
 * :class:`StrictFifoPolicy` — every action waits on its immediate
   predecessor (the CUDA-Streams comparator is built from streams using
-  this policy, rather than being special-cased in the dependence scan).
+  this policy, rather than being special-cased in the dependence scan);
+* :class:`NaiveRelaxedPolicy` — the original O(window) newest-first scan,
+  kept as the semantic oracle for the property tests and the before/after
+  axis of the hot-path microbenchmarks.
 
-:class:`StreamWindow` itself is a thin per-stream view over the action
-graph: the scheduler retires entries incrementally as actions complete
-(O(1) per completion), so the window holds only the in-flight frontier
-and never needs a full prune rescan. Used standalone (unit tests), it
-falls back to lazily dropping completed entries during iteration.
+:class:`StreamWindow` itself is a per-stream view over the action graph
+that maintains a **conflict index**: live actions are bucketed by the
+buffers their (cached) operand footprints touch, with barrier actions in
+a dedicated lane. ``RelaxedPolicy`` therefore examines only predecessors
+that touch an overlapping buffer — the enqueue cost is O(conflicts), not
+O(in-flight window depth). The scheduler retires entries incrementally
+as actions complete (O(1) per completion); used standalone (unit tests),
+the window lazily drops completed entries as scans encounter them.
+
+The window also counts its work — :attr:`StreamWindow.scan_candidates`
+(predecessors examined) and :attr:`StreamWindow.scan_comparisons`
+(interval compares performed) — which are the deterministic counters the
+perf harness (:mod:`repro.bench.perf`) gates CI regressions on.
 """
 
 from __future__ import annotations
@@ -28,11 +39,19 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.core.actions import Action
 
-__all__ = ["DependencePolicy", "RelaxedPolicy", "StrictFifoPolicy", "StreamWindow"]
+__all__ = [
+    "DependencePolicy",
+    "NaiveRelaxedPolicy",
+    "RelaxedPolicy",
+    "StrictFifoPolicy",
+    "StreamWindow",
+]
 
 
 class DependencePolicy:
     """How a stream orders a new action against its in-flight history."""
+
+    __slots__ = ()
 
     def deps_for(self, window: "StreamWindow", action: Action) -> List[Action]:
         """Earlier in-flight actions ``action`` must follow."""
@@ -42,20 +61,53 @@ class DependencePolicy:
 class RelaxedPolicy(DependencePolicy):
     """hStreams semantics: depend only on conflicting predecessors.
 
-    The scan walks newest-first and *cuts off* at the newest conflicting
-    barrier — anything older is already ordered through it transitively
-    (barriers conflict with everything).
+    The scan *cuts off* at the newest conflicting barrier — anything
+    older is already ordered through it transitively (barriers conflict
+    with everything). On a :class:`StreamWindow` the scan goes through
+    the conflict index (O(conflicts)); on any other window-like object
+    (e.g. the analyzer's shadow windows) it falls back to the naive
+    newest-first walk, which keeps the semantics in one place.
     """
 
+    __slots__ = ()
+
     def deps_for(self, window: "StreamWindow", action: Action) -> List[Action]:
-        deps: List[Action] = []
-        for prev in window.live_newest_first():
-            if prev.conflicts_with(action):
-                deps.append(prev)
-                if prev.barrier:
-                    break  # the barrier already orders everything older
-        deps.reverse()
-        return deps
+        scan = getattr(window, "conflict_scan", None)
+        if scan is not None:
+            return scan(action)
+        return _naive_scan(window, action)
+
+
+class NaiveRelaxedPolicy(DependencePolicy):
+    """The pre-index O(window) scan, byte-for-byte the old behaviour.
+
+    Exists as the oracle the conflict index is verified against (the
+    Hypothesis property test) and as the "before" side of the hot-path
+    microbenchmarks. Not used by any production stream.
+    """
+
+    __slots__ = ()
+
+    def deps_for(self, window: "StreamWindow", action: Action) -> List[Action]:
+        return _naive_scan(window, action)
+
+
+def _naive_scan(window: "StreamWindow", action: Action) -> List[Action]:
+    """Newest-first full-window scan (the original RelaxedPolicy)."""
+    deps: List[Action] = []
+    counting = isinstance(window, StreamWindow)
+    for prev in window.live_newest_first():
+        if counting:
+            window.scan_candidates += 1
+            window.scan_comparisons += max(
+                1, len(prev.footprint) * len(action.footprint)
+            )
+        if prev.conflicts_with(action):
+            deps.append(prev)
+            if prev.barrier:
+                break  # the barrier already orders everything older
+    deps.reverse()
+    return deps
 
 
 class StrictFifoPolicy(DependencePolicy):
@@ -64,6 +116,8 @@ class StrictFifoPolicy(DependencePolicy):
     Ordering is transitive through the chain, so one edge per action
     reproduces full in-order execution.
     """
+
+    __slots__ = ()
 
     def deps_for(self, window: "StreamWindow", action: Action) -> List[Action]:
         for prev in window.live_newest_first():
@@ -74,10 +128,33 @@ class StrictFifoPolicy(DependencePolicy):
 class StreamWindow:
     """Per-stream view over the in-flight actions of the shared graph.
 
+    Maintains the conflict index: ``_by_buffer`` buckets live non-barrier
+    actions by the buffer uids their footprints touch; ``_barriers`` is
+    the dedicated barrier lane (barriers conflict with everything, so
+    they never belong in a per-buffer bucket). ``_live`` keeps the full
+    in-flight set in enqueue order for the strict policy, barrier
+    enqueues, and ``pending_completions``.
+
     The scheduler calls :meth:`retire` as each action completes, so the
-    live set shrinks incrementally; ``deps_for`` then only ever scans
-    genuinely in-flight work.
+    live set shrinks incrementally; standalone, completed entries are
+    dropped lazily as scans encounter them. :attr:`in_flight` is a
+    maintained O(1) counter either way — it observes a completion at
+    retirement or at the next scan that touches the entry, never by
+    polling every completion event.
     """
+
+    __slots__ = (
+        "strict_fifo",
+        "policy",
+        "_live",
+        "_by_buffer",
+        "_barriers",
+        "_in_flight",
+        "enqueued_count",
+        "retired_count",
+        "scan_candidates",
+        "scan_comparisons",
+    )
 
     def __init__(
         self,
@@ -90,20 +167,57 @@ class StreamWindow:
         self.policy = policy
         #: In-flight actions by sequence number, in enqueue order.
         self._live: Dict[int, Action] = {}
+        #: Conflict index: buffer uid -> {seq: action}, enqueue order.
+        self._by_buffer: Dict[int, Dict[int, Action]] = {}
+        #: Barrier lane: {seq: barrier action}, enqueue order.
+        self._barriers: Dict[int, Action] = {}
+        self._in_flight = 0
         self.enqueued_count = 0
         self.retired_count = 0
+        #: Predecessors examined by dependence scans (deterministic).
+        self.scan_candidates = 0
+        #: Interval compares performed by dependence scans (deterministic).
+        self.scan_comparisons = 0
 
     # -- maintenance ---------------------------------------------------------
 
     def add(self, action: Action) -> None:
-        """Record a newly enqueued action."""
+        """Record a newly enqueued action and index its footprint."""
         self._live[action.seq] = action
         self.enqueued_count += 1
+        self._in_flight += 1
+        if action.barrier:
+            self._barriers[action.seq] = action
+        else:
+            for uid, _start, _end, _writes in action.footprint:
+                bucket = self._by_buffer.get(uid)
+                if bucket is None:
+                    bucket = self._by_buffer[uid] = {}
+                bucket[action.seq] = action
 
     def retire(self, action: Action) -> None:
-        """Drop one completed action from the view (O(1))."""
-        if self._live.pop(action.seq, None) is not None:
-            self.retired_count += 1
+        """Drop one completed action from the view and index (O(1))."""
+        if self._live.pop(action.seq, None) is None:
+            return
+        self.retired_count += 1
+        self._in_flight -= 1
+        self._unindex(action)
+
+    def _unindex(self, action: Action) -> None:
+        if action.barrier:
+            self._barriers.pop(action.seq, None)
+            return
+        for uid, _start, _end, _writes in action.footprint:
+            bucket = self._by_buffer.get(uid)
+            if bucket is not None:
+                bucket.pop(action.seq, None)
+                if not bucket:
+                    del self._by_buffer[uid]
+
+    @staticmethod
+    def _completed(action: Action) -> bool:
+        completion = action.completion
+        return completion is not None and completion.is_complete()
 
     def live_newest_first(self) -> Iterator[Action]:
         """In-flight actions, newest first.
@@ -115,12 +229,96 @@ class StreamWindow:
             action = self._live.get(seq)
             if action is None:  # retired concurrently by the scheduler
                 continue
-            done = action.completion is not None and action.completion.is_complete()
-            if done:
-                if self._live.pop(seq, None) is not None:
-                    self.retired_count += 1
+            if self._completed(action):
+                self.retire(action)
                 continue
             yield action
+
+    # -- the conflict-indexed scan -------------------------------------------
+
+    def _newest_live_barrier(self) -> Optional[Action]:
+        """The newest incomplete barrier, lazily dropping completed ones."""
+        dead: Optional[List[Action]] = None
+        found: Optional[Action] = None
+        for seq in reversed(self._barriers):
+            barrier = self._barriers[seq]
+            if self._completed(barrier):
+                if dead is None:
+                    dead = []
+                dead.append(barrier)
+                continue
+            found = barrier
+            break
+        if dead is not None:
+            for barrier in dead:
+                self.retire(barrier)
+        return found
+
+    def conflict_scan(self, action: Action) -> List[Action]:
+        """Conflicting live predecessors of ``action``, in enqueue order.
+
+        Semantically identical to the naive newest-first scan: collect
+        every incomplete predecessor whose operands conflict, cut off at
+        the newest live barrier (which is itself always a dependence —
+        barriers conflict with everything). The index makes the work
+        proportional to the predecessors *touching the same buffers*,
+        not the whole in-flight window.
+        """
+        barrier = self._newest_live_barrier()
+        barrier_seq = barrier.seq if barrier is not None else -1
+
+        if action.barrier:
+            # A barrier orders after everything live since the previous
+            # barrier: its dependence set is inherently O(window).
+            deps: List[Action] = []
+            for prev in self.live_newest_first():
+                self.scan_candidates += 1
+                self.scan_comparisons += 1
+                deps.append(prev)
+                if prev.barrier:
+                    break
+            deps.reverse()
+            return deps
+
+        found: Dict[int, Action] = {}
+        dead: Optional[List[Action]] = None
+        for uid, start, end, writes in action.footprint:
+            bucket = self._by_buffer.get(uid)
+            if not bucket:
+                continue
+            for seq in reversed(bucket):
+                if seq <= barrier_seq:
+                    break  # ordered transitively through the barrier
+                if seq in found:
+                    continue
+                prev = bucket[seq]
+                self.scan_candidates += 1
+                if self._completed(prev):
+                    if dead is None:
+                        dead = []
+                    dead.append(prev)
+                    continue
+                for prev_uid, prev_start, prev_end, prev_writes in prev.footprint:
+                    if prev_uid != uid:
+                        continue
+                    self.scan_comparisons += 1
+                    if (
+                        (writes or prev_writes)
+                        and start < prev_end
+                        and prev_start < end
+                    ):
+                        found[seq] = prev
+                        break
+            if dead is not None:
+                # Retire outside the bucket iteration (retire mutates it).
+                for prev in dead:
+                    self.retire(prev)
+                dead = None
+        if barrier is not None:
+            found[barrier_seq] = barrier
+        if not found:
+            return []
+        return [found[seq] for seq in sorted(found)]
 
     # -- queries -------------------------------------------------------------
 
@@ -131,13 +329,23 @@ class StreamWindow:
 
     @property
     def in_flight(self) -> int:
-        """Number of tracked, incomplete actions."""
-        return sum(1 for _ in self.live_newest_first())
+        """Number of tracked, unretired actions (O(1) counter).
+
+        Under a scheduler this is exact — every completion retires its
+        entry. Standalone, a completed-but-unretired entry counts until
+        the next scan (or an explicit :meth:`retire`) observes it.
+        """
+        return self._in_flight
 
     def pending_completions(self) -> List:
-        """Completion events of the still-incomplete actions."""
-        pending = [
-            a.completion for a in self.live_newest_first() if a.completion is not None
+        """Completion events of the still-incomplete actions.
+
+        Non-mutating: completed entries are merely filtered, never
+        dropped — retirement stays the scheduler's (or the lazy scans')
+        job.
+        """
+        return [
+            a.completion
+            for a in self._live.values()
+            if a.completion is not None and not a.completion.is_complete()
         ]
-        pending.reverse()
-        return pending

@@ -61,6 +61,10 @@ __all__ = ["FailureState", "Scheduler", "SchedulerObserver", "StreamStats"]
 #: Recognized values of ``HStreams(failure_policy=...)``.
 FAILURE_POLICIES = ("poison", "fail_fast", "retry")
 
+#: Shared empty dangling-wait list for the common enqueue (no explicit
+#: waits claimed): handed to observers read-only, never mutated.
+_NO_DANGLING: List["HEvent"] = []
+
 
 class FailureState:
     """Thread-safe ledger of every error a run has observed.
@@ -214,9 +218,12 @@ class StreamStats:
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view for :meth:`Scheduler.metrics`."""
+        window = self.stream.window
         return {
             "name": self.stream.name,
             "lane": self.stream.lane,
+            "dep_scan_candidates": window.scan_candidates,
+            "dep_scan_comparisons": window.scan_comparisons,
             "depth": self.depth,
             "max_depth": self.max_depth,
             "enqueued": self.enqueued,
@@ -322,43 +329,57 @@ class Scheduler:
                 # Refuse new work outright once anything failed.
                 self.failure.raise_pending()
             now = backend.now()
-            for prev in stream.window.deps_for(action):
-                assert prev.completion is not None
-                action.deps.append(prev.completion)
+            # Intra-stream policy dependences come back as live actions;
+            # the list is ours, so it doubles as the observer-facing
+            # ``dep_actions`` without another allocation. ``action.deps``
+            # stays what the caller put there: explicit event waits.
+            window_deps = stream.window.deps_for(action)
             # Resolve and validate every dependence before mutating the
             # graph, so a rejected enqueue leaves no zombie node behind.
             dep_nodes: List = []
-            dangling: List[HEvent] = []
-            seen: set = set()
-            # For observers: every resolved ordering edge, including ones
-            # whose action already completed (capture mode completes
-            # everything instantly, so the live graph alone would record
-            # no edges at all).
-            dep_actions: List["Action"] = []
-            dep_seen: set = set()
-            for ev in action.deps:
-                if ev.action is not None and ev.action.seq not in dep_seen:
-                    dep_seen.add(ev.action.seq)
-                    dep_actions.append(ev.action)
-                dep_node = self.graph.get(ev.action)
-                if dep_node is not None:
-                    if dep_node.action.seq in seen:
-                        continue
-                    seen.add(dep_node.action.seq)
+            dangling: List[HEvent] = _NO_DANGLING
+            dep_actions: List["Action"] = window_deps
+            for prev in window_deps:
+                dep_node = self.graph.get(prev)
+                if dep_node is not None:  # retired concurrently (defensive)
                     dep_nodes.append(dep_node)
-                elif not ev.is_complete():
-                    # An observer (the capture recorder) may claim the
-                    # dangling wait as a diagnostic instead of an error.
-                    # Every observer gets to see it (no short-circuit).
-                    claims = [obs.on_dangling_wait(action, ev) for obs in self.observers]
-                    if any(claims):
-                        dangling.append(ev)
-                        continue
-                    raise HStreamsBadArgument(
-                        f"{action.display!r} waits on an event unknown to "
-                        "this runtime's scheduler; cross-runtime event "
-                        "dependences are not supported"
-                    )
+            if action.deps:
+                # Explicit waits may duplicate each other or a window
+                # dependence; the common enqueue has none, so the dedup
+                # set is built only on this path. ``dep_actions`` keeps
+                # every waited action, including already-completed ones
+                # (capture mode completes everything instantly, so the
+                # live graph alone would record no edges at all).
+                seen = {prev.seq for prev in window_deps}
+                for ev in action.deps:
+                    dep = ev.action
+                    if dep is not None:
+                        if dep.seq in seen:
+                            continue
+                        seen.add(dep.seq)
+                        dep_actions.append(dep)
+                    dep_node = self.graph.get(dep)
+                    if dep_node is not None:
+                        dep_nodes.append(dep_node)
+                    elif not ev.is_complete():
+                        # An observer (the capture recorder) may claim the
+                        # dangling wait as a diagnostic instead of an
+                        # error. Every observer gets to see it (no
+                        # short-circuit).
+                        claims = [
+                            obs.on_dangling_wait(action, ev)
+                            for obs in self.observers
+                        ]
+                        if any(claims):
+                            if dangling is _NO_DANGLING:
+                                dangling = []
+                            dangling.append(ev)
+                            continue
+                        raise HStreamsBadArgument(
+                            f"{action.display!r} waits on an event unknown to "
+                            "this runtime's scheduler; cross-runtime event "
+                            "dependences are not supported"
+                        )
             # Determinism across enqueue/failure interleavings: work
             # admitted *after* a producer failed must poison exactly
             # like work admitted before (failed actions have already

@@ -46,9 +46,6 @@ from repro.core.events import HEvent
 
 __all__ = ["ThreadBackend"]
 
-_ANY_POLL_S = 5e-5  # poll period for wait-any
-_ALL_SLICE_S = 0.05  # slice for wait-all, so pending failures surface
-
 
 class ThreadBackend(Backend):
     """Real-execution backend on worker threads."""
@@ -66,6 +63,13 @@ class ThreadBackend(Backend):
         self._xfer_pool = ThreadPoolExecutor(
             max_workers=self._xfer_workers, thread_name_prefix="hstr-xfer"
         )
+        # Every completion (success, failure, or cancellation) notifies
+        # this condition; host wait paths block on it instead of polling.
+        # One backend-wide condition suffices: the source endpoint is a
+        # single thread, so there is at most one waiter, and failures in
+        # *any* stream must wake a wait on any other (a dead producer's
+        # events may never fire).
+        self._completion_cv = threading.Condition()
         self._t0 = time.perf_counter()
 
     def close(self) -> None:
@@ -82,7 +86,11 @@ class ThreadBackend(Backend):
         return event.handle.is_set()
 
     def signal_completion(self, event: HEvent, when: float) -> None:
-        event.handle.set()
+        with self._completion_cv:
+            # Set under the condition lock: a waiter cannot check its
+            # predicate and miss both the flag and the wake-up.
+            event.handle.set()
+            self._completion_cv.notify_all()
 
     # -- provisioning --------------------------------------------------------------
 
@@ -226,38 +234,35 @@ class ThreadBackend(Backend):
         timeout: Optional[float] = None,
     ) -> None:
         failure = self.runtime.scheduler.failure
-        deadline = None if timeout is None else time.monotonic() + timeout
+        # A pending failure satisfies the wait immediately: the awaited
+        # events may belong to dead producers and never fire (e.g. under
+        # fail_fast). The failure is raised by _raise_pending_error after
+        # the loop, exactly as the old poll loops surfaced it.
         if wait_all:
-            for ev in events:
-                # Wait in short slices so a kernel failure elsewhere
-                # surfaces promptly instead of blocking to the deadline
-                # (or forever) on events that may never fire.
-                while not ev.handle.is_set():
-                    if failure.failed:
-                        failure.raise_pending()
-                    remaining = (
-                        None if deadline is None else deadline - time.monotonic()
-                    )
-                    if remaining is not None and remaining <= 0:
-                        raise HStreamsTimedOut(
-                            f"timed out waiting for {len(events)} event(s)"
-                        )
-                    slice_s = (
-                        _ALL_SLICE_S
-                        if remaining is None
-                        else min(_ALL_SLICE_S, remaining)
-                    )
-                    ev.handle.wait(slice_s)
+            def satisfied() -> bool:
+                return failure.failed or all(
+                    ev.handle.is_set() for ev in events
+                )
         else:
-            while events and not any(ev.handle.is_set() for ev in events):
-                # A failure can mean the awaited events never fire
-                # (e.g. under fail_fast) — check every poll iteration
-                # so wait-any cannot hang on a dead producer.
-                if failure.failed:
-                    failure.raise_pending()
-                if deadline is not None and time.monotonic() > deadline:
-                    raise HStreamsTimedOut("timed out in wait-any")
-                time.sleep(_ANY_POLL_S)
+            def satisfied() -> bool:
+                return (
+                    failure.failed
+                    or not events
+                    or any(ev.handle.is_set() for ev in events)
+                )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._completion_cv:
+            while not satisfied():
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise HStreamsTimedOut(
+                        "timed out waiting for "
+                        f"{'all' if wait_all else 'any'} of "
+                        f"{len(events)} event(s)"
+                    )
+                self._completion_cv.wait(remaining)
         self._raise_pending_error()
 
     def wait_all(self, timeout: Optional[float] = None) -> None:
