@@ -16,7 +16,10 @@ through a seeded :class:`~repro.core.faults.FaultPlan` matrix —
 * both backends report **identical** action-outcome metrics for the
   same plan and policy;
 * no configuration hangs: every wait returns (with the pending error)
-  even when the faulted action sits behind the waited one.
+  even when the faulted action sits behind the waited one;
+* replay admission is failure-transparent: every cell re-run with the
+  pipeline admitted from a captured template (fault plan attached after
+  capture) reports the same outcomes, cell for cell.
 
 The CI fault-matrix job runs ``python bench_faults.py --smoke``.
 """
@@ -99,10 +102,59 @@ def run_cell(backend, policy, fault):
     return out
 
 
-def run_matrix():
+def run_cell_replayed(backend, policy, fault):
+    """The same cell admitted by replaying a warm-captured template.
+
+    Captures the pipeline fault-free and syncs, then attaches the fault
+    plan and replays once. Outcomes are metric *deltas* over the warm
+    run, so a cell compares directly with :func:`run_cell`: a fault
+    landing on a replayed action must take the identical path through
+    the failure layer — same retries, same transitive cancellation,
+    same raised-not-hung waits — as one landing on a re-enqueued
+    action.
+    """
+    from repro.core.faults import inject_faults
+
+    hs = _runtime(backend, policy)
+    s = hs.stream_create(domain=1, ncores=4)
+    buf = hs.buffer_create(nbytes=64)
+    op = buf.all_inout()
+    with hs.capture_graph() as g:
+        hs.enqueue_xfer(s, buf)
+        for i in range(STAGES):
+            hs.enqueue_compute(s, f"stage{i}", args=(op,))
+    hs.thread_synchronize()
+    base = dict(hs.metrics()["actions"])
+    injector = None
+    plan = _plan(fault)
+    if plan is not None:
+        injector = inject_faults(hs, plan)
+    error = None
+    try:
+        hs.replay(g)
+        hs.thread_synchronize()
+    except InjectedFault as exc:
+        error = exc
+    m = hs.metrics()["actions"]
+    out = {
+        "error": type(error).__name__ if error else None,
+        "completed": m["completed"] - base["completed"],
+        "failed": m["failed"] - base["failed"],
+        "cancelled": m["cancelled"] - base["cancelled"],
+        "retried": m["retried"] - base["retried"],
+        "injected": injector.injected if injector else 0,
+    }
+    if error is not None:
+        hs.clear_failure()
+    hs.fini()
+    return out
+
+
+def run_matrix(replayed=False):
     """Every cell of the fault matrix, keyed (backend, policy, fault)."""
+    cell = run_cell_replayed if replayed else run_cell
     return {
-        (backend, policy, fault): run_cell(backend, policy, fault)
+        (backend, policy, fault): cell(backend, policy, fault)
         for backend in BACKENDS
         for policy in POLICIES
         for fault in FAULTS
@@ -148,6 +200,13 @@ def check_matrix(cells) -> None:
             assert t == s, (policy, fault, t, s)
 
 
+def check_replay_parity(cells, replayed) -> None:
+    """Replay admission changes nothing observable: cell for cell, a
+    fault hitting a replayed clone behaves as it does re-enqueued."""
+    for key, cell in cells.items():
+        assert replayed[key] == cell, (key, cell, replayed[key])
+
+
 def render(cells) -> str:
     header = f"{'backend':>7} {'policy':>9} {'fault':>9} | " \
              f"{'done':>4} {'fail':>4} {'canc':>4} {'retry':>5} {'raised':>13}"
@@ -165,15 +224,19 @@ def render(cells) -> str:
 def smoke_check() -> None:
     cells = run_matrix()
     check_matrix(cells)
+    replayed = run_matrix(replayed=True)
+    check_replay_parity(cells, replayed)
     print(render(cells))
     retries = cells[("thread", "retry", "transient")]["retried"]
     print(f"[smoke] fault matrix OK: {len(cells)} cells, backend parity "
-          f"holds, transient fault recovered after {retries} retries")
+          f"holds, replayed-template parity holds, transient fault "
+          f"recovered after {retries} retries")
 
 
 def test_fault_matrix(benchmark, capsys):
     cells = run_once(benchmark, run_matrix)
     check_matrix(cells)
+    check_replay_parity(cells, run_matrix(replayed=True))
     with capsys.disabled():
         print()
         print(render(cells))

@@ -30,6 +30,8 @@ from repro.core import (
     Buffer,
     FaultPlan,
     FaultSpec,
+    GraphInstance,
+    GraphTemplate,
     HEvent,
     HStreams,
     HStreamsError,
@@ -52,6 +54,8 @@ __all__ = [
     "Buffer",
     "FaultPlan",
     "FaultSpec",
+    "GraphInstance",
+    "GraphTemplate",
     "HEvent",
     "HStreams",
     "HStreamsError",

@@ -26,15 +26,6 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.capture import (
-    ActionEvent,
-    BufferEvent,
-    ProgramTrace,
-    SyncEvent,
-    _user_site,
-    capture_session,
-    policy_dep_seqs,
-)
 from repro.analysis.diagnostics import RULES, ActionRef, Diagnostic, Severity
 from repro.analysis.hb import HBState, RaceDetector
 from repro.analysis.lints import (
@@ -43,7 +34,16 @@ from repro.analysis.lints import (
     UnwaitedEventLint,
     ZeroLengthOperandLint,
 )
+from repro.core.capture import (
+    ActionEvent,
+    BufferEvent,
+    ProgramTrace,
+    SyncEvent,
+    capture_session,
+    policy_dep_seqs,
+)
 from repro.core.scheduler import SchedulerObserver
+from repro.core.sites import user_site as _user_site
 
 __all__ = [
     "RuleEngine",
@@ -326,7 +326,7 @@ class OnlineChecker(SchedulerObserver):
         if record.state not in ("failed", "cancelled"):
             return
         rule = "failed-action" if record.state == "failed" else "cancelled-action"
-        stream = action.stream.name if action.stream is not None else None
+        ref = ActionRef.from_action(action)
         detail = f": {record.error}" if record.error else ""
         retried = f" after {record.retries} retr{'y' if record.retries == 1 else 'ies'}"
         self.engine._emit(
@@ -337,9 +337,9 @@ class OnlineChecker(SchedulerObserver):
                     + (retried if record.retries else "")
                     + detail
                 ),
-                actions=[ActionRef(label=action.display, seq=action.seq, stream=stream)],
+                actions=[ref],
             ),
-            key=(rule, action.kind.value, action.kernel, stream),
+            key=(rule, action.kind.value, action.kernel, ref.stream),
         )
 
     # -- results ---------------------------------------------------------------

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.sites import user_site
+
 __all__ = ["Severity", "Rule", "RULES", "ActionRef", "Diagnostic"]
 
 
@@ -164,6 +166,24 @@ class ActionRef:
     seq: int = -1
     stream: Optional[str] = None
     site: Optional[Tuple[str, int]] = None
+
+    @classmethod
+    def from_action(
+        cls, action, site: Optional[Tuple[str, int]] = None
+    ) -> "ActionRef":
+        """Ref for a live :class:`~repro.core.actions.Action`.
+
+        Without an explicit ``site``, the shared
+        :func:`repro.core.sites.user_site` frame walk attributes the
+        *calling* user frame — ``None`` when there is none (e.g. a
+        completion callback on a backend worker thread).
+        """
+        return cls(
+            label=action.display,
+            seq=action.seq,
+            stream=action.stream.name if action.stream is not None else None,
+            site=site if site is not None else user_site(),
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         d: Dict[str, Any] = {"label": self.label, "seq": self.seq}

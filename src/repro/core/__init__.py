@@ -25,6 +25,7 @@ from repro.core.errors import (
     HStreamsError,
     HStreamsBadArgument,
     HStreamsCancelled,
+    HStreamsInvalid,
     HStreamsNotFound,
     HStreamsNotInitialized,
     HStreamsOutOfMemory,
@@ -41,6 +42,7 @@ from repro.core.faults import (
     inject_faults,
 )
 from repro.core.properties import MemType, RuntimeConfig
+from repro.core.replay import GraphInstance, GraphTemplate
 from repro.core.runtime import DomainInfo, HStreams
 from repro.core.stream import Stream
 
@@ -55,6 +57,7 @@ __all__ = [
     "HStreamsError",
     "HStreamsBadArgument",
     "HStreamsCancelled",
+    "HStreamsInvalid",
     "HStreamsNotFound",
     "HStreamsNotInitialized",
     "HStreamsOutOfMemory",
@@ -66,6 +69,8 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "inject_faults",
+    "GraphInstance",
+    "GraphTemplate",
     "HEvent",
     "MemType",
     "RuntimeConfig",

@@ -22,9 +22,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.stream import Stream
     from repro.sim.kernels import KernelCost
 
-__all__ = ["OperandMode", "ActionKind", "XferDirection", "Operand", "Action"]
+__all__ = [
+    "OperandMode",
+    "ActionKind",
+    "XferDirection",
+    "Operand",
+    "Action",
+    "next_action_seq",
+]
 
 _action_ids = itertools.count()
+
+
+def next_action_seq() -> int:
+    """Allot a fresh global action sequence number.
+
+    Graph replay constructs actions by cloning template prototypes
+    instead of through ``Action(...)``, so it draws from the same
+    counter here — sequence numbers stay globally monotonic, which is
+    what keeps the dependence graph acyclic by construction (edges may
+    only point from older to newer seqs).
+    """
+    return next(_action_ids)
 
 
 class OperandMode(enum.Enum):
@@ -166,6 +185,37 @@ class Action:
             for op in self.operands
             if op.nbytes > 0
         )
+
+    def clone_for_replay(self) -> "Action":
+        """A fresh admissible copy of this action (the replay hot path).
+
+        Shares the immutable description (operands, args, cost,
+        footprint) with the template prototype and resets only the
+        per-admission state: a new sequence number, no completion event,
+        no explicit event deps (replay supplies edges directly), and
+        ``elided`` cleared so the memory manager re-decides transfer
+        elision against the coherence state *of this replay*, not of the
+        capture run. Built via ``__new__`` + slot stores rather than the
+        dataclass constructor — this runs once per action per replay and
+        must not re-derive the footprint.
+        """
+        new = object.__new__(Action)
+        new.kind = self.kind
+        new.stream = self.stream
+        new.operands = self.operands
+        new.kernel = self.kernel
+        new.args = self.args
+        new.cost = self.cost
+        new.direction = self.direction
+        new.nbytes = self.nbytes
+        new.elided = False
+        new.label = self.label
+        new.seq = next(_action_ids)
+        new.completion = None
+        new.deps = []
+        new.barrier = self.barrier
+        new.footprint = self.footprint
+        return new
 
     def conflicts_with(self, other: "Action") -> bool:
         """Operand-level conflict between two actions.

@@ -19,6 +19,7 @@ __all__ = [
     "HStreamsTimedOut",
     "HStreamsBusy",
     "HStreamsInternalError",
+    "HStreamsInvalid",
     "HStreamsDeadlock",
     "HStreamsCancelled",
     "mark_transient",
@@ -89,6 +90,19 @@ class HStreamsInternalError(HStreamsError):
     """Invariant violation inside the runtime (a bug, not user error)."""
 
     code = "HSTR_RESULT_INTERNAL_ERROR"
+
+
+class HStreamsInvalid(HStreamsError, RuntimeError):
+    """An operation was attempted in a state that cannot support it.
+
+    Raised e.g. when :func:`~repro.core.capture.capture_session` scopes
+    nest, when ``capture_graph()`` records a host synchronization or a
+    buffer/stream lifecycle change (templates are pure action DAGs), or
+    when a graph is replayed into a stream with work still in flight.
+    Also a :class:`RuntimeError`, which these guards raised historically.
+    """
+
+    code = "HSTR_RESULT_INVALID_STATE"
 
 
 class HStreamsDeadlock(HStreamsInternalError):

@@ -134,6 +134,10 @@ class FaultPlan:
 class FaultInjector(SchedulerObserver):
     """Live attachment of a :class:`FaultPlan` to one runtime."""
 
+    #: Arming matches on the action itself (kind/kernel/stream), never
+    #: on producer edges, so batched replay admission may skip them.
+    wants_deps = False
+
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._rng = random.Random(plan.seed)
@@ -152,6 +156,10 @@ class FaultInjector(SchedulerObserver):
         deps: List["Action"],
         dangling: List[HEvent],
     ) -> None:
+        # Arming happens at admission on the single source thread — for
+        # replayed graphs that is the replay loop walking the template in
+        # capture order, so ``nth`` counting and seeded ``rate`` draws
+        # stay deterministic across enqueue and replay alike.
         for i, spec in enumerate(self.plan.specs):
             if not spec.matches(action):
                 continue

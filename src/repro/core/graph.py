@@ -257,6 +257,19 @@ class ActionGraph:
         dep.dependents.append(node)
         node.waiting += 1
 
+    def add_edges(self, deps: List[ActionNode], node: ActionNode) -> None:
+        """Register every dependence in ``deps`` for ``node``.
+
+        The admission pipeline's bulk form: on the enqueue path ``deps``
+        are freshly scanned window/event producers; on the replay path
+        they are a template's pre-computed edges injected directly, with
+        the same acyclicity check (replayed actions draw fresh, larger
+        sequence numbers, so template-internal edges always point
+        forward).
+        """
+        for dep in deps:
+            self.add_edge(dep, node)
+
     def pop(self, node: ActionNode) -> None:
         """Retire a finished node from the live set."""
         self._nodes.pop(node.action.seq, None)

@@ -110,6 +110,9 @@ class IntervalSet:
         """Union ``[start, end)`` into the set."""
         if start >= end:
             return
+        for s, e in self._iv:
+            if s <= start and end <= e:  # already covered: nothing to merge
+                return
         merged: List[Tuple[int, int]] = []
         for s, e in self._iv:
             if e < start or s > end:  # disjoint (touching ranges merge)
@@ -123,8 +126,10 @@ class IntervalSet:
 
     def subtract(self, start: int, end: int) -> None:
         """Remove ``[start, end)`` from the set."""
-        if start >= end:
+        if start >= end or not self._iv:
             return
+        if end <= self._iv[0][0] or start >= self._iv[-1][1]:
+            return  # entirely outside the covered span
         out: List[Tuple[int, int]] = []
         for s, e in self._iv:
             if e <= start or s >= end:
@@ -415,6 +420,10 @@ class MemoryManager(SchedulerObserver):
     completion callbacks commit the ``INVALID → VALID → DIRTY`` machine.
     """
 
+    #: Coherence tracking is footprint-driven; producer edges are not
+    #: consulted, so batched replay admission may skip building them.
+    wants_deps = False
+
     def __init__(
         self,
         runtime: "HStreams",
@@ -613,19 +622,34 @@ class MemoryManager(SchedulerObserver):
     def on_enqueue(
         self, action: "Action", deps: List["Action"], dangling: List[Any]
     ) -> None:
-        """Maintain the expected layer; decide elision before dispatch."""
+        """Maintain the expected layer; decide elision before dispatch.
+
+        Replayed actions arrive here exactly like enqueued ones (replay
+        admits through the same stage), with ``elided`` cleared by the
+        clone — so elision is decided against *this* replay's coherence
+        state, not frozen at capture time: a transfer elided during the
+        warm capture run really moves bytes on a replay that needs it,
+        and vice versa.
+        """
         stream = action.stream
         if stream is None:
             return
         if action.kind is ActionKind.COMPUTE:
+            # Replay's hottest observer loop: coherence lookups hoisted,
+            # LRU touches batched into one tick-counter writeback.
+            sink = stream.domain
+            coherence = self.coherence
+            tick = self._tick
             for op in action.operands:
-                coh = self.coherence(op.buffer)
-                self._touch(coh, stream.domain)
+                coh = coherence(op.buffer)
+                tick += 1
+                coh.last_touch[sink] = tick
                 if op.mode.writes and op.nbytes > 0:
-                    coh.expected_in(stream.domain).add(op.offset, op.end)
+                    coh.expected_in(sink).add(op.offset, op.end)
                     for domain, iv in coh.expected.items():
-                        if domain != stream.domain:
+                        if domain != sink:
                             iv.subtract(op.offset, op.end)
+            self._tick = tick
         elif action.kind is ActionKind.XFER:
             op = action.operands[0]
             coh = self.coherence(op.buffer)

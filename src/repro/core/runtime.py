@@ -16,6 +16,7 @@ as in the paper's applications.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -31,6 +32,7 @@ from repro.core.actions import (
 from repro.core.buffer import Buffer, ProxyAddressSpace
 from repro.core.errors import (
     HStreamsBadArgument,
+    HStreamsInvalid,
     HStreamsNotFound,
     HStreamsNotInitialized,
 )
@@ -188,7 +190,7 @@ class HStreams:
         if capture_only or forced:
             # Capture mode: record the full action graph for the hazard
             # analyzer without dispatching any real (or virtual) work.
-            from repro.analysis.capture import CaptureBackend
+            from repro.core.capture import CaptureBackend
 
             self.backend = CaptureBackend()
         elif isinstance(backend, str):
@@ -205,8 +207,11 @@ class HStreams:
         self.scheduler.observers.append(self.memory)
         #: The program-capture recorder, set only in capture mode.
         self.capture = None
+        #: The live :class:`~repro.core.replay.GraphRecorder` while a
+        #: ``capture_graph()`` scope is open, else None.
+        self._graph_recorder = None
         if capture_only or forced:
-            from repro.analysis.capture import ProgramCapture
+            from repro.core.capture import ProgramCapture
 
             self.capture = ProgramCapture(self)
             self.scheduler.observers.append(self.capture)
@@ -622,6 +627,123 @@ class HStreams:
             self.stats["syncs"] += 1
         self.backend.advance_host(self.config.enqueue_overhead_s)
         return self.scheduler.enqueue(action)
+
+    # -- graph capture & replay ------------------------------------------------------
+
+    @property
+    def capturing(self) -> bool:
+        """Whether a :meth:`capture_graph` scope is currently open.
+
+        Layers that elide work when a producer polls complete (the
+        linalg dataflow helper) must check this and behave as on a cold
+        machine while capturing, or the template would be missing edges.
+        """
+        return self._graph_recorder is not None
+
+    @contextlib.contextmanager
+    def capture_graph(self):
+        """Record every action enqueued in this scope into a template.
+
+        Capture is *warm*: the recorded actions still execute normally,
+        so the scope costs one ordinary iteration of the program. Yields
+        the :class:`~repro.core.replay.GraphTemplate`, finalized when the
+        scope exits cleanly; see :meth:`replay`. Scopes do not nest, and
+        host synchronization, buffer lifecycle, and stream lifecycle
+        calls inside the scope raise
+        :class:`~repro.core.errors.HStreamsInvalid` (a template is a pure
+        action DAG over pre-existing streams and buffers).
+        """
+        self._check_init()
+        if self._graph_recorder is not None:
+            raise HStreamsInvalid("capture_graph() scopes do not nest")
+        from repro.core.replay import GraphRecorder
+
+        rec = GraphRecorder(self)
+        with self.scheduler._lock:
+            self.scheduler.observers.append(rec)
+        self._graph_recorder = rec
+        try:
+            yield rec.template
+        finally:
+            self._graph_recorder = None
+            with self.scheduler._lock:
+                self.scheduler.observers.remove(rec)
+        # Only a clean exit finalizes: a scope that raised recorded an
+        # incomplete DAG, and replaying it would be silent corruption.
+        rec.template.finalized = True
+
+    def replay(self, graph, bindings: Optional[Dict[Buffer, Buffer]] = None):
+        """Re-admit a captured graph with its pre-computed dependences.
+
+        ``graph`` is a :class:`~repro.core.replay.GraphTemplate` (which
+        is instantiated here, optionally rebinding buffers via
+        ``bindings``) or an already-built single-use
+        :class:`~repro.core.replay.GraphInstance`. Admission goes through
+        :meth:`~repro.core.scheduler.Scheduler.admit_instance`, the
+        batched form of the admission pipeline's final stage: no
+        dependence scan runs, the template's edges are injected directly.
+        Replay does not block; the returned instance's ``events`` are
+        waitable as usual, and template streams must be quiescent on
+        entry (synchronize first).
+        """
+        self._check_init()
+        from repro.core.replay import GraphInstance, GraphTemplate
+
+        if isinstance(graph, GraphTemplate):
+            instance = graph.instantiate(bindings)
+        elif isinstance(graph, GraphInstance):
+            if bindings is not None:
+                raise HStreamsBadArgument(
+                    "bindings apply at instantiation; this GraphInstance "
+                    "is already bound — pass them to instantiate() or "
+                    "replay the template directly"
+                )
+            instance = graph
+        else:
+            raise HStreamsBadArgument(
+                f"replay() takes a GraphTemplate or GraphInstance, got "
+                f"{type(graph).__name__}"
+            )
+        template = instance.template
+        if template.runtime is not self:
+            raise HStreamsInvalid(
+                "graph template was captured on a different runtime; "
+                "streams and buffers do not transfer"
+            )
+        if self._graph_recorder is not None:
+            raise HStreamsInvalid("cannot replay() inside capture_graph()")
+        if instance.consumed:
+            raise HStreamsInvalid(
+                "graph instance was already replayed; instances are "
+                "single-use — instantiate() the template again"
+            )
+        # Quiescence preflight. The template dropped its edges to
+        # pre-capture work (external_deps); requiring the involved
+        # streams to be idle re-establishes that ordering wholesale.
+        for stream in template.streams + [
+            s for s in template.external_streams if s not in template.streams
+        ]:
+            if stream not in self.streams:
+                raise HStreamsNotFound(
+                    f"cannot replay: stream {stream.name!r} was destroyed "
+                    "after capture"
+                )
+            if stream.window.pending_completions():
+                raise HStreamsInvalid(
+                    f"cannot replay into busy stream {stream.name!r}; "
+                    "synchronize it first (replay assumes pre-replay work "
+                    "has completed)"
+                )
+        instance.consumed = True
+        for key, value in template.stat_delta().items():
+            self.stats[key] += value
+        # One host-overhead advance per replayed batch — per-action
+        # enqueue overhead is exactly what replay amortizes away.
+        self.backend.advance_host(self.config.enqueue_overhead_s)
+        for buf, domain in instance.instance_sites():
+            self._ensure_instance(buf, domain)
+        self.scheduler.admit_instance(instance)
+        return instance
 
     # -- synchronization -----------------------------------------------------------
 

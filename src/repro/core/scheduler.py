@@ -49,6 +49,7 @@ from repro.core.errors import (
 )
 from repro.core.events import HEvent
 from repro.core.graph import ActionGraph, ActionNode, ActionRecord, ActionState
+from repro.core.sites import user_site
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.actions import Action
@@ -64,6 +65,10 @@ FAILURE_POLICIES = ("poison", "fail_fast", "retry")
 #: Shared empty dangling-wait list for the common enqueue (no explicit
 #: waits claimed): handed to observers read-only, never mutated.
 _NO_DANGLING: List["HEvent"] = []
+
+#: Shared empty producer list: handed to deps-blind observers during
+#: batched replay admission (see ``SchedulerObserver.wants_deps``).
+_NO_DEPS: List["Action"] = []
 
 
 class FailureState:
@@ -109,13 +114,23 @@ class FailureState:
             self.observed = True
             first = self.errors[0]
             first.errors = list(self.errors)  # type: ignore[attr-defined]
-            if len(self.errors) > 1 and not getattr(first, "_hstreams_noted", False):
-                first._hstreams_noted = True  # type: ignore[attr-defined]
-                if hasattr(first, "add_note"):  # pragma: no branch
+            if hasattr(first, "add_note"):  # pragma: no branch
+                if len(self.errors) > 1 and not getattr(
+                    first, "_hstreams_noted", False
+                ):
+                    first._hstreams_noted = True  # type: ignore[attr-defined]
                     for extra in self.errors[1:]:
                         first.add_note(
                             f"also failed: {type(extra).__name__}: {extra}"
                         )
+                # Note (once) where in user code the failure first
+                # surfaced: actions fail on worker threads, so the
+                # original traceback never points at the program.
+                if not getattr(first, "_hstreams_site_noted", False):
+                    site = user_site()
+                    if site is not None:
+                        first._hstreams_site_noted = True  # type: ignore[attr-defined]
+                        first.add_note(f"surfaced at {site[0]}:{site[1]}")
             raise first
 
     def clear(self) -> List[BaseException]:
@@ -135,6 +150,13 @@ class SchedulerObserver:
     override only what they need. The hazard analyzer's capture recorder
     and online checker are the two in-tree observers.
     """
+
+    #: Whether :meth:`on_enqueue` reads its ``deps`` argument. Batched
+    #: replay admission skips materializing per-clone producer tuples
+    #: when every registered observer declares ``False`` (the memory
+    #: manager and fault injector do); observers that consume edges —
+    #: trace capture, the online checker — keep the default.
+    wants_deps: bool = True
 
     def on_enqueue(
         self,
@@ -319,11 +341,17 @@ class Scheduler:
         waits (``event_stream_wait``); intra-stream dependences are
         computed here from the stream's window view under its FIFO
         policy. Returns the action's completion event.
+
+        Admission is a pipeline — compute window dependences, resolve
+        and validate them (:meth:`_resolve_deps`), then admit
+        (:meth:`_admit`). The dependence-computation stage is the only
+        part replay (:meth:`enqueue_precomputed`) skips: a replayed
+        action arrives with its edges already known, so no window scan
+        runs at all.
         """
         backend = self.runtime.backend
         stream = action.stream
         assert stream is not None
-        ready = False
         with self._lock:
             if self.failure_policy == "fail_fast":
                 # Refuse new work outright once anything failed.
@@ -334,97 +362,260 @@ class Scheduler:
             # ``dep_actions`` without another allocation. ``action.deps``
             # stays what the caller put there: explicit event waits.
             window_deps = stream.window.deps_for(action)
-            # Resolve and validate every dependence before mutating the
-            # graph, so a rejected enqueue leaves no zombie node behind.
-            dep_nodes: List = []
-            dangling: List[HEvent] = _NO_DANGLING
-            dep_actions: List["Action"] = window_deps
-            for prev in window_deps:
-                dep_node = self.graph.get(prev)
-                if dep_node is not None:  # retired concurrently (defensive)
-                    dep_nodes.append(dep_node)
-            if action.deps:
-                # Explicit waits may duplicate each other or a window
-                # dependence; the common enqueue has none, so the dedup
-                # set is built only on this path. ``dep_actions`` keeps
-                # every waited action, including already-completed ones
-                # (capture mode completes everything instantly, so the
-                # live graph alone would record no edges at all).
-                seen = {prev.seq for prev in window_deps}
-                for ev in action.deps:
-                    dep = ev.action
-                    if dep is not None:
-                        if dep.seq in seen:
-                            continue
-                        seen.add(dep.seq)
-                        dep_actions.append(dep)
-                    dep_node = self.graph.get(dep)
-                    if dep_node is not None:
-                        dep_nodes.append(dep_node)
-                    elif not ev.is_complete():
-                        # An observer (the capture recorder) may claim the
-                        # dangling wait as a diagnostic instead of an
-                        # error. Every observer gets to see it (no
-                        # short-circuit).
-                        claims = [
-                            obs.on_dangling_wait(action, ev)
-                            for obs in self.observers
-                        ]
-                        if any(claims):
-                            if dangling is _NO_DANGLING:
-                                dangling = []
-                            dangling.append(ev)
-                            continue
-                        raise HStreamsBadArgument(
-                            f"{action.display!r} waits on an event unknown to "
-                            "this runtime's scheduler; cross-runtime event "
-                            "dependences are not supported"
-                        )
-            # Determinism across enqueue/failure interleavings: work
-            # admitted *after* a producer failed must poison exactly
-            # like work admitted before (failed actions have already
-            # left the live graph and the stream window, so the edge
-            # machinery alone would happily run it on garbage).
-            poison = self._admission_poison(action)
-            node = self.graph.add(action, now)
-            action.completion = HEvent(backend, backend.make_handle(), action)
-            for dep_node in dep_nodes:
-                self.graph.add_edge(dep_node, node)
-            stream.window.add(action)
-            stats = self._stream_stats(stream)
-            stats.enqueued += 1
-            stats.depth += 1
-            if stats.depth > stats.max_depth:
-                stats.max_depth = stats.depth
-            self._totals["enqueued"] += 1
-            self._outstanding += 1
-            self.runtime.tracer.counter(f"sched:{stream.lane}", now, stats.depth)
-            for obs in self.observers:
-                obs.on_enqueue(action, dep_actions, dangling)
-            if poison is not None:
-                self._cancel_subgraph(node, poison, now)
-            elif node.waiting == 0:
-                node.transition(ActionState.READY)
-                node.t_ready = now
-                ready = True
+            dep_nodes, dep_actions, dangling = self._resolve_deps(
+                action, window_deps
+            )
+            ready = self._admit(action, now, dep_nodes, dep_actions, dangling)
         if ready:
             backend.execute(action)
         return action.completion
 
-    def _admission_poison(self, action: "Action") -> Optional[BaseException]:
+    def enqueue_precomputed(
+        self, action: "Action", dep_actions: Sequence["Action"]
+    ) -> HEvent:
+        """Admit an action whose dependence edges are already known.
+
+        The replay path (:meth:`~repro.core.runtime.HStreams.replay`):
+        ``dep_actions`` are the producers a captured template recorded
+        for this action, so the window dependence scan — the
+        per-action cost the scan counters measure — is skipped
+        entirely. Producers that already finished resolve to no live
+        node, exactly as satisfied dependences do on the enqueue path.
+        Everything downstream of dependence computation (poison checks,
+        graph insertion, observers, elision, readiness dispatch) is the
+        shared :meth:`_admit` stage, so replayed actions execute
+        identically to enqueued ones on every backend.
+        """
+        backend = self.runtime.backend
+        assert action.stream is not None
+        with self._lock:
+            if self.failure_policy == "fail_fast":
+                self.failure.raise_pending()
+            now = backend.now()
+            get_node = self.graph.get
+            dep_nodes = [
+                node for node in map(get_node, dep_actions) if node is not None
+            ]
+            ready = self._admit(
+                action, now, dep_nodes, list(dep_actions), _NO_DANGLING
+            )
+        if ready:
+            backend.execute(action)
+        return action.completion
+
+    def admit_instance(self, instance) -> None:
+        """Admit a whole replayed graph instance in one scheduler pass.
+
+        The batch form of :meth:`enqueue_precomputed`, and the reason
+        replay admission stays cheap: the lock is taken once, ``now`` is
+        read once, per-stream stats and the depth counters are updated
+        once per stream, and the template's edges are wired node-to-node
+        by position — every producer of a template edge is an earlier
+        member of this same batch, so no graph lookups run at all.
+        Completions serialize on the scheduler lock, so nothing retires
+        mid-batch and the in-batch waiting counts are exact; dispatch of
+        the ready roots happens after the lock drops, exactly as for
+        single admissions.
+
+        With failures pending the batch falls back to per-action
+        :meth:`enqueue_precomputed`: admission poisoning needs each
+        action's producer and conflict context individually, and that
+        path is not the one whose cost replay is optimizing.
+        """
+        backend = self.runtime.backend
+        ready: List["Action"] = []
+        with self._lock:
+            if self.failure_policy == "fail_fast":
+                self.failure.raise_pending()
+            poisoned = bool(self._poisoned)
+            if not poisoned:
+                ready = self._admit_batch(instance, backend)
+        if poisoned:
+            for action, dep_actions in zip(instance.actions, instance.dep_lists):
+                self.enqueue_precomputed(action, dep_actions)
+            return
+        execute = backend.execute
+        for action in ready:
+            execute(action)
+
+    def _admit_batch(self, instance, backend) -> List["Action"]:
+        """Admit every clone of ``instance`` in template order.
+
+        Lock held, no pending failures. Mirrors :meth:`_admit` stage by
+        stage (graph node, completion event, edges, window entry,
+        observers, readiness) with the per-action bookkeeping hoisted
+        out of the loop. Template edges always point backwards in the
+        batch (the recorder admits producers first) and clones draw
+        fresh monotonic seqs, so the acyclicity invariant
+        :meth:`~repro.core.graph.ActionGraph.add_edge` checks holds by
+        construction. Returns the immediately dispatchable roots.
+        """
+        now = backend.now()
+        make_handle = backend.make_handle
+        graph_add = self.graph.add
+        observers = self.observers
+        dep_lists = (
+            instance.dep_lists
+            if any(getattr(obs, "wants_deps", True) for obs in observers)
+            else None
+        )
+        nodes: List[ActionNode] = []
+        ready: List["Action"] = []
+        for i, action in enumerate(instance.actions):
+            node = graph_add(action, now)
+            action.completion = HEvent(backend, make_handle(), action)
+            dep_idx = instance.template.dep_indices[i]
+            for j in dep_idx:
+                nodes[j].dependents.append(node)
+            node.waiting = len(dep_idx)
+            nodes.append(node)
+            action.stream.window.add(action)
+            deps = _NO_DEPS if dep_lists is None else dep_lists[i]
+            for obs in observers:
+                obs.on_enqueue(action, deps, _NO_DANGLING)
+            if node.waiting == 0:
+                node.transition(ActionState.READY)
+                node.t_ready = now
+                ready.append(action)
+        self._totals["enqueued"] += len(nodes)
+        self._outstanding += len(nodes)
+        per_stream: Dict[int, List] = {}
+        for action in instance.actions:
+            entry = per_stream.get(action.stream.id)
+            if entry is None:
+                per_stream[action.stream.id] = [action.stream, 1]
+            else:
+                entry[1] += 1
+        tracer = self.runtime.tracer
+        for stream, count in per_stream.values():
+            stats = self._stream_stats(stream)
+            stats.enqueued += count
+            stats.depth += count
+            if stats.depth > stats.max_depth:
+                stats.max_depth = stats.depth
+            tracer.counter(f"sched:{stream.lane}", now, stats.depth)
+        return ready
+
+    def _resolve_deps(
+        self, action: "Action", window_deps: List["Action"]
+    ) -> Tuple[List[ActionNode], List["Action"], List[HEvent]]:
+        """Resolve and validate every dependence before mutating the
+        graph, so a rejected enqueue leaves no zombie node behind.
+
+        Lock held. Returns ``(dep_nodes, dep_actions, dangling)``:
+        the live producer nodes to edge against, every producer action
+        (live or finished) for the observers, and any dangling waits an
+        observer claimed.
+        """
+        dep_nodes: List[ActionNode] = []
+        dangling: List[HEvent] = _NO_DANGLING
+        dep_actions: List["Action"] = window_deps
+        for prev in window_deps:
+            dep_node = self.graph.get(prev)
+            if dep_node is not None:  # retired concurrently (defensive)
+                dep_nodes.append(dep_node)
+        if action.deps:
+            # Explicit waits may duplicate each other or a window
+            # dependence; the common enqueue has none, so the dedup
+            # set is built only on this path. ``dep_actions`` keeps
+            # every waited action, including already-completed ones
+            # (capture mode completes everything instantly, so the
+            # live graph alone would record no edges at all).
+            seen = {prev.seq for prev in window_deps}
+            for ev in action.deps:
+                dep = ev.action
+                if dep is not None:
+                    if dep.seq in seen:
+                        continue
+                    seen.add(dep.seq)
+                    dep_actions.append(dep)
+                dep_node = self.graph.get(dep)
+                if dep_node is not None:
+                    dep_nodes.append(dep_node)
+                elif not ev.is_complete():
+                    # An observer (the capture recorder) may claim the
+                    # dangling wait as a diagnostic instead of an
+                    # error. Every observer gets to see it (no
+                    # short-circuit).
+                    claims = [
+                        obs.on_dangling_wait(action, ev)
+                        for obs in self.observers
+                    ]
+                    if any(claims):
+                        if dangling is _NO_DANGLING:
+                            dangling = []
+                        dangling.append(ev)
+                        continue
+                    raise HStreamsBadArgument(
+                        f"{action.display!r} waits on an event unknown to "
+                        "this runtime's scheduler; cross-runtime event "
+                        "dependences are not supported"
+                    )
+        return dep_nodes, dep_actions, dangling
+
+    def _admit(
+        self,
+        action: "Action",
+        now: float,
+        dep_nodes: List[ActionNode],
+        dep_actions: List["Action"],
+        dangling: List[HEvent],
+    ) -> bool:
+        """Final admission stage, shared by enqueue and replay.
+
+        Lock held; dependences already resolved. Checks admission
+        poisoning, inserts the graph node with its edges, mints the
+        completion event, updates the window and the stats, notifies
+        observers, and returns whether the action is immediately
+        dispatchable (no unfinished dependences, not poisoned).
+        """
+        stream = action.stream
+        backend = self.runtime.backend
+        # Determinism across enqueue/failure interleavings: work
+        # admitted *after* a producer failed must poison exactly
+        # like work admitted before (failed actions have already
+        # left the live graph and the stream window, so the edge
+        # machinery alone would happily run it on garbage).
+        poison = self._admission_poison(action, dep_actions)
+        node = self.graph.add(action, now)
+        action.completion = HEvent(backend, backend.make_handle(), action)
+        self.graph.add_edges(dep_nodes, node)
+        stream.window.add(action)
+        stats = self._stream_stats(stream)
+        stats.enqueued += 1
+        stats.depth += 1
+        if stats.depth > stats.max_depth:
+            stats.max_depth = stats.depth
+        self._totals["enqueued"] += 1
+        self._outstanding += 1
+        self.runtime.tracer.counter(f"sched:{stream.lane}", now, stats.depth)
+        for obs in self.observers:
+            obs.on_enqueue(action, dep_actions, dangling)
+        if poison is not None:
+            self._cancel_subgraph(node, poison, now)
+        elif node.waiting == 0:
+            node.transition(ActionState.READY)
+            node.t_ready = now
+            return True
+        return False
+
+    def _admission_poison(
+        self, action: "Action", dep_actions: Sequence["Action"]
+    ) -> Optional[BaseException]:
         """Root error poisoning ``action`` at admission, if any.
 
         Called with the lock held, before the node exists. An action is
-        poisoned on arrival when (under the poison/retry policies) it
-        explicitly waits on a failed/cancelled action, or its operands
-        conflict with one — the ordering edge the dead producer would
-        have supplied.
+        poisoned on arrival when (under the poison/retry policies) one
+        of its resolved producers — an explicit event wait, a window
+        dependence, or a replayed template edge — is a failed/cancelled
+        action, or its operands conflict with one: the ordering edge
+        the dead producer would have supplied.
         """
         if not self._poisoned or self.failure_policy == "fail_fast":
             return None
-        for ev in action.deps:
-            if ev.action is not None and ev.action.seq in self._poisoned:
-                return self._poisoned[ev.action.seq][1]
+        for dep in dep_actions:
+            if dep.seq in self._poisoned:
+                return self._poisoned[dep.seq][1]
         for dead, error in self._poisoned.values():
             if dead.conflicts_with(action):
                 return error

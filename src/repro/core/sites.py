@@ -1,0 +1,45 @@
+"""Source-site attribution: the user frame behind a runtime call.
+
+Several layers want to tell the user *where in their code* something
+happened: the capture recorder tags every recorded event with the call
+site, the online checker attaches sites to diagnostics, and the failure
+ledger notes where an error finally surfaced. They all share this one
+frame walk: skip every frame inside the ``repro`` package (runtime
+internals) and the standard library (context managers, ``runpy``,
+worker-thread plumbing), and report the first frame that belongs to the
+user's program.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional, Tuple
+
+__all__ = ["user_site"]
+
+#: Directory of the ``repro`` package; frames inside it are runtime
+#: internals, the first frame outside is the user call site.
+_PKG_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Standard-library directory (where ``os`` itself lives). Frames here
+#: are plumbing — e.g. ``contextlib`` bodies or ``threading`` at the
+#: bottom of a worker stack — never the user's code. Skipping them means
+#: a call with no user frame at all (a backend worker thread) reports
+#: ``None`` instead of misattributing to ``threading.py``.
+_STDLIB_DIR = os.path.dirname(os.path.abspath(os.__file__))
+
+
+def user_site() -> Optional[Tuple[str, int]]:
+    """The (filename, lineno) of the innermost non-runtime stack frame."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        fname = frame.f_code.co_filename
+        path = os.path.abspath(fname)
+        if not (
+            path.startswith(_PKG_DIR + os.sep)
+            or path.startswith(_STDLIB_DIR + os.sep)
+        ):
+            return fname, frame.f_lineno
+        frame = frame.f_back
+    return None

@@ -57,7 +57,13 @@ class FlowContext:
             if prod is None:
                 continue
             ev, sid = prod
-            if sid == stream.id or ev.is_complete():
+            if sid == stream.id:
+                continue
+            # Skipping an already-complete producer is a *timing*
+            # optimization; while a capture_graph() scope is recording,
+            # the edge must be kept anyway or the template would depend
+            # on how far execution happened to have progressed.
+            if ev.is_complete() and not self.hs.capturing:
                 continue
             # The inserted sync is *scoped* to the buffer's ranges, so
             # under the relaxed FIFO policy only later actions touching

@@ -142,7 +142,42 @@ class TestCaptureSession:
         ), capture_session():
             pass  # pragma: no cover
 
+    def test_nested_session_raises_invalid_state(self):
+        # The guard is a typed HStreamsInvalid (still a RuntimeError for
+        # callers that caught the historical bare error).
+        from repro.core.errors import HStreamsError, HStreamsInvalid
+
+        with capture_session():
+            with pytest.raises(HStreamsInvalid) as exc:
+                with capture_session():
+                    pass  # pragma: no cover
+        assert isinstance(exc.value, HStreamsError)
+        assert isinstance(exc.value, RuntimeError)
+        assert exc.value.code == "HSTR_RESULT_INVALID_STATE"
+
+    def test_session_reusable_after_failure(self):
+        # A session whose body raises — including the nesting error —
+        # must leave the registry clean for the next session.
+        with pytest.raises(ValueError):
+            with capture_session():
+                raise ValueError("program bug")
+        with capture_session() as runtimes:
+            hs = HStreams(platform=make_platform("HSW", 1), backend="thread")
+            assert isinstance(hs.backend, CaptureBackend)
+        assert runtimes == [hs]
+
     def test_outside_a_session_backends_are_real(self):
         hs = HStreams(platform=make_platform("HSW", 1), backend="sim")
         assert not isinstance(hs.backend, CaptureBackend)
         assert hs.capture is None
+
+    def test_analysis_capture_is_a_core_reexport(self):
+        # The primitives moved to repro.core.capture; the analysis path
+        # must keep resolving to the same objects.
+        import repro.analysis.capture as shim
+        import repro.core.capture as core
+
+        assert shim.CaptureBackend is core.CaptureBackend
+        assert shim.capture_session is core.capture_session
+        assert shim.ProgramCapture is core.ProgramCapture
+        assert shim.policy_dep_seqs is core.policy_dep_seqs
