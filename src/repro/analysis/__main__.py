@@ -24,11 +24,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             "races, buffer-lifetime hazards, and unsatisfiable waits"
         ),
     )
-    parser.add_argument("programs", nargs="+", help="program file(s) to check")
+    parser.add_argument("programs", nargs="*", help="program file(s) to check")
     parser.add_argument(
         "--json", action="store_true", help="emit JSON reports instead of prose"
     )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogs (hsan dynamic rules and the "
+        "staticlint lock-discipline rules) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_rules:
+        from repro.analysis.diagnostics import RULES
+        from repro.analysis.staticlint import STATIC_RULES, format_rule_catalog
+
+        print(format_rule_catalog("hsan rules (dynamic, per program):", RULES))
+        print()
+        print(
+            format_rule_catalog(
+                "staticlint rules (static, over runtime sources):",
+                STATIC_RULES,
+            )
+        )
+        return 0
+    if not args.programs:
+        parser.error("the following arguments are required: programs")
 
     worst = 0
     for path in args.programs:

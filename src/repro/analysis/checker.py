@@ -19,7 +19,6 @@ at the cost of only seeing the interleaving that actually happened.
 from __future__ import annotations
 
 import contextlib
-import re
 import runpy
 import sys
 import traceback
@@ -27,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.diagnostics import RULES, ActionRef, Diagnostic, Severity
+from repro.analysis.waivers import parse_waivers as parse_shared_waivers
 from repro.analysis.hb import HBState, RaceDetector
 from repro.analysis.lints import (
     BufferStateLint,
@@ -112,30 +112,16 @@ def analyze_trace(trace: ProgramTrace) -> List[Diagnostic]:
 
 # -- program checking ----------------------------------------------------------
 
-#: ``# hsan: ignore`` (waive everything on this line) or
-#: ``# hsan: ignore[rule-a, rule-b]`` (waive only the named rules).
-_WAIVER_RE = re.compile(r"#\s*hsan:\s*ignore(?:\[([a-zA-Z0-9_,\- ]*)\])?")
-
 
 def parse_waivers(source: str) -> Dict[int, Optional[Set[str]]]:
-    """Map 1-based line numbers to waived rule sets (``None`` = all)."""
-    waivers: Dict[int, Optional[Set[str]]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _WAIVER_RE.search(line)
-        if not m:
-            continue
-        if m.group(1) is None:
-            waivers[lineno] = None
-        else:
-            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            unknown = rules - set(RULES)
-            if unknown:
-                raise ValueError(
-                    f"line {lineno}: unknown rule(s) in hsan waiver: "
-                    + ", ".join(sorted(unknown))
-                )
-            waivers[lineno] = rules
-    return waivers
+    """Map 1-based line numbers to waived rule sets (``None`` = all).
+
+    ``# hsan: ignore`` waives everything on the line;
+    ``# hsan: ignore[rule-a, rule-b]`` waives only the named rules.
+    The syntax (and this parser) is shared with staticlint's
+    ``# rtsan: ignore`` waivers — see :mod:`repro.analysis.waivers`.
+    """
+    return parse_shared_waivers(source, "hsan", RULES)
 
 
 def _is_waived(
@@ -354,5 +340,8 @@ class OnlineChecker(SchedulerObserver):
 def attach_checker(runtime) -> OnlineChecker:
     """Attach an :class:`OnlineChecker` to an executing runtime."""
     checker = OnlineChecker()
-    runtime.scheduler.observers.append(checker)
+    # The observer list is guarded state: executor threads iterate it
+    # under the scheduler lock on every completion.
+    with runtime.scheduler._lock:
+        runtime.scheduler.observers.append(checker)
     return checker

@@ -150,6 +150,51 @@ RULES: Dict[str, Rule] = {
             "check the offset/nbytes arithmetic; drop the operand if "
             "the empty range is intentional",
         ),
+        # -- rtsan: the runtime's own lock-discipline sanitizer --------
+        # (dynamic rules; see repro.core.sync and DESIGN.md §10)
+        Rule(
+            "lock-order-inversion",
+            Severity.ERROR,
+            "two runtime locks were acquired in both nesting orders on "
+            "different paths (or a non-reentrant lock was re-acquired "
+            "by its holder) — a potential deadlock",
+            "pick one global acquisition order for the two locks and "
+            "restructure the inverted path to follow it",
+        ),
+        Rule(
+            "unguarded-access",
+            Severity.ERROR,
+            "a field declared @guarded_by(lock) was read or written "
+            "without the owning lock held — a torn read or lost update "
+            "under concurrency",
+            "take the owning lock around the access, or mark the "
+            "containing method @caller_locked if every caller already "
+            "holds it",
+        ),
+        Rule(
+            "cv-without-lock",
+            Severity.ERROR,
+            "a condition variable was waited on or notified without "
+            "holding its lock — wakeups can be lost",
+            "wrap the wait/notify in `with <the condition>:`",
+        ),
+        Rule(
+            "blocking-under-lock",
+            Severity.WARNING,
+            "a blocking call (time.sleep, Event.wait) ran while holding "
+            "a scheduler lock, stalling every thread that needs it",
+            "move the blocking call outside the critical section, or "
+            "wait on a condition variable tied to the lock instead",
+        ),
+        Rule(
+            "invariant-violation",
+            Severity.ERROR,
+            "a scheduler deep-check failed after a transition: the "
+            "conflict index, in-flight counters, or node lifecycle "
+            "states disagree with a from-scratch recomputation",
+            "this is a runtime bug, not a program bug — report it with "
+            "the message's recomputation diff",
+        ),
     ]
 }
 

@@ -1,0 +1,630 @@
+"""staticlint: AST-level enforcement of the rtsan lock discipline.
+
+The dynamic sanitizer (:mod:`repro.core.sync`) checks the lock
+discipline on the interleavings that actually run; this pass checks it
+*lexically*, over every path in the source, so a guarded field touched
+outside its lock is caught even if no test ever executes that branch.
+
+Model: guarded state is declared per class with
+``@guarded_by("_lock", "field", ...)``; an access to ``self.<field>``
+is legal when it is lexically inside ``with self._lock:`` (or a ``with``
+on a condition variable built over that lock), or when the enclosing
+method is allowlisted — ``__init__`` (construction happens-before
+publication) or ``@caller_locked("_lock")`` (the documented contract
+that every caller already holds the lock; the dynamic sanitizer
+verifies it at runtime).
+
+Rules (ids are what ``rtsan: ignore[rule]`` waiver comments name):
+
+* ``guarded-field`` — a ``@guarded_by`` attribute accessed outside the
+  owning lock's lexical scope;
+* ``cv-without-lock`` — ``wait``/``notify`` on a condition attribute
+  outside a ``with`` on it (or its underlying lock);
+* ``reentrant-with`` — nested ``with`` on the same non-reentrant lock
+  (self-deadlock);
+* ``lock-in-hot-path`` — a lock/CV constructed outside ``__init__`` /
+  ``attach`` / module scope (locks are topology, not per-operation
+  state);
+* ``wall-clock-in-sim`` — ``time.time``/``time.monotonic`` under
+  ``sim/`` (the simulator owns virtual time; wall-clock reads there
+  break determinism).
+
+CLI: ``python -m repro.analysis.staticlint [paths...] [--json]``, exit
+codes matching hsan (2 errors / 1 warnings / 0 clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Rule, Severity
+from repro.analysis.waivers import parse_waivers
+
+__all__ = [
+    "STATIC_RULES",
+    "Finding",
+    "LintReport",
+    "format_rule_catalog",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: The static rule catalog. ``cv-without-lock`` shares its id with the
+#: dynamic rule on purpose: same discipline, two enforcement points.
+STATIC_RULES: Dict[str, Rule] = {
+    r.id: r
+    for r in [
+        Rule(
+            "guarded-field",
+            Severity.ERROR,
+            "an attribute declared @guarded_by(lock) is accessed outside "
+            "a lexical `with self.<lock>:` scope and the method is not "
+            "allowlisted as caller-locked",
+            "wrap the access in `with self.<lock>:`, or decorate the "
+            "method with @caller_locked('<lock>') if every caller "
+            "already holds it",
+        ),
+        Rule(
+            "cv-without-lock",
+            Severity.ERROR,
+            "wait/notify on a condition variable outside a `with` on the "
+            "condition (or its underlying lock) — wakeups can be lost",
+            "wrap the wait/notify in `with self.<condition>:`",
+        ),
+        Rule(
+            "reentrant-with",
+            Severity.ERROR,
+            "nested `with` on the same non-reentrant lock — the inner "
+            "acquire self-deadlocks",
+            "make the lock reentrant (make_lock(..., reentrant=True)) "
+            "or restructure so the inner scope takes no lock",
+        ),
+        Rule(
+            "lock-in-hot-path",
+            Severity.WARNING,
+            "a lock or condition variable is constructed outside "
+            "__init__/attach/module scope — per-operation lock creation "
+            "defeats ownership tracking and costs allocation on a hot "
+            "path",
+            "create the lock once in __init__ (or the backend's attach) "
+            "and reuse it",
+        ),
+        Rule(
+            "wall-clock-in-sim",
+            Severity.WARNING,
+            "time.time()/time.monotonic() called under sim/ — the "
+            "simulator owns virtual time, and wall-clock reads there "
+            "make virtual schedules nondeterministic",
+            "use the engine's virtual now() (backend.now()) instead",
+        ),
+    ]
+}
+
+#: Methods whose body may touch guarded fields without the lock: object
+#: construction happens-before any concurrent publication.
+_CONSTRUCTION_METHODS = {"__init__", "__new__", "__post_init__"}
+
+#: Scopes allowed to *create* locks: topology setup (construction, a
+#: backend's ``attach``, module scope), not per-operation state.
+_LOCK_CREATION_METHODS = _CONSTRUCTION_METHODS | {"attach", "<module>"}
+
+_LOCK_FACTORIES = {"Lock", "RLock", "make_lock"}
+_CV_FACTORIES = {"Condition", "make_condition"}
+_CV_METHODS = {"wait", "wait_for", "notify", "notify_all"}
+_WALL_CLOCK = {"time", "monotonic"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static finding, pointing at a source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def severity(self) -> Severity:
+        return STATIC_RULES[self.rule].severity
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": STATIC_RULES[self.rule].hint,
+        }
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.severity.value}"
+            f"[{self.rule}]: {self.message}"
+        )
+
+
+# -- per-class lock model --------------------------------------------------------
+
+
+def _call_name(node: ast.expr) -> Optional[str]:
+    """The bare callee name of a call: ``Lock`` for ``threading.Lock``
+    and plain ``Lock`` alike; None for anything more exotic."""
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            return fn.id
+        if isinstance(fn, ast.Attribute):
+            return fn.attr
+    return None
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``; otherwise None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class _ClassModel:
+    """What the lint knows about one class's synchronization."""
+
+    #: field name -> owning lock attribute (from @guarded_by).
+    guards: Dict[str, str] = field(default_factory=dict)
+    #: lock attribute -> is it reentrant.
+    locks: Dict[str, bool] = field(default_factory=dict)
+    #: condition attribute -> underlying lock attribute (or None when
+    #: the CV owns a private lock).
+    conditions: Dict[str, Optional[str]] = field(default_factory=dict)
+
+
+def _model_class(cls: ast.ClassDef) -> _ClassModel:
+    model = _ClassModel()
+    for deco in cls.decorator_list:
+        if isinstance(deco, ast.Call) and _call_name(deco) == "guarded_by":
+            args = [
+                a.value
+                for a in deco.args
+                if isinstance(a, ast.Constant) and isinstance(a.value, str)
+            ]
+            if args:
+                lock_attr, *fields = args
+                for f in fields:
+                    model.guards[f] = lock_attr
+    # Lock/CV attributes are discovered from `self.X = <factory>(...)`
+    # anywhere in the class body (usually __init__ or attach).
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        callee = _call_name(node.value)
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if callee in _LOCK_FACTORIES:
+                model.locks[attr] = _lock_is_reentrant(node.value, callee)
+            elif callee in _CV_FACTORIES:
+                model.conditions[attr] = _cv_lock_attr(node.value)
+    return model
+
+
+def _lock_is_reentrant(call: ast.Call, callee: str) -> bool:
+    if callee == "RLock":
+        return True
+    if callee == "make_lock":
+        for kw in call.keywords:
+            if (
+                kw.arg == "reentrant"
+                and isinstance(kw.value, ast.Constant)
+            ):
+                return bool(kw.value.value)
+    return False
+
+
+def _cv_lock_attr(call: ast.Call) -> Optional[str]:
+    """The ``self.X`` a condition was built over, if any."""
+    candidates: List[ast.expr] = []
+    if call.args:
+        candidates.append(call.args[0])
+    candidates.extend(kw.value for kw in call.keywords if kw.arg == "lock")
+    for cand in candidates:
+        attr = _self_attr(cand)
+        if attr is not None:
+            return attr
+    return None
+
+
+# -- the per-file linter ---------------------------------------------------------
+
+
+class _FileLinter:
+    def __init__(self, path: str, in_sim: bool) -> None:
+        self.path = path
+        self.in_sim = in_sim
+        self.findings: List[Finding] = []
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(rule, self.path, getattr(node, "lineno", 0), message)
+        )
+
+    def lint_module(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._lint_class(node)
+            else:
+                self._lint_scope(node, _ClassModel(), set(), in_function=False)
+
+    # -- classes ---------------------------------------------------------------
+
+    def _lint_class(self, cls: ast.ClassDef) -> None:
+        model = _model_class(cls)
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._lint_method(stmt, model)
+            elif isinstance(stmt, ast.ClassDef):
+                self._lint_class(stmt)
+
+    def _lint_method(
+        self, fn: ast.FunctionDef, model: _ClassModel
+    ) -> None:
+        held: Set[str] = set()
+        exempt = fn.name in _CONSTRUCTION_METHODS
+        for deco in fn.decorator_list:
+            if isinstance(deco, ast.Call) and _call_name(deco) == "caller_locked":
+                for a in deco.args:
+                    if isinstance(a, ast.Constant) and isinstance(a.value, str):
+                        held.add(a.value)
+        self._walk(fn.body, model, held, fn.name, exempt)
+
+    # -- statement walk with a lexical held-set --------------------------------
+
+    def _walk(
+        self,
+        body: Sequence[ast.stmt],
+        model: _ClassModel,
+        held: Set[str],
+        method: str,
+        exempt: bool,
+    ) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, model, held, method, exempt)
+
+    def _visit_stmt(
+        self,
+        stmt: ast.stmt,
+        model: _ClassModel,
+        held: Set[str],
+        method: str,
+        exempt: bool,
+    ) -> None:
+        if isinstance(stmt, ast.With):
+            entered: Set[str] = set()
+            for item in stmt.items:
+                self._check_expr(item.context_expr, model, held, method, exempt)
+                attr = _self_attr(item.context_expr)
+                if attr is None:
+                    continue
+                if attr in model.locks:
+                    if attr in held and not model.locks[attr]:
+                        self.emit(
+                            "reentrant-with",
+                            stmt,
+                            f"nested `with self.{attr}:` on a "
+                            "non-reentrant lock (self-deadlock)",
+                        )
+                    entered.add(attr)
+                elif attr in model.conditions:
+                    entered.add(attr)
+                    under = model.conditions[attr]
+                    if under is not None:
+                        entered.add(under)
+                    # Entering a CV built over an already-held
+                    # non-reentrant lock is the same self-deadlock.
+                    if (
+                        under is not None
+                        and under in held
+                        and not model.locks.get(under, True)
+                    ):
+                        self.emit(
+                            "reentrant-with",
+                            stmt,
+                            f"`with self.{attr}:` re-acquires "
+                            f"non-reentrant self.{under} already held",
+                        )
+                elif attr in model.guards.values():
+                    # A guard lock with no visible construction in this
+                    # class — e.g. a property aliasing the owning
+                    # scheduler's lock. Entering it still satisfies the
+                    # guarded-field discipline (reentrancy unknown, so
+                    # no reentrant-with check).
+                    entered.add(attr)
+            inner = held | entered
+            self._walk(stmt.body, model, inner, method, exempt)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def may run after the enclosing `with` exited:
+            # it inherits nothing. caller_locked still applies.
+            self._lint_method(stmt, model)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._lint_class(stmt)
+            return
+        # Generic statement: check expressions, then recurse into any
+        # nested statement lists (if/for/while/try bodies).
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.expr):
+                self._check_expr(node, model, held, method, exempt)
+        for fname in ("body", "orelse", "finalbody", "handlers", "cases"):
+            sub = getattr(stmt, fname, None)
+            if not sub:
+                continue
+            for entry in sub:
+                if isinstance(entry, ast.stmt):
+                    self._visit_stmt(entry, model, held, method, exempt)
+                elif hasattr(entry, "body"):  # ExceptHandler / match_case
+                    self._walk(entry.body, model, held, method, exempt)
+
+    # -- expression checks -----------------------------------------------------
+
+    def _check_expr(
+        self,
+        expr: ast.expr,
+        model: _ClassModel,
+        held: Set[str],
+        method: str,
+        exempt: bool,
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Lambda,)):
+                continue  # deferred execution; dynamic pass covers it
+            if isinstance(node, ast.Attribute):
+                attr = _self_attr(node)
+                if (
+                    attr is not None
+                    and not exempt
+                    and attr in model.guards
+                    and model.guards[attr] not in held
+                    and not self._held_via_condition(
+                        model.guards[attr], model, held
+                    )
+                ):
+                    self.emit(
+                        "guarded-field",
+                        node,
+                        f"self.{attr} is @guarded_by("
+                        f"{model.guards[attr]!r}) but "
+                        f"self.{model.guards[attr]} is not held here",
+                    )
+            if isinstance(node, ast.Call):
+                self._check_call(node, model, held, method, exempt)
+
+    def _held_via_condition(
+        self, lock_attr: str, model: _ClassModel, held: Set[str]
+    ) -> bool:
+        return any(
+            model.conditions.get(c) == lock_attr for c in held
+        )
+
+    def _check_call(
+        self,
+        call: ast.Call,
+        model: _ClassModel,
+        held: Set[str],
+        method: str,
+        exempt: bool,
+    ) -> None:
+        fn = call.func
+        # CV discipline: self.<cond>.wait()/notify() needs the CV (or
+        # its lock) lexically held.
+        if isinstance(fn, ast.Attribute) and fn.attr in _CV_METHODS:
+            cond = _self_attr(fn.value)
+            if cond is not None and cond in model.conditions and not exempt:
+                under = model.conditions[cond]
+                if cond not in held and (under is None or under not in held):
+                    self.emit(
+                        "cv-without-lock",
+                        call,
+                        f"self.{cond}.{fn.attr}() outside "
+                        f"`with self.{cond}:`",
+                    )
+        # Lock construction outside topology-setup scope.
+        callee = _call_name(call)
+        if (
+            callee in (_LOCK_FACTORIES | _CV_FACTORIES)
+            and method not in _LOCK_CREATION_METHODS
+        ):
+            self.emit(
+                "lock-in-hot-path",
+                call,
+                f"{callee}() constructed in {method}() — locks belong "
+                "in __init__/attach or at module scope",
+            )
+        # Wall-clock reads under sim/.
+        if (
+            self.in_sim
+            and isinstance(fn, ast.Attribute)
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "time"
+            and fn.attr in _WALL_CLOCK
+        ):
+            self.emit(
+                "wall-clock-in-sim",
+                call,
+                f"time.{fn.attr}() under sim/ — use the engine's "
+                "virtual clock",
+            )
+
+    # Module-level (non-class) statements reuse the same machinery with
+    # an empty model; only lock-creation and wall-clock rules can fire.
+    def _lint_scope(
+        self,
+        stmt: ast.stmt,
+        model: _ClassModel,
+        held: Set[str],
+        in_function: bool,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk(stmt.body, model, set(), stmt.name, False)
+            return
+        self._visit_stmt(stmt, model, held, "<module>" if not in_function else "?", True)
+
+
+# -- report ---------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """The result of linting a set of files."""
+
+    files: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    waived: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def exit_code(self) -> int:
+        """CLI convention shared with hsan: 2/1/0."""
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "files": self.files,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "waived": len(self.waived),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format(self) -> str:
+        lines = [f.format() for f in self.findings]
+        verdict = (
+            f"staticlint: {self.files} file(s): {len(self.errors)} "
+            f"error(s), {len(self.warnings)} warning(s)"
+            + (f", {len(self.waived)} waived" if self.waived else "")
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def lint_source(
+    source: str, path: str = "<string>", in_sim: bool = False
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one source string: ``(findings, waived)``."""
+    waivers = parse_waivers(source, "rtsan", STATIC_RULES)
+    linter = _FileLinter(path, in_sim)
+    linter.lint_module(ast.parse(source, filename=path))
+    kept: List[Finding] = []
+    waived: List[Finding] = []
+    for finding in linter.findings:
+        rules = waivers.get(finding.line, ...)
+        if rules is not ... and (rules is None or finding.rule in rules):
+            waived.append(finding)
+        else:
+            kept.append(finding)
+    return kept, waived
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterable[str]:
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, files in os.walk(p):
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield p
+
+
+def lint_paths(paths: Sequence[str]) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = LintReport()
+    for path in _iter_py_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        in_sim = f"{os.sep}sim{os.sep}" in os.path.abspath(path)
+        findings, waived = lint_source(source, path, in_sim=in_sim)
+        report.files += 1
+        report.findings.extend(findings)
+        report.waived.extend(waived)
+    report.findings.sort(
+        key=lambda f: (f.severity is not Severity.ERROR, f.path, f.line)
+    )
+    return report
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def format_rule_catalog(title: str, rules: Dict[str, Rule]) -> str:
+    """One-line-per-rule catalog listing (shared with the hsan CLI)."""
+    lines = [title]
+    width = max(len(rid) for rid in rules)
+    for rule in rules.values():
+        lines.append(
+            f"  {rule.id:<{width}}  {rule.severity.value:<7}  {rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.staticlint",
+        description="Statically lint the runtime's lock discipline.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package sources)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report to stdout"
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the static rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(format_rule_catalog("staticlint rules:", STATIC_RULES))
+        return 0
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    report = lint_paths(paths)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return report.exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

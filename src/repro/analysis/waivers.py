@@ -1,0 +1,49 @@
+"""Shared ``# <tag>: ignore[rule]`` waiver parsing.
+
+Both analyzers use the same comment syntax with different tags: hsan
+(:mod:`repro.analysis.checker`) reads ``# hsan: ignore[...]`` from
+checked *programs*; staticlint (:mod:`repro.analysis.staticlint`) reads
+``# rtsan: ignore[...]`` from the runtime's own sources. A bare
+``ignore`` waives every rule on that line; ``ignore[rule-a, rule-b]``
+waives only the named rules (and rejects unknown ids so stale waivers
+can't linger silently).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = ["parse_waivers"]
+
+_WAIVER_TEMPLATE = r"#\s*{tag}:\s*ignore(?:\[([a-zA-Z0-9_,\- ]*)\])?"
+
+
+def parse_waivers(
+    source: str, tag: str, known_rules: Iterable[str]
+) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line numbers to waived rule sets (``None`` = all).
+
+    ``tag`` names the analyzer (``"hsan"`` or ``"rtsan"``);
+    ``known_rules`` is its rule catalog — naming a rule outside it in a
+    waiver raises ``ValueError``.
+    """
+    pattern = re.compile(_WAIVER_TEMPLATE.format(tag=re.escape(tag)))
+    known = set(known_rules)
+    waivers: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = pattern.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            waivers[lineno] = None
+        else:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            unknown = rules - known
+            if unknown:
+                raise ValueError(
+                    f"line {lineno}: unknown rule(s) in {tag} waiver: "
+                    + ", ".join(sorted(unknown))
+                )
+            waivers[lineno] = rules
+    return waivers

@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.core.actions import Action
+from repro.core.sync import caller_locked, guarded_by
 
 __all__ = [
     "DependencePolicy",
@@ -125,6 +126,7 @@ class StrictFifoPolicy(DependencePolicy):
         return []
 
 
+@guarded_by("_lock", "_live", "_by_buffer", "_barriers")
 class StreamWindow:
     """Per-stream view over the in-flight actions of the shared graph.
 
@@ -141,11 +143,18 @@ class StreamWindow:
     maintained O(1) counter either way — it observes a completion at
     retirement or at the next scan that touches the entry, never by
     polling every completion event.
+
+    Locking: under a scheduler, every mutation happens inside the
+    scheduler lock (``_lock`` is wired to it when rtsan is enabled —
+    the ``caller_locked`` contracts below are what the static and
+    dynamic passes verify). Standalone windows (unit tests, benchmark
+    harnesses) are single-threaded and carry ``_lock = None``.
     """
 
     __slots__ = (
         "strict_fifo",
         "policy",
+        "_lock",
         "_live",
         "_by_buffer",
         "_barriers",
@@ -162,6 +171,9 @@ class StreamWindow:
         policy: Optional[DependencePolicy] = None,
     ):
         self.strict_fifo = strict_fifo
+        #: The owning scheduler's lock (wired by Scheduler.on_stream_create
+        #: under rtsan); None for standalone/single-threaded windows.
+        self._lock = None
         if policy is None:
             policy = StrictFifoPolicy() if strict_fifo else RelaxedPolicy()
         self.policy = policy
@@ -181,6 +193,7 @@ class StreamWindow:
 
     # -- maintenance ---------------------------------------------------------
 
+    @caller_locked("_lock")
     def add(self, action: Action) -> None:
         """Record a newly enqueued action and index its footprint."""
         self._live[action.seq] = action
@@ -195,6 +208,7 @@ class StreamWindow:
                     bucket = self._by_buffer[uid] = {}
                 bucket[action.seq] = action
 
+    @caller_locked("_lock")
     def retire(self, action: Action) -> None:
         """Drop one completed action from the view and index (O(1))."""
         if self._live.pop(action.seq, None) is None:
@@ -203,6 +217,7 @@ class StreamWindow:
         self._in_flight -= 1
         self._unindex(action)
 
+    @caller_locked("_lock")
     def _unindex(self, action: Action) -> None:
         if action.barrier:
             self._barriers.pop(action.seq, None)
@@ -219,6 +234,7 @@ class StreamWindow:
         completion = action.completion
         return completion is not None and completion.is_complete()
 
+    @caller_locked("_lock")
     def live_newest_first(self) -> Iterator[Action]:
         """In-flight actions, newest first.
 
@@ -236,6 +252,7 @@ class StreamWindow:
 
     # -- the conflict-indexed scan -------------------------------------------
 
+    @caller_locked("_lock")
     def _newest_live_barrier(self) -> Optional[Action]:
         """The newest incomplete barrier, lazily dropping completed ones."""
         dead: Optional[List[Action]] = None
@@ -254,6 +271,7 @@ class StreamWindow:
                 self.retire(barrier)
         return found
 
+    @caller_locked("_lock")
     def conflict_scan(self, action: Action) -> List[Action]:
         """Conflicting live predecessors of ``action``, in enqueue order.
 
@@ -337,15 +355,68 @@ class StreamWindow:
         """
         return self._in_flight
 
+    @caller_locked("_lock")
     def pending_completions(self) -> List:
         """Completion events of the still-incomplete actions.
 
         Non-mutating: completed entries are merely filtered, never
         dropped — retirement stays the scheduler's (or the lazy scans')
-        job.
+        job. Under a scheduler, call through
+        :meth:`~repro.core.scheduler.Scheduler.pending_completions`,
+        which snapshots under the lock.
         """
         return [
             a.completion
             for a in self._live.values()
             if a.completion is not None and not a.completion.is_complete()
         ]
+
+    # -- deep checks (rtsan) --------------------------------------------------
+
+    @caller_locked("_lock")
+    def check_index(self, label: str = "window") -> List[str]:
+        """Recompute the conflict index from ``_live`` and diff it.
+
+        The invariant behind ``RelaxedPolicy``'s O(conflicts) scan: the
+        indexed scan consults only the per-buffer buckets and the
+        barrier lane, the naive oracle scans the live set — so if every
+        live non-barrier action is bucketed under exactly its footprint
+        uids, every bucket entry is live, and the barrier lane is
+        exactly the live barriers, the two compute identical dependence
+        sets for any probe. Under a scheduler (eager retirement) the
+        equalities are strict. Returns human-readable problems; empty
+        means consistent.
+        """
+        problems: List[str] = []
+        if self._in_flight != len(self._live):
+            problems.append(
+                f"{label}: in_flight counter {self._in_flight} != "
+                f"{len(self._live)} live entries"
+            )
+        if self.enqueued_count - self.retired_count != self._in_flight:
+            problems.append(
+                f"{label}: enqueued {self.enqueued_count} - retired "
+                f"{self.retired_count} != in_flight {self._in_flight}"
+            )
+        live_barriers = {s for s, a in self._live.items() if a.barrier}
+        if set(self._barriers) != live_barriers:
+            problems.append(
+                f"{label}: barrier lane {sorted(self._barriers)} != live "
+                f"barriers {sorted(live_barriers)}"
+            )
+        expected: Dict[int, set] = {}
+        for seq, action in self._live.items():
+            if action.barrier:
+                continue
+            for uid, _start, _end, _writes in action.footprint:
+                expected.setdefault(uid, set()).add(seq)
+        actual = {uid: set(bucket) for uid, bucket in self._by_buffer.items()}
+        if actual != expected:
+            for uid in sorted(set(actual) | set(expected)):
+                a, e = actual.get(uid, set()), expected.get(uid, set())
+                if a != e:
+                    problems.append(
+                        f"{label}: buffer {uid} bucket {sorted(a)} != "
+                        f"recomputed {sorted(e)}"
+                    )
+        return problems

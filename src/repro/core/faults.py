@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from repro.core.errors import HStreamsBadArgument, HStreamsError, mark_transient
 from repro.core.events import HEvent
 from repro.core.scheduler import SchedulerObserver
+from repro.core.sync import caller_locked, guarded_by, make_lock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.actions import Action
@@ -131,8 +132,16 @@ class FaultPlan:
     seed: int = 0
 
 
+@guarded_by("_lock", "_armed", "_match_counts")
 class FaultInjector(SchedulerObserver):
-    """Live attachment of a :class:`FaultPlan` to one runtime."""
+    """Live attachment of a :class:`FaultPlan` to one runtime.
+
+    Arming happens on the source thread under the scheduler's lock
+    (``on_enqueue``), but :meth:`check` fires from backend *worker*
+    threads — so the armed table is lock-guarded.
+    :func:`inject_faults` rebinds :attr:`_lock` to the owning
+    scheduler's lock, making arm-vs-fire a single critical section.
+    """
 
     #: Arming matches on the action itself (kind/kernel/stream), never
     #: on producer edges, so batched replay admission may skip them.
@@ -141,15 +150,21 @@ class FaultInjector(SchedulerObserver):
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._rng = random.Random(plan.seed)
+        # Standalone injectors get a private lock; inject_faults swaps
+        # in the owning scheduler's lock before attaching.
+        self._lock = make_lock("faults")
         #: Per-spec count of matching actions seen, for ``nth``.
         self._match_counts: List[int] = [0] * len(plan.specs)
         #: Armed actions: seq -> (remaining failures, owning spec).
         self._armed: Dict[int, List] = {}
-        #: Total faults actually raised by :meth:`check`.
+        #: Total faults actually raised by :meth:`check`. Written under
+        #: the lock; unguarded so tests/benchmarks may read the counter
+        #: after synchronizing (a GIL-atomic int read).
         self.injected = 0
 
     # -- arming (scheduler observer, single-threaded enqueue order) --------
 
+    @caller_locked("_lock")
     def on_enqueue(
         self,
         action: "Action",
@@ -181,22 +196,31 @@ class FaultInjector(SchedulerObserver):
 
         Each call consumes one armed attempt; once ``times`` attempts
         have failed, the action executes normally (the
-        transient-fault-recovers-after-retry scenario).
+        transient-fault-recovers-after-retry scenario). Called from
+        backend worker threads, so the armed table is consumed under
+        the lock.
         """
-        entry = self._armed.get(action.seq)
-        if entry is None or entry[0] <= 0:
-            return
-        entry[0] -= 1
-        self.injected += 1
-        spec: FaultSpec = entry[1]
+        with self._lock:
+            entry = self._armed.get(action.seq)
+            if entry is None or entry[0] <= 0:
+                return
+            entry[0] -= 1
+            self.injected += 1
+            spec: FaultSpec = entry[1]
+            attempt = spec.times - entry[0]
         msg = spec.message or (
             f"injected fault in {action.display!r} "
-            f"(attempt {spec.times - entry[0]} of {spec.times})"
+            f"(attempt {attempt} of {spec.times})"
         )
         err = InjectedFault(msg)
         if spec.transient:
             mark_transient(err)
         raise err
+
+    def armed_seqs(self) -> List[int]:
+        """Sequence numbers currently armed (tests and observability)."""
+        with self._lock:
+            return sorted(self._armed)
 
 
 def inject_faults(runtime: "HStreams", plan: FaultPlan) -> FaultInjector:
@@ -207,9 +231,16 @@ def inject_faults(runtime: "HStreams", plan: FaultPlan) -> FaultInjector:
     it before executing). Injecting a second plan replaces the first.
     """
     injector = FaultInjector(plan)
-    old = runtime.fault_injector
-    if old is not None and old in runtime.scheduler.observers:
-        runtime.scheduler.observers.remove(old)
-    runtime.scheduler.observers.append(injector)
-    runtime.fault_injector = injector
+    # Share the scheduler's lock: arming (on_enqueue, under it already)
+    # and firing (check, from workers) become one critical section.
+    injector._lock = runtime.scheduler._lock
+    sanitizer = getattr(runtime, "sanitizer", None)
+    if sanitizer is not None:
+        sanitizer.instrument(injector)
+    with runtime.scheduler._lock:
+        old = runtime.fault_injector
+        if old is not None and old in runtime.scheduler.observers:
+            runtime.scheduler.observers.remove(old)
+        runtime.scheduler.observers.append(injector)
+        runtime.fault_injector = injector
     return injector

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.core.errors import HStreamsInternalError
+from repro.core.sync import caller_locked, guarded_by
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.actions import Action
@@ -210,6 +211,7 @@ class ActionNode:
         )
 
 
+@guarded_by("_lock", "_nodes")
 class ActionGraph:
     """In-flight actions and the dependence edges between them.
 
@@ -217,14 +219,23 @@ class ActionGraph:
     nodes are popped immediately (incremental retirement), so the graph
     holds only the live frontier — its size is the number of in-flight
     actions, not the program length.
+
+    Locking: the graph has no lock of its own — every method runs under
+    the owning scheduler's lock (the ``caller_locked`` contracts the
+    rtsan passes verify). Standalone graphs (unit tests) pass no lock
+    and are single-threaded.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, lock=None) -> None:
+        #: The owning scheduler's lock; None standalone.
+        self._lock = lock
         self._nodes: Dict[int, ActionNode] = {}
 
+    @caller_locked("_lock")
     def __len__(self) -> int:
         return len(self._nodes)
 
+    @caller_locked("_lock")
     def add(self, action: "Action", t_enqueue: float) -> ActionNode:
         """Insert a node for a newly enqueued action."""
         if action.seq in self._nodes:
@@ -235,6 +246,7 @@ class ActionGraph:
         self._nodes[action.seq] = node
         return node
 
+    @caller_locked("_lock")
     def get(self, action: Optional["Action"]) -> Optional[ActionNode]:
         """The live node for ``action``, or None if finished/foreign."""
         if action is None:
@@ -270,14 +282,17 @@ class ActionGraph:
         for dep in deps:
             self.add_edge(dep, node)
 
+    @caller_locked("_lock")
     def pop(self, node: ActionNode) -> None:
         """Retire a finished node from the live set."""
         self._nodes.pop(node.action.seq, None)
 
+    @caller_locked("_lock")
     def nodes(self) -> Iterator[ActionNode]:
         """All live nodes in enqueue order."""
         return iter(list(self._nodes.values()))
 
+    @caller_locked("_lock")
     def stalled(self) -> List[ActionNode]:
         """Deadlock probe: blocked nodes when nothing can make progress.
 

@@ -70,6 +70,7 @@ from repro.core.errors import (
     HStreamsOutOfMemory,
 )
 from repro.core.scheduler import SchedulerObserver
+from repro.core.sync import caller_locked, guarded_by
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.coi.buffer_pool import BufferPool
@@ -411,6 +412,7 @@ EVICTION_POLICIES: Dict[str, type] = {
 # -- the manager ---------------------------------------------------------------
 
 
+@guarded_by("_lock", "_coh", "_bufs", "_allocated", "_instances", "_tick")
 class MemoryManager(SchedulerObserver):
     """Single authority over instance lifecycle, coherence, and capacity.
 
@@ -461,6 +463,7 @@ class MemoryManager(SchedulerObserver):
 
     # -- coherence queries ----------------------------------------------------
 
+    @caller_locked("_lock")
     def coherence(self, buf: "Buffer") -> BufferCoherence:
         """The coherence record for ``buf`` (created on first use)."""
         coh = self._coh.get(buf.uid)
@@ -469,6 +472,7 @@ class MemoryManager(SchedulerObserver):
             self._bufs[buf.uid] = buf
         return coh
 
+    @caller_locked("_lock")
     def coherences(self) -> Iterator[Tuple["Buffer", BufferCoherence]]:
         """All live ``(buffer, coherence)`` pairs."""
         for uid, coh in list(self._coh.items()):
@@ -481,8 +485,10 @@ class MemoryManager(SchedulerObserver):
 
     def allocated_bytes(self, domain: int) -> int:
         """Bytes charged against ``domain``'s capacity."""
-        return self._allocated.get(domain, 0)
+        with self._lock:
+            return self._allocated.get(domain, 0)
 
+    @caller_locked("_lock")
     def _touch(self, coh: BufferCoherence, domain: int) -> None:
         self._tick += 1
         coh.last_touch[domain] = self._tick
@@ -552,6 +558,7 @@ class MemoryManager(SchedulerObserver):
                 )
             self._evict(buf, domain, reason="manual")
 
+    @caller_locked("_lock")
     def _evict(self, buf: "Buffer", domain: int, reason: str) -> None:
         """Tear one instance down (checks already done by the caller)."""
         self.runtime.backend.on_instance_evict(buf, domain)
@@ -619,6 +626,7 @@ class MemoryManager(SchedulerObserver):
 
     # -- scheduler observer callbacks -----------------------------------------
 
+    @caller_locked("_lock")
     def on_enqueue(
         self, action: "Action", deps: List["Action"], dangling: List[Any]
     ) -> None:
@@ -681,6 +689,7 @@ class MemoryManager(SchedulerObserver):
                 self.elided_bytes += op.nbytes
             dest.add(op.offset, op.end)
 
+    @caller_locked("_lock")
     def on_action_complete(self, action: "Action", record: "ActionRecord") -> None:
         """Commit the ``INVALID → VALID → DIRTY`` machine.
 
@@ -702,6 +711,7 @@ class MemoryManager(SchedulerObserver):
             for op in action.operands:
                 self._touch(self.coherence(op.buffer), stream.domain)
 
+    @caller_locked("_lock")
     def _rollback_action(self, action: "Action") -> None:
         """Poison an unfinished action's write footprint (see above).
 

@@ -52,6 +52,7 @@ from repro.core.capture import ActionEvent, ProgramTrace, policy_dep_seqs
 from repro.core.errors import HStreamsBadArgument, HStreamsInvalid
 from repro.core.scheduler import SchedulerObserver
 from repro.core.sites import user_site
+from repro.core.sync import caller_locked, guarded_by
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.buffer import Buffer
@@ -62,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["GraphRecorder", "GraphTemplate", "GraphInstance"]
 
 
+@guarded_by("_lock", "_index_by_seq", "_pos")
 class GraphRecorder(SchedulerObserver):
     """Scheduler observer filling a :class:`GraphTemplate`.
 
@@ -79,12 +81,17 @@ class GraphRecorder(SchedulerObserver):
         self.runtime = runtime
         self.template = GraphTemplate(runtime)
         self._shadows: dict = {}
+        # The scheduler's lock guards the recorder's state: every
+        # mutation happens in on_enqueue, which the scheduler invokes
+        # with its lock held.
+        self._lock = runtime.scheduler._lock
         #: Global action seq -> template index, for edge mapping.
         self._index_by_seq: Dict[int, int] = {}
         self._pos = 0
 
     # -- scheduler callbacks ---------------------------------------------------
 
+    @caller_locked("_lock")
     def on_enqueue(
         self,
         action: "Action",

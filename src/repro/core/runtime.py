@@ -41,6 +41,7 @@ from repro.core.memory import EvictionPolicy, MemoryManager
 from repro.core.properties import MemType, RuntimeConfig
 from repro.core.scheduler import FAILURE_POLICIES, Scheduler
 from repro.core.stream import Stream
+from repro.core.sync import Sanitizer, sanitize_mode_from_env
 from repro.sim.kernels import KernelCost
 from repro.sim.platforms import Platform, make_platform
 from repro.sim.trace import Tracer
@@ -145,6 +146,7 @@ class HStreams:
         eviction_policy: Union[str, EvictionPolicy] = "manual",
         transfer_elision: bool = True,
         failure_policy: str = "poison",
+        sanitize: Union[bool, str, None] = None,
     ):
         if failure_policy not in FAILURE_POLICIES:
             raise HStreamsBadArgument(
@@ -161,6 +163,19 @@ class HStreams:
         #: :func:`~repro.core.faults.inject_faults`; backends consult it
         #: before executing each action.
         self.fault_injector = None
+        if sanitize is None:
+            mode = sanitize_mode_from_env()
+        elif sanitize is True:
+            mode = "raise"
+        elif sanitize is False:
+            mode = None
+        else:
+            mode = sanitize
+        #: The rtsan dynamic lock-discipline sanitizer
+        #: (:mod:`repro.core.sync`), or None — the zero-overhead
+        #: default, in which every lock this runtime creates is a plain
+        #: ``threading`` primitive.
+        self.sanitizer: Optional[Sanitizer] = Sanitizer(mode) if mode else None
         self.platform = platform if platform is not None else make_platform("HSW", 1)
         self.config = config if config is not None else RuntimeConfig()
         self.tracer = Tracer(enabled=trace)
@@ -217,6 +232,15 @@ class HStreams:
             self.scheduler.observers.append(self.capture)
             if forced:
                 _capture_registry.append(self)
+        if self.sanitizer is not None:
+            # Swap this runtime's core objects onto access-checked
+            # subclasses — last, so constructor-time setup (which
+            # happens-before any publication to worker threads) is not
+            # access-checked. Stream windows follow in on_stream_create.
+            self.sanitizer.instrument(self.scheduler)
+            self.sanitizer.instrument(self.scheduler.graph)
+            self.sanitizer.instrument(self.scheduler.failure)
+            self.sanitizer.instrument(self.memory)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -237,15 +261,18 @@ class HStreams:
         if not self._initialized:
             return
         failure = self.scheduler.failure
-        already_seen = failure.observed
+        _, already_seen = failure.snapshot()
         try:
             try:
                 self.backend.wait_all()
             except BaseException as exc:
-                if not (already_seen and failure.errors and exc is failure.errors[0]):
+                errors, _ = failure.snapshot()
+                if not (already_seen and errors and exc is errors[0]):
                     raise
         finally:
             self.backend.close()
+            if self.sanitizer is not None:
+                self.sanitizer.close()
             self._initialized = False
 
     @property
@@ -255,7 +282,7 @@ class HStreams:
 
     def failure_errors(self) -> List[BaseException]:
         """Every recorded action error, in completion order."""
-        return list(self.scheduler.failure.errors)
+        return self.scheduler.failure.snapshot()[0]
 
     def clear_failure(self) -> List[BaseException]:
         """Acknowledge and reset the run's failure state.
@@ -659,6 +686,8 @@ class HStreams:
         from repro.core.replay import GraphRecorder
 
         rec = GraphRecorder(self)
+        if self.sanitizer is not None:
+            self.sanitizer.instrument(rec)
         with self.scheduler._lock:
             self.scheduler.observers.append(rec)
         self._graph_recorder = rec
@@ -728,7 +757,7 @@ class HStreams:
                     f"cannot replay: stream {stream.name!r} was destroyed "
                     "after capture"
                 )
-            if stream.window.pending_completions():
+            if self.scheduler.pending_completions(stream):
                 raise HStreamsInvalid(
                     f"cannot replay into busy stream {stream.name!r}; "
                     "synchronize it first (replay assumes pre-replay work "
@@ -782,7 +811,7 @@ class HStreams:
         self._check_init()
         if timeout is None:
             timeout = self.config.wait_timeout_s
-        pending = stream.window.pending_completions()
+        pending = self.scheduler.pending_completions(stream)
         if pending:
             self.backend.wait_events(pending, wait_all=True, timeout=timeout)
         else:
@@ -824,8 +853,13 @@ class HStreams:
         :meth:`repro.core.memory.MemoryManager.metrics`.
         """
         self._check_init()
-        out = self.scheduler.metrics()
-        out["memory"] = self.memory.metrics()
+        # One lock scope for both blocks: the scheduler and memory
+        # snapshots describe the same instant, so a reader thread never
+        # sees memory counters from after actions the scheduler block
+        # has not retired yet (or vice versa).
+        with self.scheduler._lock:
+            out = self.scheduler.metrics()
+            out["memory"] = self.memory.metrics()
         return out
 
 

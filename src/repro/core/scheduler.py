@@ -35,7 +35,6 @@ scheduler has already satisfied, and report back through
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence, Tuple
@@ -50,6 +49,7 @@ from repro.core.errors import (
 from repro.core.events import HEvent
 from repro.core.graph import ActionGraph, ActionNode, ActionRecord, ActionState
 from repro.core.sites import user_site
+from repro.core.sync import caller_locked, guarded_by, make_condition, make_lock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.actions import Action
@@ -71,6 +71,7 @@ _NO_DANGLING: List["HEvent"] = []
 _NO_DEPS: List["Action"] = []
 
 
+@guarded_by("_lock", "errors", "observed")
 class FailureState:
     """Thread-safe ledger of every error a run has observed.
 
@@ -83,8 +84,8 @@ class FailureState:
     until :meth:`clear` (``HStreams.clear_failure()``) is called.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, sanitizer=None) -> None:
+        self._lock = make_lock("failure", sanitizer=sanitizer)
         #: Every recorded error, in completion order.
         self.errors: List[BaseException] = []
         #: Whether :meth:`raise_pending` has surfaced the failure to the
@@ -95,7 +96,14 @@ class FailureState:
     @property
     def failed(self) -> bool:
         """Whether any error has been recorded (and not cleared)."""
-        return bool(self.errors)
+        with self._lock:
+            return bool(self.errors)
+
+    def snapshot(self) -> Tuple[List[BaseException], bool]:
+        """A consistent ``(errors, observed)`` pair for host-side
+        inspection (``fini``, ``failure_errors``)."""
+        with self._lock:
+            return list(self.errors), self.observed
 
     def record(self, error: BaseException) -> None:
         """Append a terminal action failure to the ledger."""
@@ -260,17 +268,37 @@ class StreamStats:
         }
 
 
+@guarded_by(
+    "_lock",
+    "_outstanding",
+    "_streams",
+    "_records",
+    "_totals",
+    "_poisoned",
+    "_by_kind",
+    "observers",
+)
 class Scheduler:
     """Shared scheduling core in front of a pluggable executor backend."""
 
     def __init__(self, runtime: "HStreams"):
         self.runtime = runtime
-        self.graph = ActionGraph()
+        #: The runtime's rtsan sanitizer, or None (the common case).
+        #: Checked on the hot path as a single attribute test.
+        self._sanitizer = getattr(runtime, "sanitizer", None)
         # Reentrant: a backend may finish one action while the host
         # thread is enqueueing another; the sim backend completes from
         # inside the engine loop which may nest through event callbacks.
-        self._lock = threading.RLock()
-        self._idle = threading.Condition(self._lock)
+        # no_block: sleeping while holding this lock stalls admission
+        # and completion on every thread (rtsan blocking-under-lock).
+        self._lock = make_lock(
+            "scheduler",
+            reentrant=True,
+            no_block=True,
+            sanitizer=self._sanitizer,
+        )
+        self._idle = make_condition(self._lock, "scheduler.idle")
+        self.graph = ActionGraph(lock=self._lock)
         self._outstanding = 0
         self._streams: Dict[int, StreamStats] = {}
         history = int(runtime.config.metrics_history)
@@ -286,7 +314,7 @@ class Scheduler:
             "exec_s": 0.0,
         }
         #: Run-wide failure ledger; host wait paths raise through it.
-        self.failure = FailureState()
+        self.failure = FailureState(sanitizer=self._sanitizer)
         #: Failed/cancelled actions (by seq) with their errors, so work
         #: enqueued *after* a failure deterministically poisons too when
         #: it depends on — or operand-conflicts with — a dead producer.
@@ -306,6 +334,11 @@ class Scheduler:
         """Start tracking scheduling metrics for a new stream."""
         with self._lock:
             self._streams[stream.id] = StreamStats(stream)
+            if self._sanitizer is not None:
+                # The window's live set and conflict index are mutated
+                # only under this lock; wire the guard and instrument.
+                stream.window._lock = self._lock
+                self._sanitizer.instrument(stream.window)
             for obs in self.observers:
                 obs.on_stream_create(stream)
 
@@ -325,6 +358,7 @@ class Scheduler:
             for obs in self.observers:
                 obs.on_stream_destroy(stream)
 
+    @caller_locked("_lock")
     def _stream_stats(self, stream: "Stream") -> StreamStats:
         stats = self._streams.get(stream.id)
         if stats is None:  # streams made outside stream_create (tests)
@@ -366,6 +400,8 @@ class Scheduler:
                 action, window_deps
             )
             ready = self._admit(action, now, dep_nodes, dep_actions, dangling)
+            if self._sanitizer is not None:
+                self._sanitizer.check_scheduler(self)
         if ready:
             backend.execute(action)
         return action.completion
@@ -399,6 +435,8 @@ class Scheduler:
             ready = self._admit(
                 action, now, dep_nodes, list(dep_actions), _NO_DANGLING
             )
+            if self._sanitizer is not None:
+                self._sanitizer.check_scheduler(self)
         if ready:
             backend.execute(action)
         return action.completion
@@ -430,6 +468,8 @@ class Scheduler:
             poisoned = bool(self._poisoned)
             if not poisoned:
                 ready = self._admit_batch(instance, backend)
+                if self._sanitizer is not None:
+                    self._sanitizer.check_scheduler(self)
         if poisoned:
             for action, dep_actions in zip(instance.actions, instance.dep_lists):
                 self.enqueue_precomputed(action, dep_actions)
@@ -438,6 +478,7 @@ class Scheduler:
         for action in ready:
             execute(action)
 
+    @caller_locked("_lock")
     def _admit_batch(self, instance, backend) -> List["Action"]:
         """Admit every clone of ``instance`` in template order.
 
@@ -496,6 +537,7 @@ class Scheduler:
             tracer.counter(f"sched:{stream.lane}", now, stats.depth)
         return ready
 
+    @caller_locked("_lock")
     def _resolve_deps(
         self, action: "Action", window_deps: List["Action"]
     ) -> Tuple[List[ActionNode], List["Action"], List[HEvent]]:
@@ -553,6 +595,7 @@ class Scheduler:
                     )
         return dep_nodes, dep_actions, dangling
 
+    @caller_locked("_lock")
     def _admit(
         self,
         action: "Action",
@@ -599,6 +642,7 @@ class Scheduler:
             return True
         return False
 
+    @caller_locked("_lock")
     def _admission_poison(
         self, action: "Action", dep_actions: Sequence["Action"]
     ) -> Optional[BaseException]:
@@ -710,11 +754,14 @@ class Scheduler:
                 node.t_end = end
                 node.transition(ActionState.COMPLETE)
                 self._finish_node(node, end, to_dispatch)
+            if self._sanitizer is not None:
+                self._sanitizer.check_scheduler(self)
         if retry_delay is not None:
             backend.execute_after(action, retry_delay)
         for nxt in to_dispatch:
             backend.execute(nxt)
 
+    @caller_locked("_lock")
     def _finish_node(
         self,
         node: ActionNode,
@@ -778,6 +825,7 @@ class Scheduler:
         if self._outstanding == 0:
             self._idle.notify_all()
 
+    @caller_locked("_lock")
     def _cancel_subgraph(
         self, node: ActionNode, root: BaseException, end: float
     ) -> None:
@@ -801,6 +849,7 @@ class Scheduler:
         node.transition(ActionState.CANCELLED)
         self._finish_node(node, end, [])
 
+    @caller_locked("_lock")
     def _fold(self, node, record: ActionRecord) -> None:
         """Accumulate one finished node into the aggregates."""
         stats = self._stream_stats(node.action.stream)
@@ -923,6 +972,95 @@ class Scheduler:
         """Actions that can never run because nothing can unblock them."""
         with self._lock:
             return [n.action for n in self.graph.stalled()]
+
+    def pending_completions(self, stream: "Stream") -> List[HEvent]:
+        """Completion events of the stream's still-incomplete actions,
+        snapshotted under the scheduler lock (the window's live set is
+        guarded state; executor threads retire entries concurrently)."""
+        with self._lock:
+            return stream.window.pending_completions()
+
+    # -- deep checks (rtsan) --------------------------------------------------
+
+    def check_invariants(self) -> List[str]:
+        """Deep-check every scheduler bookkeeping invariant.
+
+        Recomputes from first principles and diffs against the
+        incrementally-maintained state: the outstanding counter vs the
+        live graph, per-node lifecycle legality (live nodes are
+        ENQUEUED/READY/RUNNING; ENQUEUED implies unfinished producers;
+        ``waiting`` matches a recount over the producers' dependent
+        lists), per-stream depth vs the live nodes of that stream, and
+        each stream window's conflict index vs a from-scratch rebuild
+        (:meth:`~repro.core.dependences.StreamWindow.check_index` — the
+        naive-oracle equivalence). Returns human-readable problems;
+        empty means consistent. Under rtsan this runs after every
+        admission and completion transition.
+        """
+        with self._lock:
+            return self._check_invariants_locked()
+
+    @caller_locked("_lock")
+    def _check_invariants_locked(self) -> List[str]:
+        problems: List[str] = []
+        nodes = list(self.graph.nodes())
+        if self._outstanding != len(nodes):
+            problems.append(
+                f"outstanding counter {self._outstanding} != "
+                f"{len(nodes)} live graph nodes"
+            )
+        live_states = (
+            ActionState.ENQUEUED,
+            ActionState.READY,
+            ActionState.RUNNING,
+        )
+        incoming: Dict[int, int] = {}
+        per_stream: Dict[int, int] = {}
+        for node in nodes:
+            if node.state not in live_states:
+                problems.append(
+                    f"{node.action.display!r} is live but in terminal "
+                    f"state {node.state.name}"
+                )
+            for dep in node.dependents:
+                if not dep.state.is_terminal:
+                    incoming[dep.action.seq] = (
+                        incoming.get(dep.action.seq, 0) + 1
+                    )
+            stream = node.action.stream
+            if stream is not None:
+                per_stream[stream.id] = per_stream.get(stream.id, 0) + 1
+        for node in nodes:
+            expected = incoming.get(node.action.seq, 0)
+            if node.state is ActionState.ENQUEUED:
+                if node.waiting != expected:
+                    problems.append(
+                        f"{node.action.display!r} waiting={node.waiting} "
+                        f"but {expected} live producer edge(s)"
+                    )
+                if node.waiting <= 0:
+                    problems.append(
+                        f"{node.action.display!r} is ENQUEUED with "
+                        f"waiting={node.waiting} (should be READY)"
+                    )
+            elif node.state in live_states and node.waiting != 0:
+                problems.append(
+                    f"{node.action.display!r} is {node.state.name} with "
+                    f"waiting={node.waiting}"
+                )
+        for stats in self._streams.values():
+            live_here = per_stream.get(stats.stream.id, 0)
+            if stats.depth != live_here:
+                problems.append(
+                    f"stream {stats.stream.name!r} depth={stats.depth} "
+                    f"but {live_here} live node(s)"
+                )
+            problems.extend(
+                stats.stream.window.check_index(
+                    f"stream {stats.stream.name!r}"
+                )
+            )
+        return problems
 
     # -- metrics --------------------------------------------------------------------------
 

@@ -1,0 +1,674 @@
+"""rtsan: the runtime's own lock-discipline sanitizer.
+
+hsan (:mod:`repro.analysis`) checks *user programs*; this module checks
+*the runtime itself*. It has two halves:
+
+* **Dynamic** (this module): :class:`SanLock` / :class:`SanCondition`
+  wrappers plus a :func:`guarded_by` class annotation. When a runtime is
+  constructed with ``HStreams(sanitize=True)`` (or ``REPRO_SANITIZE=1``
+  in the environment) the wrappers maintain a per-thread held-lock set
+  and a lock-acquisition-order graph, and every annotated shared field
+  is access-checked against its owning lock. Violations become
+  :class:`~repro.analysis.diagnostics.Diagnostic` objects (rule ids
+  ``lock-order-inversion``, ``unguarded-access``, ``cv-without-lock``,
+  ``blocking-under-lock``, ``invariant-violation``) and, in the default
+  ``raise`` mode, surface as :class:`RtsanViolation` at the offending
+  call site.
+
+* **Static** (:mod:`repro.analysis.staticlint`): an AST pass that
+  verifies the same ``guarded_by`` discipline lexically, so the
+  contract is enforced even on interleavings no test ever runs.
+
+Zero-overhead passthrough: locks are created through :func:`make_lock` /
+:func:`make_condition`, which return *plain* ``threading`` primitives
+when no sanitizer is supplied, and :func:`guarded_by` only records
+metadata on the class. Nothing is wrapped, patched, or instrumented
+until a sanitizer is activated, and instrumentation is per-runtime:
+a sanitized runtime swaps *its own* objects onto instrumented
+subclasses (``obj.__class__``) so unsanitized runtimes in the same
+process keep the untouched classes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.sites import user_site
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "RtsanViolation",
+    "SanLock",
+    "SanCondition",
+    "Sanitizer",
+    "caller_locked",
+    "guarded_by",
+    "make_condition",
+    "make_lock",
+    "sanitize_mode_from_env",
+]
+
+
+class RtsanViolation(RuntimeError):
+    """A lock-discipline violation detected by the dynamic sanitizer."""
+
+    def __init__(self, diagnostic: "Diagnostic") -> None:
+        super().__init__(diagnostic.format())
+        #: The structured finding behind this exception.
+        self.diagnostic = diagnostic
+
+
+def sanitize_mode_from_env(env: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """The sanitizer mode requested via ``REPRO_SANITIZE``, if any.
+
+    ``1``/``on``/``true``/``raise`` select raise mode, ``record``
+    selects record-only mode, unset/``0``/``off``/``false`` select none.
+    """
+    value = (env if env is not None else os.environ).get("REPRO_SANITIZE", "")
+    value = value.strip().lower()
+    if value in ("", "0", "off", "false", "no"):
+        return None
+    if value == "record":
+        return "record"
+    return "raise"
+
+
+# -- per-thread held-lock set ---------------------------------------------------
+
+# Shared by every sanitizer in the process: a thread's held set is a
+# property of the thread, not of any one runtime (the blocking-call
+# check must see scheduler locks regardless of which runtime owns them).
+_tls = threading.local()
+
+
+def _held_locks() -> List["SanLock"]:
+    held = getattr(_tls, "held", None)
+    if held is None:
+        held = _tls.held = []
+    return held
+
+
+# -- annotations (pure metadata; zero cost until instrumented) ------------------
+
+
+def guarded_by(lock_attr: str, *fields: str) -> Callable[[type], type]:
+    """Class decorator declaring that ``fields`` are protected by the
+    lock stored in attribute ``lock_attr``.
+
+    Records metadata only (``cls.__rtsan_guards__``); access checking
+    happens when a :class:`Sanitizer` instruments an instance, and the
+    static pass (:mod:`repro.analysis.staticlint`) enforces the same
+    declaration lexically. Guard maps merge down inheritance chains.
+    """
+
+    def decorate(cls: type) -> type:
+        guards = dict(getattr(cls, "__rtsan_guards__", {}))
+        for field in fields:
+            guards[field] = lock_attr
+        cls.__rtsan_guards__ = guards
+        return cls
+
+    return decorate
+
+
+def caller_locked(*lock_attrs: str) -> Callable:
+    """Mark a function as running with ``lock_attrs`` already held.
+
+    The function is returned unchanged — this is an allowlist entry for
+    the static pass (``self.<field>`` accesses inside are legal without
+    a lexical ``with``); the dynamic sanitizer still verifies the lock
+    is actually held at every field access.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        fn.__rtsan_caller_locked__ = tuple(lock_attrs)
+        return fn
+
+    return decorate
+
+
+# -- lock factories -------------------------------------------------------------
+
+
+def make_lock(
+    name: str,
+    *,
+    reentrant: bool = False,
+    no_block: bool = False,
+    sanitizer: Optional["Sanitizer"] = None,
+):
+    """A lock for runtime shared state.
+
+    Without a sanitizer this *is* ``threading.Lock()`` (or ``RLock``) —
+    the zero-overhead passthrough. With one, a :class:`SanLock` that
+    feeds the held set and the acquisition-order graph. ``no_block``
+    marks locks under which blocking calls (``time.sleep``,
+    ``Event.wait``) are a reported violation.
+    """
+    if sanitizer is None:
+        # The factory itself is topology setup, called from __init__s.
+        return threading.RLock() if reentrant else threading.Lock()  # rtsan: ignore[lock-in-hot-path]
+    return SanLock(name, reentrant=reentrant, no_block=no_block, sanitizer=sanitizer)
+
+
+def make_condition(
+    lock=None,
+    name: str = "cv",
+    *,
+    sanitizer: Optional["Sanitizer"] = None,
+):
+    """A condition variable over ``lock`` (or a fresh lock of its own).
+
+    Mirrors :func:`make_lock`: plain ``threading.Condition`` without a
+    sanitizer, :class:`SanCondition` with one. Passing a
+    :class:`SanLock` always yields a :class:`SanCondition` so the CV
+    shares the instrumented lock's bookkeeping.
+    """
+    if isinstance(lock, SanLock):
+        return SanCondition(lock, name=name, sanitizer=lock.sanitizer)
+    if sanitizer is None:
+        return threading.Condition(lock)  # rtsan: ignore[lock-in-hot-path]
+    if lock is None:
+        # threading.Condition() defaults to an RLock; mirror that.
+        san_lock = SanLock(name, reentrant=True, sanitizer=sanitizer)
+    else:
+        # A raw threading lock under a sanitized runtime: wrap it so CV
+        # discipline is still checked (rare; tests only).
+        san_lock = SanLock(name, sanitizer=sanitizer, inner=lock)
+    return SanCondition(san_lock, name=name, sanitizer=sanitizer)
+
+
+# -- instrumented primitives ----------------------------------------------------
+
+
+class SanLock:
+    """A ``threading.Lock``/``RLock`` with ownership and order tracking.
+
+    Behaviorally identical to the wrapped primitive (return values,
+    timeout semantics, release errors) — the sanitizer checks happen
+    *around* the real operations, never instead of them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        reentrant: bool = False,
+        no_block: bool = False,
+        sanitizer: Optional["Sanitizer"] = None,
+        inner=None,
+    ) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self.no_block = no_block
+        self.sanitizer = sanitizer
+        self._inner = (
+            inner
+            if inner is not None
+            else (threading.RLock() if reentrant else threading.Lock())
+        )
+        #: Ident of the holding thread (None when free). Written only
+        #: by the holder; other threads read it for held-by-me checks.
+        self._holder: Optional[int] = None
+        self._count = 0
+
+    def held_by_current_thread(self) -> bool:
+        return self._holder == threading.get_ident()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        san = self.sanitizer
+        if san is not None and self._holder != me:
+            san.note_acquire(
+                self,
+                [h for h in _held_locks() if h.held_by_current_thread()],
+            )
+        elif san is not None and not self.reentrant:
+            # Re-acquiring a non-reentrant lock we already hold can
+            # only deadlock; report before blocking forever.
+            san.report(
+                "lock-order-inversion",
+                f"thread re-acquires non-reentrant lock '{self.name}' it "
+                "already holds (guaranteed self-deadlock)",
+            )
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            if self._holder != me:
+                self._holder = me
+                self._count = 1
+                _held_locks().append(self)
+            else:
+                self._count += 1
+        return ok
+
+    def release(self) -> None:
+        me = threading.get_ident()
+        if self._holder == me:
+            # Bookkeeping strictly before the raw release: the instant
+            # the raw lock drops, another thread may acquire and write
+            # _holder, and reading it afterwards would mis-file this
+            # release as cross-thread (leaking our held-set entry and
+            # clobbering the new owner). An owned lock's release cannot
+            # raise, so updating first is safe.
+            self._count -= 1
+            if self._count == 0:
+                self._holder = None
+                held = _held_locks()
+                if self in held:
+                    held.remove(self)
+            self._inner.release()
+        else:
+            self._inner.release()  # raises exactly as threading would
+            # Cross-thread release of a plain Lock (legal, unusual).
+            # The original holder's held-set entry goes stale; the
+            # blocking-call check prunes it by ground truth.
+            self._holder = None
+            self._count = 0
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # Condition-variable integration: threading.Condition probes these
+    # when handed a lock object that defines them.
+    def _is_owned(self) -> bool:
+        return self.held_by_current_thread()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"held by {self._holder}" if self._holder else "free"
+        return f"<SanLock {self.name!r} {state}>"
+
+
+class SanCondition:
+    """A ``threading.Condition`` over a :class:`SanLock`.
+
+    Checks that every ``wait``/``notify`` happens with the owning lock
+    held (rule ``cv-without-lock``) and keeps the held-set bookkeeping
+    consistent across the lock release inside ``wait``.
+    """
+
+    def __init__(
+        self,
+        lock: SanLock,
+        name: str = "cv",
+        *,
+        sanitizer: Optional["Sanitizer"] = None,
+    ) -> None:
+        self.name = name
+        self.lock = lock
+        self.sanitizer = sanitizer if sanitizer is not None else lock.sanitizer
+        self._inner = threading.Condition(lock._inner)
+
+    # -- lock passthrough ------------------------------------------------------
+
+    def acquire(self, *args) -> bool:
+        return self.lock.acquire(*args)
+
+    def release(self) -> None:
+        self.lock.release()
+
+    def __enter__(self) -> bool:
+        return self.lock.__enter__()
+
+    def __exit__(self, *exc) -> None:
+        self.lock.__exit__(*exc)
+
+    # -- cv operations ---------------------------------------------------------
+
+    def _check_owned(self, op: str) -> None:
+        if self.sanitizer is not None and not self.lock.held_by_current_thread():
+            self.sanitizer.report(
+                "cv-without-lock",
+                f"{op} on condition '{self.name}' without holding its "
+                f"lock '{self.lock.name}'",
+            )
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._check_owned("wait")
+        holder, count = self.lock._holder, self.lock._count
+        held = _held_locks()
+        mine = self.lock.held_by_current_thread()
+        if mine:
+            # The inner condition fully releases the raw lock; mirror
+            # that in the sanitizer's bookkeeping for the duration.
+            self.lock._holder = None
+            self.lock._count = 0
+            if self.lock in held:
+                held.remove(self.lock)
+        try:
+            # Delegation: _check_owned already verified the discipline.
+            return self._inner.wait(timeout)  # rtsan: ignore[cv-without-lock]
+        finally:
+            if mine:
+                self.lock._holder = holder
+                self.lock._count = count
+                held.append(self.lock)
+
+    def wait_for(
+        self, predicate: Callable[[], Any], timeout: Optional[float] = None
+    ):
+        """Same loop as ``threading.Condition.wait_for``, over our
+        bookkeeping-aware :meth:`wait`."""
+        endtime = None
+        waittime = timeout
+        result = predicate()
+        while not result:
+            if waittime is not None:
+                if endtime is None:
+                    endtime = time.monotonic() + waittime
+                else:
+                    waittime = endtime - time.monotonic()
+                    if waittime <= 0:
+                        break
+            self.wait(waittime)
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        self._check_owned("notify")
+        self._inner.notify(n)  # rtsan: ignore[cv-without-lock]
+
+    def notify_all(self) -> None:
+        self._check_owned("notify_all")
+        self._inner.notify_all()  # rtsan: ignore[cv-without-lock]
+
+
+# -- blocking-call interception -------------------------------------------------
+
+_patch_lock = threading.Lock()
+_patch_refs = 0
+_orig_sleep = None
+_orig_event_wait = None
+
+
+def _blocking_call_check(what: str) -> None:
+    held = _held_locks()
+    stale = None
+    for lock in held:
+        if not lock.held_by_current_thread():
+            # Ground-truth check: a cross-thread release (legal on a
+            # plain Lock) leaves the original holder's entry behind.
+            # Prune instead of reporting on a lock we no longer hold.
+            stale = lock if stale is None else stale
+            continue
+        if lock.no_block and lock.sanitizer is not None:
+            lock.sanitizer.report(
+                "blocking-under-lock",
+                f"{what} while holding scheduler lock '{lock.name}'",
+            )
+            return
+    if stale is not None:
+        held[:] = [lock for lock in held if lock.held_by_current_thread()]
+
+
+def _install_blocking_patches() -> None:
+    global _patch_refs, _orig_sleep, _orig_event_wait
+    with _patch_lock:
+        _patch_refs += 1
+        if _patch_refs > 1:
+            return
+        _orig_sleep = time.sleep
+        _orig_event_wait = threading.Event.wait
+
+        def sleep(seconds):
+            _blocking_call_check(f"time.sleep({seconds!r})")
+            return _orig_sleep(seconds)
+
+        def event_wait(self, timeout=None):
+            _blocking_call_check("threading.Event.wait()")
+            return _orig_event_wait(self, timeout)
+
+        time.sleep = sleep
+        threading.Event.wait = event_wait
+
+
+def _remove_blocking_patches() -> None:
+    global _patch_refs
+    with _patch_lock:
+        _patch_refs -= 1
+        if _patch_refs > 0:
+            return
+        time.sleep = _orig_sleep
+        threading.Event.wait = _orig_event_wait
+
+
+# -- guarded-field instrumentation ----------------------------------------------
+
+
+class _GuardedField:
+    """Data descriptor enforcing a ``guarded_by`` declaration.
+
+    Installed on per-sanitizer instrumented subclasses only — never on
+    the original class — so uninstrumented instances pay nothing.
+    """
+
+    __slots__ = ("field", "lock_attr", "sanitizer", "_member")
+
+    def __init__(self, field, lock_attr, sanitizer, member):
+        self.field = field
+        self.lock_attr = lock_attr
+        self.sanitizer = sanitizer
+        #: The shadowed slot descriptor, when the base class uses
+        #: ``__slots__``; None for ``__dict__`` storage.
+        self._member = member
+
+    def _check(self, obj, mode: str) -> None:
+        lock = getattr(obj, self.lock_attr, None)
+        if isinstance(lock, SanCondition):
+            lock = lock.lock
+        if (
+            isinstance(lock, SanLock)
+            and lock._holder != threading.get_ident()
+        ):
+            self.sanitizer.report(
+                "unguarded-access",
+                f"{mode} of guarded field "
+                f"{type(obj).__name__}.{self.field} without holding "
+                f"lock '{self.lock_attr}'",
+            )
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        self._check(obj, "read")
+        if self._member is not None:
+            return self._member.__get__(obj, owner)
+        try:
+            return obj.__dict__[self.field]
+        except KeyError:
+            raise AttributeError(self.field) from None
+
+    def __set__(self, obj, value) -> None:
+        self._check(obj, "write")
+        if self._member is not None:
+            self._member.__set__(obj, value)
+        else:
+            obj.__dict__[self.field] = value
+
+    def __delete__(self, obj) -> None:
+        self._check(obj, "delete")
+        if self._member is not None:
+            self._member.__delete__(obj)
+        else:
+            del obj.__dict__[self.field]
+
+
+# -- the sanitizer --------------------------------------------------------------
+
+
+class Sanitizer:
+    """Per-runtime dynamic lock-discipline checker.
+
+    One instance per sanitized :class:`~repro.core.runtime.HStreams`.
+    ``mode`` is ``"raise"`` (record the diagnostic, then raise
+    :class:`RtsanViolation` at the offending site — the default, and
+    what ``REPRO_SANITIZE=1`` selects) or ``"record"`` (collect only;
+    used by rtsan's own tests and post-mortem inspection via
+    :attr:`diagnostics`).
+    """
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "record"):
+            raise ValueError(f"unknown sanitizer mode: {mode!r}")
+        self.mode = mode
+        #: Every violation observed, in detection order.
+        self.diagnostics: List["Diagnostic"] = []
+        #: Acquisition-order edges: held-lock name -> {acquired-lock
+        #: name: site of the first acquisition that created the edge}.
+        self.order: Dict[str, Dict[str, Optional[Tuple[str, int]]]] = {}
+        self._instrumented: List[Tuple[Any, type]] = []
+        self._classes: Dict[type, type] = {}
+        self._report_lock = threading.Lock()
+        self._transitions = 0
+        self._closed = False
+        _install_blocking_patches()
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self, rule: str, message: str) -> None:
+        """Record one violation; raise it in ``raise`` mode."""
+        from repro.analysis.diagnostics import ActionRef, Diagnostic
+
+        site = user_site()
+        actions = [ActionRef(label="<runtime internals>", site=site)] if site else []
+        diag = Diagnostic(rule=rule, message=message, actions=actions)
+        with self._report_lock:
+            self.diagnostics.append(diag)
+        if self.mode == "raise":
+            raise RtsanViolation(diag)
+
+    def findings(self, rule: Optional[str] = None) -> List["Diagnostic"]:
+        """Recorded diagnostics, optionally filtered by rule id."""
+        with self._report_lock:
+            if rule is None:
+                return list(self.diagnostics)
+            return [d for d in self.diagnostics if d.rule == rule]
+
+    # -- lock-order graph ------------------------------------------------------
+
+    def note_acquire(self, lock: SanLock, held: List[SanLock]) -> None:
+        """Record order edges ``held -> lock``; report any cycle."""
+        if not held:
+            return
+        with self._report_lock:
+            for h in held:
+                if h is lock or h.name == lock.name:
+                    continue
+                cycle = self._find_path(lock.name, h.name)
+                if cycle is not None:
+                    edges = " -> ".join(cycle + [lock.name])
+                    first = self.order.get(cycle[0], {}).get(cycle[1])
+                    where = f" (order first seen at {first[0]}:{first[1]})" if first else ""
+                    message = (
+                        f"acquiring '{lock.name}' while holding '{h.name}' "
+                        f"inverts the established lock order {edges}{where}"
+                    )
+                    break
+                self.order.setdefault(h.name, {})[lock.name] = user_site()
+            else:
+                return
+        self.report("lock-order-inversion", message)
+
+    def _find_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """DFS for a path ``src -> ... -> dst`` in the order graph."""
+        stack = [(src, [src])]
+        seen = {src}
+        while stack:
+            node, path = stack.pop()
+            for nxt in self.order.get(node, {}):
+                if nxt == dst:
+                    return path + [dst]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- guarded-field instrumentation -----------------------------------------
+
+    def instrument(self, obj: Any) -> Any:
+        """Swap ``obj`` onto an instrumented subclass of its class.
+
+        Every field the class (or a base) declared via
+        :func:`guarded_by` becomes access-checked. Idempotent; returns
+        ``obj``. Instrumentation is reverted by :meth:`close`.
+        """
+        cls = type(obj)
+        if getattr(cls, "__rtsan_instrumented__", False):
+            return obj
+        guards = getattr(cls, "__rtsan_guards__", None)
+        if not guards:
+            return obj
+        sub = self._classes.get(cls)
+        if sub is None:
+            ns: Dict[str, Any] = {
+                "__rtsan_instrumented__": True,
+                "__module__": cls.__module__,
+                "__qualname__": cls.__qualname__,
+            }
+            if "__slots__" in cls.__dict__ or not hasattr(obj, "__dict__"):
+                ns["__slots__"] = ()
+            for field, lock_attr in guards.items():
+                member = getattr(cls, field, None)
+                if not (hasattr(member, "__set__") and hasattr(member, "__get__")):
+                    member = None  # __dict__ storage
+                ns[field] = _GuardedField(field, lock_attr, self, member)
+            sub = type(cls.__name__, (cls,), ns)
+            self._classes[cls] = sub
+        obj.__class__ = sub
+        self._instrumented.append((obj, cls))
+        return obj
+
+    # -- invariant hook --------------------------------------------------------
+
+    #: Graph size up to which every transition gets a full deep check.
+    CHECK_FULL_BELOW = 128
+    #: Past that bound, deep-check one transition in this many. The
+    #: check itself is O(live graph), so checking every transition of a
+    #: large DAG is quadratic; sampling keeps big sim workloads usable
+    #: under the sanitizer while still surfacing drift (the corrupted
+    #: state persists, so a later sampled check catches it).
+    CHECK_SAMPLE_EVERY = 64
+
+    def check_scheduler(self, scheduler) -> None:
+        """Deep-check scheduler invariants (called with its lock held
+        after every admission/completion transition)."""
+        self._transitions += 1
+        if (
+            len(scheduler.graph) > self.CHECK_FULL_BELOW
+            and self._transitions % self.CHECK_SAMPLE_EVERY
+        ):
+            return
+        problems = scheduler._check_invariants_locked()
+        if problems:
+            self.report(
+                "invariant-violation",
+                "scheduler invariant(s) violated: " + "; ".join(problems),
+            )
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Revert instrumentation and release the blocking-call patch."""
+        if self._closed:
+            return
+        self._closed = True
+        for obj, cls in self._instrumented:
+            obj.__class__ = cls
+        self._instrumented.clear()
+        _remove_blocking_patches()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -43,6 +43,7 @@ from repro.core.backend import Backend
 from repro.core.buffer import Buffer
 from repro.core.errors import HStreamsInternalError, HStreamsTimedOut
 from repro.core.events import HEvent
+from repro.core.sync import make_condition
 
 __all__ = ["ThreadBackend"]
 
@@ -59,6 +60,9 @@ class ThreadBackend(Backend):
 
     def attach(self, runtime) -> None:
         self.runtime = runtime
+        # Mutated only by the single source thread (make_stream /
+        # on_stream_destroy) and read by it in execute; workers never
+        # touch the dict, so it needs no lock.
         self._stream_pools: Dict[int, ThreadPoolExecutor] = {}
         self._xfer_pool = ThreadPoolExecutor(
             max_workers=self._xfer_workers, thread_name_prefix="hstr-xfer"
@@ -68,8 +72,14 @@ class ThreadBackend(Backend):
         # One backend-wide condition suffices: the source endpoint is a
         # single thread, so there is at most one waiter, and failures in
         # *any* stream must wake a wait on any other (a dead producer's
-        # events may never fire).
-        self._completion_cv = threading.Condition()
+        # events may never fire). Its lock is private (not the
+        # scheduler's): completion signaling is ordered *after* the
+        # scheduler lock in every path that takes both.
+        self._completion_cv = make_condition(
+            None,
+            "backend.completion",
+            sanitizer=getattr(runtime, "sanitizer", None),
+        )
         self._t0 = time.perf_counter()
 
     def close(self) -> None:

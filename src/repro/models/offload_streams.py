@@ -64,7 +64,10 @@ class OffloadStreamsRuntime:
 
     def stream_completed(self, stream: Stream) -> bool:
         """``_Offload_stream_completed``: poll the stream for idleness."""
-        return len(stream.window.pending_completions()) == 0
+        # The window's live set is guarded scheduler state; snapshot it
+        # through the lock-taking accessor rather than reading it raw.
+        pending = self._hs.scheduler.pending_completions(stream)
+        return len(pending) == 0
 
     # -- offload pragmas ----------------------------------------------------------
 

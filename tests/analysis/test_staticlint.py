@@ -1,0 +1,439 @@
+"""Regression tests for the staticlint lock-discipline pass.
+
+One fixture snippet per rule, waiver semantics, the report/CLI surface,
+and the self-hosting check: the runtime's own sources must lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.diagnostics import RULES, Severity
+from repro.analysis.staticlint import (
+    STATIC_RULES,
+    format_rule_catalog,
+    lint_paths,
+    lint_source,
+    main,
+)
+from repro.analysis.waivers import parse_waivers
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "src", "repro"
+)
+
+
+def lint(snippet: str, in_sim: bool = False):
+    return lint_source(textwrap.dedent(snippet), in_sim=in_sim)
+
+
+def rules_of(findings) -> list:
+    return [f.rule for f in findings]
+
+
+# -- one fixture per rule --------------------------------------------------------
+
+
+class TestGuardedFieldRule:
+    GUARDED = """
+        from repro.core.sync import guarded_by, caller_locked, make_lock
+
+        @guarded_by("_lock", "count")
+        class Widget:
+            def __init__(self):
+                self._lock = make_lock("w")
+                self.count = 0
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+
+            def racy(self):
+                return self.count
+    """
+
+    def test_unlocked_access_is_an_error(self):
+        findings, waived = lint(self.GUARDED)
+        assert rules_of(findings) == ["guarded-field"]
+        assert not waived
+        (f,) = findings
+        assert f.severity is Severity.ERROR
+        assert "count" in f.message and "_lock" in f.message
+
+    def test_access_under_with_is_clean(self):
+        src = textwrap.dedent(self.GUARDED).replace(
+            "        return self.count",
+            "        with self._lock:\n            return self.count",
+        )
+        findings, _ = lint_source(src)
+        assert findings == []
+
+    def test_caller_locked_is_allowlisted(self):
+        src = textwrap.dedent(self.GUARDED).replace(
+            "    def racy(self):",
+            '    @caller_locked("_lock")\n    def racy(self):',
+        )
+        findings, _ = lint_source(src)
+        assert findings == []
+
+    def test_init_is_exempt(self):
+        # The fixture's own __init__ writes self.count unlocked and is
+        # not reported (construction happens-before publication).
+        findings, _ = lint(self.GUARDED)
+        assert all(f.line > 8 for f in findings)
+
+    def test_condition_over_guard_lock_counts_as_held(self):
+        findings, _ = lint(
+            """
+            from repro.core.sync import guarded_by, make_lock, make_condition
+
+            @guarded_by("_lock", "items")
+            class Q:
+                def __init__(self):
+                    self._lock = make_lock("q")
+                    self._cv = make_condition(self._lock, "q.cv")
+                    self.items = []
+
+                def pop(self):
+                    with self._cv:
+                        while not self.items:
+                            self._cv.wait()
+                        return self.items.pop()
+            """
+        )
+        assert findings == []
+
+    def test_property_aliased_guard_lock(self):
+        # A guard lock with no visible construction (e.g. a property
+        # aliasing another object's lock) still satisfies the rule when
+        # entered with `with`.
+        findings, _ = lint(
+            """
+            from repro.core.sync import guarded_by
+
+            @guarded_by("_lock", "table")
+            class Borrower:
+                @property
+                def _lock(self):
+                    return self._owner._lock
+
+                def read(self):
+                    with self._lock:
+                        return dict(self.table)
+            """
+        )
+        assert findings == []
+
+
+class TestCvWithoutLockRule:
+    def test_wait_outside_with_is_an_error(self):
+        findings, _ = lint(
+            """
+            import threading
+
+            class W:
+                def __init__(self):
+                    self._cv = threading.Condition()
+
+                def stall(self):
+                    self._cv.wait()
+            """
+        )
+        assert rules_of(findings) == ["cv-without-lock"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_notify_under_underlying_lock_is_clean(self):
+        findings, _ = lint(
+            """
+            from repro.core.sync import make_lock, make_condition
+
+            class W:
+                def __init__(self):
+                    self._lock = make_lock("w")
+                    self._cv = make_condition(self._lock, "w.cv")
+
+                def wake(self):
+                    with self._lock:
+                        self._cv.notify_all()
+            """
+        )
+        assert findings == []
+
+
+class TestReentrantWithRule:
+    def test_nested_with_on_plain_lock_is_an_error(self):
+        findings, _ = lint(
+            """
+            from repro.core.sync import make_lock
+
+            class W:
+                def __init__(self):
+                    self._lock = make_lock("w")
+
+                def deadlock(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert rules_of(findings) == ["reentrant-with"]
+
+    def test_nested_with_on_reentrant_lock_is_clean(self):
+        findings, _ = lint(
+            """
+            from repro.core.sync import make_lock
+
+            class W:
+                def __init__(self):
+                    self._lock = make_lock("w", reentrant=True)
+
+                def fine(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert findings == []
+
+    def test_cv_reacquiring_held_nonreentrant_lock(self):
+        findings, _ = lint(
+            """
+            from repro.core.sync import make_lock, make_condition
+
+            class W:
+                def __init__(self):
+                    self._lock = make_lock("w")
+                    self._cv = make_condition(self._lock, "w.cv")
+
+                def deadlock(self):
+                    with self._lock:
+                        with self._cv:
+                            pass
+            """
+        )
+        assert rules_of(findings) == ["reentrant-with"]
+
+
+class TestLockInHotPathRule:
+    HOT = """
+        import threading
+
+        class W:
+            def op(self):
+                lock = threading.Lock()
+                with lock:
+                    pass
+    """
+
+    def test_lock_created_in_method_is_a_warning(self):
+        findings, _ = lint(self.HOT)
+        assert rules_of(findings) == ["lock-in-hot-path"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_creation_in_init_attach_and_module_scope_is_clean(self):
+        findings, _ = lint(
+            """
+            import threading
+
+            _GLOBAL = threading.Lock()
+
+            class W:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def attach(self, runtime):
+                    self._cv = threading.Condition()
+            """
+        )
+        assert findings == []
+
+
+class TestWallClockInSimRule:
+    TICKING = """
+        import time
+
+        def now():
+            return time.monotonic()
+    """
+
+    def test_reported_only_under_sim(self):
+        findings, _ = lint(self.TICKING, in_sim=True)
+        assert rules_of(findings) == ["wall-clock-in-sim"]
+        findings, _ = lint(self.TICKING, in_sim=False)
+        assert findings == []
+
+    def test_time_sleep_is_not_wall_clock(self):
+        findings, _ = lint(
+            """
+            import time
+
+            def nap():
+                time.sleep(0.1)
+            """,
+            in_sim=True,
+        )
+        assert findings == []
+
+
+# -- waivers ---------------------------------------------------------------------
+
+
+class TestWaivers:
+    RACY = """
+        from repro.core.sync import guarded_by, make_lock
+
+        @guarded_by("_lock", "count")
+        class Widget:
+            def __init__(self):
+                self._lock = make_lock("w")
+                self.count = 0
+
+            def racy(self):
+                return self.count{waiver}
+    """
+
+    def _lint_with(self, waiver: str):
+        return lint(self.RACY.format(waiver=waiver))
+
+    def test_bare_waiver_waives_everything_on_the_line(self):
+        findings, waived = self._lint_with("  # rtsan: ignore")
+        assert findings == []
+        assert rules_of(waived) == ["guarded-field"]
+
+    def test_rule_specific_waiver(self):
+        findings, waived = self._lint_with("  # rtsan: ignore[guarded-field]")
+        assert findings == []
+        assert rules_of(waived) == ["guarded-field"]
+
+    def test_waiver_for_a_different_rule_does_not_apply(self):
+        findings, waived = self._lint_with("  # rtsan: ignore[reentrant-with]")
+        assert rules_of(findings) == ["guarded-field"]
+        assert waived == []
+
+    def test_unknown_rule_in_waiver_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            self._lint_with("  # rtsan: ignore[no-such-rule]")
+
+    def test_parse_waivers_maps_lines(self):
+        waivers = parse_waivers(
+            "x = 1\ny = 2  # rtsan: ignore\nz = 3  # rtsan: ignore[guarded-field]\n",
+            "rtsan",
+            STATIC_RULES,
+        )
+        assert waivers == {2: None, 3: {"guarded-field"}}
+
+
+# -- report / paths / CLI --------------------------------------------------------
+
+
+class TestReportAndCli:
+    def _write(self, tmp_path, name: str, body: str) -> str:
+        p = tmp_path / name
+        p.write_text(textwrap.dedent(body))
+        return str(p)
+
+    def test_lint_paths_walks_directories_and_sorts(self, tmp_path):
+        self._write(
+            tmp_path,
+            "hot.py",
+            """
+            import threading
+
+            def op():
+                return threading.Lock()
+            """,
+        )
+        self._write(
+            tmp_path,
+            "racy.py",
+            """
+            from repro.core.sync import guarded_by, make_lock
+
+            @guarded_by("_lock", "n")
+            class W:
+                def __init__(self):
+                    self._lock = make_lock("w")
+                    self.n = 0
+
+                def racy(self):
+                    return self.n
+            """,
+        )
+        report = lint_paths([str(tmp_path)])
+        assert report.files == 2
+        # Errors sort before warnings.
+        assert rules_of(report.findings) == ["guarded-field", "lock-in-hot-path"]
+        assert report.exit_code() == 2
+
+    def test_exit_codes(self, tmp_path):
+        clean = self._write(tmp_path, "clean.py", "x = 1\n")
+        assert lint_paths([clean]).exit_code() == 0
+        warn = self._write(
+            tmp_path,
+            "warn.py",
+            """
+            import threading
+
+            def op():
+                return threading.Lock()
+            """,
+        )
+        assert lint_paths([warn]).exit_code() == 1
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        warn = self._write(
+            tmp_path,
+            "warn.py",
+            """
+            import threading
+
+            def op():
+                return threading.Lock()
+            """,
+        )
+        assert main([warn, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert payload["warnings"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "lock-in-hot-path"
+        assert finding["severity"] == "warning"
+        assert finding["hint"]
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in STATIC_RULES:
+            assert rule_id in out
+
+    def test_format_rule_catalog_lists_every_rule(self):
+        out = format_rule_catalog("title:", STATIC_RULES)
+        assert out.splitlines()[0] == "title:"
+        assert len(out.splitlines()) == 1 + len(STATIC_RULES)
+
+    def test_hsan_cli_list_rules_prints_both_catalogs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        for rule_id in RULES:
+            assert rule_id in proc.stdout
+        for rule_id in STATIC_RULES:
+            assert rule_id in proc.stdout
+
+
+class TestSelfHosting:
+    def test_runtime_sources_lint_clean(self):
+        """The gate the CI job enforces: src/repro has no errors and no
+        unwaived warnings."""
+        report = lint_paths([SRC_ROOT])
+        assert report.files > 50
+        assert report.findings == [], "\n" + report.format()

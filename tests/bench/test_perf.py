@@ -81,6 +81,7 @@ class TestSuite:
             "dispatch_throughput",
             "transfer_overhead",
             "elision",
+            "sanitizer_overhead",
         }
         assert any(r.unit == perf.GATED_UNIT for r in tiny_rows)
         assert any(r.unit == "s" for r in tiny_rows)

@@ -167,7 +167,8 @@ def _run_program(backend, steps, naive):
         if naive:
             stream.window.policy = NaiveRelaxedPolicy()
         recorder = _DepRecorder()
-        hs.scheduler.observers.append(recorder)
+        with hs.scheduler._lock:
+            hs.scheduler.observers.append(recorder)
         buffers = [hs.buffer_create(nbytes=BUF_BYTES) for _ in range(3)]
         sentinel = hs.buffer_create(nbytes=8)
         # Prologue: a blocked compute keeps the window non-empty, so a

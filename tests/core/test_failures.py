@@ -554,7 +554,7 @@ class TestFaultInjection:
             # Seqs are global across runtimes: compare positions, not
             # absolute numbers.
             base = evs[0].action.seq
-            armed = sorted(seq - base for seq in injector._armed)
+            armed = sorted(seq - base for seq in injector.armed_seqs())
             hs.clear_failure()
             hs.fini()
             return armed

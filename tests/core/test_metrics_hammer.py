@@ -1,0 +1,151 @@
+"""Torn-snapshot regression: ``HStreams.metrics()`` under concurrency.
+
+``metrics()`` merges two subsystems' counters — the scheduler's action
+totals and the memory manager's transfer-elision counters. Both advance
+inside the *same* enqueue critical section, so a correct snapshot taken
+under the scheduler lock can never show one subsystem ahead of the
+other. The old implementation took the lock once per subsystem, letting
+a reader observe memory counters from after enqueues the scheduler
+block had not seen yet.
+
+These tests hammer ``metrics()`` from a reader thread while the source
+thread (and, under faults, the retry machinery) is running, and assert
+cross-subsystem invariants that only hold for single-instant snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import HStreams, RuntimeConfig, make_platform
+from repro.core.faults import FaultPlan, FaultSpec, inject_faults
+from repro.sim.kernels import dgemm
+
+
+class _MetricsReader:
+    """Polls ``hs.metrics()`` in a tight loop, checking each snapshot."""
+
+    def __init__(self, hs, check):
+        self.hs = hs
+        self.check = check
+        self.snapshots = 0
+        self.failures = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=30.0)
+        assert not self._thread.is_alive(), "metrics reader wedged"
+
+    def _run(self):
+        while not self._stop.is_set():
+            snap = self.hs.metrics()
+            self.snapshots += 1
+            try:
+                self.check(snap)
+            except AssertionError as exc:  # pragma: no cover - failure path
+                self.failures.append(str(exc))
+                return
+
+
+class TestMetricsSnapshotConsistency:
+    def test_alias_counter_never_ahead_of_enqueued(self):
+        """Sharp cross-subsystem invariant, all-transfer program.
+
+        Every action is a host-as-target transfer, so the memory
+        manager counts exactly one ``aliased_transfers`` per enqueued
+        action, in the same critical section. Any snapshot where
+        ``aliased > enqueued`` (or scheduler-side totals disagree with
+        each other) is torn.
+        """
+        hs = HStreams(platform=make_platform("HSW", 1), backend="thread",
+                      trace=False)
+
+        def check(snap):
+            acts = snap["actions"]
+            mem = snap["memory"]
+            moved = mem["aliased_transfers"] + mem["elided_transfers"]
+            assert moved <= acts["enqueued"], (
+                f"memory ahead of scheduler: {moved} transfers counted "
+                f"vs {acts['enqueued']} enqueued"
+            )
+            settled = (
+                acts["completed"] + acts["failed"] + acts["cancelled"]
+            )
+            assert settled + acts["in_flight"] == acts["enqueued"], (
+                f"scheduler totals torn: {settled} settled + "
+                f"{acts['in_flight']} in flight != {acts['enqueued']}"
+            )
+
+        try:
+            s = hs.stream_create(domain=0)  # host-as-target: every
+            buf = hs.buffer_create(nbytes=4096)  # xfer aliases
+            with _MetricsReader(hs, check) as reader:
+                for _ in range(600):
+                    hs.enqueue_xfer(s, buf)
+                hs.thread_synchronize()
+            assert reader.failures == []
+            assert reader.snapshots > 0
+            final = hs.metrics()
+            assert final["memory"]["aliased_transfers"] == 600
+            assert final["actions"]["enqueued"] == 600
+        finally:
+            hs.fini()
+
+    @pytest.mark.parametrize("backend", ["thread", "sim"])
+    def test_hammer_during_fault_matrix_run(self, backend):
+        """Reader thread vs a retry-heavy faulted run on both backends."""
+        hs = HStreams(platform=make_platform("HSW", 2), backend=backend,
+                      trace=False, failure_policy="retry",
+                      config=RuntimeConfig(retry_limit=3,
+                                           retry_backoff_s=1e-4))
+
+        def check(snap):
+            acts = snap["actions"]
+            mem = snap["memory"]
+            moved = mem["aliased_transfers"] + mem["elided_transfers"]
+            assert moved <= acts["enqueued"]
+            settled = (
+                acts["completed"] + acts["failed"] + acts["cancelled"]
+            )
+            assert settled + acts["in_flight"] == acts["enqueued"]
+            assert 0 <= mem["elided_bytes"]
+
+        try:
+            hs.register_kernel("k", fn=lambda x: None,
+                               cost_fn=lambda *a: dgemm(32, 32, 32))
+            injector = inject_faults(
+                hs,
+                FaultPlan(
+                    specs=(
+                        FaultSpec(kind="compute", rate=0.25, times=2,
+                                  transient=True),
+                    ),
+                    seed=7,
+                ),
+            )
+            streams = [hs.stream_create(domain=d % 2 + 1, ncores=2)
+                       for d in range(4)]
+            bufs = [hs.buffer_create(nbytes=1024) for _ in range(4)]
+            with _MetricsReader(hs, check) as reader:
+                for i in range(200):
+                    s = streams[i % len(streams)]
+                    buf = bufs[i % len(bufs)]
+                    hs.enqueue_xfer(s, buf)
+                    hs.enqueue_compute(s, "k", args=(buf.all_inout(),))
+                hs.thread_synchronize()
+            assert reader.failures == []
+            assert reader.snapshots > 0
+            assert injector.injected > 0  # the faults really fired
+            final = hs.metrics()
+            assert final["actions"]["retried"] > 0
+            assert final["actions"]["in_flight"] == 0
+        finally:
+            hs.fini()
