@@ -5,8 +5,14 @@ exercised but could not report.
 don't report results since this COI feature is still in development."
 This reproduction's fabric layer is complete, so the numbers the paper
 omitted are generated here: the same offload program against a PCIe
-card vs fabric-attached remote Xeon nodes, and the hetero matmul
-scaling over a small fabric cluster.
+card vs fabric-attached remote Xeon nodes, the hetero matmul scaling
+over a small fabric cluster, and — on the contention-aware cluster
+fabric — planned collectives fanning one payload out to dozens of
+nodes, where the pipelined multicast chain beats the serial
+host-rooted loop by the §III overhead model's margin.
+
+Runnable directly (``python bench_fabric.py``) for the CI smoke
+subset, or through pytest-benchmark for the full tables.
 """
 
 from conftest import run_once
@@ -15,8 +21,24 @@ from repro import HStreams
 from repro.bench.reporting import format_table
 from repro.bench.runner import sweep
 from repro.linalg import hetero_matmul
+from repro.sim.engine import Engine
 from repro.sim.kernels import dgemm
-from repro.sim.platforms import make_fabric_platform, make_platform
+from repro.sim.platforms import (
+    make_cluster_platform,
+    make_fabric_platform,
+    make_platform,
+)
+
+#: Fraction of the aggregate model DGEMM rate the cluster matmul must
+#: reach. Transfers, tiling remainders, and the serial host panel all
+#: eat into the aggregate; the measured sweep lands around 0.66.
+PARALLEL_EFFICIENCY_FLOOR = 0.60
+
+#: The collectives fan-out: domains, payload, and the acceptance bar —
+#: pipelined multicast in at most half the serial loop's virtual time.
+COLLECTIVE_NODES = 32
+COLLECTIVE_BYTES = 16 << 20
+MULTICAST_VS_SERIAL_BAR = 0.5
 
 
 def offload_time(platform, n=6000) -> float:
@@ -33,6 +55,55 @@ def offload_time(platform, n=6000) -> float:
     hs.enqueue_xfer(s, b, XferDirection.SINK_TO_SRC)
     hs.thread_synchronize()
     return hs.elapsed() - t0
+
+
+def cluster_peak_gflops(nnodes: int, tile: int) -> float:
+    """Aggregate model DGEMM rate of host + nodes at the sweep's tile size.
+
+    This is the derived bound the scaling assert compares against — the
+    platform's own device curves, not a hard-coded rate.
+    """
+    plat = make_fabric_platform("HSW", nnodes=nnodes, node="HSW")
+    return sum(dev.gflops("dgemm", tile) for dev in plat.devices)
+
+
+def broadcast_time(
+    schedule: str,
+    nnodes: int = COLLECTIVE_NODES,
+    nbytes: int = COLLECTIVE_BYTES,
+):
+    """(virtual time, fabric metrics) for one broadcast under ``schedule``.
+
+    Instances are pre-created so the measurement is pure fabric time,
+    not host-side allocation.
+    """
+    plat = make_cluster_platform(nnodes=nnodes)
+    hs = HStreams(platform=plat, backend="sim", trace=False)
+    doms = list(range(1, nnodes + 1))
+    buf = hs.buffer_create(nbytes=nbytes, domains=doms, name="payload")
+    hs.thread_synchronize()
+    t0 = hs.elapsed()
+    hs.broadcast(buf, doms, schedule=schedule)
+    hs.thread_synchronize()
+    elapsed = hs.elapsed() - t0
+    fabric = hs.metrics()["fabric"]
+    hs.fini()
+    return elapsed, fabric
+
+
+def serial_model_time(nnodes: int, nbytes: int) -> float:
+    """What the serial loop costs by construction: N payloads through
+    the host root complex, one at a time."""
+    plat = make_cluster_platform(nnodes=nnodes)
+    link = plat.make_links(Engine())[1].h2d
+    return nnodes * link.transfer_time(nbytes)
+
+
+def run_collectives():
+    out = {}
+    for sched in ("serial", "ring", "tree", "multicast"):
+        out[sched] = broadcast_time(sched)
+    return out
 
 
 def run_all():
@@ -53,12 +124,45 @@ def run_all():
         [1, 2, 3],
     )
     out["cluster"] = cluster
+    out["collectives"] = run_collectives()
     return out
+
+
+def smoke_check() -> None:
+    """The CI subset: collectives on the contention-aware cluster fabric."""
+    times = run_collectives()
+    serial, _ = times["serial"]
+    model = serial_model_time(COLLECTIVE_NODES, COLLECTIVE_BYTES)
+    print(f"[smoke] broadcast {COLLECTIVE_BYTES >> 20} MiB to "
+          f"{COLLECTIVE_NODES} nodes:")
+    for sched, (t, fabric) in times.items():
+        print(f"[smoke]   {sched:10s} {t * 1e3:8.2f} ms  "
+              f"({t / serial:.2f}x serial, peer transfers "
+              f"{fabric['peer_transfers']})")
+    # The serial loop really serializes on the host bus: its time is the
+    # platform model's N back-to-back payloads, not a magic constant.
+    assert 0.95 * model < serial < 1.3 * model, (serial, model)
+    # Serial pays for the bus in queueing, visible in the metrics.
+    _, serial_fabric = times["serial"]
+    assert serial_fabric["host_bus_wait_s"] > 0, serial_fabric
+    assert serial_fabric["peer_transfers"] == 0, serial_fabric
+    # Store-and-forward ring moves the same bytes hop by hop: no win.
+    ring, _ = times["ring"]
+    assert ring > 0.8 * serial, (ring, serial)
+    # The pipelined schedules genuinely win in virtual time.
+    tree, tree_fabric = times["tree"]
+    multicast, multi_fabric = times["multicast"]
+    assert multi_fabric["peer_transfers"] > 0, multi_fabric
+    assert tree < 0.5 * serial, (tree, serial)
+    assert multicast <= MULTICAST_VS_SERIAL_BAR * serial, (multicast, serial)
+    print(f"[smoke] multicast/serial = {multicast / serial:.3f} "
+          f"(bar {MULTICAST_VS_SERIAL_BAR})")
 
 
 def test_fabric_offload(benchmark, capsys):
     r = run_once(benchmark, run_all)
     cluster = r["cluster"]
+    coll = r["collectives"]
     with capsys.disabled():
         print()
         print("== FABRIC: one offload round trip, 6000^2 DGEMM ==")
@@ -74,11 +178,28 @@ def test_fabric_offload(benchmark, capsys):
             [[int(x), f"{y:.0f}", f"{y / 902.0:.2f}x"]
              for x, y in zip(cluster.x, cluster.y)],
         ))
+        serial = coll["serial"][0]
+        print(f"\n== FABRIC: broadcast {COLLECTIVE_BYTES >> 20} MiB to "
+              f"{COLLECTIVE_NODES} nodes ==")
+        print(format_table(
+            ["schedule", "virtual ms", "vs serial"],
+            [[s, f"{t * 1e3:.2f}", f"{t / serial:.2f}x"]
+             for s, (t, _f) in coll.items()],
+        ))
 
     # The remote HSW computes slower than the KNC card on DGEMM but is
     # reachable through the identical program.
     assert r["fabric-hsw"] > r["pcie-knc"]
     assert r["fabric-ivb"] > r["fabric-hsw"]
-    # Cluster scaling: each added node increases throughput.
+    # Cluster scaling: each added node increases throughput, and the
+    # largest cluster reaches the model-derived efficiency floor of its
+    # own aggregate DGEMM rate (no magic constants).
     assert cluster.y[0] < cluster.y[1] < cluster.y[2]
-    assert cluster.y[2] > 2.4 * 902.0  # 4 HSW-class domains working
+    peak = cluster_peak_gflops(nnodes=3, tile=2000)
+    assert cluster.y[2] > PARALLEL_EFFICIENCY_FLOOR * peak, (cluster.y[2], peak)
+    # Collectives: pipelined multicast meets the acceptance bar.
+    assert coll["multicast"][0] <= MULTICAST_VS_SERIAL_BAR * serial
+
+
+if __name__ == "__main__":
+    smoke_check()

@@ -27,7 +27,11 @@ Rules (ids are what ``rtsan: ignore[rule]`` waiver comments name):
   state);
 * ``wall-clock-in-sim`` — ``time.time``/``time.monotonic`` under
   ``sim/`` (the simulator owns virtual time; wall-clock reads there
-  break determinism).
+  break determinism);
+* ``manual-broadcast-loop`` — a loop that ``enqueue_xfer``s the *same*
+  operand to a per-iteration stream: a hand-rolled broadcast that
+  serializes through the host root instead of riding a planned
+  collective's pipelined schedule.
 
 CLI: ``python -m repro.analysis.staticlint [paths...] [--json]``, exit
 codes matching hsan (2 errors / 1 warnings / 0 clean).
@@ -102,6 +106,17 @@ STATIC_RULES: Dict[str, Rule] = {
             "simulator owns virtual time, and wall-clock reads there "
             "make virtual schedules nondeterministic",
             "use the engine's virtual now() (backend.now()) instead",
+        ),
+        Rule(
+            "manual-broadcast-loop",
+            Severity.WARNING,
+            "a loop enqueue_xfers a loop-invariant operand to a "
+            "per-iteration stream — a hand-rolled broadcast that "
+            "serializes every replica through the host root",
+            "replace the loop with one planned collective "
+            "(hs.broadcast / FlowContext.broadcast), which pipelines "
+            "over peer-routable fabrics and degrades to the serial "
+            "loop elsewhere; waive sites that are intentionally serial",
         ),
     ]
 }
@@ -232,6 +247,34 @@ def _lock_is_reentrant(call: ast.Call, callee: str) -> bool:
     return False
 
 
+def _bound_names(node: ast.AST) -> Set[str]:
+    """Every name bound anywhere inside ``node``: loop targets, plain
+    assignments (aliases like ``s = streams[d]``), with-as names,
+    walrus targets, comprehension variables."""
+    bound: Set[str] = set()
+    for n in ast.walk(node):
+        targets: List[ast.expr] = []
+        if isinstance(n, (ast.For, ast.AsyncFor)):
+            targets.append(n.target)
+        elif isinstance(n, ast.Assign):
+            targets.extend(n.targets)
+        elif isinstance(n, (ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+            targets.append(n.target)
+        elif isinstance(n, ast.withitem) and n.optional_vars is not None:
+            targets.append(n.optional_vars)
+        elif isinstance(n, ast.comprehension):
+            targets.append(n.target)
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    bound.add(leaf.id)
+    return bound
+
+
+def _names_in(expr: ast.expr) -> Set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
 def _cv_lock_attr(call: ast.Call) -> Optional[str]:
     """The ``self.X`` a condition was built over, if any."""
     candidates: List[ast.expr] = []
@@ -253,6 +296,9 @@ class _FileLinter:
         self.path = path
         self.in_sim = in_sim
         self.findings: List[Finding] = []
+        #: call positions already reported as manual broadcasts — nested
+        #: loops both inspect the same call and must not double-report.
+        self._mb_flagged: Set[Tuple[int, int]] = set()
 
     def emit(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -309,6 +355,8 @@ class _FileLinter:
         method: str,
         exempt: bool,
     ) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_manual_broadcast(stmt)
         if isinstance(stmt, ast.With):
             entered: Set[str] = set()
             for item in stmt.items:
@@ -465,6 +513,56 @@ class _FileLinter:
                 f"time.{fn.attr}() under sim/ — use the engine's "
                 "virtual clock",
             )
+
+    # -- manual broadcast loops ------------------------------------------------
+
+    def _check_manual_broadcast(self, loop: ast.stmt) -> None:
+        """Flag ``enqueue_xfer`` calls inside ``loop`` whose *stream*
+        varies with the iteration while the *operand* does not.
+
+        Per-iteration names are the loop's own targets plus everything
+        bound in the body (``s = streams[d]`` aliases, nested loop
+        targets, comprehension variables); an operand touching none of
+        them is the same payload re-sent every iteration — a broadcast
+        written by hand. Nested function bodies are skipped (deferred
+        execution), and a call flagged by an inner loop is not
+        re-reported by its enclosing loops.
+        """
+        dep = _bound_names(loop)
+        stack: List[ast.AST] = [loop]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if not (isinstance(fn, ast.Attribute) and fn.attr == "enqueue_xfer"):
+                continue
+            stream_arg = node.args[0] if node.args else None
+            op_arg = node.args[1] if len(node.args) > 1 else None
+            for kw in node.keywords:
+                if kw.arg == "stream":
+                    stream_arg = kw.value
+                elif kw.arg == "operand":
+                    op_arg = kw.value
+            if stream_arg is None or op_arg is None:
+                continue
+            if _names_in(stream_arg) & dep and not _names_in(op_arg) & dep:
+                key = (node.lineno, node.col_offset)
+                if key in self._mb_flagged:
+                    continue
+                self._mb_flagged.add(key)
+                self.emit(
+                    "manual-broadcast-loop",
+                    node,
+                    "enqueue_xfer of a loop-invariant operand to a "
+                    "per-iteration stream — use a planned collective "
+                    "(hs.broadcast) instead of a manual send loop",
+                )
 
     # Module-level (non-class) statements reuse the same machinery with
     # an empty model; only lock-creation and wall-clock rules can fire.

@@ -216,14 +216,19 @@ def factorize_supernode(
             else None,
             label=f"panel{p}",
         )
-        # Trailing updates fan out across the streams.
+        # Trailing updates fan out across the streams; the factored
+        # panel and its D are replicated operands, distributed once as
+        # a collective instead of per consumer stream (updates order
+        # behind the arrival via reads=).
+        consumers = [streams[q % len(streams)] for q in range(p + 1, npanels)]
+        if consumers:
+            flow.broadcast(consumers, blocks[p], label=f"bcast sn_blk{p}")
+            flow.broadcast(consumers, d_bufs[p], label=f"bcast sn_d{p}")
         for q in range(p + 1, npanels):
             s = streams[q % len(streams)]
             mq = nrows - col0[q]
             wq = widths[q]
             row_off = col0[q] - col0[p]
-            flow.send(s, blocks[p])
-            flow.send(s, d_bufs[p])
             flow.send(s, blocks[q])
             upd_args = (
                 blocks[q].tensor((mq, wq), mode=OperandMode.INOUT),

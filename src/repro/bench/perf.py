@@ -34,6 +34,12 @@ Benches:
   off (before and after a sanitized runtime lived in the process) and
   on. Gates that a closed sanitizer leaves the sanitizer-off hot path
   within 2 % of the never-sanitized control.
+* ``collectives`` — planned broadcast schedules on the contention-aware
+  cluster fabric. Gates that pipelined multicast to >=16 simulated
+  domains completes in at most **half** the serial N-xfer loop's
+  virtual time (the schedules' win is deterministic virtual time, so
+  the ratio is a stable counter), and that replaying a captured
+  collective runs **zero** dependence-scan comparisons.
 
 Gating: rows with unit ``"count"`` are deterministic counters (scan
 candidates/comparisons, elisions, allocations) and are compared against
@@ -696,6 +702,103 @@ def bench_sanitizer_overhead(rows: List[PerfRow], measure: int) -> None:
     )
 
 
+def bench_collectives(rows: List[PerfRow], nnodes: int, nbytes: int) -> None:
+    """Planned-collective schedules on the contention-aware cluster fabric.
+
+    One payload fans out from the host to ``nnodes`` simulated fabric
+    domains, once as the serial host-rooted N-xfer loop and once as the
+    pipelined peer-forwarding multicast chain. Buffer instances are
+    pre-created so the virtual times measure pure fabric occupancy, not
+    host-side allocation. Virtual time is deterministic, so the
+    multicast/serial ratio gates as a counter:
+    ``multicast_pct_over_half_serial_budget`` is the excess over the
+    50 % acceptance bar — the committed baseline is the bar itself (0),
+    and with the gate's +1 absolute slack the row fails CI exactly when
+    multicast costs more than 51 % of serial.
+
+    The second gated row captures one multicast broadcast in a
+    ``capture_graph()`` scope and replays it:
+    ``collective_replay_scan_comparisons`` must stay at zero because
+    the planner resolves external dependences with one window scan per
+    stream at *plan* time and admits chunks through
+    ``enqueue_precomputed`` — replay re-admits the recorded template
+    with no dependence scans at all.
+    """
+    from repro.core.runtime import HStreams
+    from repro.sim.platforms import make_cluster_platform
+
+    def broadcast_time(schedule: str) -> float:
+        hs = HStreams(
+            platform=make_cluster_platform(nnodes=nnodes),
+            backend="sim",
+            trace=False,
+        )
+        doms = list(range(1, nnodes + 1))
+        buf = hs.buffer_create(nbytes=nbytes, domains=doms)
+        hs.thread_synchronize()
+        t0 = hs.elapsed()
+        hs.broadcast(buf, doms, schedule=schedule)
+        hs.thread_synchronize()
+        elapsed = hs.elapsed() - t0
+        hs.fini()
+        return elapsed
+
+    t_serial = broadcast_time("serial")
+    t_multicast = broadcast_time("multicast")
+    pct = round(100.0 * t_multicast / t_serial)
+    bench = f"collectives:bcast:{nnodes}dom"
+    rows.append(PerfRow(bench, "serial_virtual_s", t_serial, "s", nnodes, "sim"))
+    rows.append(
+        PerfRow(bench, "multicast_virtual_s", t_multicast, "s", nnodes, "sim")
+    )
+    rows.append(PerfRow(bench, "multicast_pct_of_serial", pct, "info", nnodes, "sim"))
+    rows.append(
+        PerfRow(
+            bench,
+            "multicast_pct_over_half_serial_budget",
+            max(0, pct - 50),
+            GATED_UNIT,
+            nnodes,
+            "sim",
+        )
+    )
+
+    hs = HStreams(
+        platform=make_cluster_platform(nnodes=nnodes), backend="sim", trace=False
+    )
+    doms = list(range(1, nnodes + 1))
+    buf = hs.buffer_create(nbytes=nbytes, domains=doms)
+    # Warm-up outside the capture scope: the collective's internal
+    # streams must already exist, since stream creation is not a
+    # replayable action.
+    hs.broadcast(buf, doms, schedule="multicast")
+    hs.thread_synchronize()
+
+    def scan_comparisons() -> int:
+        return sum(
+            s["dep_scan_comparisons"] for s in hs.metrics()["streams"].values()
+        )
+
+    with hs.capture_graph() as template:
+        hs.broadcast(buf, doms, schedule="multicast")
+    hs.thread_synchronize()
+    scans0 = scan_comparisons()
+    hs.replay(template)
+    hs.thread_synchronize()
+    rep_scans = scan_comparisons() - scans0
+    hs.fini()
+    rows.append(
+        PerfRow(
+            bench,
+            "collective_replay_scan_comparisons",
+            rep_scans,
+            GATED_UNIT,
+            1,
+            "sim",
+        )
+    )
+
+
 def run_suite(
     quick: bool = False,
     depths: Optional[Sequence[int]] = None,
@@ -718,6 +821,7 @@ def run_suite(
     bench_elision(rows, reps)
     bench_replay(rows, 10 if quick else 30)
     bench_sanitizer_overhead(rows, measure)
+    bench_collectives(rows, nnodes=16, nbytes=4 << 20 if quick else 16 << 20)
     return rows
 
 

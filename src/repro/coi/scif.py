@@ -5,8 +5,11 @@ two primitives that COI builds on:
 
 * ``message`` — a small control send (doorbells, command descriptors);
   latency-dominated.
-* ``dma`` — a bulk payload transfer between the host and one card, which
-  occupies one direction of that card's link for its duration.
+* ``dma`` — a bulk payload transfer between two nodes. Host-rooted
+  transfers occupy one direction of the far node's port; node-to-node
+  transfers are routed only when the underlying :class:`Fabric` has
+  peer routing enabled, and otherwise must stage via the host as in the
+  paper's applications.
 
 Host-to-host "transfers" complete after a memcpy-speed delay (there is no
 wire), and zero-hop transfers (same domain, aliased) are free.
@@ -14,10 +17,10 @@ wire), and zero-hop transfers (same domain, aliased) are free.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Union
 
 from repro.sim.engine import Engine, Event
-from repro.sim.interconnect import LinkPair
+from repro.sim.interconnect import Fabric, LinkPair
 
 __all__ = ["ScifFabric"]
 
@@ -31,16 +34,25 @@ class ScifFabric:
     def __init__(
         self,
         engine: Engine,
-        links: Dict[int, LinkPair],
+        links: Union[Fabric, Dict[int, LinkPair]],
         host_mem_bw_gbs: float = 100.0,
     ):
         if host_mem_bw_gbs <= 0:
             raise ValueError("host_mem_bw_gbs must be > 0")
         self.engine = engine
-        self.links = links
+        if isinstance(links, Fabric):
+            self.fabric = links
+        else:
+            # Bare port dict: the original independent-links topology.
+            self.fabric = Fabric(engine, links)
         self.host_mem_bw_gbs = host_mem_bw_gbs
         self.message_count = 0
         self.dma_count = 0
+
+    @property
+    def links(self) -> Dict[int, LinkPair]:
+        """Per-domain ports (kept for existing metric consumers)."""
+        return self.fabric.ports
 
     def _immediate(self, delay: float, value=None) -> Event:
         return self.engine.timeout(delay, value=value)
@@ -60,9 +72,9 @@ class ScifFabric:
     def dma(self, src: int, dst: int, nbytes: int) -> Event:
         """Bulk transfer of ``nbytes`` from node ``src`` to node ``dst``.
 
-        One of the endpoints must be the host (node 0), matching the
-        paper's applications in which cards interact only with the host.
-        The returned event fires at DMA completion.
+        Host-rooted routes always exist; a node-to-node route exists
+        only on a peer-enabled fabric. The returned event fires at DMA
+        completion.
         """
         self._check_route(src, dst)
         if nbytes < 0:
@@ -70,13 +82,7 @@ class ScifFabric:
         self.dma_count += 1
         if src == dst:
             return self._immediate(0.0, value=nbytes)  # aliased, no copy
-        if src == 0:
-            return self.links[dst].h2d.transfer(nbytes)
-        if dst == 0:
-            return self.links[src].d2h.transfer(nbytes)
-        raise ValueError(
-            f"card-to-card DMA ({src}->{dst}) is not routed; stage via the host"
-        )
+        return self.fabric.transfer(src, dst, nbytes)
 
     def host_copy(self, nbytes: int) -> Event:
         """A host-local memcpy at memory bandwidth (host-as-target path)."""

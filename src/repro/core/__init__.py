@@ -21,6 +21,7 @@ can be regenerated.
 
 from repro.core.actions import Action, ActionKind, Operand, OperandMode, XferDirection
 from repro.core.buffer import Buffer, ProxyAddressSpace
+from repro.core.collectives import REDUCE_OPS, SCHEDULES, CollectiveResult
 from repro.core.errors import (
     HStreamsError,
     HStreamsBadArgument,
@@ -54,6 +55,9 @@ __all__ = [
     "XferDirection",
     "Buffer",
     "ProxyAddressSpace",
+    "CollectiveResult",
+    "SCHEDULES",
+    "REDUCE_OPS",
     "HStreamsError",
     "HStreamsBadArgument",
     "HStreamsCancelled",

@@ -160,6 +160,10 @@ class Action:
     # transfer
     direction: Optional[XferDirection] = None
     nbytes: int = 0
+    #: Origin domain of a SRC_TO_SINK transfer when the payload is
+    #: forwarded from a peer instance instead of the host (collectives'
+    #: pipelined hops). ``None`` keeps the classic host-rooted meaning.
+    src_domain: Optional[int] = None
     #: Set by the memory manager at admission when the destination
     #: instance is already expected-valid over the operand range: the
     #: backends skip the byte movement, but the action still flows
@@ -208,6 +212,7 @@ class Action:
         new.cost = self.cost
         new.direction = self.direction
         new.nbytes = self.nbytes
+        new.src_domain = self.src_domain
         new.elided = False
         new.label = self.label
         new.seq = next(_action_ids)

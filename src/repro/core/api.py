@@ -65,6 +65,11 @@ __all__ = [
     "hStreams_app_event_wait",
     "hStreams_app_stream_sync",
     "hStreams_app_thread_sync",
+    "hStreams_app_broadcast",
+    "hStreams_app_scatter",
+    "hStreams_app_gather",
+    "hStreams_app_reduce",
+    "hStreams_app_allreduce",
     "hStreams_StreamCreate",
     "hStreams_EnqueueCompute",
     "hStreams_EnqueueData1D",
@@ -344,6 +349,46 @@ def hStreams_app_dgemm(
         ),
         label="app_dgemm",
     )
+
+
+def _coll_buffer(addr: int):
+    buf, off = runtime().proxy_space.resolve(addr)
+    if off != 0:
+        raise HStreamsBadArgument(
+            "collectives take a buffer base address; pass offset= for "
+            "an interior range"
+        )
+    return buf
+
+
+def hStreams_app_broadcast(addr: int, domains: Sequence[int], **kw):
+    """Replicate a buffer to ``domains`` over a planned schedule.
+
+    The collective lowers to pipelined chunk transfers (see
+    :mod:`repro.core.collectives`) instead of a per-domain transfer
+    loop. Returns a ``CollectiveResult``.
+    """
+    return runtime().broadcast(_coll_buffer(addr), domains, **kw)
+
+
+def hStreams_app_scatter(addr: int, domains: Sequence[int], **kw):
+    """Distribute contiguous slices of a buffer, one per domain."""
+    return runtime().scatter(_coll_buffer(addr), domains, **kw)
+
+
+def hStreams_app_gather(addr: int, domains: Sequence[int], **kw):
+    """Pull each domain's slice of a buffer back to the host."""
+    return runtime().gather(_coll_buffer(addr), domains, **kw)
+
+
+def hStreams_app_reduce(addr: int, domains: Sequence[int], **kw):
+    """Combine each domain's instance into the host's (op=sum/prod/max/min)."""
+    return runtime().reduce(_coll_buffer(addr), domains, **kw)
+
+
+def hStreams_app_allreduce(addr: int, domains: Sequence[int], **kw):
+    """Reduce into the host, then broadcast the result back out."""
+    return runtime().allreduce(_coll_buffer(addr), domains, **kw)
 
 
 def hStreams_app_event_wait(events: Sequence[HEvent]) -> None:

@@ -187,7 +187,10 @@ def instance_accesses(
     elif action.kind is ActionKind.XFER and stream.domain != 0 and not action.elided:
         op = action.operands[0]
         if action.direction is XferDirection.SRC_TO_SINK:
-            yield 0, op, True, False
+            # Collective forwarding hops read a peer instance instead of
+            # the host's; the write side is the sink either way.
+            src = action.src_domain if action.src_domain is not None else 0
+            yield src, op, True, False
             yield stream.domain, op, False, True
         else:
             yield stream.domain, op, True, False
@@ -662,7 +665,7 @@ class MemoryManager(SchedulerObserver):
             op = action.operands[0]
             coh = self.coherence(op.buffer)
             self._touch(coh, stream.domain)
-            self._touch(coh, 0)
+            self._touch(coh, action.src_domain if action.src_domain is not None else 0)
             if stream.domain == 0:
                 # Host-as-target: source and sink instances alias, the
                 # backends already skip the copy (paper §V).

@@ -408,6 +408,8 @@ class GraphInstance:
                 op = action.operands[0]
                 need(op.buffer, 0)
                 need(op.buffer, stream.domain)
+                if action.src_domain is not None:
+                    need(op.buffer, action.src_domain)
         if not self.rebound:
             self.template._sites = out
         return out

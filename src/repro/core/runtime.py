@@ -195,6 +195,15 @@ class HStreams:
         self.streams: List[Stream] = []
         self.buffers: List[Buffer] = []
         self._kernels: Dict[str, KernelSpec] = {}
+        # Lazily-created per-domain streams and per-(buffer, domain)
+        # scratch buffers owned by the collectives planner
+        # (repro.core.collectives). Cached so repeated collectives of
+        # the same shape create nothing — which is also what makes a
+        # collective capturable: run it once outside capture_graph()
+        # to warm these, since stream/buffer creation is illegal inside
+        # a capture scope.
+        self._coll_streams: Dict[int, Stream] = {}
+        self._coll_scratch: Dict[Tuple[int, int, int], Buffer] = {}
         self._next_stream_id = 0
         self._initialized = True
         #: Action counters by kind plus transfer byte volume.
@@ -655,6 +664,89 @@ class HStreams:
         self.backend.advance_host(self.config.enqueue_overhead_s)
         return self.scheduler.enqueue(action)
 
+    # -- collectives ----------------------------------------------------------------
+
+    def _collective_stream(self, domain: int) -> Stream:
+        """The planner's lazily-created stream sinking in ``domain``."""
+        stream = self._coll_streams.get(domain)
+        if stream is not None and stream in self.streams:
+            return stream
+        stream = self.stream_create(domain=domain, ncores=1, name=f"coll-d{domain}")
+        self._coll_streams[domain] = stream
+        return stream
+
+    def _collective_scratch(self, buf: Buffer, domain: int, nbytes: int) -> Buffer:
+        """Cached staging buffer for ``buf``'s contribution from ``domain``."""
+        key = (buf.uid, domain, nbytes)
+        scratch = self._coll_scratch.get(key)
+        if scratch is not None and scratch in self.buffers:
+            return scratch
+        scratch = self.buffer_create(
+            nbytes=nbytes, name=f"coll-scratch:{buf.name or buf.uid}:d{domain}"
+        )
+        self._coll_scratch[key] = scratch
+        return scratch
+
+    def broadcast(self, buf: Buffer, domains: Sequence[int], **kw):
+        """Replicate a host buffer range to every domain in ``domains``.
+
+        Lowers to chunked transfer actions over a schedule
+        (``schedule=`` "auto", "serial", "ring", "multicast", "tree";
+        see :mod:`repro.core.collectives`) instead of a loop of
+        ``enqueue_xfer``. Returns a
+        :class:`~repro.core.collectives.CollectiveResult` whose
+        ``arrivals[d]`` event fires once domain ``d`` holds the payload.
+        Accepts ``offset``/``nbytes`` (range), ``chunk_bytes``,
+        ``streams`` (per-domain override dict), ``after`` (events or
+        actions the collective must follow), and ``label``.
+        """
+        self._check_init()
+        from repro.core.collectives import plan_broadcast
+
+        return plan_broadcast(self, buf, domains, **kw)
+
+    def scatter(self, buf: Buffer, domains: Sequence[int], **kw):
+        """Distribute contiguous slices of a host range, one per domain.
+
+        ``parts={domain: (offset, nbytes)}`` overrides the even split.
+        Returns a :class:`~repro.core.collectives.CollectiveResult`.
+        """
+        self._check_init()
+        from repro.core.collectives import plan_scatter
+
+        return plan_scatter(self, buf, domains, **kw)
+
+    def gather(self, buf: Buffer, domains: Sequence[int], **kw):
+        """Pull each domain's slice of a range back to the host
+        (:meth:`scatter`'s inverse). Returns a
+        :class:`~repro.core.collectives.CollectiveResult`; its
+        ``arrivals[d]`` fires when ``d``'s slice has landed home.
+        """
+        self._check_init()
+        from repro.core.collectives import plan_gather
+
+        return plan_gather(self, buf, domains, **kw)
+
+    def reduce(self, buf: Buffer, domains: Sequence[int], **kw):
+        """Combine each domain's instance of a range into the host's.
+
+        ``op=`` "sum" (default), "prod", "max", or "min", elementwise
+        over ``dtype`` (default float64). Returns a
+        :class:`~repro.core.collectives.CollectiveResult` whose
+        ``arrivals[0]`` fires once the host holds the combined value.
+        """
+        self._check_init()
+        from repro.core.collectives import plan_reduce
+
+        return plan_reduce(self, buf, domains, **kw)
+
+    def allreduce(self, buf: Buffer, domains: Sequence[int], **kw):
+        """:meth:`reduce` into the host, then :meth:`broadcast` back out."""
+        self._check_init()
+        from repro.core.collectives import plan_allreduce
+
+        return plan_allreduce(self, buf, domains, **kw)
+
     # -- graph capture & replay ------------------------------------------------------
 
     @property
@@ -860,6 +952,11 @@ class HStreams:
         with self.scheduler._lock:
             out = self.scheduler.metrics()
             out["memory"] = self.memory.metrics()
+        fabric = getattr(self.backend, "fabric_metrics", None)
+        if fabric is not None:
+            # Sim backend only: interconnect occupancy/queueing counters
+            # (engine state is source-thread-owned — no lock needed).
+            out["fabric"] = fabric()
         return out
 
 

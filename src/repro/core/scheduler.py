@@ -441,6 +441,20 @@ class Scheduler:
             backend.execute(action)
         return action.completion
 
+    def window_producers(self, stream, probe: "Action") -> List["Action"]:
+        """Live in-window producers a hypothetical ``probe`` would follow.
+
+        The collectives planner admits its chunk actions through
+        :meth:`enqueue_precomputed`, which skips the window scan — so it
+        asks here, once per participating stream over the collective's
+        *whole* footprint, for the external ordering a normal enqueue
+        would have discovered, and threads the result into its first
+        chunk on that stream. One scan per stream per collective instead
+        of one per chunk; the scan counters account it like any other.
+        """
+        with self._lock:
+            return list(stream.window.deps_for(probe))
+
     def admit_instance(self, instance) -> None:
         """Admit a whole replayed graph instance in one scheduler pass.
 

@@ -58,9 +58,10 @@ class SimBackend(Backend):
         self.runtime = runtime
         cfg = runtime.config
         self.engine = Engine()
-        self.links = runtime.platform.make_links(self.engine)
+        self.topology = runtime.platform.make_fabric(self.engine)
+        self.links = self.topology.ports
         host_bw = cfg.host_mem_bw_gbs or runtime.platform.host.mem_bw_gbs
-        self.fabric = ScifFabric(self.engine, self.links, host_mem_bw_gbs=host_bw)
+        self.fabric = ScifFabric(self.engine, self.topology, host_mem_bw_gbs=host_bw)
         self.pool = BufferPool(
             cfg.pool_chunk_bytes, cfg.alloc_cost, enabled=cfg.use_buffer_pool
         )
@@ -85,6 +86,13 @@ class SimBackend(Backend):
         self.init_cost_s = self.coi.init_cost_s
         #: Cumulative host-blocking allocation cost (the §VII bottleneck).
         self.alloc_blocked_s = 0.0
+
+    def fabric_metrics(self) -> Dict[str, object]:
+        """Interconnect counters for ``hs.metrics()['fabric']``."""
+        out = self.topology.metrics()
+        out["dma_count"] = self.fabric.dma_count
+        out["message_count"] = self.fabric.message_count
+        return out
 
     # -- handles & events -----------------------------------------------------
 
@@ -217,11 +225,16 @@ class SimBackend(Backend):
                 if action.direction is XferDirection.SRC_TO_SINK
                 else (stream.domain, 0)
             )
+            if action.src_domain is not None:
+                src = action.src_domain
             start = self.engine.now
             yield self.coi.dma(src, dst, action.nbytes)
-            lane = f"pcie:d{stream.domain}:" + (
-                "h2d" if action.direction is XferDirection.SRC_TO_SINK else "d2h"
-            )
+            if src != 0 and dst != 0:
+                lane = f"fabric:d{src}->d{dst}"
+            else:
+                lane = f"pcie:d{stream.domain}:" + (
+                    "h2d" if action.direction is XferDirection.SRC_TO_SINK else "d2h"
+                )
             self.runtime.tracer.record(
                 lane, start, self.engine.now, action.display, "transfer"
             )

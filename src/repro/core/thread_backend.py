@@ -221,6 +221,10 @@ class ThreadBackend(Backend):
                 if action.direction is XferDirection.SRC_TO_SINK
                 else (sink, 0)
             )
+            if action.src_domain is not None:
+                # Collective forwarding hop: copy out of the peer
+                # instance the chunk already landed in, not the host's.
+                src_dom = action.src_domain
             src = op.buffer.instance_array(src_dom)[op.offset : op.end]
             dst = op.buffer.instance_array(dst_dom)[op.offset : op.end]
             np.copyto(dst, src)

@@ -148,8 +148,14 @@ def hetero_cholesky(
                 writes=(bufs[i][k],),
                 label=f"trsm{i}.{k}",
             )
-            for _dom, pool in card_streams.items():
-                flow.send(pool[i % len(pool)], bufs[i][k], label=f"bcast L{i}_{k}")
+            # One planned collective to all card domains replaces the
+            # per-card send loop; trailing-update computes order behind
+            # their own domain's arrival via reads=.
+            flow.broadcast(
+                [pool[i % len(pool)] for pool in card_streams.values()],
+                bufs[i][k],
+                label=f"bcast L{i}_{k}",
+            )
         # 3. Trailing updates, distributed by tile-row.
         for i in range(k + 1, T):
             dom = row_owner[i]
@@ -157,7 +163,9 @@ def hetero_cholesky(
             for j in range(k + 1, i + 1):
                 bj = grid.tile_rows(j)
                 s = update_stream(dom, i, j)
-                flow.send(s, bufs[i][k])
+                # Column-k tiles arrived via the broadcast above (reads=
+                # orders behind this domain's arrival); only the update
+                # target tile still needs delivering to its owner.
                 flow.send(s, bufs[i][j])
                 if j == i:
                     flow.compute(
@@ -172,7 +180,6 @@ def hetero_cholesky(
                         label=f"syrk{i}.{k}",
                     )
                 else:
-                    flow.send(s, bufs[j][k])
                     flow.compute(
                         s,
                         "dgemm",

@@ -20,7 +20,7 @@ counters land in ``hs.metrics()["memory"]``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.actions import XferDirection
 from repro.core.buffer import Buffer
@@ -39,6 +39,11 @@ class FlowContext:
         self.hs = hs
         #: buffer uid -> (producing event, producing stream id)
         self._producer: Dict[int, Tuple[HEvent, int]] = {}
+        #: buffer uid -> domain -> (arrival event, carrying stream id);
+        #: set by :meth:`broadcast`, consulted by :meth:`require` so a
+        #: consumer orders behind *its own domain's* arrival instead of
+        #: the whole collective.
+        self._arrivals: Dict[int, Dict[int, Tuple[HEvent, int]]] = {}
         #: sync actions already inserted: (consumer stream id, producer event id)
         self._synced: Set[Tuple[int, int, int]] = set()
         self.sync_count = 0
@@ -54,6 +59,9 @@ class FlowContext:
         pending: Dict[Tuple[int, int], Tuple[HEvent, Buffer]] = {}
         for buf in bufs:
             prod = self._producer.get(buf.uid)
+            arrivals = self._arrivals.get(buf.uid)
+            if arrivals is not None and stream.domain in arrivals:
+                prod = arrivals[stream.domain]
             if prod is None:
                 continue
             ev, sid = prod
@@ -88,6 +96,9 @@ class FlowContext:
     def produced(self, buf: Buffer, ev: HEvent, stream: Stream) -> None:
         """Record ``ev`` (in ``stream``) as the latest producer of ``buf``."""
         self._producer[buf.uid] = (ev, stream.id)
+        # A new producer supersedes any earlier broadcast's arrivals —
+        # the replicated instances are stale now.
+        self._arrivals.pop(buf.uid, None)
 
     # -- wrapped enqueues ------------------------------------------------------------
 
@@ -111,6 +122,50 @@ class FlowContext:
         for buf in writes:
             self.produced(buf, ev, stream)
         return ev
+
+    def broadcast(
+        self,
+        streams: Iterable[Stream],
+        buf: Buffer,
+        schedule: str = "auto",
+        label: str = "",
+    ):
+        """Replicate ``buf`` to every domain the given streams sink in.
+
+        One planned collective (:meth:`~repro.core.runtime.HStreams.broadcast`)
+        replaces the per-stream :meth:`send` loop: the payload rides a
+        pipelined schedule on peer-routable fabrics and degrades to the
+        classic serial transfers on PCIe-only platforms. Per-domain
+        arrival events are recorded so :meth:`require` (and therefore
+        :meth:`compute` ``reads=``) in *any* stream of a target domain
+        orders behind that domain's arrival only. Returns the
+        :class:`~repro.core.collectives.CollectiveResult`, or None when
+        no stream sinks off-host.
+        """
+        by_domain: Dict[int, Stream] = {}
+        for s in streams:
+            by_domain.setdefault(s.domain, s)
+        domains = [d for d in by_domain if d != 0]
+        if not domains:
+            return None
+        after = []
+        prod = self._producer.get(buf.uid)
+        if prod is not None:
+            ev, _sid = prod
+            if not ev.is_complete() or self.hs.capturing:
+                after.append(ev)
+        res = self.hs.broadcast(
+            buf,
+            domains,
+            schedule=schedule,
+            streams=by_domain,
+            after=after,
+            label=label or f"bcast({buf.name})",
+        )
+        arrivals = self._arrivals.setdefault(buf.uid, {})
+        for d, ev in res.arrivals.items():
+            arrivals[d] = (ev, by_domain[d].id)
+        return res
 
     def send(self, stream: Stream, buf: Buffer, label: str = "") -> HEvent:
         """Move ``buf``'s host copy to ``stream``'s domain.

@@ -137,14 +137,26 @@ def hetero_matmul(
     Cb = [[make("C", i, j, c_tiles) for j in range(T)] for i in range(T)]
 
     # -- enqueue the whole schedule ---------------------------------------------------
+    # A is *broadcast*: every panel owner needs every A tile, so each
+    # tile goes out as one planned collective over the owning card
+    # domains (pipelined on peer-routable fabrics, the classic serial
+    # transfers on PCIe) instead of a per-stream send loop. Computes
+    # order behind their own domain's arrival via reads=.
+    a_targets = sorted(d for d in set(owners) if d != 0)
+    for i in range(T):
+        for k in range(T):
+            flow.broadcast(
+                [streams[d][(i + k) % len(streams[d])] for d in a_targets],
+                Ab[i][k],
+            )
     for j in range(T):
         d = owners[j]
         dstreams = streams[d]
         for i in range(T):
             s = dstreams[i % len(dstreams)]
             for k in range(T):
-                # A tile broadcast + B panel tile delivery on first use.
-                flow.send(s, Ab[i][k])
+                # B panel tile delivery on first use (partitioned, not
+                # broadcast — only this panel's owner ever needs it).
                 flow.send(s, Bb[k][j])
                 mi, mj = grid.tile_shape(i, j)
                 kk = grid.tile_cols(k)

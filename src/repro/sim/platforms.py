@@ -23,9 +23,18 @@ from typing import Dict, Tuple
 
 from repro.sim.engine import Engine
 from repro.sim.hardware import Device, EfficiencyCurve
-from repro.sim.interconnect import LinkPair
+from repro.sim.interconnect import Fabric, LinkPair
 
-__all__ = ["IVB", "HSW", "KNC_7120A", "K40X", "Platform", "make_platform", "make_fabric_platform"]
+__all__ = [
+    "IVB",
+    "HSW",
+    "KNC_7120A",
+    "K40X",
+    "Platform",
+    "make_platform",
+    "make_fabric_platform",
+    "make_cluster_platform",
+]
 
 
 def _curve(eff_max: float, half: float, eff_min: float = 0.0) -> EfficiencyCurve:
@@ -181,6 +190,13 @@ class Platform:
     fabric_nodes: Tuple[Device, ...] = ()
     fabric_bandwidth_gbs: float = 5.5  # FDR InfiniBand-class achievable
     fabric_latency_s: float = 2.0e-6
+    #: Model the host root complex as a capacity-1 resource per direction,
+    #: so host-rooted same-direction transfers serialize across
+    #: destinations. Off by default: the original independent-links model.
+    host_bus: bool = False
+    #: Route node-to-node transfers through the pair of ports (switch
+    #: model) instead of raising. Off by default: cards stage via host.
+    peer_enabled: bool = False
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -227,6 +243,15 @@ class Platform:
                 name=f"fabric[{node.name}#{i}]",
             )
         return links
+
+    def make_fabric(self, engine: Engine) -> Fabric:
+        """Instantiate the full topology: ports plus bus/peer routing."""
+        return Fabric(
+            engine,
+            self.make_links(engine),
+            host_bus=self.host_bus,
+            peer_enabled=self.peer_enabled,
+        )
 
     def describe(self) -> str:
         """One-line human summary."""
@@ -275,12 +300,17 @@ def make_fabric_platform(
     node: str = "HSW",
     fabric_bandwidth_gbs: float = 5.5,
     fabric_latency_s: float = 2.0e-6,
+    host_bus: bool = False,
+    peer_enabled: bool = False,
 ) -> Platform:
     """A host plus ``nnodes`` remote Xeon nodes over the cluster fabric.
 
     The §III configuration the paper exercised but could not report:
     hStreams over COI between Xeon nodes. Remote nodes are ordinary
     domains — the same streams/buffers/actions APIs work unchanged.
+    ``host_bus``/``peer_enabled`` opt into the contention-aware topology
+    (see :class:`Platform`); defaults preserve the independent-links
+    model every calibrated figure was produced with.
     """
     host_key, node_key = host.upper(), node.upper()
     if host_key not in _HOSTS or node_key not in _HOSTS:
@@ -293,4 +323,31 @@ def make_fabric_platform(
         fabric_nodes=tuple(_HOSTS[node_key] for _ in range(nnodes)),
         fabric_bandwidth_gbs=fabric_bandwidth_gbs,
         fabric_latency_s=fabric_latency_s,
+        host_bus=host_bus,
+        peer_enabled=peer_enabled,
+    )
+
+
+def make_cluster_platform(
+    host: str = "HSW",
+    nnodes: int = 32,
+    node: str = "HSW",
+    fabric_bandwidth_gbs: float = 5.5,
+    fabric_latency_s: float = 2.0e-6,
+) -> Platform:
+    """A contention-aware cluster: dozens of fabric nodes, bus + peer links.
+
+    The topology the collectives planner is designed for: the host's
+    injection bandwidth is one port (``host_bus=True``), so N
+    independent sends serialize, while node-to-node forwarding
+    (``peer_enabled=True``) rides disjoint port pairs and pipelines.
+    """
+    return make_fabric_platform(
+        host=host,
+        nnodes=nnodes,
+        node=node,
+        fabric_bandwidth_gbs=fabric_bandwidth_gbs,
+        fabric_latency_s=fabric_latency_s,
+        host_bus=True,
+        peer_enabled=True,
     )

@@ -281,6 +281,91 @@ class TestWallClockInSimRule:
         assert findings == []
 
 
+class TestManualBroadcastLoopRule:
+    MANUAL = """
+        def distribute(hs, streams, buf, domains):
+            for d in domains:
+                hs.enqueue_xfer(streams[d], buf)
+    """
+
+    def test_manual_broadcast_is_a_warning(self):
+        findings, _ = lint(self.MANUAL)
+        assert rules_of(findings) == ["manual-broadcast-loop"]
+        assert findings[0].severity is Severity.WARNING
+        assert "broadcast" in findings[0].message
+
+    def test_varying_operand_is_clean(self):
+        # A partitioned distribution — each stream gets its own tile —
+        # is not a broadcast.
+        findings, _ = lint(
+            """
+            def partition(hs, streams, tiles):
+                for i, s in enumerate(streams):
+                    hs.enqueue_xfer(s, tiles[i])
+            """
+        )
+        assert findings == []
+
+    def test_fixed_stream_chunk_loop_is_clean(self):
+        # Chunking one payload through one stream varies the operand
+        # range, not the stream: pipelining, not a manual broadcast.
+        findings, _ = lint(
+            """
+            def chunked(hs, stream, buf, n, c):
+                for off in range(0, n, c):
+                    hs.enqueue_xfer(stream, buf.range(off, c))
+            """
+        )
+        assert findings == []
+
+    def test_aliased_stream_is_still_reported(self):
+        # `s = streams[d]` inside the body is per-iteration state; the
+        # alias must not hide the broadcast.
+        findings, _ = lint(
+            """
+            def distribute(hs, streams, buf, domains):
+                for d in domains:
+                    s = streams[d]
+                    hs.enqueue_xfer(s, buf)
+            """
+        )
+        assert rules_of(findings) == ["manual-broadcast-loop"]
+
+    def test_nested_loops_report_once(self):
+        # The inner loop broadcasts bufs[i] per outer iteration; outer
+        # and inner both inspect the call but only one finding lands.
+        findings, _ = lint(
+            """
+            def distribute(hs, streams, bufs, domains):
+                for i in range(4):
+                    for d in domains:
+                        hs.enqueue_xfer(streams[d], bufs[i])
+            """
+        )
+        assert rules_of(findings) == ["manual-broadcast-loop"]
+
+    def test_keyword_arguments_are_recognized(self):
+        findings, _ = lint(
+            """
+            def distribute(hs, streams, buf, domains):
+                for d in domains:
+                    hs.enqueue_xfer(stream=streams[d], operand=buf)
+            """
+        )
+        assert rules_of(findings) == ["manual-broadcast-loop"]
+
+    def test_waiver_applies(self):
+        findings, waived = lint(
+            """
+            def intentionally_serial(hs, streams, buf, domains):
+                for d in domains:
+                    hs.enqueue_xfer(streams[d], buf)  # rtsan: ignore[manual-broadcast-loop]
+            """
+        )
+        assert findings == []
+        assert rules_of(waived) == ["manual-broadcast-loop"]
+
+
 # -- waivers ---------------------------------------------------------------------
 
 

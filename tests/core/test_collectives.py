@@ -1,0 +1,454 @@
+"""Planned collectives: validation, byte identity with the naive loop,
+schedule semantics, fault-policy cells, and capture/replay.
+
+The acceptance bar for the collectives layer is that a planned schedule
+is *only* a schedule: whatever route the chunks take, every destination
+ends up with exactly the bytes the naive N-transfer loop would have
+delivered (thread backend, real memory), pipelined multicast genuinely
+beats the serial loop in virtual time (sim backend), failures inside a
+collective follow the runtime's failure policies like any other action,
+and a collective captured in ``capture_graph()`` replays with zero
+dependence-scan comparisons.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    FaultPlan,
+    FaultSpec,
+    HStreams,
+    InjectedFault,
+    make_platform,
+)
+from repro.core.collectives import REDUCE_OPS, SCHEDULES
+from repro.core.errors import HStreamsBadArgument
+from repro.core.faults import inject_faults
+from repro.sim.platforms import make_cluster_platform
+
+PEER_SCHEDULES = ("tree", "ring", "multicast")
+
+
+def cluster(backend, nnodes=3, **kw):
+    """A peer-routable fabric runtime (every schedule is legal)."""
+    return HStreams(
+        platform=make_cluster_platform(nnodes=nnodes), backend=backend,
+        trace=False, **kw,
+    )
+
+
+def pcie(backend, ncards=2, **kw):
+    """A classic PCIe-card runtime (host-rooted links only)."""
+    return HStreams(
+        platform=make_platform("HSW", ncards), backend=backend,
+        trace=False, **kw,
+    )
+
+
+def payload(n, seed=7):
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8)
+
+
+def sink_bytes(buf, domain):
+    return np.asarray(buf.instance_array(domain))
+
+
+# -- argument validation -------------------------------------------------------
+
+
+class TestValidation:
+    def test_unknown_schedule_rejected(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        with pytest.raises(HStreamsBadArgument, match="unknown schedule"):
+            hs.broadcast(buf, [1], schedule="bogus")
+        hs.fini()
+
+    @pytest.mark.parametrize("schedule", PEER_SCHEDULES)
+    def test_peer_schedule_needs_peer_fabric(self, schedule):
+        hs = pcie("sim")
+        buf = hs.buffer_create(nbytes=64)
+        with pytest.raises(HStreamsBadArgument, match="peer-routable"):
+            hs.broadcast(buf, [1, 2], schedule=schedule)
+        hs.fini()
+
+    def test_auto_degrades_to_serial_on_pcie(self):
+        hs = pcie("sim")
+        buf = hs.buffer_create(nbytes=64)
+        res = hs.broadcast(buf, [1, 2])
+        assert res.schedule == "serial"
+        assert res.nchunks == 1  # exactly the naive per-destination xfer
+        hs.thread_synchronize()
+        hs.fini()
+
+    def test_auto_picks_multicast_on_peer_fabric(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=1 << 20)
+        res = hs.broadcast(buf, [1, 2, 3])
+        assert res.schedule == "multicast"
+        hs.thread_synchronize()
+        hs.fini()
+
+    def test_range_overflow_rejected(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        with pytest.raises(HStreamsBadArgument, match="exceeds"):
+            hs.broadcast(buf, [1], offset=32, nbytes=64)
+        hs.fini()
+
+    def test_host_only_broadcast_is_empty(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        res = hs.broadcast(buf, [0])
+        assert res.actions == [] and res.arrivals == {}
+        hs.fini()
+
+    @pytest.mark.parametrize("name", ["scatter", "gather", "reduce"])
+    def test_rooted_collectives_need_offhost_targets(self, name):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        with pytest.raises(HStreamsBadArgument, match="non-host"):
+            getattr(hs, name)(buf, [0])
+        hs.fini()
+
+    def test_reduce_validates_op_and_itemsize(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        with pytest.raises(HStreamsBadArgument, match="unknown reduce op"):
+            hs.reduce(buf, [1], op="xor")
+        with pytest.raises(HStreamsBadArgument, match="whole number"):
+            hs.reduce(buf, [1], nbytes=60, dtype=np.float64, offset=1)
+        hs.fini()
+
+    def test_stream_map_domain_mismatch_rejected(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        s2 = hs.stream_create(domain=2, ncores=1)
+        with pytest.raises(HStreamsBadArgument, match="sinks in domain"):
+            hs.broadcast(buf, [1], streams={1: s2})
+        hs.fini()
+
+    def test_zero_byte_broadcast_completes(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        res = hs.broadcast(buf, [1, 2], nbytes=0)
+        hs.thread_synchronize()
+        assert res.schedule == "serial"  # nothing to pipeline
+        assert set(res.arrivals) == {1, 2}
+        assert all(ev.is_complete() for ev in res.done)
+        hs.fini()
+
+
+# -- byte identity with the naive loop (thread backend) ------------------------
+
+
+class TestBroadcastBytes:
+    @pytest.mark.parametrize("schedule", ["serial"] + list(PEER_SCHEDULES))
+    def test_schedule_matches_naive_loop(self, schedule):
+        """Every schedule delivers byte-for-byte what the N-xfer loop does."""
+        data = payload(4096)
+        doms = [1, 2, 3]
+
+        # The reference: one enqueue_xfer per destination.
+        hs = cluster("thread")
+        ref = hs.wrap(data.copy(), name="ref")
+        for d in doms:
+            s = hs.stream_create(domain=d, ncores=1)
+            hs.enqueue_xfer(s, ref)
+        hs.thread_synchronize()
+        expect = {d: sink_bytes(ref, d).copy() for d in doms}
+        hs.fini()
+
+        hs = cluster("thread")
+        buf = hs.wrap(data.copy(), name="bcast")
+        res = hs.broadcast(buf, doms, schedule=schedule, chunk_bytes=1000)
+        hs.thread_synchronize()
+        for d in doms:
+            np.testing.assert_array_equal(sink_bytes(buf, d), expect[d])
+            np.testing.assert_array_equal(sink_bytes(buf, d), data)
+        assert set(res.arrivals) == set(doms)
+        hs.fini()
+
+    @given(
+        nbytes=st.integers(1, 2048),
+        lead=st.integers(0, 128),
+        chunk=st.integers(1, 4096),
+        schedule=st.sampled_from(SCHEDULES),
+        ndoms=st.integers(1, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_any_chunking_is_byte_identical(
+        self, nbytes, lead, chunk, schedule, ndoms
+    ):
+        """Arbitrary range/chunking/schedule: destinations hold exactly
+        the host's range, untouched bytes stay zero."""
+        total = lead + nbytes + 64
+        data = payload(total, seed=nbytes * 31 + lead)
+        doms = list(range(1, ndoms + 1))
+        hs = cluster("thread")
+        buf = hs.wrap(data.copy(), name="prop")
+        hs.broadcast(
+            buf, doms, offset=lead, nbytes=nbytes, schedule=schedule,
+            chunk_bytes=chunk,
+        )
+        hs.thread_synchronize()
+        for d in doms:
+            got = sink_bytes(buf, d)
+            np.testing.assert_array_equal(
+                got[lead : lead + nbytes], data[lead : lead + nbytes]
+            )
+            assert not got[:lead].any() and not got[lead + nbytes :].any()
+        hs.fini()
+
+
+class TestScatterGatherReduce:
+    def test_scatter_slices_partition_the_range(self):
+        data = payload(900)
+        doms = [1, 2, 3]
+        hs = cluster("thread")
+        buf = hs.wrap(data.copy(), name="scat")
+        res = hs.scatter(buf, doms)
+        hs.thread_synchronize()
+        pos = 0
+        for d in doms:
+            n = 300
+            got = sink_bytes(buf, d)
+            np.testing.assert_array_equal(got[pos : pos + n], data[pos : pos + n])
+            # Only this domain's slice arrived; the rest stayed zero.
+            assert got.sum() == data[pos : pos + n].sum()
+            pos += n
+        assert set(res.arrivals) == set(doms)
+        hs.fini()
+
+    def test_gather_reassembles_the_range(self):
+        doms = [1, 2]
+        hs = cluster("thread")
+        hs.register_kernel("fill", fn=lambda dst, v: dst.__setitem__(slice(None), v))
+        arr = np.zeros(64, dtype=np.float64)  # 512 bytes
+        buf = hs.wrap(arr, name="gath")
+        streams = {d: hs.stream_create(domain=d, ncores=1) for d in doms}
+        from repro.core.actions import OperandMode
+
+        # Each domain produces its own slice, then gather pulls them home.
+        hs.enqueue_compute(
+            streams[1], "fill", args=(buf.range(0, 256, OperandMode.OUT), 7)
+        )
+        hs.enqueue_compute(
+            streams[2], "fill", args=(buf.range(256, 256, OperandMode.OUT), 9)
+        )
+        res = hs.gather(buf, doms, streams=streams)
+        hs.thread_synchronize()
+        assert set(res.arrivals) == set(doms)
+        assert (arr[:32] == 7.0).all() and (arr[32:] == 9.0).all()
+        hs.fini()
+
+    @pytest.mark.parametrize("op,expect", [("sum", 3.0), ("prod", 1.0),
+                                           ("max", 1.0), ("min", 1.0)])
+    def test_reduce_combines_every_instance(self, op, expect):
+        assert op in REDUCE_OPS
+        doms = [1, 2]
+        hs = cluster("thread")
+        arr = np.ones(64, dtype=np.float64)
+        buf = hs.wrap(arr, name="red")
+        streams = {d: hs.stream_create(domain=d, ncores=1) for d in doms}
+        hs.broadcast(buf, doms, streams=streams)  # instances <- 1.0
+        hs.reduce(buf, doms, op=op, streams=streams)
+        hs.thread_synchronize()
+        np.testing.assert_allclose(arr, expect)
+        hs.fini()
+
+    def test_allreduce_leaves_every_domain_with_the_result(self):
+        doms = [1, 2]
+        hs = cluster("thread")
+        arr = np.full(64, 2.0)
+        buf = hs.wrap(arr, name="allred")
+        streams = {d: hs.stream_create(domain=d, ncores=1) for d in doms}
+        hs.broadcast(buf, doms, streams=streams)  # instances <- 2.0
+        hs.allreduce(buf, doms, op="sum", streams=streams)
+        hs.thread_synchronize()
+        np.testing.assert_allclose(arr, 6.0)  # 2 + 2 + 2
+        for d in doms:
+            inst = sink_bytes(buf, d).view(np.float64)
+            np.testing.assert_allclose(inst, 6.0)
+        hs.fini()
+
+
+# -- failure-policy cells ------------------------------------------------------
+
+
+def arm_chunk_fault(hs, nth, transient=False):
+    """Arm the ``nth`` transfer — a mid-collective chunk — to fail."""
+    return inject_faults(hs, FaultPlan(specs=(
+        FaultSpec(kind="xfer", nth=nth, transient=transient),
+    )))
+
+
+class TestFaultMatrix:
+    """A chunk failing mid-collective behaves like any failing action."""
+
+    @pytest.mark.parametrize("backend", ["thread", "sim"])
+    def test_poison_cancels_downstream_chunks(self, backend):
+        hs = cluster(backend)
+        buf = hs.buffer_create(nbytes=1024)
+        arm_chunk_fault(hs, nth=5)
+        with pytest.raises(InjectedFault, match="injected fault"):
+            hs.broadcast(buf, [1, 2, 3], schedule="multicast", chunk_bytes=256)
+            hs.thread_synchronize()
+        m = hs.metrics()["actions"]
+        assert m["failed"] == 1
+        assert m["cancelled"] > 0  # later chunks of the chain
+        hs.clear_failure()
+        hs.fini()
+
+    @pytest.mark.parametrize("backend", ["thread", "sim"])
+    def test_fail_fast_refuses_work_after_chunk_failure(self, backend):
+        hs = cluster(backend, failure_policy="fail_fast")
+        buf = hs.buffer_create(nbytes=1024)
+        other = hs.buffer_create(nbytes=64)
+        s = hs.stream_create(domain=1, ncores=1)
+        arm_chunk_fault(hs, nth=5)
+        with pytest.raises(InjectedFault, match="injected fault"):
+            hs.broadcast(buf, [1, 2, 3], schedule="multicast", chunk_bytes=256)
+            hs.thread_synchronize()
+        with pytest.raises(InjectedFault, match="injected fault"):
+            hs.enqueue_xfer(s, other)
+        hs.clear_failure()
+        hs.enqueue_xfer(s, other)
+        hs.thread_synchronize()
+        hs.fini()
+
+    @pytest.mark.parametrize("backend", ["thread", "sim"])
+    def test_retry_recovers_a_transient_chunk(self, backend):
+        hs = cluster(backend, failure_policy="retry")
+        data = payload(1024)
+        if backend == "thread":
+            buf = hs.wrap(data.copy(), name="retry")
+        else:
+            buf = hs.buffer_create(nbytes=1024)
+        arm_chunk_fault(hs, nth=5, transient=True)
+        res = hs.broadcast(buf, [1, 2, 3], schedule="multicast", chunk_bytes=256)
+        hs.thread_synchronize()
+        m = hs.metrics()["actions"]
+        assert m["retried"] == 1 and m["failed"] == 0
+        assert all(ev.is_complete() for ev in res.done)
+        if backend == "thread":
+            for d in (1, 2, 3):
+                np.testing.assert_array_equal(sink_bytes(buf, d), data)
+        hs.fini()
+
+
+# -- capture / replay ----------------------------------------------------------
+
+
+def scan_comparisons(hs) -> int:
+    return sum(
+        s["dep_scan_comparisons"] for s in hs.metrics()["streams"].values()
+    )
+
+
+class TestCaptureReplay:
+    def test_replay_runs_zero_dependence_scans(self):
+        hs = cluster("sim", nnodes=4)
+        doms = [1, 2, 3, 4]
+        buf = hs.buffer_create(nbytes=1 << 20, domains=doms)
+        streams = {d: hs.stream_create(domain=d, ncores=1) for d in doms}
+        # Warm-up: same shape, outside the capture scope.
+        hs.broadcast(buf, doms, schedule="multicast", streams=streams)
+        hs.thread_synchronize()
+        with hs.capture_graph() as template:
+            res = hs.broadcast(buf, doms, schedule="multicast", streams=streams)
+        hs.thread_synchronize()
+        scans0 = scan_comparisons(hs)
+        hs.replay(template)
+        hs.thread_synchronize()
+        assert scan_comparisons(hs) - scans0 == 0
+        assert len(template.protos) == len(res.actions)
+        hs.fini()
+
+    def test_replayed_broadcast_moves_fresh_bytes(self):
+        doms = [1, 2]
+        hs = cluster("thread", transfer_elision=False)
+        arr = payload(2048).copy()
+        buf = hs.wrap(arr, name="replayed")
+        streams = {d: hs.stream_create(domain=d, ncores=1) for d in doms}
+        hs.broadcast(buf, doms, streams=streams, chunk_bytes=512)  # warm-up
+        hs.thread_synchronize()
+        with hs.capture_graph() as template:
+            hs.broadcast(buf, doms, streams=streams, chunk_bytes=512)
+        hs.thread_synchronize()
+        arr[:] = payload(2048, seed=99)  # new source contents
+        hs.replay(template)
+        hs.thread_synchronize()
+        for d in doms:
+            np.testing.assert_array_equal(sink_bytes(buf, d), arr)
+        hs.fini()
+
+
+# -- virtual-time schedule wins and legacy equivalence -------------------------
+
+
+class TestSimTiming:
+    def test_multicast_beats_serial_by_2x_at_16_domains(self):
+        """The ISSUE acceptance bar, as a test: pipelined multicast to 16
+        domains in at most half the serial loop's virtual time."""
+        nnodes, nbytes = 16, 4 << 20
+        times = {}
+        for sched in ("serial", "multicast"):
+            hs = cluster("sim", nnodes=nnodes)
+            doms = list(range(1, nnodes + 1))
+            buf = hs.buffer_create(nbytes=nbytes, domains=doms)
+            hs.thread_synchronize()
+            t0 = hs.elapsed()
+            hs.broadcast(buf, doms, schedule=sched)
+            hs.thread_synchronize()
+            times[sched] = hs.elapsed() - t0
+            fabric = hs.metrics()["fabric"]
+            assert {"bytes_moved", "queue_wait_s", "host_bus_wait_s",
+                    "peer_transfers"} <= set(fabric)
+            if sched == "serial":
+                assert fabric["peer_transfers"] == 0
+                assert fabric["host_bus_wait_s"] > 0  # the bus really queues
+            else:
+                assert fabric["peer_transfers"] > 0
+            hs.fini()
+        assert times["multicast"] <= 0.5 * times["serial"], times
+
+    def test_serial_broadcast_is_bit_identical_to_the_loop(self):
+        """On a legacy PCIe platform the planned serial schedule is the
+        naive loop: same virtual time, same transfer stats."""
+
+        def run(use_collective):
+            hs = pcie("sim")
+            buf = hs.buffer_create(nbytes=1 << 20)
+            streams = {d: hs.stream_create(domain=d, ncores=1) for d in (1, 2)}
+            t0 = hs.elapsed()
+            if use_collective:
+                hs.broadcast(buf, [1, 2], streams=streams)
+            else:
+                for d in (1, 2):
+                    hs.enqueue_xfer(streams[d], buf)
+            hs.thread_synchronize()
+            elapsed = hs.elapsed() - t0
+            stats = (hs.stats["transfers"], hs.stats["bytes_transferred"])
+            hs.fini()
+            return elapsed, stats
+
+        t_loop, s_loop = run(False)
+        t_coll, s_coll = run(True)
+        assert s_coll == s_loop
+        assert t_coll == pytest.approx(t_loop, rel=1e-12)
+
+
+class TestStats:
+    def test_broadcast_bumps_transfer_counters(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=1024)
+        before = (hs.stats["transfers"], hs.stats["bytes_transferred"])
+        res = hs.broadcast(buf, [1, 2, 3], schedule="multicast", chunk_bytes=256)
+        hs.thread_synchronize()
+        xfers = hs.stats["transfers"] - before[0]
+        assert xfers == len(res.actions) == 3 * 4  # 3 hops x 4 chunks
+        # The chain moves the payload once per hop.
+        assert hs.stats["bytes_transferred"] - before[1] == 3 * 1024
+        hs.fini()

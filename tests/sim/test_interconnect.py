@@ -1,10 +1,10 @@
-"""Tests for the PCIe-like link model."""
+"""Tests for the PCIe-like link model and the fabric topology."""
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.engine import Engine
-from repro.sim.interconnect import Link, LinkPair
+from repro.sim.interconnect import Fabric, Link, LinkPair
 
 
 class TestLink:
@@ -88,3 +88,161 @@ class TestLinkPair:
         pair.d2h.transfer(200)
         eng.run()
         assert pair.bytes_moved == 300
+
+
+class TestLinkAccounting:
+    """busy_time/bytes are charged when the wire is held; waiting is
+    charged to queue_wait — never conflated."""
+
+    def test_queued_transfer_charges_wait_not_busy(self):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=1.0, latency_s=0.0)
+        link.transfer(int(1e9))
+        link.transfer(int(1e9))
+        eng.run()
+        # Each transfer held the wire 1.0s; the second waited 1.0s first.
+        assert link.busy_time == pytest.approx(2.0)
+        assert link.queue_wait == pytest.approx(1.0)
+        assert link.bytes_moved == int(2e9)
+
+    def test_uncontended_transfer_has_zero_wait(self):
+        eng = Engine()
+        link = Link(eng, bandwidth_gbs=1.0, latency_s=0.0)
+        link.transfer(int(1e9))
+        eng.run()
+        assert link.queue_wait == 0.0
+        assert link.busy_time == pytest.approx(1.0)
+
+    def test_pair_aggregates_queue_wait(self):
+        eng = Engine()
+        pair = LinkPair(eng, bandwidth_gbs=1.0, latency_s=0.0)
+        pair.h2d.transfer(int(1e9))
+        pair.h2d.transfer(int(1e9))
+        pair.d2h.transfer(int(1e9))
+        eng.run()
+        assert pair.queue_wait == pytest.approx(1.0)  # only the queued h2d
+
+
+def make_fabric(eng, ndoms=2, host_bus=False, peer_enabled=False, bw=1.0):
+    ports = {
+        d: LinkPair(eng, bandwidth_gbs=bw, latency_s=0.0, name=f"p{d}")
+        for d in range(1, ndoms + 1)
+    }
+    return Fabric(eng, ports, host_bus=host_bus, peer_enabled=peer_enabled)
+
+
+class TestFabric:
+    def test_legacy_mode_keeps_links_independent(self):
+        """host_bus=False, peer_enabled=False is the original model:
+        host-rooted transfers to distinct domains fully overlap."""
+        eng = Engine()
+        fab = make_fabric(eng)
+        done = []
+        fab.transfer(0, 1, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        fab.transfer(0, 2, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+        assert fab.host_bus_wait == 0.0 and not fab.has_host_bus
+
+    def test_host_bus_serializes_across_destinations(self):
+        eng = Engine()
+        fab = make_fabric(eng, host_bus=True)
+        done = []
+        fab.transfer(0, 1, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        fab.transfer(0, 2, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        # Same direction, different cards: the shared root complex makes
+        # the second wait a full wire time.
+        assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+        assert fab.host_bus_wait == pytest.approx(1.0)
+
+    def test_host_bus_directions_are_independent(self):
+        eng = Engine()
+        fab = make_fabric(eng, host_bus=True)
+        done = {}
+        fab.transfer(0, 1, int(1e9)).add_callback(lambda e: done.setdefault("tx", eng.now))
+        fab.transfer(2, 0, int(1e9)).add_callback(lambda e: done.setdefault("rx", eng.now))
+        eng.run()
+        assert done["tx"] == pytest.approx(1.0)
+        assert done["rx"] == pytest.approx(1.0)
+
+    def test_peer_disabled_raises_the_staging_error(self):
+        eng = Engine()
+        fab = make_fabric(eng)
+        assert not fab.routes(1, 2)
+        with pytest.raises(ValueError, match="stage via the host"):
+            fab.transfer(1, 2, 100)
+
+    def test_unknown_node_rejected(self):
+        eng = Engine()
+        fab = make_fabric(eng)
+        with pytest.raises(ValueError, match="no fabric node 9"):
+            fab.transfer(0, 9, 100)
+
+    def test_peer_hop_holds_both_ports(self):
+        eng = Engine()
+        fab = make_fabric(eng, peer_enabled=True)
+        assert fab.routes(1, 2)
+        done = []
+        fab.transfer(1, 2, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(1.0)]
+        assert fab.peer_transfers == 1 and fab.peer_bytes_moved == int(1e9)
+        # Both the source egress and destination ingress were charged.
+        assert fab.ports[1].d2h.bytes_moved == int(1e9)
+        assert fab.ports[2].h2d.bytes_moved == int(1e9)
+
+    def test_peer_hop_is_bottlenecked_by_the_slower_port(self):
+        eng = Engine()
+        ports = {
+            1: LinkPair(eng, bandwidth_gbs=4.0, latency_s=0.0, name="p1"),
+            2: LinkPair(eng, bandwidth_gbs=1.0, latency_s=0.0, name="p2"),
+        }
+        fab = Fabric(eng, ports, peer_enabled=True)
+        assert fab.peer_time(1, 2, int(1e9)) == pytest.approx(1.0)
+        done = []
+        fab.transfer(1, 2, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_disjoint_peer_hops_overlap(self):
+        """Distinct hops of a store-and-forward chain use disjoint port
+        pairs — the property that makes pipelined multicast win."""
+        eng = Engine()
+        fab = make_fabric(eng, ndoms=4, peer_enabled=True)
+        done = []
+        fab.transfer(1, 2, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        fab.transfer(3, 4, int(1e9)).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_self_transfer_is_free(self):
+        eng = Engine()
+        fab = make_fabric(eng)
+        done = []
+        fab.transfer(1, 1, 100).add_callback(lambda e: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(0.0)]
+        assert fab.ports[1].bytes_moved == 0
+
+    def test_metrics_shape_and_totals(self):
+        eng = Engine()
+        fab = make_fabric(eng, host_bus=True, peer_enabled=True)
+        fab.transfer(0, 1, 1000)
+        fab.transfer(0, 2, 1000)
+        fab.transfer(1, 2, 500)
+        eng.run()
+        m = fab.metrics()
+        assert {
+            "bytes_moved", "busy_time_s", "queue_wait_s", "host_bus",
+            "host_bus_wait_s", "peer_enabled", "peer_bytes_moved",
+            "peer_transfers", "links",
+        } <= set(m)
+        # Peer hops are charged on both ports, so they count twice in
+        # the per-link roll-up but once in peer_bytes_moved.
+        assert m["bytes_moved"] == 2000 + 2 * 500
+        assert m["peer_bytes_moved"] == 500 and m["peer_transfers"] == 1
+        assert m["host_bus"] is True and m["peer_enabled"] is True
+        assert set(m["links"]) == {"1", "2"}
+        assert m["links"]["1"]["h2d_bytes"] == 1000
+        assert m["links"]["1"]["d2h_bytes"] == 500
