@@ -21,7 +21,13 @@ through a seeded :class:`~repro.core.faults.FaultPlan` matrix —
   pipeline admitted from a captured template (fault plan attached after
   capture) reports the same outcomes, cell for cell.
 
-The CI fault-matrix job runs ``python bench_faults.py --smoke``.
+The CI fault-matrix job runs ``python bench_faults.py --smoke``, once
+as-is and once with ``REPRO_BACKEND=process`` in the environment, which
+upgrades every ``backend="thread"`` cell to the multiprocess
+shared-memory backend. The stage kernel is a module-level function
+precisely so that run is honest: picklable kernels execute in the
+domain worker processes (fault injection stays host-side either way),
+and the matrix must hold cell-for-cell there too.
 """
 
 import sys
@@ -45,13 +51,19 @@ FAULTS = ("none", "transient", "permanent")
 STAGES = 4
 
 
+def _stage_fn(x):
+    # Module-level (picklable) so the process backend runs stages in its
+    # domain workers instead of falling back host-side.
+    x += 1.0
+
+
 def _runtime(backend, policy):
     hs = HStreams(platform=make_platform("HSW", 1), backend=backend,
                   trace=False, failure_policy=policy)
     for i in range(STAGES):
         hs.register_kernel(
             f"stage{i}",
-            fn=lambda x, _i=i: x.__iadd__(1.0),
+            fn=_stage_fn,
             cost_fn=lambda x: KernelCost(kernel="stage", flops=1e6, size=8),
         )
     return hs

@@ -14,9 +14,11 @@ Three abstractions (paper §II):
 
 The scheduling logic is backend-independent: the **thread backend** really
 executes Python/numpy tasks on worker threads (per-domain address spaces,
-real copies for transfers); the **sim backend** drives a discrete-event
-engine with calibrated device models so the paper's performance figures
-can be regenerated.
+real copies for transfers); the **process backend** runs one worker
+process per domain over shared-memory buffer instances, so CPU-bound
+kernels on different domains overlap past the GIL; the **sim backend**
+drives a discrete-event engine with calibrated device models so the
+paper's performance figures can be regenerated.
 """
 
 from repro.core.actions import Action, ActionKind, Operand, OperandMode, XferDirection
@@ -24,6 +26,7 @@ from repro.core.buffer import Buffer, ProxyAddressSpace
 from repro.core.collectives import REDUCE_OPS, SCHEDULES, CollectiveResult
 from repro.core.errors import (
     HStreamsError,
+    HStreamsBackendDied,
     HStreamsBadArgument,
     HStreamsCancelled,
     HStreamsInvalid,
@@ -59,6 +62,7 @@ __all__ = [
     "SCHEDULES",
     "REDUCE_OPS",
     "HStreamsError",
+    "HStreamsBackendDied",
     "HStreamsBadArgument",
     "HStreamsCancelled",
     "HStreamsInvalid",

@@ -322,8 +322,12 @@ def _resolve_schedule(
 
 
 def _chunk_ranges(offset: int, nbytes: int, chunk_bytes: int) -> List[Tuple[int, int]]:
+    # A zero-length range has no chunks. Returning a single empty chunk
+    # here (as this once did) made zero-length collectives emit real
+    # zero-byte transfers — actions that instantiate buffers, occupy
+    # stream windows, and order against unrelated work, for no bytes.
     if nbytes == 0:
-        return [(offset, 0)]
+        return []
     out: List[Tuple[int, int]] = []
     pos, end = offset, offset + nbytes
     while pos < end:
@@ -419,7 +423,9 @@ def plan_broadcast(
     plan = _Plan(hs, "broadcast", sched, targets, len(chunks), chunk_bytes)
     after_actions = _as_actions(after)
     tag = label or f"bcast:{buf.name}"
-    if not targets:
+    if not targets or not chunks:
+        # No destinations, or a zero-length payload: dependence-inert —
+        # no actions, no arrivals, nothing admitted into any stream.
         return plan.result
     if sched == "serial":
         _serial_broadcast(plan, buf, targets, offset, nbytes, chunks, streams,
@@ -542,16 +548,24 @@ def plan_scatter(
     for d, off, n in slices:
         _check_range(buf, off, n)
     chunk = chunk_bytes or max(nbytes, 1)
-    nchunks = max(len(_chunk_ranges(off, n, chunk)) for _, off, n in slices)
+    # With nbytes < len(targets) the even split leaves trailing domains
+    # with zero-length slices; those emit no chunks (and get no arrival
+    # event — no bytes ever move toward them). The reported chunk count
+    # is the widest non-empty slice's, clamped to at least one whenever
+    # any slice has bytes.
+    chunked = [(d, off, _chunk_ranges(off, n, chunk)) for d, off, n in slices]
+    nchunks = max((len(cs) for _, _, cs in chunked), default=0)
     plan = _Plan(hs, "scatter", "serial", targets, nchunks, chunk)
     after_actions = _as_actions(after)
     tag = label or f"scatter:{buf.name}"
-    for d, off, n in slices:
+    for (d, off, n), (_, _, cs) in zip(slices, chunked):
+        if not cs:
+            continue
         s = _stream_for(hs, streams, d)
         first = plan.first_deps(s, (Operand(buf, off, n, OperandMode.OUT),))
         first = first + after_actions
         prev: Optional[Action] = None
-        for c, (coff, cn) in enumerate(_chunk_ranges(off, n, chunk)):
+        for c, (coff, cn) in enumerate(cs):
             deps = first if prev is None else [prev]
             prev = plan.xfer(s, buf, coff, cn, deps=deps, label=f"{tag}:d{d}c{c}")
         plan.result.arrivals[d] = prev.completion
@@ -579,16 +593,21 @@ def plan_gather(
     for d, off, n in slices:
         _check_range(buf, off, n)
     chunk = chunk_bytes or max(nbytes, 1)
-    nchunks = max(len(_chunk_ranges(off, n, chunk)) for _, off, n in slices)
+    # Mirror of scatter: zero-length slices contribute no chunks and no
+    # arrival events.
+    chunked = [(d, off, _chunk_ranges(off, n, chunk)) for d, off, n in slices]
+    nchunks = max((len(cs) for _, _, cs in chunked), default=0)
     plan = _Plan(hs, "gather", "serial", targets, nchunks, chunk)
     after_actions = _as_actions(after)
     tag = label or f"gather:{buf.name}"
-    for d, off, n in slices:
+    for (d, off, n), (_, _, cs) in zip(slices, chunked):
+        if not cs:
+            continue
         s = _stream_for(hs, streams, d)
         first = plan.first_deps(s, (Operand(buf, off, n, OperandMode.IN),))
         first = first + after_actions
         prev: Optional[Action] = None
-        for c, (coff, cn) in enumerate(_chunk_ranges(off, n, chunk)):
+        for c, (coff, cn) in enumerate(cs):
             deps = first if prev is None else [prev]
             prev = plan.xfer(
                 s, buf, coff, cn, direction=XferDirection.SINK_TO_SRC,
@@ -669,6 +688,10 @@ def plan_reduce(
         hs, "reduce", "serial", targets,
         len(_chunk_ranges(0, nbytes, chunk)), chunk,
     )
+    if nbytes == 0:
+        # Zero items to combine: dependence-inert, and in particular no
+        # scratch staging (zero-length scratch buffers cannot exist).
+        return plan.result
     after_actions = _as_actions(after)
     tag = label or f"reduce:{buf.name}"
     host_stream = _stream_for(hs, streams, 0)
@@ -732,10 +755,14 @@ def plan_allreduce(
         chunk_bytes=chunk_bytes, streams=streams, after=after,
         label=f"{tag}:reduce",
     )
-    final = red.actions[-1]
+    # A zero-length reduce plans no actions; the broadcast then orders
+    # against the caller's original ``after`` instead of a final
+    # accumulate that does not exist.
+    final = red.actions[-1] if red.actions else None
     bc = plan_broadcast(
         hs, buf, domains, offset=offset, nbytes=nbytes, schedule=schedule,
-        chunk_bytes=chunk_bytes, streams=streams, after=[final],
+        chunk_bytes=chunk_bytes, streams=streams,
+        after=[final] if final is not None else after,
         label=f"{tag}:bcast",
     )
     out = CollectiveResult(

@@ -22,6 +22,7 @@ __all__ = [
     "HStreamsInvalid",
     "HStreamsDeadlock",
     "HStreamsCancelled",
+    "HStreamsBackendDied",
     "mark_transient",
     "is_transient",
 ]
@@ -126,6 +127,22 @@ class HStreamsCancelled(HStreamsError):
     """
 
     code = "HSTR_RESULT_CANCELLED"
+
+
+class HStreamsBackendDied(HStreamsError):
+    """A backend worker died underneath its in-flight actions.
+
+    Raised by the process backend's completion pump when a worker
+    process exits without reporting completions (killed, OOM-killed,
+    segfaulted): every action in flight on that worker fails with one
+    of these instead of hanging its waiters. The pump marks it
+    transient, so under ``failure_policy="retry"`` the scheduler
+    re-dispatches onto a freshly respawned worker; under ``poison`` /
+    ``fail_fast`` it surfaces at the next synchronization like any
+    other action failure.
+    """
+
+    code = "HSTR_RESULT_BACKEND_DIED"
 
 
 #: Attribute set by :func:`mark_transient`; checked by :func:`is_transient`.

@@ -1,0 +1,677 @@
+"""Process backend: true multi-domain parallelism past the GIL.
+
+Both existing backends execute Python compute kernels under one GIL, so
+the thread backend cannot show real multi-domain overlap on CPU-bound
+work. This backend runs one worker *process* per card domain and backs
+every card-domain buffer instance with a POSIX shared-memory segment
+(``multiprocessing.shared_memory``):
+
+* the host process maps every segment, so H2D/D2H transfers stay the
+  thread backend's single ``np.copyto`` memcpys over shared mappings
+  (host-as-target transfers and elided transfers remain zero-copy);
+* card-domain compute actions are shipped to the owning domain's worker
+  over a per-worker command queue; the worker resolves operand specs to
+  numpy views of the same segments and runs the kernel with its *own*
+  interpreter and its own GIL — CPU-bound kernels on different domains
+  genuinely overlap;
+* a completion pump thread drains one shared done-queue, matches
+  completions to in-flight actions, and wakes the stream-slot thread
+  that dispatched them, which then reports through the inherited
+  :meth:`ThreadBackend._run` epilogue — so ``on_start``/``on_complete``
+  ordering, fault injection, the post-hoc action timeout, tracing, and
+  retry backoff behave cell-for-cell like the thread backend.
+
+Everything that is not a card-domain compute (transfers, host-domain
+computes, syncs) — and any compute whose kernel or extra arguments
+cannot cross a process boundary — executes host-side exactly as the
+thread backend would. That fallback is always correct because the host
+maps every segment; it only costs the parallelism for that one action
+(counted in ``backend_metrics()["fallback_actions"]``).
+
+Picklability is the remote-eligibility contract, under *every* start
+method: a kernel callable that pickles (module-level function, builtin,
+``operator`` member, functools partial of those) executes in the
+worker; one that does not (lambdas, closures) executes host-side. This
+is deliberate, not merely a transport constraint — a closure is exactly
+the kernel that can capture host-process state (counters, lists, test
+fixtures), and running it in a forked child would silently drop those
+side effects. The gate keeps thread-backend programs semantically
+identical on this backend, which is what lets the backend-parity suites
+run here unchanged.
+
+Segment lifecycle: the host creates each segment (its resource tracker
+makes the unlink crash-safe), tells workers to attach lazily by name,
+and refcounts attachments. Evict/destroy sends ``forget`` to every
+attached worker and unlinks eagerly — the ``/dev/shm`` entry is gone
+immediately; the memory itself is freed when the last mapping closes.
+Because the memory manager deletes the instance's numpy view *after*
+the evict hook runs, the host-side ``close()`` is deferred to a
+graveyard drained once the view is gone (``shm.close()`` raises
+``BufferError`` while exports exist).
+
+Worker death (kill/OOM/segfault) is detected by the pump via
+``Process.exitcode``: every action in flight on the dead worker fails
+with a transient :class:`~repro.core.errors.HStreamsBackendDied`, so
+waits never hang — under ``failure_policy="retry"`` the next dispatch
+respawns a fresh worker and the action re-runs there.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as _queue
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.actions import Action, ActionKind, Operand
+from repro.core.buffer import Buffer
+from repro.core.errors import (
+    HStreamsBackendDied,
+    HStreamsInternalError,
+    is_transient,
+    mark_transient,
+)
+from repro.core.thread_backend import ThreadBackend
+
+__all__ = ["ProcessBackend"]
+
+
+# ---------------------------------------------------------------------------
+# Worker side (module-level so the "spawn" start method can pickle it)
+# ---------------------------------------------------------------------------
+
+
+def _worker_detach_resource_tracker() -> None:
+    """Disconnect this worker process from the resource tracker.
+
+    Two reasons, both load-bearing:
+
+    * **Fork safety.** ``ResourceTracker._lock`` is a process-private
+      ``threading.RLock``. A forked worker's memory image can contain
+      it *held* — the host creates segments (``make_instance`` →
+      ``register``) on one slot thread while another slot thread forks
+      a worker — and the copy is never released in the child, so the
+      worker's first segment attach would deadlock inside
+      ``ensure_running`` before it ever read a command.
+    * **Ownership.** Segments are the host's (see the class docstring):
+      the host registers them with *its* tracker for crash-safe unlink.
+      Attaching re-registers the name (no ``track=`` parameter before
+      3.13), and a worker must never register or unregister in the
+      shared tracker — unregistering would destroy the host's
+      crash-safety, and registering is at best a redundant set-add.
+
+    Patching the module attributes is enough: ``shared_memory`` calls
+    ``resource_tracker.register(...)`` by attribute lookup.
+    """
+    from multiprocessing import resource_tracker
+
+    resource_tracker.register = lambda *_a, **_k: None
+    resource_tracker.unregister = lambda *_a, **_k: None
+    resource_tracker.ensure_running = lambda *_a, **_k: None
+
+
+def _worker_attach(cache: Dict[str, shared_memory.SharedMemory], name: str):
+    """Attach (and cache) a host-created segment by name."""
+    try:
+        return cache[name]
+    except KeyError:
+        seg = shared_memory.SharedMemory(name=name)
+        cache[name] = seg
+        return seg
+
+
+def _worker_resolve(cache: Dict[str, shared_memory.SharedMemory], spec: Tuple):
+    """Rebuild one kernel argument from its picklable wire spec."""
+    tag = spec[0]
+    if tag == "obj":
+        return spec[1]
+    if tag == "view":
+        _, name, offset, nbytes, dtype, shape = spec
+        seg = _worker_attach(cache, name)
+        flat = np.ndarray((nbytes,), dtype=np.uint8, buffer=seg.buf, offset=offset)
+        typed = flat.view(dtype if dtype is not None else np.float64)
+        return typed.reshape(shape) if shape is not None else typed
+    if tag == "flat":
+        _, name, nbytes = spec
+        seg = _worker_attach(cache, name)
+        return np.ndarray((nbytes,), dtype=np.uint8, buffer=seg.buf)
+    raise ValueError(f"unknown operand spec tag {tag!r}")
+
+
+def _worker_main(domain: int, cmd_q, done_q, kernels: Dict[str, Any]) -> None:
+    """Per-domain worker loop: attach segments, run kernels, report."""
+    _worker_detach_resource_tracker()
+    cache: Dict[str, shared_memory.SharedMemory] = {}
+    fns: Dict[str, Any] = dict(kernels)
+    while True:
+        cmd = cmd_q.get()
+        if cmd is None:
+            break
+        tag = cmd[0]
+        if tag == "forget":
+            seg = cache.pop(cmd[1], None)
+            if seg is not None:
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover - no views outlive exec
+                    cache[cmd[1]] = seg
+            continue
+        # ("exec", seq, kernel_name, fn_bytes_or_None, arg_specs)
+        _, seq, kname, fn_bytes, specs = cmd
+        t0 = time.perf_counter()
+        err_bytes = None
+        transient = False
+        try:
+            if fn_bytes is not None:
+                fns[kname] = pickle.loads(fn_bytes)
+            fn = fns[kname]
+            args = [_worker_resolve(cache, s) for s in specs]
+            fn(*args)
+            del args
+        except BaseException as exc:  # noqa: BLE001 - shipped to the host
+            transient = is_transient(exc)
+            try:
+                err_bytes = pickle.dumps(exc)
+            except Exception:
+                err_bytes = pickle.dumps(
+                    RuntimeError(f"{type(exc).__name__}: {exc}")
+                )
+        done_q.put(
+            ("done", domain, seq, time.perf_counter() - t0, err_bytes, transient)
+        )
+    for seg in cache.values():
+        try:
+            seg.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Host-side bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class _Segment:
+    """A host-created shared-memory segment backing one (buffer, domain)."""
+
+    __slots__ = ("shm", "name", "nbytes", "attached", "unlinked")
+
+    def __init__(self, shm: shared_memory.SharedMemory, nbytes: int):
+        self.shm = shm
+        self.name = shm.name
+        self.nbytes = nbytes
+        #: Worker domains that were told this segment's name (refcount).
+        self.attached: Set[int] = set()
+        self.unlinked = False
+
+
+class _Worker:
+    """One spawned worker process plus its command-side state."""
+
+    __slots__ = ("domain", "process", "cmd_q", "known_kernels", "inflight")
+
+    def __init__(self, domain: int, process, cmd_q, known_kernels: Set[str]):
+        self.domain = domain
+        self.process = process
+        self.cmd_q = cmd_q
+        #: Kernel names the worker already holds a callable for.
+        self.known_kernels = known_kernels
+        #: Action seqs shipped but not yet completed (for death reaping).
+        self.inflight: Set[int] = set()
+
+
+class _Remote:
+    """Host-side wait state for one action executing in a worker."""
+
+    __slots__ = ("event", "domain", "error", "duration")
+
+    def __init__(self, domain: int):
+        self.event = threading.Event()
+        self.domain = domain
+        self.error: Optional[BaseException] = None
+        self.duration = 0.0
+
+
+class ProcessBackend(ThreadBackend):
+    """One worker process per domain over shared-memory buffer instances."""
+
+    #: How often the completion pump checks worker liveness when idle.
+    _REAP_INTERVAL_S = 0.1
+
+    def __init__(self, xfer_workers: int = 4, start_method: Optional[str] = None):
+        super().__init__(xfer_workers)
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._start_method = start_method
+        self._mp = mp.get_context(start_method)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self, runtime) -> None:
+        super().attach(runtime)
+        # One lock guards workers, segments, in-flight actions, and the
+        # metric counters. It is a leaf lock: nothing is acquired under
+        # it, and the scheduler lock is never taken while holding it.
+        self._plock = threading.Lock()
+        self._segments: Dict[Tuple[int, int], _Segment] = {}
+        self._graveyard: List[shared_memory.SharedMemory] = []
+        self._workers: Dict[int, _Worker] = {}
+        self._inflight: Dict[int, _Remote] = {}
+        self._ever_died: Set[int] = set()
+        self._done_q = None
+        self._pump_thread: Optional[threading.Thread] = None
+        self._pump_stop = threading.Event()
+        self._m: Dict[str, float] = {
+            "remote_actions": 0,
+            "fallback_actions": 0,
+            "commands_sent": 0,
+            "worker_deaths": 0,
+            "respawns": 0,
+            "bytes_zero_copy": 0,
+            "bytes_copied": 0,
+            "segments_created": 0,
+            "segments_unlinked": 0,
+            "ipc_wait_s": 0.0,
+            "worker_exec_s": 0.0,
+        }
+
+    def close(self) -> None:
+        # Drain the stream/xfer pools first: no new dispatches after this.
+        super().close()
+        with self._plock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for w in workers:
+            try:
+                w.cmd_q.put(None)
+            except Exception:
+                pass
+        for w in workers:
+            w.process.join(timeout=2.0)
+            if w.process.is_alive():  # pragma: no cover - stuck worker
+                w.process.terminate()
+                w.process.join(timeout=1.0)
+            try:
+                w.cmd_q.close()
+            except Exception:
+                pass
+        self._pump_stop.set()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=2.0)
+            self._pump_thread = None
+        if self._done_q is not None:
+            try:
+                self._done_q.close()
+            except Exception:
+                pass
+            self._done_q = None
+        # fini() does not destroy live buffers; unlink whatever remains
+        # so no /dev/shm entry outlives the runtime. The host-side
+        # close() of still-viewed segments stays deferred (the caller
+        # may hold wrapped arrays); unlink alone removes the leak.
+        with self._plock:
+            segs = list(self._segments.values())
+            self._segments.clear()
+        for seg in segs:
+            self._unlink(seg)
+        self._drain_graveyard()
+
+    # -- instances over shared memory ------------------------------------------
+
+    def make_instance(self, buf: Buffer, domain: int) -> np.ndarray:
+        if domain == 0:
+            # Host instances keep the thread backend's semantics: the
+            # wrapped caller array aliases away, plain allocations stay
+            # process-private (host computes run host-side anyway).
+            return super().make_instance(buf, domain)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, buf.nbytes))
+        seg = _Segment(shm, buf.nbytes)
+        with self._plock:
+            self._segments[(buf.uid, domain)] = seg
+            self._m["segments_created"] += 1
+        # Linux zero-fills fresh segments, matching np.zeros parity.
+        return np.ndarray((buf.nbytes,), dtype=np.uint8, buffer=shm.buf)
+
+    def on_instance_evict(self, buf: Buffer, domain: int) -> None:
+        if domain != 0:
+            self._release_segment((buf.uid, domain))
+
+    def on_buffer_destroy(self, buf: Buffer) -> None:
+        with self._plock:
+            keys = [k for k in self._segments if k[0] == buf.uid]
+        for key in keys:
+            self._release_segment(key)
+
+    def _release_segment(self, key: Tuple[int, int]) -> None:
+        with self._plock:
+            seg = self._segments.pop(key, None)
+            if seg is None:
+                return
+            holders = [
+                self._workers.get(d)
+                for d in seg.attached
+                if d in self._workers
+            ]
+        for w in holders:
+            if w is not None and w.process.is_alive():
+                try:
+                    w.cmd_q.put(("forget", seg.name))
+                except Exception:
+                    pass
+        self._unlink(seg)
+        self._drain_graveyard()
+
+    def _unlink(self, seg: _Segment) -> None:
+        if not seg.unlinked:
+            seg.unlinked = True
+            try:
+                seg.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            with self._plock:
+                self._m["segments_unlinked"] += 1
+        # The manager deletes the instance's numpy view only after the
+        # evict hook returns, so the export is still alive here — defer
+        # the mapping close until the view is gone.
+        self._graveyard.append(seg.shm)
+
+    def _drain_graveyard(self) -> None:
+        kept = []
+        for shm in self._graveyard:
+            try:
+                shm.close()
+            except BufferError:
+                kept.append(shm)
+        self._graveyard[:] = kept
+
+    def live_segment_names(self) -> List[str]:
+        """Names of segments currently backing instances (test hook)."""
+        with self._plock:
+            return sorted(seg.name for seg in self._segments.values())
+
+    # -- workers ----------------------------------------------------------------
+
+    def _kernel_snapshot(self) -> Dict[str, Any]:
+        """Registered kernels a new worker can start with.
+
+        Only picklable callables make the cut — even under ``fork``,
+        where the child technically inherits closures by memory image.
+        See the module docstring: picklability is the semantic gate for
+        remote execution, not just the spawn transport's constraint.
+        Kernels registered after the worker spawned ship per-command
+        (same gate) or fall back to host execution.
+        """
+        out: Dict[str, Any] = {}
+        for name, spec in self.runtime._kernels.items():
+            fn = getattr(spec, "fn", None)
+            if fn is None:
+                continue
+            try:
+                pickle.dumps(fn)
+            except Exception:
+                continue
+            out[name] = fn
+        return out
+
+    def _ensure_worker(self, domain: int) -> _Worker:
+        """Return a live worker for ``domain``, spawning (or respawning
+        after a death) as needed. Caller holds ``self._plock``."""
+        w = self._workers.get(domain)
+        if w is not None and w.process.exitcode is None:
+            return w
+        if w is not None:
+            # Died between pump reaps; reap now so its in-flight actions
+            # fail instead of hanging behind the fresh worker.
+            self._reap_locked(domain, w)
+        if self._done_q is None:
+            self._done_q = self._mp.Queue()
+        if self._pump_thread is None:
+            self._pump_thread = threading.Thread(
+                target=self._pump, name="hstr-pump", daemon=True
+            )
+            self._pump_thread.start()
+        cmd_q = self._mp.Queue()
+        kernels = self._kernel_snapshot()
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(domain, cmd_q, self._done_q, kernels),
+            name=f"hstr-worker-d{domain}",
+            daemon=True,
+        )
+        proc.start()
+        w = _Worker(domain, proc, cmd_q, set(kernels))
+        self._workers[domain] = w
+        if domain in self._ever_died:
+            self._m["respawns"] += 1
+        return w
+
+    # -- execution ----------------------------------------------------------------
+
+    def _execute(self, action: Action) -> None:
+        assert action.stream is not None
+        if action.kind is ActionKind.XFER:
+            op = action.operands[0]
+            with self._plock:
+                if action.stream.domain == 0 or action.elided:
+                    self._m["bytes_zero_copy"] += op.nbytes
+                else:
+                    self._m["bytes_copied"] += op.nbytes
+            super()._execute(action)
+            return
+        if action.kind is ActionKind.COMPUTE and action.stream.domain != 0:
+            spec = self.runtime.kernel(action.kernel)
+            if spec.fn is not None and self._execute_remote(action, spec):
+                return
+            with self._plock:
+                self._m["fallback_actions"] += 1
+        super()._execute(action)
+
+    def _remote_plan(
+        self, action: Action, spec, worker: _Worker
+    ) -> Optional[Tuple[Tuple, List[_Segment]]]:
+        """Build the picklable exec command, or None to fall back host-side.
+
+        Caller holds ``self._plock``.
+        """
+        fn_bytes = None
+        if action.kernel not in worker.known_kernels:
+            try:
+                fn_bytes = pickle.dumps(spec.fn)
+            except Exception:
+                return None
+        assert action.stream is not None
+        domain = action.stream.domain
+        specs: List[Tuple] = []
+        touched: List[_Segment] = []
+        for item in action.args:
+            if isinstance(item, Operand):
+                seg = self._segments.get((item.buffer.uid, domain))
+                if seg is None:
+                    return None
+                specs.append(
+                    ("view", seg.name, item.offset, item.nbytes, item.dtype,
+                     item.shape)
+                )
+                touched.append(seg)
+            elif isinstance(item, Buffer):
+                seg = self._segments.get((item.uid, domain))
+                if seg is None:
+                    return None
+                specs.append(("flat", seg.name, item.nbytes))
+                touched.append(seg)
+            else:
+                try:
+                    pickle.dumps(item)
+                except Exception:
+                    return None
+                specs.append(("obj", item))
+        return ("exec", action.seq, action.kernel, fn_bytes, specs), touched
+
+    def _execute_remote(self, action: Action, spec) -> bool:
+        """Ship a card compute to its domain worker and wait for it.
+
+        Runs on the stream's single host-side slot thread, so stream
+        ordering and the inherited ``_run`` epilogue (timeout, tracing,
+        ``on_complete``) are untouched. Returns False to fall back.
+        """
+        assert action.stream is not None
+        with self._plock:
+            worker = self._ensure_worker(action.stream.domain)
+            plan = self._remote_plan(action, spec, worker)
+            if plan is None:
+                return False
+            cmd, touched = plan
+            entry = _Remote(worker.domain)
+            self._inflight[action.seq] = entry
+            worker.inflight.add(action.seq)
+            for seg in touched:
+                seg.attached.add(worker.domain)
+            if cmd[3] is not None:
+                worker.known_kernels.add(action.kernel)
+            try:
+                worker.cmd_q.put(cmd)
+            except Exception:
+                self._inflight.pop(action.seq, None)
+                worker.inflight.discard(action.seq)
+                return False
+            self._m["remote_actions"] += 1
+            self._m["commands_sent"] += 1
+        t0 = time.perf_counter()
+        entry.event.wait()
+        waited = time.perf_counter() - t0
+        with self._plock:
+            self._m["ipc_wait_s"] += waited
+            self._m["worker_exec_s"] += entry.duration
+        if entry.error is not None:
+            raise entry.error
+        return True
+
+    # -- completion pump ----------------------------------------------------------
+
+    def _pump(self) -> None:
+        while not self._pump_stop.is_set():
+            try:
+                msg = self._done_q.get(timeout=self._REAP_INTERVAL_S)
+            except (_queue.Empty, OSError, ValueError):
+                if self._pump_stop.is_set():
+                    break
+                self._reap_dead_workers()
+                continue
+            self._deliver(msg)
+
+    def _deliver(self, msg: Tuple) -> None:
+        _, domain, seq, duration, err_bytes, transient = msg
+        with self._plock:
+            entry = self._inflight.pop(seq, None)
+            w = self._workers.get(domain)
+            if w is not None:
+                w.inflight.discard(seq)
+        if entry is None:
+            # Already failed by death reaping (the completion raced the
+            # exit notice) — the scheduler has the final say on retries.
+            return
+        error: Optional[BaseException] = None
+        if err_bytes is not None:
+            try:
+                error = pickle.loads(err_bytes)
+            except Exception:  # pragma: no cover - defensive
+                error = HStreamsInternalError(
+                    f"worker error for {seq} could not be unpickled"
+                )
+            if transient:
+                mark_transient(error)
+        entry.duration = duration
+        entry.error = error
+        entry.event.set()
+
+    def _reap_dead_workers(self) -> None:
+        with self._plock:
+            dead = [
+                (d, w)
+                for d, w in list(self._workers.items())
+                if w.process.exitcode is not None
+            ]
+        if not dead:
+            return
+        # Completions may have been queued before the worker died;
+        # deliver those first so only truly lost actions fail.
+        while True:
+            try:
+                msg = self._done_q.get_nowait()
+            except (_queue.Empty, OSError, ValueError):
+                break
+            self._deliver(msg)
+        with self._plock:
+            for domain, w in dead:
+                if self._workers.get(domain) is w:
+                    self._reap_locked(domain, w)
+
+    def _reap_locked(self, domain: int, w: _Worker) -> None:
+        """Fail a dead worker's in-flight actions. Caller holds ``_plock``."""
+        self._workers.pop(domain, None)
+        self._ever_died.add(domain)
+        self._m["worker_deaths"] += 1
+        for seq in sorted(w.inflight):
+            entry = self._inflight.pop(seq, None)
+            if entry is None:
+                continue
+            entry.error = mark_transient(
+                HStreamsBackendDied(
+                    f"worker process for domain {domain} "
+                    f"(pid {w.process.pid}) exited with code "
+                    f"{w.process.exitcode} with action seq {seq} in flight"
+                )
+            )
+            entry.event.set()
+        w.inflight.clear()
+        try:
+            w.cmd_q.close()
+        except Exception:
+            pass
+
+    # -- observability ------------------------------------------------------------
+
+    def backend_metrics(self) -> Dict[str, Any]:
+        """The ``metrics()["backend"]`` block: IPC and segment counters."""
+        with self._plock:
+            m = dict(self._m)
+            workers = {
+                d: {
+                    "pid": w.process.pid,
+                    "alive": w.process.exitcode is None,
+                    "queue_depth": len(w.inflight),
+                }
+                for d, w in self._workers.items()
+            }
+            live = len(self._segments)
+            pending_close = len(self._graveyard)
+        remote = max(1, int(m["remote_actions"]))
+        return {
+            "name": "process",
+            "start_method": self._start_method,
+            "workers": workers,
+            "remote_actions": int(m["remote_actions"]),
+            "fallback_actions": int(m["fallback_actions"]),
+            "commands_sent": int(m["commands_sent"]),
+            "worker_deaths": int(m["worker_deaths"]),
+            "respawns": int(m["respawns"]),
+            "bytes_zero_copy": int(m["bytes_zero_copy"]),
+            "bytes_copied": int(m["bytes_copied"]),
+            "ipc_round_trip_s": max(
+                0.0, (m["ipc_wait_s"] - m["worker_exec_s"]) / remote
+            ),
+            "worker_exec_s": m["worker_exec_s"],
+            "segments": {
+                "created": int(m["segments_created"]),
+                "unlinked": int(m["segments_unlinked"]),
+                "live": live,
+                "pending_close": pending_close,
+            },
+        }

@@ -17,6 +17,7 @@ as in the paper's applications.
 from __future__ import annotations
 
 import contextlib
+import os as _os
 from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -957,17 +958,40 @@ class HStreams:
             # Sim backend only: interconnect occupancy/queueing counters
             # (engine state is source-thread-owned — no lock needed).
             out["fabric"] = fabric()
+        backend_block = getattr(self.backend, "backend_metrics", None)
+        if backend_block is not None:
+            # Process backend only: worker/IPC/segment counters (guarded
+            # by the backend's own leaf lock — no scheduler lock needed).
+            out["backend"] = backend_block()
         return out
 
 
 def _make_backend(name: str):
-    """Backend factory by name ("thread" or "sim")."""
+    """Backend factory by name ("thread", "process", or "sim").
+
+    ``REPRO_BACKEND=process`` in the environment upgrades ``"thread"``
+    requests to the process backend. Both are real-execution backends
+    with identical observable semantics, so this is how CI (and local
+    runs) drive the thread-labeled parity suites — the fault×policy
+    matrix, the Hypothesis dep-set oracle, the failure/timeout tests —
+    through the process backend unchanged. Explicit ``"sim"`` requests
+    are never overridden: virtual time is part of what those tests
+    assert.
+    """
+    if name == "thread" and _os.environ.get("REPRO_BACKEND") == "process":
+        name = "process"
     if name == "thread":
         from repro.core.thread_backend import ThreadBackend
 
         return ThreadBackend()
+    if name == "process":
+        from repro.core.process_backend import ProcessBackend
+
+        return ProcessBackend()
     if name == "sim":
         from repro.core.sim_backend import SimBackend
 
         return SimBackend()
-    raise HStreamsBadArgument(f"unknown backend {name!r}; use 'thread' or 'sim'")
+    raise HStreamsBadArgument(
+        f"unknown backend {name!r}; use 'thread', 'process', or 'sim'"
+    )

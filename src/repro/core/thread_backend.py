@@ -150,7 +150,16 @@ class ThreadBackend(Backend):
 
     def _run(self, action: Action, delay: float = 0.0) -> None:
         if delay > 0.0:
-            time.sleep(delay)
+            # time.sleep() may return before the full delay has elapsed
+            # under coarse OS clocks / interrupted waits; re-check the
+            # monotonic deadline and re-arm so a retry backoff never
+            # dispatches early (the sim backend's virtual backoff is
+            # exact, and the two must agree on ordering).
+            deadline = time.monotonic() + delay
+            remaining = delay
+            while remaining > 0.0:
+                time.sleep(remaining)
+                remaining = deadline - time.monotonic()
         scheduler = self.runtime.scheduler
         injector = self.runtime.fault_injector
         start = time.perf_counter() - self._t0

@@ -2,8 +2,11 @@
 
 The regression gate must (a) pass a run against its own baseline,
 (b) fail a deliberate 2x counter regression, (c) ignore wall-clock
-rows, (d) give allocator-dependent counters their wider allowance, and
-(e) flag gated counters that silently vanish from the current run.
+rows, (d) give allocator-dependent counters their wider allowance,
+(e) flag gated counters that silently vanish from the current run, and
+(f) skip rows the current run demoted to informational (quick sample
+counts, or hardware where the measurement cannot gate — e.g. the
+cpu_scaling speedup on a single-CPU box).
 """
 
 import json
@@ -55,6 +58,14 @@ class TestCheckRows:
     def test_improvements_pass(self):
         assert perf.check_rows([row(value=1.0)], [row(value=10.0)], 0.25) == []
 
+    def test_row_demoted_to_info_is_skipped(self):
+        # The emitter downgrades a row's unit exactly when the
+        # measurement cannot be made at gating fidelity; the checker
+        # honors that instead of comparing a noise value to the bar.
+        baseline = [row(value=0.0)]
+        current = [row(value=50.0, unit="info")]
+        assert perf.check_rows(current, baseline, tolerance=0.25) == []
+
 
 class TestRowSerialization:
     def test_json_round_trip(self):
@@ -79,12 +90,19 @@ class TestSuite:
             "enqueue_scan",
             "enqueue_admission",
             "dispatch_throughput",
+            "cpu_scaling",
             "transfer_overhead",
             "elision",
             "sanitizer_overhead",
         }
         assert any(r.unit == perf.GATED_UNIT for r in tiny_rows)
         assert any(r.unit == "s" for r in tiny_rows)
+
+    def test_dispatch_throughput_covers_all_backends(self, tiny_rows):
+        backends = {
+            r.backend for r in tiny_rows if r.bench == "dispatch_throughput"
+        }
+        assert backends == {"thread", "sim", "process"}
 
     def test_indexed_beats_naive_on_counters(self, tiny_rows):
         by_key = {(r.bench, r.metric): r.value for r in tiny_rows}

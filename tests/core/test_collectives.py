@@ -129,14 +129,18 @@ class TestValidation:
             hs.broadcast(buf, [1], streams={1: s2})
         hs.fini()
 
-    def test_zero_byte_broadcast_completes(self):
+    def test_zero_byte_broadcast_is_inert(self):
+        """Zero-length payloads plan nothing: no empty-chunk transfers,
+        no arrival events, no dependence footprint in any stream."""
         hs = cluster("sim")
         buf = hs.buffer_create(nbytes=64)
         res = hs.broadcast(buf, [1, 2], nbytes=0)
-        hs.thread_synchronize()
         assert res.schedule == "serial"  # nothing to pipeline
-        assert set(res.arrivals) == {1, 2}
-        assert all(ev.is_complete() for ev in res.done)
+        assert res.actions == []
+        assert res.arrivals == {}
+        assert res.nchunks == 0
+        res.wait()  # returns immediately: nothing to wait on
+        hs.thread_synchronize()
         hs.fini()
 
 
@@ -451,4 +455,93 @@ class TestStats:
         assert xfers == len(res.actions) == 3 * 4  # 3 hops x 4 chunks
         # The chain moves the payload once per hop.
         assert hs.stats["bytes_transferred"] - before[1] == 3 * 1024
+        hs.fini()
+
+
+class TestTinyPayloadChunking:
+    """Regression: zero/tiny payloads must not plan empty chunks.
+
+    ``_chunk_ranges`` once returned a single zero-length chunk for
+    ``nbytes == 0``, so zero-length collectives admitted real zero-byte
+    transfers (instantiating buffers and ordering against unrelated
+    work), and an even scatter/gather split with fewer bytes than
+    targets emitted empty chunks for the trailing domains.
+    """
+
+    @pytest.mark.parametrize("schedule", ["serial"] + list(PEER_SCHEDULES))
+    def test_zero_length_broadcast_inert_on_all_schedules(self, schedule):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        res = hs.broadcast(buf, [1, 2, 3], nbytes=0, schedule=schedule)
+        assert res.actions == []
+        assert res.arrivals == {}
+        assert res.nchunks == 0
+        # Inert means inert: no sink instances were created (only the
+        # host placeholder that buffer_create itself made).
+        assert set(buf.instances) <= {0}
+        hs.thread_synchronize()
+        hs.fini()
+
+    @pytest.mark.parametrize("name", ["scatter", "gather"])
+    def test_zero_length_scatter_gather_inert(self, name):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        res = getattr(hs, name)(buf, [1, 2, 3], nbytes=0)
+        assert res.actions == [] and res.arrivals == {}
+        hs.thread_synchronize()
+        hs.fini()
+
+    def test_zero_length_reduce_and_allreduce_inert(self):
+        hs = cluster("sim")
+        buf = hs.buffer_create(nbytes=64)
+        red = hs.reduce(buf, [1, 2], nbytes=0)
+        assert red.actions == [] and red.arrivals == {}
+        # allreduce must survive its reduce half planning nothing.
+        allr = hs.allreduce(buf, [1, 2], nbytes=0)
+        assert allr.actions == [] and allr.arrivals == {}
+        hs.thread_synchronize()
+        hs.fini()
+
+    def test_scatter_fewer_bytes_than_targets_skips_empty_slices(self):
+        hs = pcie("thread", ncards=3)
+        data = payload(2)
+        buf = hs.wrap(data.copy())
+        res = hs.scatter(buf, [1, 2, 3])
+        hs.thread_synchronize()
+        # Two bytes over three domains: domains 1 and 2 get one byte
+        # each, domain 3 gets nothing — and no empty-chunk action.
+        assert sorted(res.arrivals) == [1, 2]
+        assert len(res.actions) == 2
+        assert res.nchunks == 1
+        assert all(a.nbytes > 0 for a in res.actions)
+        assert sink_bytes(buf, 1)[0] == data[0]
+        assert sink_bytes(buf, 2)[1] == data[1]
+        hs.fini()
+
+    def test_gather_fewer_bytes_than_targets_round_trips(self):
+        hs = pcie("thread", ncards=3)
+        data = payload(2, seed=11)
+        buf = hs.wrap(data.copy())
+        hs.broadcast(buf, [1, 2, 3])
+        hs.thread_synchronize()
+        res = hs.gather(buf, [1, 2, 3])
+        hs.thread_synchronize()
+        assert sorted(res.arrivals) == [1, 2]
+        assert all(a.nbytes > 0 for a in res.actions)
+        assert (np.asarray(buf.host_array) == data).all()
+        hs.fini()
+
+    def test_zero_length_collective_orders_nothing(self):
+        """A zero-length broadcast between two transfers adds no actions
+        to the stream window and no transfer/byte counters."""
+        hs = cluster("thread")
+        buf = hs.wrap(payload(64).copy())
+        s = hs.stream_create(domain=1, ncores=1)
+        hs.enqueue_xfer(s, buf)
+        before = (hs.stats["transfers"], hs.stats["bytes_transferred"])
+        res = hs.broadcast(buf, [1], nbytes=0)
+        assert res.actions == []
+        assert (hs.stats["transfers"], hs.stats["bytes_transferred"]) == before
+        hs.enqueue_xfer(s, buf)
+        hs.thread_synchronize()
         hs.fini()

@@ -471,6 +471,43 @@ class TestRetry:
         assert hs.elapsed() < 0.6
         hs.fini()
 
+    def test_retry_backoff_never_dispatches_early(self):
+        """Wall-clock backoff honors the sim's virtual schedule.
+
+        The thread backend once trusted a single ``time.sleep(delay)``,
+        which may return before the full delay under coarse OS clocks or
+        interrupted waits — dispatching a retry early. It now re-checks
+        a monotonic deadline and re-arms, so wall time spent backing off
+        is always at least the virtual backoff the sim would model.
+        """
+        cfg = RuntimeConfig(retry_backoff_s=0.04, retry_backoff_factor=2.0,
+                            retry_backoff_max_s=1.0, retry_limit=3)
+        expected = 0.04 + 0.08  # two transient failures, then success
+
+        hs = sim_runtime(failure_policy="retry", config=cfg)
+        register(hs, "flaky", lambda x: None)
+        arm_failure(hs, "flaky", times=2, transient=True)
+        s = hs.stream_create(domain=1, ncores=4)
+        buf = hs.buffer_create(nbytes=64)
+        ev = hs.enqueue_compute(s, "flaky", args=(buf.all_inout(),))
+        hs.thread_synchronize()
+        assert ev.record.retries == 2
+        assert hs.elapsed() >= expected
+        hs.fini()
+
+        hs = thread_runtime(failure_policy="retry", config=cfg)
+        register(hs, "flaky", lambda x: None)
+        arm_failure(hs, "flaky", times=2, transient=True)
+        s = hs.stream_create(domain=1, ncores=4)
+        buf = hs.buffer_create(nbytes=64)
+        t0 = time.monotonic()
+        ev = hs.enqueue_compute(s, "flaky", args=(buf.all_inout(),))
+        hs.thread_synchronize()
+        wall = time.monotonic() - t0
+        assert ev.record.retries == 2
+        assert wall >= expected
+        hs.fini()
+
 
 class TestFaultInjection:
     @pytest.mark.parametrize("backend", ["thread", "sim"])
