@@ -162,6 +162,82 @@ def run_cell_replayed(backend, policy, fault):
     return out
 
 
+def run_isolation_cell(backend, policy):
+    """Cross-tenant cell: a fault scoped to tenant A's namespace.
+
+    Two namespaced streams share the runtime; the plan arms only
+    ``namespace="tA"``. The contract — tenant A's pipeline fails and
+    (under ``fail_fast``) is swept, tenant B's completes untouched, B's
+    ledger stays empty, and B's *scoped* barrier never sees A's error —
+    is the core guarantee the multi-tenant service tier builds on.
+    """
+    from repro.core.faults import inject_faults
+
+    hs = _runtime(backend, policy)
+    inject_faults(hs, FaultPlan(
+        specs=(FaultSpec(kind="compute", kernel="stage1", namespace="tA",
+                         nth=1, times=2),),
+        seed=17,
+    ))
+    sa = hs.stream_create(domain=1, ncores=2, namespace="tA")
+    sb = hs.stream_create(domain=1, ncores=2, namespace="tB")
+    buf_a = hs.buffer_create(nbytes=64)
+    buf_b = hs.buffer_create(nbytes=64)
+    op_a = buf_a.all_inout()
+    op_b = buf_b.all_inout()
+    for s, buf, op in ((sa, buf_a, op_a), (sb, buf_b, op_b)):
+        hs.enqueue_xfer(s, buf)
+        for i in range(STAGES):
+            hs.enqueue_compute(s, f"stage{i}", args=(op,))
+    # B's scoped barrier is blind to A's failure: it must return clean.
+    hs.stream_synchronize(sb)
+    error = None
+    try:
+        hs.stream_synchronize(sa)
+    except InjectedFault as exc:
+        error = exc
+    ns = hs.metrics()["namespaces"]
+    out = {
+        "error": type(error).__name__ if error else None,
+        "tA": {k: ns["tA"][k] for k in ("completed", "failed", "cancelled")},
+        "tB": {k: ns["tB"][k] for k in ("completed", "failed", "cancelled")},
+        "ledger_a": len(hs.failure_errors("tA")),
+        "ledger_b": len(hs.failure_errors("tB")),
+    }
+    hs.clear_failure("tA")
+    hs.fini()
+    return out
+
+
+def run_isolation_matrix():
+    return {
+        (backend, policy): run_isolation_cell(backend, policy)
+        for backend in BACKENDS
+        for policy in ("poison", "fail_fast")
+    }
+
+
+def check_isolation_matrix(cells) -> None:
+    total = STAGES + 1  # pipeline plus its H2D transfer
+    for (backend, policy), cell in cells.items():
+        key = (backend, policy, cell)
+        assert cell["error"] == "InjectedFault", key
+        assert cell["ledger_a"] == 1 and cell["ledger_b"] == 0, key
+        # A: xfer + stage0 complete, stage1 fails, the rest cancel
+        # (operand poison under both policies; fail_fast sweeps too).
+        assert cell["tA"]["failed"] == 1, key
+        assert cell["tA"]["completed"] == 2, key
+        assert cell["tA"]["cancelled"] == STAGES - 2, key
+        # B: untouched, whatever happened to A.
+        assert cell["tB"] == {
+            "completed": total, "failed": 0, "cancelled": 0,
+        }, key
+    for policy in ("poison", "fail_fast"):
+        t = cells[("thread", policy)]
+        s = cells[("sim", policy)]
+        assert t == s, (policy, t, s)
+
+
 def run_matrix(replayed=False):
     """Every cell of the fault matrix, keyed (backend, policy, fault)."""
     cell = run_cell_replayed if replayed else run_cell
@@ -238,17 +314,22 @@ def smoke_check() -> None:
     check_matrix(cells)
     replayed = run_matrix(replayed=True)
     check_replay_parity(cells, replayed)
+    isolation = run_isolation_matrix()
+    check_isolation_matrix(isolation)
     print(render(cells))
     retries = cells[("thread", "retry", "transient")]["retried"]
     print(f"[smoke] fault matrix OK: {len(cells)} cells, backend parity "
           f"holds, replayed-template parity holds, transient fault "
           f"recovered after {retries} retries")
+    print(f"[smoke] tenant isolation OK: {len(isolation)} cells, tenant "
+          f"A's injected failure never reached tenant B's ledger")
 
 
 def test_fault_matrix(benchmark, capsys):
     cells = run_once(benchmark, run_matrix)
     check_matrix(cells)
     check_replay_parity(cells, run_matrix(replayed=True))
+    check_isolation_matrix(run_isolation_matrix())
     with capsys.disabled():
         print()
         print(render(cells))

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""SERVICE LOAD — million-session admission replay → BENCH_service.json.
+
+Thin CLI over :mod:`repro.service.loadgen`: generates the deterministic
+synthetic trace, replays it through the real
+:class:`~repro.service.admission.AdmissionController` in virtual time,
+drives a smaller slice end-to-end through the real
+:class:`~repro.service.server.StreamService` on the sim backend, and
+optionally gates the deterministic counters (p50/p99 admission latency
+in virtual µs, weighted fairness, reject/incomplete counts) against a
+committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py \
+        --check benchmarks/baselines/BENCH_service.json
+
+``--smoke`` shrinks the trace for quick local runs (its rows are NOT
+baseline-comparable — the bench label carries the trace shape, so a
+smoke run against the full baseline fails on missing counters rather
+than silently passing). Refresh the baseline after an intentional
+admission-policy change with ``--write-baseline`` (then commit the
+diff).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import loadgen  # noqa: E402
+
+BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_service.json"
+
+#: The CI trace: one million sessions, eight tenants (half premium).
+FULL = ["--sessions", "1000000", "--tenants", "8", "--seed", "42"]
+SMOKE = ["--sessions", "20000", "--tenants", "8", "--seed", "42"]
+
+#: End-to-end slice through the real service (sessions driven over the
+#: asyncio front-end on the sim backend; asserts its own invariants).
+E2E = "300"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--smoke", action="store_true", help="small trace")
+    parser.add_argument(
+        "--json", default="BENCH_service.json",
+        help="rows output path ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--report", default=None,
+        help="full replay report (per-tenant detail) output path",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help=f"gate gated counters against a baseline (e.g. {BASELINE})",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help=f"also refresh the committed baseline at {BASELINE}",
+    )
+    args = parser.parse_args(argv)
+
+    forwarded = list(SMOKE if args.smoke else FULL)
+    forwarded += ["--e2e", E2E, "--json", args.json]
+    if args.report:
+        forwarded += ["--report", args.report]
+    if args.check:
+        forwarded += ["--check", args.check, "--tolerance", str(args.tolerance)]
+    status = loadgen.main(forwarded)
+
+    if args.write_baseline and args.json not in ("-", str(BASELINE)):
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(Path(args.json).read_text())
+        print(f"refreshed baseline {BASELINE}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,7 @@ class Backend(ABC):
         events: List["HEvent"],
         wait_all: bool = True,
         timeout: Optional[float] = None,
+        scope: Optional[str] = None,
     ) -> None:
         """Block the source until any/all of ``events`` complete.
 
@@ -117,14 +118,21 @@ class Backend(ABC):
         and must re-raise pending run failures (via
         ``runtime.scheduler.failure.raise_pending()``) rather than
         block forever on events a failed producer will never fire.
+
+        ``scope`` narrows that failure surfacing to one stream
+        namespace (the multi-tenant isolation contract: a tenant's wait
+        never raises another tenant's error); ``None`` — the default
+        and the classic behavior — surfaces any pending failure.
         """
 
     @abstractmethod
-    def wait_all(self, timeout: Optional[float] = None) -> None:
+    def wait_all(
+        self, timeout: Optional[float] = None, scope: Optional[str] = None
+    ) -> None:
         """Block the source until every admitted action completed.
 
-        Same timeout and failure-surfacing contract as
-        :meth:`wait_events`.
+        Same timeout and failure-surfacing contract (including
+        ``scope``) as :meth:`wait_events`.
         """
 
     @abstractmethod

@@ -334,10 +334,12 @@ class CaptureBackend(Backend):
 
     # -- waiting ---------------------------------------------------------------
 
-    def wait_events(self, events, wait_all: bool = True, timeout=None) -> None:
+    def wait_events(
+        self, events, wait_all: bool = True, timeout=None, scope=None
+    ) -> None:
         pass  # everything already completed at admission
 
-    def wait_all(self, timeout=None) -> None:
+    def wait_all(self, timeout=None, scope=None) -> None:
         pass
 
     def now(self) -> float:

@@ -18,6 +18,7 @@ __all__ = [
     "HStreamsOutOfRange",
     "HStreamsTimedOut",
     "HStreamsBusy",
+    "HStreamsQuotaExceeded",
     "HStreamsInternalError",
     "HStreamsInvalid",
     "HStreamsDeadlock",
@@ -85,6 +86,20 @@ class HStreamsBusy(HStreamsError):
     """
 
     code = "HSTR_RESULT_BUSY"
+
+
+class HStreamsQuotaExceeded(HStreamsBusy):
+    """A namespace's in-flight admission quota is exhausted.
+
+    Raised by ``Scheduler.enqueue`` when a stream's namespace has a
+    quota (``HStreams.set_namespace_quota``) and admitting the action
+    would exceed it. The service tier's admission controller converts
+    this into HTTP-429-style deferral (queue behind the window) or
+    rejection; callers driving the runtime directly should synchronize
+    some of the namespace's work and re-enqueue.
+    """
+
+    code = "HSTR_RESULT_QUOTA_EXCEEDED"
 
 
 class HStreamsInternalError(HStreamsError):

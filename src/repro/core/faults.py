@@ -65,7 +65,10 @@ class FaultSpec:
     * ``kind`` — ``"compute"``, ``"xfer"``, ``"sync"``, or ``"*"``;
     * ``kernel`` — exact compute kernel name;
     * ``label`` — substring of the action's display label;
-    * ``stream`` — stream id.
+    * ``stream`` — stream id;
+    * ``namespace`` — exact stream namespace (per-tenant arming: a
+      plan targeting one tenant's namespace never arms on another's
+      actions, whatever their kernels are named).
 
     Selection (mutually exclusive; neither means "every match"):
 
@@ -89,6 +92,7 @@ class FaultSpec:
     kernel: str = ""
     label: str = ""
     stream: Optional[int] = None
+    namespace: str = ""
     nth: Optional[int] = None
     rate: Optional[float] = None
     times: int = 1
@@ -119,6 +123,10 @@ class FaultSpec:
             return False
         if self.stream is not None and (
             action.stream is None or action.stream.id != self.stream
+        ):
+            return False
+        if self.namespace and (
+            action.stream is None or action.stream.namespace != self.namespace
         ):
             return False
         return True

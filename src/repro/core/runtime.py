@@ -286,23 +286,56 @@ class HStreams:
             self._initialized = False
 
     @property
+    def initialized(self) -> bool:
+        """Whether the runtime is live (``fini()`` not yet called)."""
+        return self._initialized
+
+    @property
     def failed(self) -> bool:
         """Whether any action failed (and the failure was not cleared)."""
         return self.scheduler.failure.failed
 
-    def failure_errors(self) -> List[BaseException]:
-        """Every recorded action error, in completion order."""
-        return self.scheduler.failure.snapshot()[0]
+    def failure_errors(
+        self, namespace: Optional[str] = None
+    ) -> List[BaseException]:
+        """Every recorded action error, in completion order.
 
-    def clear_failure(self) -> List[BaseException]:
+        With ``namespace`` given, only that namespace's errors (a
+        tenant's private failure ledger). ``None`` returns the full
+        ledger across all namespaces, classic streams included.
+        """
+        if namespace is None:
+            return self.scheduler.failure.snapshot()[0]
+        return self.scheduler.failure.errors_in(namespace)
+
+    def clear_failure(
+        self, namespace: Optional[str] = None
+    ) -> List[BaseException]:
         """Acknowledge and reset the run's failure state.
 
         Drops the error ledger and the poison tombstones: subsequent
         synchronizations stop re-raising, and new enqueues no longer
         cancel against past failures. Returns the dropped errors.
+        With ``namespace`` given, only that namespace's errors and
+        tombstones are dropped — other tenants' state is untouched.
         """
         self._check_init()
-        return self.scheduler.clear_failure()
+        return self.scheduler.clear_failure(namespace)
+
+    def set_namespace_quota(self, namespace: str, limit: Optional[int]) -> None:
+        """Cap a namespace's in-flight actions at ``limit``.
+
+        Enqueues into streams of ``namespace`` raise
+        :class:`~repro.core.errors.HStreamsQuotaExceeded` while the cap
+        is reached; ``None`` removes the cap. This is the scheduler-side
+        backstop behind the service tier's admission control.
+        """
+        self._check_init()
+        self.scheduler.set_namespace_quota(namespace, limit)
+
+    def namespace_inflight(self, namespace: str) -> int:
+        """Actions currently in flight for one namespace."""
+        return self.scheduler.namespace_inflight(namespace)
 
     def __enter__(self) -> "HStreams":
         return self
@@ -340,12 +373,19 @@ class HStreams:
         cpu_mask: Optional[Sequence[int]] = None,
         strict_fifo: bool = False,
         name: str = "",
+        namespace: str = "",
     ) -> Stream:
         """Create a stream whose sink is ``domain`` (the "core API" path).
 
         Provide either ``ncores`` (the runtime picks the next free cores,
         wrapping for oversubscription) or an explicit ``cpu_mask``.
         Omitting both binds the whole domain to the stream.
+
+        A non-empty ``namespace`` places the stream in an isolated
+        failure/quota scope (the multi-tenant service model): its
+        failures only poison and only surface to waits scoped to the
+        same namespace, ``set_namespace_quota`` bounds its in-flight
+        work, and ``metrics()["namespaces"]`` reports it separately.
         """
         self._check_init()
         dom = self.domain(domain)
@@ -362,7 +402,12 @@ class HStreams:
         else:
             mask = dom.take_cores(ncores if ncores is not None else dom.device.total_cores)
         stream = Stream(
-            self._next_stream_id, domain, mask, strict_fifo=strict_fifo, name=name
+            self._next_stream_id,
+            domain,
+            mask,
+            strict_fifo=strict_fifo,
+            name=name,
+            namespace=namespace,
         )
         self._next_stream_id += 1
         self.streams.append(stream)
@@ -421,18 +466,31 @@ class HStreams:
         """All streams whose sink is ``domain``."""
         return [s for s in self.streams if s.domain == domain]
 
-    def stream_destroy(self, stream: Stream) -> None:
+    def stream_destroy(self, stream: Stream, raise_failures: bool = True) -> None:
         """Destroy a stream: drain it, then release its backend state.
 
         Unlike CUDA, destruction is optional housekeeping — streams are
         plain integers and the runtime reclaims everything at ``fini()``
         — but long-lived processes that churn through streams (the
         Abaqus solver pattern) can return resources early.
+
+        With ``raise_failures=False`` the drain barrier does not
+        re-raise the (namespace's) pending failure ledger: cleanup
+        paths that already observed or recorded the errors — the
+        service tier closing a tenant session — tear the stream down
+        regardless. Callers on this path must ensure the stream is
+        quiescent first (a raising ledger short-circuits the wait).
         """
         self._check_init()
         if stream not in self.streams:
             raise HStreamsNotFound(f"stream {stream.id} is not active")
-        self.stream_synchronize(stream)
+        if raise_failures:
+            self.stream_synchronize(stream)
+        else:
+            try:
+                self.stream_synchronize(stream)
+            except Exception:
+                pass
         self.backend.on_stream_destroy(stream)
         self.scheduler.on_stream_destroy(stream)
         self.streams.remove(stream)
@@ -874,17 +932,25 @@ class HStreams:
         events: Sequence[HEvent],
         wait_all: bool = True,
         timeout: Optional[float] = None,
+        scope: Optional[str] = None,
     ) -> None:
         """Block the source until any/all of ``events`` complete.
 
         Waiting on a *set* with any/all semantics saves the CPU-spinning
         the paper calls out in the CUDA comparison. Without an explicit
         ``timeout``, ``RuntimeConfig.wait_timeout_s`` applies.
+
+        ``scope`` restricts failure surfacing to one stream namespace
+        (see :meth:`stream_create`): a tenant waiting on its own events
+        never observes another tenant's errors. ``None`` keeps the
+        classic behavior of raising any pending run failure.
         """
         self._check_init()
         if timeout is None:
             timeout = self.config.wait_timeout_s
-        self.backend.wait_events(list(events), wait_all=wait_all, timeout=timeout)
+        self.backend.wait_events(
+            list(events), wait_all=wait_all, timeout=timeout, scope=scope
+        )
         self.backend.advance_host(self.config.sync_overhead_s)
         # With wait-any semantics only *some* event completed; the
         # happens-before edge to the host is the completed subset.
@@ -899,18 +965,22 @@ class HStreams:
         """Block until every action enqueued into ``stream`` completed.
 
         Without an explicit ``timeout``, ``RuntimeConfig.wait_timeout_s``
-        applies.
+        applies. A namespaced stream's synchronization is automatically
+        scoped: only failures from its own namespace surface here.
         """
         self._check_init()
         if timeout is None:
             timeout = self.config.wait_timeout_s
+        scope = stream.namespace or None
         pending = self.scheduler.pending_completions(stream)
         if pending:
-            self.backend.wait_events(pending, wait_all=True, timeout=timeout)
+            self.backend.wait_events(
+                pending, wait_all=True, timeout=timeout, scope=scope
+            )
         else:
             # Nothing in flight, but an unacknowledged failure must
             # still surface at every synchronization point.
-            self.scheduler.failure.raise_pending()
+            self.scheduler.failure.raise_pending(namespace=scope)
         self.backend.advance_host(self.config.sync_overhead_s)
         self.scheduler.notify_host_sync("stream_synchronize", stream=stream)
 

@@ -71,7 +71,7 @@ _NO_DANGLING: List["HEvent"] = []
 _NO_DEPS: List["Action"] = []
 
 
-@guarded_by("_lock", "errors", "observed")
+@guarded_by("_lock", "errors", "observed", "_namespaces")
 class FailureState:
     """Thread-safe ledger of every error a run has observed.
 
@@ -82,12 +82,23 @@ class FailureState:
     supports them) — later failures are never silently dropped. The
     state is *sticky*: once failed, every synchronization keeps raising
     until :meth:`clear` (``HStreams.clear_failure()``) is called.
+
+    Every entry carries the *namespace* of the stream whose action
+    failed (empty for the classic single-user runtime). Namespace-scoped
+    queries (``failed_in``/``raise_pending(namespace=...)``/
+    ``clear(namespace=...)``) see only matching entries — the isolation
+    contract of the multi-tenant service tier: tenant B's waits never
+    raise tenant A's errors. Unscoped calls see everything, exactly as
+    before namespaces existed.
     """
 
     def __init__(self, sanitizer=None) -> None:
         self._lock = make_lock("failure", sanitizer=sanitizer)
         #: Every recorded error, in completion order.
         self.errors: List[BaseException] = []
+        #: Parallel to :attr:`errors`: the failing action's stream
+        #: namespace ("" outside the service tier).
+        self._namespaces: List[str] = []
         #: Whether :meth:`raise_pending` has surfaced the failure to the
         #: host at least once (``fini`` uses this to avoid re-raising an
         #: error the caller already handled).
@@ -99,35 +110,67 @@ class FailureState:
         with self._lock:
             return bool(self.errors)
 
+    def failed_in(self, namespace: str) -> bool:
+        """Whether an error was recorded against ``namespace``."""
+        with self._lock:
+            return namespace in self._namespaces
+
     def snapshot(self) -> Tuple[List[BaseException], bool]:
         """A consistent ``(errors, observed)`` pair for host-side
         inspection (``fini``, ``failure_errors``)."""
         with self._lock:
             return list(self.errors), self.observed
 
-    def record(self, error: BaseException) -> None:
+    def errors_in(self, namespace: Optional[str]) -> List[BaseException]:
+        """Recorded errors, filtered to ``namespace`` (None = all)."""
+        with self._lock:
+            if namespace is None:
+                return list(self.errors)
+            return [
+                err
+                for err, ns in zip(self.errors, self._namespaces)
+                if ns == namespace
+            ]
+
+    def record(self, error: BaseException, namespace: str = "") -> None:
         """Append a terminal action failure to the ledger."""
         with self._lock:
             self.errors.append(error)
+            self._namespaces.append(namespace)
 
-    def raise_pending(self) -> None:
+    def raise_pending(self, namespace: Optional[str] = None) -> None:
         """Raise the first recorded error, with the rest attached.
 
         No-op when nothing failed. Does *not* clear the ledger — the
-        runtime stays marked failed until explicitly cleared.
+        runtime stays marked failed until explicitly cleared. With
+        ``namespace`` given, only errors recorded against that exact
+        namespace are considered (and attached): a scoped wait stays
+        blind to other tenants' failures.
         """
         with self._lock:
-            if not self.errors:
+            if namespace is None:
+                pending = self.errors
+            else:
+                pending = [
+                    err
+                    for err, ns in zip(self.errors, self._namespaces)
+                    if ns == namespace
+                ]
+            if not pending:
                 return
-            self.observed = True
-            first = self.errors[0]
-            first.errors = list(self.errors)  # type: ignore[attr-defined]
+            first = pending[0]
+            # The global observed flag drives fini()'s "already handled"
+            # suppression, which re-raises self.errors[0]; a scoped
+            # raise therefore only counts when it surfaced that error.
+            if first is self.errors[0]:
+                self.observed = True
+            first.errors = list(pending)  # type: ignore[attr-defined]
             if hasattr(first, "add_note"):  # pragma: no branch
-                if len(self.errors) > 1 and not getattr(
+                if len(pending) > 1 and not getattr(
                     first, "_hstreams_noted", False
                 ):
                     first._hstreams_noted = True  # type: ignore[attr-defined]
-                    for extra in self.errors[1:]:
+                    for extra in pending[1:]:
                         first.add_note(
                             f"also failed: {type(extra).__name__}: {extra}"
                         )
@@ -141,11 +184,33 @@ class FailureState:
                         first.add_note(f"surfaced at {site[0]}:{site[1]}")
             raise first
 
-    def clear(self) -> List[BaseException]:
-        """Reset to the no-failure state; returns the dropped errors."""
+    def clear(self, namespace: Optional[str] = None) -> List[BaseException]:
+        """Reset to the no-failure state; returns the dropped errors.
+
+        With ``namespace`` given, only that namespace's entries drop —
+        a tenant acknowledging its own failure leaves every other
+        tenant's ledger (and the global observed flag) untouched unless
+        nothing else remains.
+        """
         with self._lock:
-            dropped, self.errors = self.errors, []
-            self.observed = False
+            if namespace is None:
+                dropped, self.errors = self.errors, []
+                self._namespaces = []
+                self.observed = False
+                return dropped
+            dropped = []
+            kept_errors: List[BaseException] = []
+            kept_ns: List[str] = []
+            for err, ns in zip(self.errors, self._namespaces):
+                if ns == namespace:
+                    dropped.append(err)
+                else:
+                    kept_errors.append(err)
+                    kept_ns.append(ns)
+            self.errors = kept_errors
+            self._namespaces = kept_ns
+            if not self.errors:
+                self.observed = False
             return dropped
 
 
@@ -252,6 +317,7 @@ class StreamStats:
         return {
             "name": self.stream.name,
             "lane": self.stream.lane,
+            "namespace": self.stream.namespace,
             "dep_scan_candidates": window.scan_candidates,
             "dep_scan_comparisons": window.scan_comparisons,
             "depth": self.depth,
@@ -277,6 +343,8 @@ class StreamStats:
     "_poisoned",
     "_by_kind",
     "observers",
+    "namespace_quotas",
+    "_ns_inflight",
 )
 class Scheduler:
     """Shared scheduling core in front of a pluggable executor backend."""
@@ -327,6 +395,13 @@ class Scheduler:
         #: Registered :class:`SchedulerObserver` hooks (capture recorder,
         #: online checker). Appended to directly; order is call order.
         self.observers: List[SchedulerObserver] = []
+        #: Per-namespace hard admission quotas (max in-flight actions);
+        #: set via :meth:`set_namespace_quota`. Streams in the empty
+        #: namespace are never quota-checked.
+        self.namespace_quotas: Dict[str, int] = {}
+        #: Live in-flight action count per (non-empty) namespace; the
+        #: counter behind the quota check and the per-tenant metrics.
+        self._ns_inflight: Dict[str, int] = {}
 
     # -- stream registry ------------------------------------------------------
 
@@ -388,8 +463,13 @@ class Scheduler:
         assert stream is not None
         with self._lock:
             if self.failure_policy == "fail_fast":
-                # Refuse new work outright once anything failed.
-                self.failure.raise_pending()
+                # Refuse new work outright once anything failed — in the
+                # enqueueing stream's namespace only, when it has one:
+                # one tenant's fail_fast never rejects another's work.
+                self.failure.raise_pending(
+                    namespace=stream.namespace or None
+                )
+            self._check_quota(stream)
             now = backend.now()
             # Intra-stream policy dependences come back as live actions;
             # the list is ours, so it doubles as the observer-facing
@@ -426,7 +506,10 @@ class Scheduler:
         assert action.stream is not None
         with self._lock:
             if self.failure_policy == "fail_fast":
-                self.failure.raise_pending()
+                self.failure.raise_pending(
+                    namespace=action.stream.namespace or None
+                )
+            self._check_quota(action.stream)
             now = backend.now()
             get_node = self.graph.get
             dep_nodes = [
@@ -440,6 +523,44 @@ class Scheduler:
         if ready:
             backend.execute(action)
         return action.completion
+
+    def set_namespace_quota(self, namespace: str, limit: Optional[int]) -> None:
+        """Cap a namespace's in-flight actions at ``limit`` (None clears).
+
+        The hard backstop behind the service tier's admission window:
+        an enqueue into a stream of this namespace raises
+        :class:`~repro.core.errors.HStreamsQuotaExceeded` once ``limit``
+        actions are in flight, instead of growing the window unboundedly.
+        """
+        if not namespace:
+            raise HStreamsBadArgument("namespace quotas need a non-empty namespace")
+        if limit is not None and limit < 1:
+            raise HStreamsBadArgument(f"quota for {namespace!r} must be >= 1")
+        with self._lock:
+            if limit is None:
+                self.namespace_quotas.pop(namespace, None)
+            else:
+                self.namespace_quotas[namespace] = limit
+
+    @caller_locked("_lock")
+    def _check_quota(self, stream: "Stream") -> None:
+        """Reject admission when the stream namespace's quota is full."""
+        ns = stream.namespace
+        if not ns or not self.namespace_quotas:
+            return
+        limit = self.namespace_quotas.get(ns)
+        if limit is not None and self._ns_inflight.get(ns, 0) >= limit:
+            from repro.core.errors import HStreamsQuotaExceeded
+
+            raise HStreamsQuotaExceeded(
+                f"namespace {ns!r} has {limit} action(s) in flight "
+                "(its quota); synchronize or defer before enqueueing more"
+            )
+
+    def namespace_inflight(self, namespace: str) -> int:
+        """Current in-flight action count of ``namespace``."""
+        with self._lock:
+            return self._ns_inflight.get(namespace, 0)
 
     def window_producers(self, stream, probe: "Action") -> List["Action"]:
         """Live in-window producers a hypothetical ``probe`` would follow.
@@ -548,6 +669,10 @@ class Scheduler:
             stats.depth += count
             if stats.depth > stats.max_depth:
                 stats.max_depth = stats.depth
+            if stream.namespace:
+                self._ns_inflight[stream.namespace] = (
+                    self._ns_inflight.get(stream.namespace, 0) + count
+                )
             tracer.counter(f"sched:{stream.lane}", now, stats.depth)
         return ready
 
@@ -643,6 +768,10 @@ class Scheduler:
         stats.depth += 1
         if stats.depth > stats.max_depth:
             stats.max_depth = stats.depth
+        if stream.namespace:
+            self._ns_inflight[stream.namespace] = (
+                self._ns_inflight.get(stream.namespace, 0) + 1
+            )
         self._totals["enqueued"] += 1
         self._outstanding += 1
         self.runtime.tracer.counter(f"sched:{stream.lane}", now, stats.depth)
@@ -759,7 +888,12 @@ class Scheduler:
                     node.transition(ActionState.READY)
                     node.t_start = None
                 else:
-                    self.failure.record(error)
+                    self.failure.record(
+                        error,
+                        namespace=(
+                            action.stream.namespace if action.stream else ""
+                        ),
+                    )
                     node.t_end = end
                     node.error = error
                     node.transition(ActionState.FAILED)
@@ -807,6 +941,8 @@ class Scheduler:
         stream.window.retire(action)
         stats = self._stream_stats(stream)
         stats.depth -= 1
+        if stream.namespace:
+            self._ns_inflight[stream.namespace] -= 1
         self.runtime.tracer.counter(f"sched:{stream.lane}", end, stats.depth)
         failed = node.state is not ActionState.COMPLETE
         if failed:
@@ -821,8 +957,20 @@ class Scheduler:
                 self.failure_policy == "fail_fast"
                 and node.state is ActionState.FAILED
             ):
+                # Graph-wide cancellation stops at the namespace border:
+                # a tenant's fail_fast takes down that tenant's pending
+                # work, never another tenant's (or the shared default
+                # namespace's). Classic runtimes (ns == "") keep the
+                # original everything-cancels semantics.
+                ns = stream.namespace
                 for other in self.graph.nodes():
-                    if other.state is ActionState.ENQUEUED:
+                    if other.state is ActionState.ENQUEUED and (
+                        not ns
+                        or (
+                            other.action.stream is not None
+                            and other.action.stream.namespace == ns
+                        )
+                    ):
                         self._cancel_subgraph(other, root, end)
         else:
             for dep_node in node.dependents:
@@ -951,15 +1099,29 @@ class Scheduler:
                     )
                 self._idle.wait(remaining)
 
-    def clear_failure(self) -> List[BaseException]:
+    def clear_failure(
+        self, namespace: Optional[str] = None
+    ) -> List[BaseException]:
         """Reset the failure ledger and the poison tombstones.
 
         After this, new enqueues no longer poison against past failures
         and host waits stop re-raising. Returns the dropped errors.
+        With ``namespace`` given, only that namespace's ledger entries
+        and tombstones drop — other tenants stay poisoned.
         """
         with self._lock:
-            self._poisoned.clear()
-            return self.failure.clear()
+            if namespace is None:
+                self._poisoned.clear()
+            else:
+                self._poisoned = {
+                    seq: entry
+                    for seq, entry in self._poisoned.items()
+                    if not (
+                        entry[0].stream is not None
+                        and entry[0].stream.namespace == namespace
+                    )
+                }
+            return self.failure.clear(namespace)
 
     def inflight_touching(
         self, buf: "Buffer", domain: Optional[int] = None
@@ -1074,6 +1236,18 @@ class Scheduler:
                     f"stream {stats.stream.name!r}"
                 )
             )
+        per_ns: Dict[str, int] = {}
+        for node in nodes:
+            stream = node.action.stream
+            if stream is not None and stream.namespace:
+                per_ns[stream.namespace] = per_ns.get(stream.namespace, 0) + 1
+        for ns, counted in self._ns_inflight.items():
+            live_here = per_ns.get(ns, 0)
+            if counted != live_here:
+                problems.append(
+                    f"namespace {ns!r} in-flight counter {counted} but "
+                    f"{live_here} live node(s)"
+                )
         return problems
 
     # -- metrics --------------------------------------------------------------------------
@@ -1112,5 +1286,43 @@ class Scheduler:
                 "streams": {
                     sid: stats.snapshot() for sid, stats in self._streams.items()
                 },
+                "namespaces": self._namespace_metrics(),
                 "records": list(self._records),
             }
+
+    @caller_locked("_lock")
+    def _namespace_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """Per-namespace aggregates over the namespace's streams.
+
+        Empty-namespace streams (the classic single-user runtime) are
+        not aggregated — the block exists for the multi-tenant service
+        tier, where each tenant session owns one namespace.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for stats in self._streams.values():
+            ns = stats.stream.namespace
+            if not ns:
+                continue
+            agg = out.get(ns)
+            if agg is None:
+                agg = out[ns] = {
+                    "streams": 0,
+                    "enqueued": 0,
+                    "completed": 0,
+                    "failed": 0,
+                    "cancelled": 0,
+                    "retried": 0,
+                    "dep_stall_s": 0.0,
+                    "exec_s": 0.0,
+                    "in_flight": self._ns_inflight.get(ns, 0),
+                    "quota": self.namespace_quotas.get(ns),
+                }
+            agg["streams"] += 1
+            agg["enqueued"] += stats.enqueued
+            agg["completed"] += stats.completed
+            agg["failed"] += stats.failed
+            agg["cancelled"] += stats.cancelled
+            agg["retried"] += stats.retried
+            agg["dep_stall_s"] += stats.dep_stall_s
+            agg["exec_s"] += stats.exec_s
+        return out

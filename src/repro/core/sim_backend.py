@@ -251,6 +251,7 @@ class SimBackend(Backend):
         events: List[HEvent],
         wait_all: bool = True,
         timeout: Optional[float] = None,
+        scope: Optional[str] = None,
     ) -> None:
         failure = self.runtime.scheduler.failure
         handles = [e.handle for e in events]
@@ -264,35 +265,37 @@ class SimBackend(Backend):
             self.engine.run_until_event(target, until=self._host_now + timeout)
             if not target.triggered:
                 self._host_now = max(self._host_now, self.engine.now)
-                failure.raise_pending()
+                failure.raise_pending(namespace=scope)
                 raise HStreamsTimedOut(
                     f"virtual wait exceeded {timeout} s for {len(events)} event(s)"
                 )
         else:
             self.engine.run_until_event(target)
         self._host_now = max(self._host_now, self.engine.now)
-        failure.raise_pending()
+        failure.raise_pending(namespace=scope)
 
-    def wait_all(self, timeout: Optional[float] = None) -> None:
+    def wait_all(
+        self, timeout: Optional[float] = None, scope: Optional[str] = None
+    ) -> None:
         failure = self.runtime.scheduler.failure
         if timeout is not None:
             deadline = self._host_now + timeout
             self.engine.run_to(deadline)
             if self.runtime.scheduler.outstanding > 0:
                 self._host_now = deadline
-                failure.raise_pending()
+                failure.raise_pending(namespace=scope)
                 raise HStreamsTimedOut(
                     f"virtual wait_all exceeded {timeout} s with "
                     f"{self.runtime.scheduler.outstanding} action(s) outstanding"
                 )
             self._host_now = max(self._host_now, self.engine.now)
-            failure.raise_pending()
+            failure.raise_pending(namespace=scope)
             return
         self.engine.run()
         self._host_now = max(self._host_now, self.engine.now)
         # A recorded failure explains the drain better than the
         # dependents it poisoned ever could — surface it first.
-        failure.raise_pending()
+        failure.raise_pending(namespace=scope)
         stalled = self.runtime.scheduler.find_stalled()
         if stalled:
             names = ", ".join(repr(a.display) for a in stalled[:8])

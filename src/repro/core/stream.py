@@ -31,6 +31,7 @@ class Stream:
         cpu_mask: Tuple[int, ...],
         strict_fifo: bool = False,
         name: str = "",
+        namespace: str = "",
     ):
         if not cpu_mask:
             raise HStreamsBadArgument("a stream needs at least one CPU in its mask")
@@ -41,6 +42,12 @@ class Stream:
         self.cpu_mask = tuple(cpu_mask)
         self.strict_fifo = strict_fifo
         self.name = name or f"s{stream_id}"
+        #: Isolation namespace (multi-tenant service tier): failures in
+        #: one namespace never surface at another namespace's waits, the
+        #: scheduler's per-namespace quotas count against it, and
+        #: ``metrics()["namespaces"]`` aggregates by it. The empty
+        #: default is the classic single-user runtime: fully shared.
+        self.namespace = namespace
         # The window view picks the stream's FIFO policy: strict_fifo
         # selects StrictFifoPolicy (CUDA-Streams in-order execution as a
         # scheduler policy, not a special case), else operand relaxation.

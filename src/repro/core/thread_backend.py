@@ -242,34 +242,46 @@ class ThreadBackend(Backend):
 
     # -- waiting --------------------------------------------------------------------------
 
-    def _raise_pending_error(self) -> None:
+    def _raise_pending_error(self, scope: Optional[str] = None) -> None:
         """Surface run failures: first error raised, rest attached.
 
         Sticky — every synchronization keeps raising until the caller
-        invokes ``HStreams.clear_failure()``.
+        invokes ``HStreams.clear_failure()``. With ``scope`` given,
+        only that namespace's failures surface (tenant isolation).
         """
-        self.runtime.scheduler.failure.raise_pending()
+        self.runtime.scheduler.failure.raise_pending(namespace=scope)
 
     def wait_events(
         self,
         events: list,
         wait_all: bool = True,
         timeout: Optional[float] = None,
+        scope: Optional[str] = None,
     ) -> None:
         failure = self.runtime.scheduler.failure
         # A pending failure satisfies the wait immediately: the awaited
         # events may belong to dead producers and never fire (e.g. under
         # fail_fast). The failure is raised by _raise_pending_error after
-        # the loop, exactly as the old poll loops surfaced it.
+        # the loop, exactly as the old poll loops surfaced it. A scoped
+        # wait only unblocks on its own namespace's failures — but a
+        # scoped tenant's events can only be cancelled by failures in
+        # that same namespace (poisoning never crosses the border), so
+        # the events still fire and the wait still returns.
+        if scope is None:
+            def failed() -> bool:
+                return failure.failed
+        else:
+            def failed() -> bool:
+                return failure.failed_in(scope)
         if wait_all:
             def satisfied() -> bool:
-                return failure.failed or all(
+                return failed() or all(
                     ev.handle.is_set() for ev in events
                 )
         else:
             def satisfied() -> bool:
                 return (
-                    failure.failed
+                    failed()
                     or not events
                     or any(ev.handle.is_set() for ev in events)
                 )
@@ -286,11 +298,13 @@ class ThreadBackend(Backend):
                         f"{len(events)} event(s)"
                     )
                 self._completion_cv.wait(remaining)
-        self._raise_pending_error()
+        self._raise_pending_error(scope)
 
-    def wait_all(self, timeout: Optional[float] = None) -> None:
+    def wait_all(
+        self, timeout: Optional[float] = None, scope: Optional[str] = None
+    ) -> None:
         self.runtime.scheduler.wait_idle(timeout)
-        self._raise_pending_error()
+        self._raise_pending_error(scope)
 
     def now(self) -> float:
         return time.perf_counter() - self._t0

@@ -1,0 +1,48 @@
+"""Multi-tenant async streaming service front-end.
+
+The service tier turns one :class:`~repro.core.runtime.HStreams`
+runtime — a shared pool of domains, streams, and buffers — into a
+front-end that thousands of concurrent client sessions can share
+safely:
+
+* each session's streams live in its tenant's *namespace* (see
+  ``HStreams.stream_create(namespace=...)``): one tenant's poisoned
+  graph never cancels another's, failures ledger per tenant, and
+  ``metrics()["namespaces"]`` reports tenants separately;
+* admission control in front of the scheduler — per-tenant concurrency
+  windows, weighted fair queuing across tenants, and bounded deferral
+  queues whose overflow is an HTTP-429-style
+  :class:`~repro.service.admission.TenantRejected`;
+* a scheduler-side namespace quota as the backstop behind the
+  admission window, so a buggy bypass still cannot monopolize the
+  runtime.
+
+Layering: :mod:`repro.service.admission` is the pure, backend-free
+weighted-fair-queuing core (also driven standalone by the
+million-session load replay in :mod:`repro.service.loadgen`);
+:mod:`repro.service.session` binds admission tickets to namespaced
+streams; :mod:`repro.service.server` is the asyncio front-end plus a
+JSON-lines Unix-socket transport.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    ServiceError,
+    SessionClosed,
+    TenantRejected,
+    Ticket,
+)
+from repro.service.server import StreamService, serve_unix
+from repro.service.session import Session, Submission
+
+__all__ = [
+    "AdmissionController",
+    "ServiceError",
+    "SessionClosed",
+    "TenantRejected",
+    "Ticket",
+    "StreamService",
+    "serve_unix",
+    "Session",
+    "Submission",
+]

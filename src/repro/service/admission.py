@@ -1,0 +1,339 @@
+"""Weighted-fair admission control for the multi-tenant service tier.
+
+The controller decides, per request, one of three outcomes:
+
+* **admit** — a global capacity slot and a per-tenant window slot are
+  both free: the request may enqueue onto the runtime immediately;
+* **queue** — no slot (or the tenant already has queued work): the
+  request waits in its tenant's FIFO deferral queue and is promoted
+  later in weighted-fair order;
+* **reject** — the tenant's deferral queue is full: the HTTP-429
+  analogue, surfaced as :class:`TenantRejected`.
+
+Fairness is start-time fair queuing (SFQ): every request gets a virtual
+*start tag* ``max(tenant.vfinish, V)`` where ``V`` is the controller's
+virtual time, and the tenant's virtual finish advances by
+``cost / weight``. Promotion always picks the eligible queued request
+with the smallest tag, so over any backlogged interval tenant
+throughput converges to the weight ratio regardless of offered load —
+one tenant submitting 10x faster cannot take 10x the slots.
+
+The core is deliberately synchronous and backend-free: the asyncio
+front-end (:mod:`repro.service.server`) calls it only from the event
+loop thread, and the million-session load replay
+(:mod:`repro.service.loadgen`) drives it directly under a heap-based
+virtual clock. It therefore needs no lock; single-threaded ownership is
+part of the contract.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = [
+    "ServiceError",
+    "TenantRejected",
+    "SessionClosed",
+    "Ticket",
+    "AdmissionController",
+]
+
+
+class ServiceError(Exception):
+    """Base class for service-tier failures."""
+
+
+class TenantRejected(ServiceError):
+    """A tenant's deferral queue is full: back off and retry (HTTP 429).
+
+    Carries the tenant name and the queue depth at rejection so
+    transports can surface a meaningful retry hint.
+    """
+
+    def __init__(self, tenant: str, queued: int, limit: int):
+        super().__init__(
+            f"tenant {tenant!r} rejected: {queued} request(s) already "
+            f"deferred (queue_limit={limit})"
+        )
+        self.tenant = tenant
+        self.queued = queued
+        self.limit = limit
+
+
+class SessionClosed(ServiceError):
+    """An operation was attempted on a closed session."""
+
+
+class Ticket:
+    """One admission request's journey through the controller.
+
+    ``state`` is one of ``"queued"``, ``"admitted"``, ``"released"``,
+    or ``"cancelled"`` (rejected requests never get a ticket — the
+    submit raises instead). ``t_submit`` / ``t_admit`` are on the
+    caller's clock and give the admission latency the load replay
+    reports; ``tag`` is the SFQ virtual start tag.
+    """
+
+    __slots__ = (
+        "tenant",
+        "cost",
+        "tag",
+        "state",
+        "t_submit",
+        "t_admit",
+        "data",
+    )
+
+    def __init__(self, tenant: str, cost: float, tag: float, t_submit: float):
+        self.tenant = tenant
+        self.cost = cost
+        self.tag = tag
+        self.state = "queued"
+        self.t_submit = t_submit
+        self.t_admit: Optional[float] = None
+        #: Caller scratch (the async layer parks its wakeup future here,
+        #: the load replay its session record).
+        self.data: Any = None
+
+    @property
+    def admit_latency(self) -> float:
+        """Seconds spent between submit and admission (0 if immediate)."""
+        if self.t_admit is None:
+            return 0.0
+        return self.t_admit - self.t_submit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Ticket {self.tenant} {self.state} tag={self.tag:.6f}>"
+
+
+class _Tenant:
+    """Per-tenant admission state."""
+
+    __slots__ = (
+        "name",
+        "weight",
+        "window",
+        "queue_limit",
+        "inflight",
+        "vfinish",
+        "queue",
+        "admitted",
+        "released",
+        "rejected",
+        "queued_total",
+        "queue_peak",
+        "admit_wait_s",
+    )
+
+    def __init__(
+        self, name: str, weight: float, window: Optional[int], queue_limit: int
+    ):
+        self.name = name
+        self.weight = weight
+        self.window = window
+        self.queue_limit = queue_limit
+        self.inflight = 0
+        self.vfinish = 0.0
+        self.queue: Deque[Ticket] = deque()
+        self.admitted = 0
+        self.released = 0
+        self.rejected = 0
+        self.queued_total = 0
+        self.queue_peak = 0
+        #: Cumulative admission-wait seconds across admitted tickets.
+        self.admit_wait_s = 0.0
+
+    def has_window(self) -> bool:
+        return self.window is None or self.inflight < self.window
+
+
+class AdmissionController:
+    """SFQ admission over a global capacity and per-tenant windows."""
+
+    def __init__(
+        self,
+        capacity: int,
+        default_window: Optional[int] = None,
+        default_queue_limit: int = 1024,
+    ):
+        if capacity < 1:
+            raise ValueError("admission capacity must be >= 1")
+        if default_window is not None and default_window < 1:
+            raise ValueError("tenant window must be >= 1 (or None)")
+        if default_queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.capacity = capacity
+        self.default_window = default_window
+        self.default_queue_limit = default_queue_limit
+        self.inflight = 0
+        self._vtime = 0.0
+        self._tenants: Dict[str, _Tenant] = {}
+
+    # -- tenants ---------------------------------------------------------------
+
+    def register(
+        self,
+        tenant: str,
+        weight: float = 1.0,
+        window: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+    ) -> None:
+        """Declare a tenant's fair-share weight and limits.
+
+        Unknown tenants are auto-registered with defaults at first
+        submit; registering twice updates weight/limits in place (the
+        existing backlog keeps its tags).
+        """
+        if weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+        if window is not None and window < 1:
+            raise ValueError("tenant window must be >= 1 (or None)")
+        state = self._tenants.get(tenant)
+        if state is None:
+            self._tenants[tenant] = _Tenant(
+                tenant,
+                weight,
+                window if window is not None else self.default_window,
+                queue_limit
+                if queue_limit is not None
+                else self.default_queue_limit,
+            )
+            return
+        state.weight = weight
+        if window is not None:
+            state.window = window
+        if queue_limit is not None:
+            state.queue_limit = queue_limit
+
+    def tenants(self) -> List[str]:
+        """Registered tenant names, registration-ordered."""
+        return list(self._tenants)
+
+    def _tenant(self, name: str) -> _Tenant:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _Tenant(
+                name, 1.0, self.default_window, self.default_queue_limit
+            )
+            self._tenants[name] = state
+        return state
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(self, tenant: str, cost: float = 1.0, now: float = 0.0) -> Ticket:
+        """Request admission for one unit of work of weight-scaled ``cost``.
+
+        Returns a :class:`Ticket` in state ``"admitted"`` (run it now)
+        or ``"queued"`` (wait for :meth:`release` to promote it).
+        Raises :class:`TenantRejected` when the tenant's deferral queue
+        is full.
+        """
+        if cost <= 0:
+            raise ValueError("admission cost must be > 0")
+        state = self._tenant(tenant)
+        # Per-tenant FIFO: a request never overtakes its tenant's own
+        # backlog, even when a slot is free.
+        immediate = (
+            not state.queue and self.inflight < self.capacity and state.has_window()
+        )
+        if not immediate and len(state.queue) >= state.queue_limit:
+            # Reject BEFORE charging virtual time: a rejected request
+            # consumed no service, and advancing vfinish for it would
+            # push the tenant's future tags ever later — a positive
+            # feedback loop that starves exactly the tenants already
+            # being throttled.
+            state.rejected += 1
+            raise TenantRejected(tenant, len(state.queue), state.queue_limit)
+        tag = max(state.vfinish, self._vtime)
+        state.vfinish = tag + cost / state.weight
+        ticket = Ticket(tenant, cost, tag, now)
+        if immediate:
+            self._admit(state, ticket, now)
+            return ticket
+        state.queue.append(ticket)
+        state.queued_total += 1
+        if len(state.queue) > state.queue_peak:
+            state.queue_peak = len(state.queue)
+        return ticket
+
+    def _admit(self, state: _Tenant, ticket: Ticket, now: float) -> None:
+        ticket.state = "admitted"
+        ticket.t_admit = now
+        state.inflight += 1
+        state.admitted += 1
+        state.admit_wait_s += ticket.admit_latency
+        self.inflight += 1
+        if ticket.tag > self._vtime:
+            self._vtime = ticket.tag
+
+    def release(self, ticket: Ticket, now: float = 0.0) -> List[Ticket]:
+        """Finish an admitted ticket and promote deferred work.
+
+        Returns the tickets promoted into the freed capacity, in
+        weighted-fair order — the caller is responsible for actually
+        running them (the async layer wakes their futures; the load
+        replay schedules their completions).
+        """
+        if ticket.state != "admitted":
+            raise ValueError(f"release of {ticket.state} ticket")
+        ticket.state = "released"
+        state = self._tenant(ticket.tenant)
+        state.inflight -= 1
+        state.released += 1
+        self.inflight -= 1
+        return self._promote(now)
+
+    def cancel(self, ticket: Ticket) -> bool:
+        """Withdraw a queued ticket (session close). False if not queued."""
+        if ticket.state != "queued":
+            return False
+        state = self._tenant(ticket.tenant)
+        try:
+            state.queue.remove(ticket)
+        except ValueError:
+            return False
+        ticket.state = "cancelled"
+        return True
+
+    def _promote(self, now: float) -> List[Ticket]:
+        """Fill free capacity from tenant queues in SFQ tag order."""
+        promoted: List[Ticket] = []
+        while self.inflight < self.capacity:
+            best: Optional[_Tenant] = None
+            for state in self._tenants.values():
+                if not state.queue or not state.has_window():
+                    continue
+                if best is None or state.queue[0].tag < best.queue[0].tag:
+                    best = state
+            if best is None:
+                break
+            ticket = best.queue.popleft()
+            self._admit(best, ticket, now)
+            promoted.append(ticket)
+        return promoted
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters for ``StreamService.metrics()`` and the load report."""
+        tenants = {}
+        for state in self._tenants.values():
+            tenants[state.name] = {
+                "weight": state.weight,
+                "window": state.window,
+                "queue_limit": state.queue_limit,
+                "inflight": state.inflight,
+                "queued": len(state.queue),
+                "queue_peak": state.queue_peak,
+                "admitted": state.admitted,
+                "released": state.released,
+                "rejected": state.rejected,
+                "queued_total": state.queued_total,
+                "admit_wait_s": state.admit_wait_s,
+            }
+        return {
+            "capacity": self.capacity,
+            "inflight": self.inflight,
+            "tenants": tenants,
+        }

@@ -1,0 +1,441 @@
+"""Synthetic load traces and the million-session virtual-time replay.
+
+CI cannot stand up a million real client connections, but it does not
+need to: admission behavior at traffic scale — p99 admission latency,
+cross-tenant fairness, 429 volume — is a property of the
+:class:`~repro.service.admission.AdmissionController` under a given
+arrival/service process, and both sides of that are deterministic here.
+The replay drives the *real* controller (the same object the asyncio
+front-end uses, not a model of it) with a heap-based discrete-event
+simulation in virtual time: a million sessions replay in seconds of
+CPU and zero wall-clock waiting, and every reported number is exactly
+reproducible from the seed.
+
+Two modes:
+
+* :func:`replay` — the full-scale admission replay described above;
+  emits ``BENCH_perf.json``-schema rows whose deterministic counters
+  (p50/p99 admission latency in virtual µs, weighted max/min fairness,
+  reject/complete counts) gate in CI via the existing
+  :func:`repro.bench.perf.check_rows` checker against a committed
+  baseline.
+* :func:`replay_end_to_end` — a smaller slice of the same trace driven
+  through the real :class:`~repro.service.server.StreamService` on the
+  sim backend: sessions, namespaced streams, the scheduler, quotas, and
+  the completion bridge all in the loop, still in virtual time. Its
+  rows are informational (asyncio interleaving is not a counter), but
+  the run asserts the service-level invariants — everything admitted
+  completes, no tenant's ledger leaks into another's.
+
+The offered load deliberately exceeds capacity (~35 % overload at the
+defaults): fairness and tail latency only mean something under
+contention, and a saturated WFQ system reaches a deterministic steady
+state that makes stable gated counters.
+
+CLI::
+
+    python -m repro.service.loadgen [--sessions 1000000] [--tenants 8]
+        [--seed 42] [--e2e 2000] [--json PATH] [--report PATH]
+        [--check BASELINE.json] [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import heapq
+import json
+import random
+import sys
+from array import array
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.perf import (
+    GATED_UNIT,
+    PerfRow,
+    check_rows,
+    format_rows,
+    rows_from_json,
+    rows_to_json,
+)
+from repro.service.admission import AdmissionController, TenantRejected
+
+__all__ = [
+    "Trace",
+    "make_trace",
+    "replay",
+    "replay_end_to_end",
+    "main",
+]
+
+#: Half the tenants are premium (double weight): the fairness row then
+#: checks *weighted* throughput, not just symmetric round-robin.
+def tenant_weights(ntenants: int) -> List[float]:
+    return [2.0 if i < ntenants // 2 else 1.0 for i in range(ntenants)]
+
+
+class Trace:
+    """A generated arrival trace, column-major for footprint.
+
+    ``arrive[i]`` (virtual s), ``tenant[i]`` (index), ``cost[i]``
+    (virtual service seconds) describe session ``i``'s single request.
+    A million sessions fit in ~17 MB this way; a list of objects would
+    be an order of magnitude more.
+    """
+
+    __slots__ = ("arrive", "tenant", "cost", "ntenants", "seed")
+
+    def __init__(self, ntenants: int, seed: int):
+        self.arrive = array("d")
+        self.tenant = array("H")
+        self.cost = array("d")
+        self.ntenants = ntenants
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.arrive)
+
+
+def make_trace(
+    sessions: int,
+    ntenants: int = 8,
+    seed: int = 42,
+    mean_gap_s: float = 3.5e-6,
+    mean_cost_s: float = 1.2e-3,
+) -> Trace:
+    """Deterministic synthetic trace: Poisson arrivals, skewed tenants.
+
+    Arrivals are exponential gaps around ``mean_gap_s``; the tenant of
+    each session is drawn uniformly, so under the deliberate overload
+    every tenant stays backlogged and measured throughput is purely
+    what the weighted fair queue awards — the premium tenants' 2x
+    weight (see :func:`tenant_weights`) is the asymmetry the fairness
+    row checks. Service cost is uniform in ``[0.5, 1.5) *
+    mean_cost_s``. Only ``random()`` and ``expovariate`` are drawn —
+    both bit-stable across the CPython versions CI runs.
+    """
+    if ntenants < 2:
+        raise ValueError("need at least 2 tenants for a fairness measure")
+    rng = random.Random(seed)
+    trace = Trace(ntenants, seed)
+    arrive = trace.arrive
+    tenant = trace.tenant
+    cost = trace.cost
+    now = 0.0
+    expovariate = rng.expovariate
+    rand = rng.random
+    rate = 1.0 / mean_gap_s
+    for _ in range(sessions):
+        now += expovariate(rate)
+        arrive.append(now)
+        tenant.append(int(rand() * ntenants))
+        cost.append(mean_cost_s * (0.5 + rand()))
+    return trace
+
+
+def replay(
+    trace: Trace,
+    capacity: int = 256,
+    window: int = 64,
+    queue_limit: int = 256,
+) -> Dict[str, Any]:
+    """Replay a trace through the admission controller in virtual time.
+
+    A two-source event merge: arrivals come pre-sorted from the trace,
+    completions from a heap. Admission latency is recorded per ticket
+    (0 for immediate admits); each completion releases its slot, and
+    whatever the controller promotes gets a completion scheduled in
+    turn — exactly the coupling the live service has, minus the
+    scheduler underneath.
+    """
+    ntenants = trace.ntenants
+    controller = AdmissionController(
+        capacity, default_window=window, default_queue_limit=queue_limit
+    )
+    weights = tenant_weights(ntenants)
+    names = [f"t{i}" for i in range(ntenants)]
+    for name, weight in zip(names, weights):
+        controller.register(name, weight=weight)
+
+    latencies = array("d")
+    completed = [0] * ntenants
+    rejected = [0] * ntenants
+    heap: List[Any] = []  # (finish_time, seq, tenant_idx, ticket)
+    seq = 0
+    submit = controller.submit
+    release = controller.release
+    push = heapq.heappush
+    pop = heapq.heappop
+    arrive = trace.arrive
+    tenant = trace.tenant
+    cost = trace.cost
+    n = len(trace)
+    i = 0
+    t_end = 0.0
+    while i < n or heap:
+        if i < n and (not heap or arrive[i] <= heap[0][0]):
+            now = arrive[i]
+            idx = tenant[i]
+            c = cost[i]
+            i += 1
+            try:
+                ticket = submit(names[idx], cost=c, now=now)
+            except TenantRejected:
+                rejected[idx] += 1
+                continue
+            if ticket.state == "admitted":
+                seq += 1
+                push(heap, (now + c, seq, idx, ticket))
+            else:
+                ticket.data = (idx, c)
+        else:
+            now, _, idx, ticket = pop(heap)
+            t_end = now
+            completed[idx] += 1
+            # One latency sample per admitted ticket, recorded at its
+            # completion pop — admit_latency is frozen at admission, so
+            # immediate admits contribute 0 and promoted tickets their
+            # queue wait.
+            latencies.append(ticket.admit_latency)
+            for promoted in release(ticket, now=now):
+                pidx, pc = promoted.data
+                seq += 1
+                push(heap, (now + pc, seq, pidx, promoted))
+
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    weighted = [
+        completed[i] / weights[i] for i in range(ntenants) if completed[i] > 0
+    ]
+    fairness = max(weighted) / min(weighted) if weighted else 0.0
+    snap = controller.snapshot()
+    return {
+        "sessions": n,
+        "tenants": {
+            names[i]: {
+                "weight": weights[i],
+                "completed": completed[i],
+                "rejected": rejected[i],
+                "admission": snap["tenants"].get(names[i], {}),
+            }
+            for i in range(ntenants)
+        },
+        "completed": sum(completed),
+        "rejected": sum(rejected),
+        "p50_admit_s": pct(0.50),
+        "p99_admit_s": pct(0.99),
+        "fairness": fairness,
+        "makespan_s": t_end,
+    }
+
+
+def replay_rows(result: Dict[str, Any], label: str) -> List[PerfRow]:
+    """Fold a replay result into gated ``BENCH_perf.json`` rows.
+
+    Latencies gate in integer virtual microseconds and fairness as
+    ``round(ratio * 100)`` — virtual time is deterministic, so these
+    are stable counters, and the usual lower-is-better tolerance gives
+    them headroom against intentional retuning.
+    """
+    n = result["sessions"]
+    bench = f"service_load:{label}"
+    return [
+        PerfRow(bench, "p50_admit_vus", round(result["p50_admit_s"] * 1e6),
+                GATED_UNIT, n, "admission"),
+        PerfRow(bench, "p99_admit_vus", round(result["p99_admit_s"] * 1e6),
+                GATED_UNIT, n, "admission"),
+        PerfRow(bench, "fairness_x100", round(result["fairness"] * 100),
+                GATED_UNIT, n, "admission"),
+        PerfRow(bench, "rejected", result["rejected"], GATED_UNIT, n, "admission"),
+        PerfRow(bench, "incomplete", n - result["completed"] - result["rejected"],
+                GATED_UNIT, n, "admission"),
+        PerfRow(bench, "makespan_vs", result["makespan_s"], "s", n, "admission"),
+    ]
+
+
+# -- end-to-end slice over the real service -----------------------------------
+
+
+def _svc_kernel(*_args) -> None:
+    """No-op service kernel (module-level: picklable for parity runs)."""
+
+
+async def _run_end_to_end(
+    trace: Trace, sessions: int, capacity: int, window: int
+) -> Dict[str, Any]:
+    from repro.core.runtime import HStreams
+    from repro.service.server import StreamService
+    from repro.sim.kernels import KernelCost
+
+    hs = HStreams(backend="sim", trace=False)
+    service = StreamService(
+        hs, capacity=capacity, tenant_window=window, queue_limit=1 << 20
+    )
+    hs.register_kernel("svc", fn=_svc_kernel)
+    names = [f"t{i}" for i in range(trace.ntenants)]
+    weights = tenant_weights(trace.ntenants)
+    for name, weight in zip(names, weights):
+        service.register_tenant(name, weight=weight)
+
+    completed = 0
+
+    async def one_session(i: int) -> None:
+        nonlocal completed
+        tenant = names[trace.tenant[i]]
+        session = await service.session(tenant, domain=1)
+        # The exact virtual duration is immaterial here — any positive,
+        # trace-proportional cost exercises overlap and promotion.
+        sub = await session.submit(
+            "svc",
+            cost=KernelCost("svc", flops=trace.cost[i] * 1e9, size=1.0),
+            admission_cost=trace.cost[i],
+        )
+        await session.result(sub)
+        completed += 1
+        await session.close()
+
+    tasks = [asyncio.ensure_future(one_session(i)) for i in range(sessions)]
+    # Virtual time only advances inside waits: alternate giving the
+    # session coroutines a scheduling slot with kicking the engine so
+    # their completion futures resolve.
+    while not all(t.done() for t in tasks):
+        for _ in range(4):
+            await asyncio.sleep(0)
+        service._kick()
+    await asyncio.gather(*tasks)
+    metrics = service.metrics()
+    await service.close()
+    hs.fini()
+    return {
+        "sessions": sessions,
+        "completed": completed,
+        "inflight_after": metrics["inflight"],
+        "tenants": {
+            name: block["admission"] for name, block in metrics["tenants"].items()
+        },
+    }
+
+
+def replay_end_to_end(
+    trace: Trace, sessions: int, capacity: int = 32, window: int = 8
+) -> Dict[str, Any]:
+    """Drive a slice of the trace through the real service on sim.
+
+    Asserts the service-level invariants (everything admitted
+    completes, no admission slots leak) and returns the summary; rows
+    derived from it are informational.
+    """
+    sessions = min(sessions, len(trace))
+    result = asyncio.run(_run_end_to_end(trace, sessions, capacity, window))
+    if result["completed"] != sessions:
+        raise AssertionError(
+            f"end-to-end replay lost work: {result['completed']}/{sessions}"
+        )
+    if result["inflight_after"] != 0:
+        raise AssertionError(
+            f"admission slots leaked: {result['inflight_after']} in flight after drain"
+        )
+    return result
+
+
+def end_to_end_rows(result: Dict[str, Any]) -> List[PerfRow]:
+    n = result["sessions"]
+    bench = "service_load:e2e"
+    return [
+        PerfRow(bench, "completed", result["completed"], "actions", n, "sim"),
+        PerfRow(bench, "inflight_after", result["inflight_after"], "actions", n, "sim"),
+    ]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Synthetic trace generator + virtual-time load replay "
+        "(BENCH_service.json emitter + regression gate).",
+    )
+    parser.add_argument("--sessions", type=int, default=1_000_000)
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--capacity", type=int, default=256)
+    parser.add_argument("--window", type=int, default=64)
+    parser.add_argument("--queue-limit", type=int, default=256)
+    parser.add_argument(
+        "--e2e",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also drive N sessions end-to-end through the real service "
+        "on the sim backend (0 = skip)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write rows as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the full replay report (per-tenant detail) to PATH",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare gated counters against a baseline JSON file",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    trace = make_trace(args.sessions, ntenants=args.tenants, seed=args.seed)
+    result = replay(
+        trace,
+        capacity=args.capacity,
+        window=args.window,
+        queue_limit=args.queue_limit,
+    )
+    label = f"{args.sessions}s{args.tenants}t"
+    rows = replay_rows(result, label)
+
+    report: Dict[str, Any] = {"replay": result}
+    if args.e2e:
+        e2e = replay_end_to_end(trace, args.e2e)
+        rows.extend(end_to_end_rows(e2e))
+        report["end_to_end"] = e2e
+
+    if args.json == "-":
+        sys.stdout.write(rows_to_json(rows))
+    else:
+        print(format_rows(rows))
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(rows_to_json(rows))
+            print(f"\nwrote {args.json}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = rows_from_json(fh.read())
+        problems = check_rows(rows, baseline, tolerance=args.tolerance)
+        if problems:
+            print(
+                f"\nSERVICE GATE: {len(problems)} regression(s) vs {args.check}:",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        gated = sum(1 for r in rows if r.unit == GATED_UNIT)
+        print(f"\nservice gate ok: {gated} gated counter(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Client sessions: namespaced streams behind admission tickets.
+
+A :class:`Session` is one client's handle onto the shared runtime. Its
+streams are created in the owning tenant's namespace, so everything the
+core guarantees per namespace — scoped failure surfacing, scoped
+fail-fast cancellation, the in-flight quota backstop, the per-tenant
+metrics block — applies to all of a tenant's sessions collectively,
+while each session's streams (and the buffers it creates) stay private
+to it.
+
+Every ``submit`` passes through the service's
+:class:`~repro.service.admission.AdmissionController` *before* touching
+the scheduler: the award of an admission slot is what bounds a tenant's
+concurrency, and the slot is released when the action completes (in
+success, failure, or cancellation — a poisoned graph must not leak
+slots). The scheduler-side namespace quota sits behind the window as a
+backstop only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.admission import SessionClosed, Ticket
+
+__all__ = ["Session", "Submission"]
+
+
+class Submission:
+    """One admitted unit of work in flight on a session.
+
+    ``done`` resolves with the action's
+    :class:`~repro.core.graph.ActionRecord` when it reaches a terminal
+    state; await it via :meth:`Session.result` (which raises on
+    failure) or directly for raw records.
+    """
+
+    __slots__ = ("session", "ticket", "event", "done", "kernel")
+
+    def __init__(
+        self,
+        session: "Session",
+        ticket: Ticket,
+        event: Any,
+        done: "asyncio.Future",
+        kernel: str,
+    ):
+        self.session = session
+        self.ticket = ticket
+        self.event = event
+        self.done = done
+        self.kernel = kernel
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done.done() else "pending"
+        return f"<Submission {self.kernel} {self.session.tenant} {state}>"
+
+
+class Session:
+    """One client's namespaced slice of the shared runtime."""
+
+    def __init__(self, service, tenant: str, stream, session_id: int):
+        self._service = service
+        self.tenant = tenant
+        self.stream = stream
+        self.id = session_id
+        self.closed = False
+        self._inflight: Dict[int, Submission] = {}
+        self._waiting: List[Ticket] = []
+
+    # -- submission ------------------------------------------------------------
+
+    async def submit(
+        self,
+        kernel: str,
+        args: Sequence = (),
+        operands: Sequence = (),
+        cost: Optional[Any] = None,
+        admission_cost: float = 1.0,
+        label: str = "",
+    ) -> Submission:
+        """Admit, then enqueue, one compute task on this session's stream.
+
+        Waits (asynchronously) while the request is deferred behind the
+        tenant's window or the global capacity; raises
+        :class:`~repro.service.admission.TenantRejected` when the
+        tenant's deferral queue is full, and
+        :class:`~repro.service.admission.SessionClosed` if the session
+        closes while the request is still queued.
+        """
+        self._check_open()
+        svc = self._service
+        ticket = svc._admission.submit(
+            self.tenant, cost=admission_cost, now=svc._now()
+        )
+        if ticket.state != "admitted":
+            fut = svc._loop.create_future()
+            ticket.data = fut
+            self._waiting.append(ticket)
+            try:
+                await fut
+            finally:
+                if ticket in self._waiting:
+                    self._waiting.remove(ticket)
+            self._check_open()
+        try:
+            event = svc.runtime.enqueue_compute(
+                self.stream,
+                kernel,
+                args=args,
+                operands=operands,
+                cost=cost,
+                label=label or f"{self.tenant}/s{self.id}:{kernel}",
+            )
+        except BaseException:
+            # The slot was awarded but the work never reached the
+            # scheduler (bad kernel, quota backstop, poisoned enqueue):
+            # give the slot back or it leaks forever.
+            svc._release(ticket)
+            raise
+        done: "asyncio.Future" = svc._loop.create_future()
+        sub = Submission(self, ticket, event, done, kernel)
+        self._inflight[id(event.action)] = sub
+        svc._track(sub)
+        return sub
+
+    async def result(self, sub: Submission):
+        """Wait for one submission; raise on failure or cancellation."""
+        record = await sub.done
+        if record.state in ("failed", "cancelled"):
+            raise _to_service_error(self.tenant, record)
+        return record
+
+    async def drain(self) -> None:
+        """Wait for everything this session submitted so far.
+
+        Failures do *not* raise here — they stay in the tenant's
+        ledger (:meth:`errors`); a session drain is a barrier, not a
+        check. Use :meth:`result` per submission to observe failures.
+        """
+        pending = [s.done for s in self._inflight.values() if not s.done.done()]
+        self._service._kick()
+        if pending:
+            await asyncio.gather(*pending)
+
+    # -- observability ---------------------------------------------------------
+
+    def errors(self) -> List[BaseException]:
+        """This tenant's failure ledger (shared across its sessions)."""
+        return self._service.runtime.failure_errors(self.tenant)
+
+    def metrics(self) -> Dict[str, Any]:
+        """This tenant's service + runtime counters."""
+        return self._service.tenant_metrics(self.tenant)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionClosed(f"session {self.id} ({self.tenant}) is closed")
+
+    async def close(self) -> None:
+        """Drain this session's streams deterministically, then free them.
+
+        Queued (not yet admitted) requests are cancelled and their
+        waiters woken with :class:`SessionClosed`; admitted work is
+        awaited to completion, so the stream is quiescent before it is
+        destroyed — never torn down underneath a running kernel.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for ticket in list(self._waiting):
+            if self._service._admission.cancel(ticket):
+                fut = ticket.data
+                if fut is not None and not fut.done():
+                    fut.set_exception(
+                        SessionClosed(
+                            f"session {self.id} ({self.tenant}) closed while queued"
+                        )
+                    )
+        self._waiting.clear()
+        pending = [s.done for s in self._inflight.values() if not s.done.done()]
+        self._service._kick()
+        if pending:
+            await asyncio.gather(*pending)
+        self._service._destroy_session(self)
+
+
+def _to_service_error(tenant: str, record) -> Exception:
+    from repro.service.admission import ServiceError
+
+    err = ServiceError(
+        f"{tenant}: {record.kind} action finished {record.state}: {record.error}"
+    )
+    err.record = record  # type: ignore[attr-defined]
+    return err

@@ -23,7 +23,15 @@ def thread_runtime(**kw):
     return HStreams(platform=make_platform("HSW", 1), backend="thread", **kw)
 
 
-METRIC_KEYS = {"actions", "lifecycle", "by_kind", "streams", "records", "memory"}
+METRIC_KEYS = {
+    "actions",
+    "lifecycle",
+    "by_kind",
+    "streams",
+    "namespaces",
+    "records",
+    "memory",
+}
 
 
 class TestMetricsSim:

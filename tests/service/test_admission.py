@@ -1,0 +1,178 @@
+"""Unit tests for the weighted-fair admission controller."""
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    TenantRejected,
+)
+
+
+def drain_one(ctrl, ticket, now=0.0):
+    """Release one ticket, returning the promotions."""
+    return ctrl.release(ticket, now=now)
+
+
+class TestBasicAdmission:
+    def test_immediate_admit_under_capacity(self):
+        ctrl = AdmissionController(capacity=2)
+        t1 = ctrl.submit("a", now=1.0)
+        t2 = ctrl.submit("a", now=2.0)
+        assert t1.state == "admitted" and t2.state == "admitted"
+        assert t1.admit_latency == 0.0
+        assert ctrl.inflight == 2
+
+    def test_queue_when_capacity_full(self):
+        ctrl = AdmissionController(capacity=1)
+        t1 = ctrl.submit("a")
+        t2 = ctrl.submit("a")
+        assert t1.state == "admitted"
+        assert t2.state == "queued"
+
+    def test_release_promotes_fifo_within_tenant(self):
+        ctrl = AdmissionController(capacity=1)
+        t1 = ctrl.submit("a", now=0.0)
+        t2 = ctrl.submit("a", now=0.0)
+        t3 = ctrl.submit("a", now=0.0)
+        promoted = ctrl.release(t1, now=5.0)
+        assert promoted == [t2]
+        assert t2.t_admit == 5.0 and t2.admit_latency == 5.0
+        assert ctrl.release(t2, now=6.0) == [t3]
+
+    def test_tenant_window_limits_concurrency(self):
+        ctrl = AdmissionController(capacity=10, default_window=2)
+        tickets = [ctrl.submit("a") for _ in range(4)]
+        states = [t.state for t in tickets]
+        assert states == ["admitted", "admitted", "queued", "queued"]
+        # Another tenant still has the global headroom.
+        assert ctrl.submit("b").state == "admitted"
+
+    def test_no_overtake_of_own_backlog(self):
+        # Even with a free slot, a tenant's new request queues behind
+        # its own deferred work (per-tenant FIFO).
+        ctrl = AdmissionController(capacity=2, default_window=1)
+        t1 = ctrl.submit("a")
+        t2 = ctrl.submit("a")
+        t3 = ctrl.submit("a")
+        assert (t1.state, t2.state, t3.state) == ("admitted", "queued", "queued")
+        promoted = ctrl.release(t1)
+        assert promoted == [t2]
+
+
+class TestRejection:
+    def test_reject_when_queue_full(self):
+        ctrl = AdmissionController(capacity=1, default_queue_limit=1)
+        ctrl.submit("a")
+        ctrl.submit("a")  # fills the queue
+        with pytest.raises(TenantRejected) as exc:
+            ctrl.submit("a")
+        assert exc.value.tenant == "a"
+        assert ctrl.snapshot()["tenants"]["a"]["rejected"] == 1
+
+    def test_zero_queue_limit_rejects_all_deferrals(self):
+        ctrl = AdmissionController(capacity=1, default_queue_limit=0)
+        ctrl.submit("a")
+        with pytest.raises(TenantRejected):
+            ctrl.submit("a")
+
+    def test_rejection_does_not_charge_virtual_time(self):
+        # Regression: a rejected request must not advance the tenant's
+        # virtual finish tag — charging it starves exactly the tenants
+        # already being throttled (positive feedback on overload).
+        ctrl = AdmissionController(capacity=1)
+        ctrl.register("victim", queue_limit=0)
+        blocker = ctrl.submit("victim", cost=1.0)
+        vfinish = ctrl._tenants["victim"].vfinish
+        for _ in range(100):
+            with pytest.raises(TenantRejected):
+                ctrl.submit("victim", cost=1.0)
+        assert ctrl._tenants["victim"].vfinish == vfinish
+        ctrl.release(blocker)
+        # With no charge accrued, the tenant's next tag competes at
+        # parity instead of 100 virtual costs behind everyone else.
+        nxt = ctrl.submit("victim", cost=1.0)
+        assert nxt.state == "admitted"
+        assert nxt.tag == pytest.approx(vfinish)
+
+
+class TestWeightedFairness:
+    def test_promotion_in_tag_order_respects_weights(self):
+        # Tenant a has weight 2, b weight 1; both saturate. Over 30
+        # promotions a should get ~2x the slots.
+        ctrl = AdmissionController(capacity=1)
+        ctrl.register("a", weight=2.0)
+        ctrl.register("b", weight=1.0)
+        blocker = ctrl.submit("a")
+        queued = [ctrl.submit("a") for _ in range(40)] + [
+            ctrl.submit("b") for _ in range(40)
+        ]
+        assert all(t.state == "queued" for t in queued)
+        grants = {"a": 0, "b": 0}
+        current = blocker
+        for _ in range(30):
+            promoted = ctrl.release(current)
+            assert len(promoted) == 1
+            current = promoted[0]
+            grants[current.tenant] += 1
+        assert grants["a"] == pytest.approx(2 * grants["b"], abs=2)
+
+    def test_equal_weights_alternate(self):
+        ctrl = AdmissionController(capacity=1)
+        blocker = ctrl.submit("a")
+        for _ in range(10):
+            ctrl.submit("a")
+            ctrl.submit("b")
+        order = []
+        current = blocker
+        for _ in range(10):
+            current = ctrl.release(current)[0]
+            order.append(current.tenant)
+        # SFQ with equal weights and equal costs interleaves.
+        assert order.count("a") == pytest.approx(order.count("b"), abs=1)
+
+
+class TestCancel:
+    def test_cancel_queued(self):
+        ctrl = AdmissionController(capacity=1)
+        t1 = ctrl.submit("a")
+        t2 = ctrl.submit("a")
+        assert ctrl.cancel(t2) is True
+        assert t2.state == "cancelled"
+        assert ctrl.release(t1) == []
+
+    def test_cancel_admitted_is_noop(self):
+        ctrl = AdmissionController(capacity=1)
+        t1 = ctrl.submit("a")
+        assert ctrl.cancel(t1) is False
+        assert t1.state == "admitted"
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+    def test_bad_weight(self):
+        ctrl = AdmissionController(capacity=1)
+        with pytest.raises(ValueError):
+            ctrl.register("a", weight=0.0)
+
+    def test_bad_cost(self):
+        ctrl = AdmissionController(capacity=1)
+        with pytest.raises(ValueError):
+            ctrl.submit("a", cost=0.0)
+
+    def test_double_release_rejected(self):
+        ctrl = AdmissionController(capacity=1)
+        t = ctrl.submit("a")
+        ctrl.release(t)
+        with pytest.raises(ValueError):
+            ctrl.release(t)
+
+    def test_snapshot_shape(self):
+        ctrl = AdmissionController(capacity=3, default_window=2)
+        ctrl.submit("a")
+        snap = ctrl.snapshot()
+        assert snap["capacity"] == 3 and snap["inflight"] == 1
+        block = snap["tenants"]["a"]
+        assert block["admitted"] == 1 and block["window"] == 2

@@ -1,0 +1,164 @@
+"""Tenant isolation: one tenant's faults never leak into another's view.
+
+Two angles:
+
+* the fault-matrix cell — an injected failure scoped to tenant A's
+  namespace fails A's work and lands in A's ledger, while tenant B's
+  concurrently in-flight work completes and B's ledger stays empty;
+* a Hypothesis property — whatever interleaving two tenants' submits
+  arrive in, each tenant observes exactly the per-op outcomes it would
+  have observed running serially by itself.
+
+Kernels are module-level (picklable) so the ``process-parity`` CI job
+can replay this file with ``REPRO_BACKEND=process``.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import FaultPlan, FaultSpec, InjectedFault, inject_faults
+from repro.core.runtime import HStreams
+from repro.service import StreamService
+from repro.sim.kernels import dgemm
+
+
+def _ok(*_args) -> None:
+    pass
+
+
+def _boom(*_args) -> None:
+    raise ValueError("tenant-local kernel failure")
+
+
+def _cost(*_args):
+    return dgemm(64, 64, 64)
+
+
+def make_runtime(backend="thread") -> HStreams:
+    hs = HStreams(backend=backend, trace=False)
+    hs.register_kernel("ok", fn=_ok, cost_fn=_cost)
+    hs.register_kernel("boom", fn=_boom, cost_fn=_cost)
+    return hs
+
+
+class TestFaultMatrixCell:
+    @pytest.mark.parametrize("backend", ["thread", "sim"])
+    def test_tenant_a_fault_leaves_tenant_b_ledger_empty(self, backend):
+        hs = make_runtime(backend)
+        inject_faults(
+            hs,
+            FaultPlan(
+                specs=(FaultSpec(kind="compute", namespace="tA", nth=1),)
+            ),
+        )
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=8)
+                sa = await svc.session("tA")
+                sb = await svc.session("tB")
+                # Interleave: B's work is in flight while A's fault fires.
+                subs_a = [await sa.submit("ok") for _ in range(3)]
+                subs_b = [await sb.submit("ok") for _ in range(3)]
+                await sa.drain()
+                await sb.drain()
+                a_states = [(await s.done).state for s in subs_a]
+                b_states = [(await s.done).state for s in subs_b]
+                # A: first op armed -> failed; the rest carry no operand
+                # conflict with the poisoned footprint, so they run.
+                assert a_states[0] == "failed"
+                assert a_states[1:] == ["complete"] * 2
+                assert b_states == ["complete"] * 3
+                # Ledgers: the fault is A's alone.
+                assert len(sa.errors()) == 1
+                assert isinstance(sa.errors()[0], InjectedFault)
+                assert sb.errors() == []
+                # B's scoped barrier stays clean; A's surfaces its fault.
+                hs.stream_synchronize(sb.stream)
+                with pytest.raises(InjectedFault):
+                    hs.stream_synchronize(sa.stream)
+                # Per-tenant metrics partition the failure the same way.
+                ns = hs.metrics()["namespaces"]
+                assert ns["tA"]["failed"] == 1
+                assert ns["tB"]["failed"] == 0
+                assert ns["tB"]["completed"] == 3
+                await sb.close()
+                hs.clear_failure("tA")
+                await sa.close()
+                await svc.close()
+
+            asyncio.run(main())
+        finally:
+            hs.fini()
+
+
+async def _run_schedule(hs, schedule, fail_ops):
+    """Submit ops in ``schedule`` order; return per-tenant outcome lists.
+
+    ``schedule`` is a sequence of tenant names; tenant ``tA``'s op is
+    drawn from ``fail_ops`` by its per-tenant index. Outcomes are the
+    terminal record states in each tenant's own submission order.
+    """
+    svc = StreamService(hs, capacity=4)
+    sessions = {}
+    subs = {}
+    counts = {}
+    for tenant in schedule:
+        if tenant not in sessions:
+            sessions[tenant] = await svc.session(tenant)
+            subs[tenant] = []
+            counts[tenant] = 0
+        idx = counts[tenant]
+        counts[tenant] += 1
+        kernel = "boom" if tenant == "tA" and idx in fail_ops else "ok"
+        subs[tenant].append(await sessions[tenant].submit(kernel))
+    outcomes = {}
+    for tenant, session in sessions.items():
+        await session.drain()
+        outcomes[tenant] = [(await s.done).state for s in subs[tenant]]
+        outcomes[tenant + ".errors"] = len(session.errors())
+    for session in sessions.values():
+        await session.close()
+    await svc.close()
+    return outcomes
+
+
+class TestInterleavingParity:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        order=st.permutations(["tA"] * 4 + ["tB"] * 4),
+        fail_ops=st.sets(st.integers(min_value=0, max_value=3), max_size=2),
+    )
+    def test_interleaved_equals_serial_per_tenant(self, order, fail_ops):
+        # Interleaved: both tenants share the service in the drawn order.
+        hs = make_runtime()
+        try:
+            interleaved = asyncio.run(_run_schedule(hs, order, fail_ops))
+            hs.clear_failure()
+        finally:
+            hs.fini()
+        # Serial: each tenant runs alone on a fresh runtime.
+        serial = {}
+        for tenant in ("tA", "tB"):
+            hs = make_runtime()
+            try:
+                alone = asyncio.run(_run_schedule(hs, [tenant] * 4, fail_ops))
+                serial[tenant] = alone[tenant]
+                serial[tenant + ".errors"] = alone[tenant + ".errors"]
+                hs.clear_failure()
+            finally:
+                hs.fini()
+        assert interleaved["tA"] == serial["tA"]
+        assert interleaved["tB"] == serial["tB"]
+        assert interleaved["tA.errors"] == serial["tA.errors"]
+        assert interleaved["tB.errors"] == serial["tB.errors"]
+        # And B, which never fails, is untouched by A's failures.
+        assert interleaved["tB"] == ["complete"] * 4
+        assert interleaved["tB.errors"] == 0

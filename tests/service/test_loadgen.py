@@ -1,0 +1,168 @@
+"""Load generator + virtual-time replay: determinism, schema, gating."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.perf import GATED_UNIT, check_rows, rows_from_json, rows_to_json
+from repro.service.loadgen import (
+    main,
+    make_trace,
+    replay,
+    replay_end_to_end,
+    replay_rows,
+    tenant_weights,
+)
+
+SESSIONS = 20_000
+
+
+@pytest.fixture(scope="module")
+def result():
+    # window * ntenants > capacity, so the WFQ (not the per-tenant
+    # window) is what allocates slots under this deliberate overload.
+    trace = make_trace(SESSIONS, ntenants=4, seed=7)
+    return replay(trace, capacity=64, window=32, queue_limit=64)
+
+
+class TestTrace:
+    def test_same_seed_same_trace(self):
+        a = make_trace(1000, ntenants=4, seed=3)
+        b = make_trace(1000, ntenants=4, seed=3)
+        assert a.arrive == b.arrive
+        assert a.tenant == b.tenant
+        assert a.cost == b.cost
+
+    def test_different_seed_differs(self):
+        a = make_trace(1000, ntenants=4, seed=3)
+        b = make_trace(1000, ntenants=4, seed=4)
+        assert a.arrive != b.arrive
+
+    def test_arrivals_monotone(self):
+        trace = make_trace(5000, seed=1)
+        assert all(
+            trace.arrive[i] < trace.arrive[i + 1]
+            for i in range(len(trace) - 1)
+        )
+
+    def test_weights_premium_half(self):
+        assert tenant_weights(8) == [2.0] * 4 + [1.0] * 4
+        assert tenant_weights(3) == [2.0, 1.0, 1.0]
+
+    def test_rejects_single_tenant(self):
+        with pytest.raises(ValueError):
+            make_trace(10, ntenants=1)
+
+
+class TestReplay:
+    def test_conservation(self, result):
+        # Every session is exactly one of: completed, rejected.
+        assert result["completed"] + result["rejected"] == SESSIONS
+        per_tenant = sum(
+            block["completed"] + block["rejected"]
+            for block in result["tenants"].values()
+        )
+        assert per_tenant == SESSIONS
+
+    def test_deterministic_rows(self, result):
+        trace = make_trace(SESSIONS, ntenants=4, seed=7)
+        again = replay(trace, capacity=64, window=32, queue_limit=64)
+        assert replay_rows(again, "x") == replay_rows(result, "x")
+
+    def test_fairness_near_weighted_parity(self, result):
+        # Uniform offered load + 2:1 weights: weighted completion ratio
+        # across tenants stays near 1 under saturation.
+        assert 1.0 <= result["fairness"] < 1.25
+        premium = result["tenants"]["t0"]["completed"]
+        standard = result["tenants"]["t2"]["completed"]
+        assert premium > 1.5 * standard
+
+    def test_latency_percentiles_ordered(self, result):
+        assert 0.0 <= result["p50_admit_s"] <= result["p99_admit_s"]
+        assert result["p99_admit_s"] < result["makespan_s"]
+
+    def test_row_schema(self, result):
+        rows = replay_rows(result, "20000s4t")
+        metrics = [r.metric for r in rows]
+        assert metrics == [
+            "p50_admit_vus",
+            "p99_admit_vus",
+            "fairness_x100",
+            "rejected",
+            "incomplete",
+            "makespan_vs",
+        ]
+        assert all(r.bench == "service_load:20000s4t" for r in rows)
+        gated = [r for r in rows if r.unit == GATED_UNIT]
+        assert len(gated) == 5
+        assert all(isinstance(r.value, int) for r in gated)
+        # A saturated replay leaves nothing unaccounted for.
+        incomplete = next(r for r in rows if r.metric == "incomplete")
+        assert incomplete.value == 0
+
+    def test_rows_round_trip_and_gate(self, result):
+        rows = replay_rows(result, "g")
+        restored = rows_from_json(rows_to_json(rows))
+        assert check_rows(rows, restored, tolerance=0.0) == []
+        # A worsened current value vs baseline must trip the gate.
+        worse = [
+            dataclasses.replace(r, value=r.value * 2 + 10)
+            if r.metric == "p99_admit_vus"
+            else r
+            for r in rows
+        ]
+        problems = check_rows(worse, restored, tolerance=0.25)
+        assert len(problems) == 1 and "p99_admit_vus" in problems[0]
+
+    def test_vanished_gated_counter_fails_gate(self, result):
+        # A gated baseline row the current run no longer emits is a
+        # failure — a silently dropped counter is how a harness rots.
+        rows = replay_rows(result, "g")
+        current = [r for r in rows if r.metric != "rejected"]
+        problems = check_rows(current, rows, tolerance=0.25)
+        assert any("rejected" in p and "missing" in p for p in problems)
+
+
+class TestEndToEnd:
+    def test_slice_completes_through_real_service(self):
+        trace = make_trace(150, ntenants=4, seed=11)
+        out = replay_end_to_end(trace, 150, capacity=16, window=4)
+        assert out["completed"] == 150
+        assert out["inflight_after"] == 0
+        admitted = sum(b["admitted"] for b in out["tenants"].values())
+        assert admitted == 150
+
+
+class TestCli:
+    def test_json_report_and_self_check(self, tmp_path, capsys):
+        rows_path = tmp_path / "rows.json"
+        report_path = tmp_path / "report.json"
+        argv = [
+            "--sessions", "5000", "--tenants", "4", "--seed", "9",
+            "--capacity", "32", "--window", "8", "--queue-limit", "32",
+            "--json", str(rows_path), "--report", str(report_path),
+        ]
+        assert main(argv) == 0
+        rows = rows_from_json(rows_path.read_text())
+        assert any(r.metric == "p99_admit_vus" for r in rows)
+        report = json.loads(report_path.read_text())
+        assert report["replay"]["sessions"] == 5000
+        # Re-run gating against its own emitted rows: must pass.
+        assert main(argv + ["--check", str(rows_path)]) == 0
+        assert "service gate ok" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        rows_path = tmp_path / "rows.json"
+        base = ["--sessions", "3000", "--tenants", "4", "--seed", "5"]
+        assert main(base + ["--json", str(rows_path)]) == 0
+        rows = rows_from_json(rows_path.read_text())
+        shrunk = [
+            dataclasses.replace(r, value=max(0, r.value // 3))
+            if r.unit == GATED_UNIT
+            else r
+            for r in rows
+        ]
+        rows_path.write_text(rows_to_json(shrunk))
+        assert main(base + ["--check", str(rows_path)]) == 1
+        assert "SERVICE GATE" in capsys.readouterr().err

@@ -1,0 +1,311 @@
+"""Service front-end tests: sessions, admission, backpressure, transport.
+
+Kernels are module-level so they pickle: the ``process-parity`` CI job
+re-runs this file with ``REPRO_BACKEND=process``, shipping them to
+worker processes.
+"""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.core.errors import HStreamsQuotaExceeded
+from repro.core.runtime import HStreams
+from repro.service import (
+    ServiceError,
+    SessionClosed,
+    StreamService,
+    TenantRejected,
+    serve_unix,
+)
+
+
+def _noop(*_args) -> None:
+    pass
+
+
+def _slow(*_args) -> None:
+    time.sleep(0.05)
+
+
+def _boom(*_args) -> None:
+    raise ValueError("injected kernel failure")
+
+
+def make_runtime() -> HStreams:
+    hs = HStreams(backend="thread", trace=False)
+    hs.register_kernel("noop", fn=_noop)
+    hs.register_kernel("slow", fn=_slow)
+    hs.register_kernel("boom", fn=_boom)
+    return hs
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSessions:
+    def test_two_tenants_submit_and_drain(self):
+        hs = make_runtime()
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=8)
+                sa = await svc.session("alpha")
+                sb = await svc.session("beta")
+                subs = [await sa.submit("noop") for _ in range(5)]
+                subs += [await sb.submit("noop") for _ in range(5)]
+                for sub in subs:
+                    record = await sub.done
+                    assert record.state == "complete"
+                ma = sa.metrics()
+                mb = sb.metrics()
+                assert ma["admission"]["admitted"] == 5
+                assert mb["admission"]["admitted"] == 5
+                assert ma["runtime"]["completed"] == 5
+                assert mb["runtime"]["completed"] == 5
+                assert ma["errors"] == 0 and mb["errors"] == 0
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
+
+    def test_result_raises_on_kernel_failure(self):
+        hs = make_runtime()
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=4)
+                session = await svc.session("alpha")
+                sub = await session.submit("boom")
+                with pytest.raises(ServiceError) as exc:
+                    await session.result(sub)
+                assert "failed" in str(exc.value)
+                assert len(session.errors()) == 1
+                await svc.close()
+
+            run(main())
+            hs.clear_failure("alpha")
+        finally:
+            hs.fini()
+
+    def test_admission_queues_then_promotes(self):
+        hs = make_runtime()
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=1)
+                session = await svc.session("alpha")
+                first = await session.submit("slow")
+                # Second submit must wait for the first slot to free.
+                t0 = asyncio.get_running_loop().time()
+                second = await session.submit("noop")
+                waited = asyncio.get_running_loop().time() - t0
+                assert waited > 0.02  # deferred behind the slow kernel
+                assert second.ticket.admit_latency > 0.0
+                await first.done
+                await second.done
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
+
+    def test_429_backpressure_on_full_queue(self):
+        hs = make_runtime()
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=1, queue_limit=0)
+                session = await svc.session("alpha")
+                first = await session.submit("slow")
+                with pytest.raises(TenantRejected):
+                    await session.submit("noop")
+                assert session.metrics()["admission"]["rejected"] == 1
+                await first.done
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
+
+    def test_session_close_cancels_queued_work(self):
+        hs = make_runtime()
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=1)
+                session = await svc.session("alpha")
+                first = await session.submit("slow")
+                queued = asyncio.ensure_future(session.submit("noop"))
+                await asyncio.sleep(0)  # let it reach the queue
+                closer = asyncio.ensure_future(session.close())
+                with pytest.raises(SessionClosed):
+                    await queued
+                await closer
+                assert first.done.done()
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
+
+    def test_quota_backstop_guards_direct_enqueue(self):
+        # The scheduler-side namespace quota catches work that bypasses
+        # the admission controller entirely.
+        hs = make_runtime()
+        try:
+
+            async def main():
+                svc = StreamService(
+                    hs, capacity=8, tenant_window=1, quota_headroom=1
+                )
+                session = await svc.session("alpha")
+                direct = hs.stream_create(0, ncores=1, namespace="alpha")
+                hs.enqueue_compute(direct, "slow")
+                with pytest.raises(HStreamsQuotaExceeded):
+                    hs.enqueue_compute(direct, "noop")
+                hs.stream_synchronize(direct)
+                await session.close()
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
+
+    def test_service_metrics_shape(self):
+        hs = make_runtime()
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=4)
+                svc.register_tenant("alpha", weight=2.0)
+                session = await svc.session("alpha")
+                await (await session.submit("noop")).done
+                m = svc.metrics()
+                assert m["capacity"] == 4
+                assert m["sessions"] == 1
+                block = m["tenants"]["alpha"]
+                assert block["admission"]["weight"] == 2.0
+                assert block["runtime"]["streams"] >= 1
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
+
+
+class TestFiniRace:
+    def test_fini_during_active_session_is_deterministic(self):
+        # Regression: fini() while a session has work in flight used to
+        # race the asyncio loop — the completion bridge would
+        # call_soon_threadsafe into a loop that was already closed.
+        # fini() must drain session-owned streams synchronously and the
+        # late completions must be dropped, not raised into the backend
+        # worker.
+        hs = make_runtime()
+
+        async def main():
+            svc = StreamService(hs, capacity=4)
+            session = await svc.session("alpha")
+            for _ in range(3):
+                await session.submit("slow")
+            return svc
+
+        svc = run(main())
+        # The loop from asyncio.run() is closed now; in-flight slow
+        # kernels complete during fini's drain.
+        hs.fini()
+        assert not hs.initialized
+        # The work itself finished (drained, not abandoned): the
+        # tenant's runtime counters survived into the admission view.
+        assert svc._admission.snapshot()["tenants"]["alpha"]["admitted"] == 3
+
+    def test_close_after_fini_is_safe(self):
+        hs = make_runtime()
+
+        async def main():
+            svc = StreamService(hs, capacity=4)
+            session = await svc.session("alpha")
+            await (await session.submit("noop")).done
+            return svc
+
+        svc = run(main())
+        hs.fini()
+        run(svc.close())  # must not raise despite the dead runtime
+
+
+class TestUnixTransport:
+    def test_round_trip_two_tenants(self, tmp_path):
+        hs = make_runtime()
+        path = os.path.join(str(tmp_path), "svc.sock")
+        try:
+
+            async def main():
+                svc = StreamService(hs, capacity=8)
+                server = await serve_unix(svc, path)
+
+                async def client(tenant):
+                    reader, writer = await asyncio.open_unix_connection(path)
+
+                    async def rpc(req):
+                        import json
+
+                        writer.write(json.dumps(req).encode() + b"\n")
+                        await writer.drain()
+                        return json.loads(await reader.readline())
+
+                    opened = await rpc({"op": "open", "tenant": tenant})
+                    assert opened["ok"], opened
+                    sid = opened["session"]
+                    done = await rpc(
+                        {"op": "submit", "session": sid, "kernel": "noop"}
+                    )
+                    assert done["ok"] and done["state"] == "complete"
+                    metrics = await rpc({"op": "metrics", "tenant": tenant})
+                    assert metrics["metrics"]["admission"]["admitted"] == 1
+                    closed = await rpc({"op": "close", "session": sid})
+                    assert closed["ok"]
+                    writer.close()
+
+                await asyncio.gather(client("alpha"), client("beta"))
+                server.close()
+                await server.wait_closed()
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
+
+    def test_unknown_session_and_op_errors(self, tmp_path):
+        hs = make_runtime()
+        path = os.path.join(str(tmp_path), "svc.sock")
+        try:
+
+            async def main():
+                import json
+
+                svc = StreamService(hs, capacity=2)
+                server = await serve_unix(svc, path)
+                reader, writer = await asyncio.open_unix_connection(path)
+
+                async def rpc(req):
+                    writer.write(json.dumps(req).encode() + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                resp = await rpc({"op": "submit", "session": 99, "kernel": "noop"})
+                assert resp["code"] == 404
+                resp = await rpc({"op": "nonsense"})
+                assert resp["code"] == 400
+                writer.close()
+                server.close()
+                await server.wait_closed()
+                await svc.close()
+
+            run(main())
+        finally:
+            hs.fini()
